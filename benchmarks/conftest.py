@@ -1,0 +1,23 @@
+"""Benchmark harness conventions.
+
+Every benchmark module regenerates one experiment table (DESIGN.md §4).
+Experiments are deterministic end-to-end runs, so each is measured with a
+single pedantic round — the interesting output is the *table*, which is
+attached to ``benchmark.extra_info`` and printed (visible with ``-s``).
+
+Run everything with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+
+def run_and_report(benchmark, runner, **kwargs):
+    """Benchmark one experiment run and publish its table."""
+    result = benchmark.pedantic(
+        lambda: runner(**kwargs), rounds=1, iterations=1, warmup_rounds=0
+    )
+    table = result.table().render()
+    benchmark.extra_info["table"] = table
+    print()
+    print(table)
+    return result

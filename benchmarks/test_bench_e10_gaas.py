@@ -1,0 +1,13 @@
+"""Benchmark E10: §4.2 — Glimmer-as-a-service placements.
+
+Regenerates the E10 table from DESIGN.md §4 at full experiment size and
+measures its end-to-end runtime.
+"""
+
+from repro.experiments import e10_gaas
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_e10(benchmark):
+    run_and_report(benchmark, e10_gaas.run, num_clients=6)

@@ -1,0 +1,13 @@
+"""Benchmark E11: §1 — photos-for-maps geo validation.
+
+Regenerates the E11 table from DESIGN.md §4 at full experiment size and
+measures its end-to-end runtime.
+"""
+
+from repro.experiments import e11_photo_maps
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_e11(benchmark):
+    run_and_report(benchmark, e11_photo_maps.run, num_users=8, radii=(10.0, 25.0, 80.0))

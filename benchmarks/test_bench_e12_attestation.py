@@ -1,0 +1,13 @@
+"""Benchmark E12: §3 — attestation and vetting attack matrix.
+
+Regenerates the E12 table from DESIGN.md §4 at full experiment size and
+measures its end-to-end runtime.
+"""
+
+from repro.experiments import e12_attestation
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_e12(benchmark):
+    run_and_report(benchmark, e12_attestation.run, )

@@ -1,0 +1,16 @@
+"""Benchmark E13: §2 extension — consortium vs SGX Glimmer.
+
+Regenerates the E13 table from DESIGN.md §4 at full experiment size and
+measures its end-to-end runtime.
+"""
+
+from repro.experiments import e13_consortium
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_e13(benchmark):
+    run_and_report(
+        benchmark, e13_consortium.run,
+        num_users=8, num_members=5, quorum=3, failure_rates=(0.0, 0.2),
+    )

@@ -1,0 +1,16 @@
+"""Benchmark E14: extension — distributed DP inside the Glimmer.
+
+Regenerates the E14 table from DESIGN.md §4 at full experiment size and
+measures its end-to-end runtime.
+"""
+
+from repro.experiments import e14_dp_release
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_e14(benchmark):
+    run_and_report(
+        benchmark, e14_dp_release.run,
+        num_users=10, sigmas=(0.0, 0.05, 0.2, 1.0, 5.0),
+    )

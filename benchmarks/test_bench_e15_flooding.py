@@ -1,0 +1,15 @@
+"""Benchmark E15: extension — flooding vs rate-limits + rollback protection.
+
+Regenerates the E15 table from DESIGN.md §4 at full experiment size and
+measures its end-to-end runtime.
+"""
+
+from repro.experiments import e15_flooding
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_e15(benchmark):
+    run_and_report(
+        benchmark, e15_flooding.run, num_users=6, flood_sizes=(1, 4, 8)
+    )

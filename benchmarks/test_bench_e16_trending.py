@@ -1,0 +1,16 @@
+"""Benchmark E16: §1 extension — trending topics through the pipeline.
+
+Regenerates the E16 table from DESIGN.md §4 at full experiment size and
+measures its end-to-end runtime.
+"""
+
+from repro.experiments import e16_trending
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_e16(benchmark):
+    run_and_report(
+        benchmark, e16_trending.run,
+        num_users=8, epoch_intensities=(0.0, 0.0, 0.1, 0.3, 0.5),
+    )

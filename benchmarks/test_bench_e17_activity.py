@@ -1,0 +1,16 @@
+"""Benchmark E17: §2 extension — in-home activity detection.
+
+Regenerates the E17 table from DESIGN.md §4 at full experiment size and
+measures its end-to-end runtime.
+"""
+
+from repro.experiments import e17_activity
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_e17(benchmark):
+    run_and_report(
+        benchmark, e17_activity.run,
+        num_users=10, tolerances=(0.02, 0.05), frames_per_stream=120,
+    )

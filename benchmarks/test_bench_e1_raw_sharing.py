@@ -1,0 +1,13 @@
+"""Benchmark E1: Fig. 1a — raw sharing baseline.
+
+Regenerates the E1 table from DESIGN.md §4 at full experiment size and
+measures its end-to-end runtime.
+"""
+
+from repro.experiments import e1_raw_sharing
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_e1(benchmark):
+    run_and_report(benchmark, e1_raw_sharing.run, cohort_sizes=(16, 64))

@@ -1,0 +1,13 @@
+"""Benchmark E2: Fig. 1b — federated learning inversion.
+
+Regenerates the E2 table from DESIGN.md §4 at full experiment size and
+measures its end-to-end runtime.
+"""
+
+from repro.experiments import e2_federated
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_e2(benchmark):
+    run_and_report(benchmark, e2_federated.run, cohort_sizes=(16, 64))

@@ -1,0 +1,13 @@
+"""Benchmark E3: Fig. 1c — secure aggregation.
+
+Regenerates the E3 table from DESIGN.md §4 at full experiment size and
+measures its end-to-end runtime.
+"""
+
+from repro.experiments import e3_secure_agg
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_e3(benchmark):
+    run_and_report(benchmark, e3_secure_agg.run, num_users=12, dropout_rates=(0.0, 0.25))

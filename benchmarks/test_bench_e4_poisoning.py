@@ -1,0 +1,13 @@
+"""Benchmark E4: Fig. 1d — the 538 poisoning attack.
+
+Regenerates the E4 table from DESIGN.md §4 at full experiment size and
+measures its end-to-end runtime.
+"""
+
+from repro.experiments import e4_poisoning
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_e4(benchmark):
+    run_and_report(benchmark, e4_poisoning.run, num_users=10, magnitudes=(2.0, 10.0, 538.0))

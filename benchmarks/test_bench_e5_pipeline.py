@@ -1,0 +1,13 @@
+"""Benchmark E5: Fig. 2+3 — end-to-end Glimmer pipeline.
+
+Regenerates the E5 table from DESIGN.md §4 at full experiment size and
+measures its end-to-end runtime.
+"""
+
+from repro.experiments import e5_pipeline
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_e5(benchmark):
+    run_and_report(benchmark, e5_pipeline.run, num_users=8)

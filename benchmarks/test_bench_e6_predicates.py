@@ -1,0 +1,13 @@
+"""Benchmark E6: §2 — predicate ladder vs adversary cost.
+
+Regenerates the E6 table from DESIGN.md §4 at full experiment size and
+measures its end-to-end runtime.
+"""
+
+from repro.experiments import e6_predicates
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_e6(benchmark):
+    run_and_report(benchmark, e6_predicates.run, num_users=4)

@@ -1,0 +1,13 @@
+"""Benchmark E7: §3 — single vs decomposed enclaves.
+
+Regenerates the E7 table from DESIGN.md §4 at full experiment size and
+measures its end-to-end runtime.
+"""
+
+from repro.experiments import e7_enclave_split
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_e7(benchmark):
+    run_and_report(benchmark, e7_enclave_split.run, vector_sizes=(16, 128, 1024))

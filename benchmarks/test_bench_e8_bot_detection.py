@@ -1,0 +1,13 @@
+"""Benchmark E8: §4.1 — bot detection channels.
+
+Regenerates the E8 table from DESIGN.md §4 at full experiment size and
+measures its end-to-end runtime.
+"""
+
+from repro.experiments import e8_bot_detection
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_e8(benchmark):
+    run_and_report(benchmark, e8_bot_detection.run, num_sessions=60, sophistication_levels=(0.0, 0.6, 0.95))

@@ -1,0 +1,13 @@
+"""Benchmark E9: §4.1 — covert channel bound.
+
+Regenerates the E9 table from DESIGN.md §4 at full experiment size and
+measures its end-to-end runtime.
+"""
+
+from repro.experiments import e9_covert_channel
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_e9(benchmark):
+    run_and_report(benchmark, e9_covert_channel.run, budgets=(1, 8, 64))

@@ -1,0 +1,122 @@
+"""Micro-benchmarks for the primitives the Glimmer pipeline leans on.
+
+Unlike the experiment benches (single deterministic runs), these measure
+real wall-clock performance of the hot operations across many rounds:
+Schnorr sign/verify, DH agreement, sum-zero mask sampling, fixed-point
+encode, the Glimmer's ``process_contribution`` ecall, and a full secure-
+aggregation round.
+"""
+
+import pytest
+
+from repro.crypto.dh import DHKeyPair, OAKLEY_GROUP_1, TEST_GROUP
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.fixedpoint import FixedPointCodec
+from repro.crypto.masking import SumZeroMasks, apply_mask
+from repro.crypto.schnorr import SchnorrKeyPair
+from repro.experiments.common import Deployment
+
+VECTOR = [0.5] * 256
+
+
+def test_bench_schnorr_sign(benchmark):
+    keypair = SchnorrKeyPair.generate(HmacDrbg(b"bench"), OAKLEY_GROUP_1)
+    benchmark(keypair.sign, b"contribution digest" * 2)
+
+
+def test_bench_schnorr_verify(benchmark):
+    keypair = SchnorrKeyPair.generate(HmacDrbg(b"bench"), OAKLEY_GROUP_1)
+    message = b"contribution digest" * 2
+    signature = keypair.sign(message)
+    benchmark(keypair.public_key.verify, message, signature)
+
+
+def test_bench_dh_agreement(benchmark):
+    rng = HmacDrbg(b"bench-dh")
+    alice = DHKeyPair.generate(OAKLEY_GROUP_1, rng)
+    bob = DHKeyPair.generate(OAKLEY_GROUP_1, rng)
+    benchmark(alice.derive_key, bob.public, "bench")
+
+
+def test_bench_sum_zero_mask_sampling(benchmark):
+    rng = HmacDrbg(b"bench-masks")
+    benchmark(SumZeroMasks.sample, 16, 256, rng)
+
+
+def test_bench_fixed_point_encode(benchmark):
+    codec = FixedPointCodec()
+    benchmark(codec.encode, VECTOR)
+
+
+def test_bench_apply_mask(benchmark):
+    rng = HmacDrbg(b"bench-apply")
+    codec = FixedPointCodec()
+    encoded = codec.encode(VECTOR)
+    mask = SumZeroMasks.sample(2, len(VECTOR), rng).mask_for(0)
+    benchmark(apply_mask, encoded, mask)
+
+
+def test_bench_drbg_generate(benchmark):
+    rng = HmacDrbg(b"bench-drbg")
+    benchmark(rng.generate, 1024)
+
+
+@pytest.fixture(scope="module")
+def contribution_deployment():
+    deployment = Deployment.build(
+        num_users=1, seed=b"bench-contribution", sentences_per_user=15
+    )
+    return deployment
+
+
+def test_bench_glimmer_process_contribution(benchmark, contribution_deployment):
+    """One full validate→blind→sign ecall (masks re-provisioned per round)."""
+    deployment = contribution_deployment
+    user_id = deployment.corpus.users[0].user_id
+    client = deployment.clients[user_id]
+    vector = list(deployment.local_vectors()[user_id])
+    state = {"round": 100}
+
+    def one_contribution():
+        round_id = state["round"]
+        state["round"] += 1
+        deployment.blinder_provisioner.open_round(
+            round_id, 1, len(deployment.features)
+        )
+        client.provision_mask(deployment.blinder_provisioner, round_id, 0)
+        return client.contribute(round_id, vector, deployment.features.bigrams)
+
+    benchmark.pedantic(one_contribution, rounds=10, iterations=1, warmup_rounds=1)
+
+
+def test_bench_secagg_full_round(benchmark):
+    """A complete 8-party Bonawitz round, no dropouts."""
+    from repro.crypto.secagg import SecureAggregationClient, SecureAggregationServer
+
+    codec = FixedPointCodec()
+    values = [0.25] * 32
+
+    def full_round():
+        server = SecureAggregationServer(codec, group=TEST_GROUP)
+        clients = [
+            SecureAggregationClient(i, HmacDrbg(bytes([i])), codec, group=TEST_GROUP)
+            for i in range(8)
+        ]
+        roster = server.register([c.advertise() for c in clients], 5)
+        messages = []
+        for client in clients:
+            messages.extend(client.share_keys(roster, 5))
+        routed = SecureAggregationServer.route_shares(messages)
+        for client in clients:
+            client.receive_shares(routed.get(client.client_id, []))
+        for client in clients:
+            server.collect_masked_input(
+                client.client_id, client.masked_input(codec.encode(values))
+            )
+        survivors, dropped = server.survivor_sets()
+        responses = {
+            c.client_id: c.unmask_response(survivors, dropped) for c in clients
+        }
+        return server.aggregate(responses)
+
+    benchmark.pedantic(full_round, rounds=3, iterations=1, warmup_rounds=0)

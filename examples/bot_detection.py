@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""§4.1 Validation Confidentiality: bot detection with one audited bit.
+
+The inversion of the usual story: here the *service's* detector is the
+secret (shipped encrypted into the enclave over an attested channel), and
+the *user's* browsing signals are the private data that never leaves the
+device.  A runtime auditor — run by the user or the EFF — checks that every
+outbound message is exactly the public one-bit format, clamping whatever a
+malicious encrypted predicate might try to exfiltrate.
+
+Run:  python examples/bot_detection.py
+"""
+
+from repro.core.auditor import RuntimeAuditor
+from repro.core.confidential import (
+    BotDetectionService,
+    ExfiltratingGlimmerProgram,
+    build_confidential_image,
+    raw_signal_leakage_bits,
+)
+from repro.core.provisioning import VettingRegistry
+from repro.crypto.dh import TEST_GROUP
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.schnorr import SchnorrKeyPair
+from repro.errors import AuditError
+from repro.sgx.attestation import AttestationService, report_data_for
+from repro.sgx.measurement import VendorKey
+from repro.sgx.platform import SgxPlatform
+from repro.workloads.botnet import BotnetWorkload, DetectorWeights
+
+
+def provision(image, name, identity, detector, ias, registry, rng, seed):
+    service = BotDetectionService(identity, detector, ias, registry, name, rng)
+    platform = SgxPlatform(seed, attestation_service=ias)
+    store = {}
+    enclave = platform.load_enclave(
+        image, ocall_handlers={"collect_session_signals": lambda sid: store[sid]}
+    )
+    session = seed + b":prov"
+    public = enclave.ecall("begin_handshake", session)
+    quote = platform.quote_enclave(enclave, report_data_for(public.to_bytes(256, "big")))
+    enclave.ecall("install_detector", service.provision_detector(session, public, quote))
+    return enclave, service, store
+
+
+def main() -> None:
+    rng = HmacDrbg(b"bot-detection-example")
+    ias = AttestationService(b"bot-ias")
+    vendor = VendorKey.generate(rng.fork("vendor"))
+    identity = SchnorrKeyPair.generate(rng.fork("identity"), TEST_GROUP)
+    detector = DetectorWeights()
+    registry = VettingRegistry()
+
+    image = build_confidential_image(vendor, identity.public_key)
+    registry.publish("bot-glimmer", image.mrenclave)
+    workload = BotnetWorkload.generate(20, rng.fork("sessions"), bot_fraction=0.4)
+
+    enclave, service, store = provision(
+        image, "bot-glimmer", identity, detector, ias, registry,
+        rng.fork("svc"), b"bot-platform",
+    )
+    auditor = RuntimeAuditor()
+
+    print("== honest encrypted detector, audited to 1 bit/session ==")
+    correct = 0
+    raw_bits = 0
+    for signals in workload.sessions:
+        store[signals.session_id] = signals
+        raw_bits += raw_signal_leakage_bits(signals)
+        challenge = service.new_challenge(signals.session_id)
+        message = enclave.ecall("evaluate_session", signals.session_id, challenge)
+        auditor.audit(message, challenge)
+        is_human = service.verify_verdict(message)
+        correct += is_human != signals.is_bot
+    print(f"  detection accuracy: {correct / len(workload.sessions):.2f}")
+    print(f"  bits released per session: 1 "
+          f"(raw-signal upload would have shipped "
+          f"~{raw_bits // len(workload.sessions)} private bits each)\n")
+
+    print("== a malicious encrypted predicate tries to exfiltrate ==")
+    exfil_image = build_confidential_image(
+        vendor, identity.public_key,
+        program_class=ExfiltratingGlimmerProgram, name="exfil-glimmer",
+    )
+    registry.publish("exfil-glimmer", exfil_image.mrenclave)
+    enclave, service, store = provision(
+        exfil_image, "exfil-glimmer", identity, detector, ias, registry,
+        rng.fork("exfil"), b"exfil-platform",
+    )
+    auditor = RuntimeAuditor(max_bits_per_session=8)
+    victim = workload.sessions[0]
+    store[victim.session_id] = victim
+    leaked = 0
+    for attempt in range(20):
+        challenge = service.new_challenge(victim.session_id)
+        message = enclave.ecall("evaluate_session", victim.session_id, challenge)
+        try:
+            auditor.audit(message, challenge)
+            leaked += 1
+        except AuditError:
+            pass
+    print(f"  the predicate modulated verdict bits for 20 sessions, but the")
+    print(f"  auditor's 8-bit budget capped the leak at "
+          f"{auditor.capacity_bound_bits(victim.session_id)} bits "
+          f"(attacker got {leaked})")
+    print("  — the covert channel exists, but its capacity is bounded, "
+          "exactly as §4.1 claims")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Reproduction of "Glimmers: Resolving the Privacy/Trust Quagmire" (HotOS 2017).
+
+The package is organized by subsystem (see DESIGN.md for the full
+inventory):
+
+* :mod:`repro.crypto` — self-contained simulation-grade cryptography;
+* :mod:`repro.sgx` — a functional Intel SGX simulator;
+* :mod:`repro.network` — simulated transport, channels, adversaries;
+* :mod:`repro.federated` — the motivating federated keyboard service;
+* :mod:`repro.workloads` — synthetic data with planted ground truth;
+* :mod:`repro.core` — the Glimmer architecture (the paper's contribution);
+* :mod:`repro.analysis` — privacy/utility measurement helpers;
+* :mod:`repro.experiments` — one experiment per paper figure/claim.
+
+Quick entry points: :class:`repro.experiments.common.Deployment` stands up
+a complete provisioned deployment; ``python -m repro`` runs experiments
+from the command line.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,14 @@
+"""Measurement helpers shared by experiments: privacy, stats, reporting."""
+
+from repro.analysis.privacy import LeakageReport, leakage_for_channel
+from repro.analysis.reporting import Table
+from repro.analysis.stats import mean, percentile, stddev
+
+__all__ = [
+    "LeakageReport",
+    "leakage_for_channel",
+    "Table",
+    "mean",
+    "percentile",
+    "stddev",
+]

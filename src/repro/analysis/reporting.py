@@ -1,0 +1,58 @@
+"""Plain-text tables for experiment output.
+
+Every experiment renders its results through :class:`Table` so the
+benchmark harness and EXPERIMENTS.md show identical rows.  No external
+dependencies; values are formatted compactly and columns aligned.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+class Table:
+    """An aligned, titled, plain-text results table."""
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        if not columns:
+            raise ConfigurationError("table needs at least one column")
+        self.title = title
+        self.columns = list(columns)
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ConfigurationError(
+                f"row has {len(values)} values, table has {len(self.columns)} columns"
+            )
+        self.rows.append([_format_value(v) for v in values])
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(self.columns))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,125 @@
+"""Command-line interface: run experiments and inspect the deployment.
+
+Usage (also available as ``python -m repro``)::
+
+    python -m repro list                     # experiment index
+    python -m repro run e4                   # run one experiment, print its table
+    python -m repro run all                  # run all twelve
+    python -m repro demo                     # the quickstart narrative
+
+Experiment parameter overrides are passed as ``key=value`` pairs and parsed
+with :func:`ast.literal_eval`, e.g.::
+
+    python -m repro run e4 num_users=12 "magnitudes=(538.0,)"
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def _parse_overrides(pairs: list[str]) -> dict:
+    overrides = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"override {pair!r} is not key=value")
+        key, raw = pair.split("=", 1)
+        try:
+            overrides[key] = ast.literal_eval(raw)
+        except (ValueError, SyntaxError):
+            overrides[key] = raw  # plain string value
+    return overrides
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    width = max(len(eid) for eid in EXPERIMENTS)
+    for experiment_id, (title, module) in EXPERIMENTS.items():
+        print(f"{experiment_id.ljust(width)}  {title}  [{module}]")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    targets = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    overrides = _parse_overrides(args.overrides)
+    status = 0
+    for experiment_id in targets:
+        if experiment_id not in EXPERIMENTS:
+            print(f"unknown experiment {experiment_id!r}; try 'list'", file=sys.stderr)
+            return 2
+        result = run_experiment(experiment_id, **overrides)
+        print(result.table().render())
+        print()
+    return status
+
+
+def _cmd_demo(_args: argparse.Namespace) -> int:
+    """A self-contained miniature of examples/quickstart.py."""
+    import numpy as np
+
+    from repro.errors import ValidationError
+    from repro.experiments.common import Deployment
+
+    deployment = Deployment.build(num_users=4, seed=b"cli-demo")
+    user_ids = [user.user_id for user in deployment.corpus.users]
+    deployment.open_round(1, user_ids)
+    vectors = deployment.local_vectors()
+    for user_id in user_ids:
+        signed = deployment.clients[user_id].contribute(
+            1, list(vectors[user_id]), deployment.features.bigrams
+        )
+        deployment.service.submit(1, signed)
+    result = deployment.service.finalize_blinded_round(1)
+    truth = np.mean(np.stack([vectors[u] for u in user_ids]), axis=0)
+    print(f"blinded round of {len(user_ids)} clients: aggregate max error "
+          f"{float(np.max(np.abs(result.aggregate - truth))):.2e}")
+    deployment.blinder_provisioner.open_round(2, 1, len(deployment.features))
+    deployment.service.open_round(2, 1)
+    client = deployment.clients[user_ids[0]]
+    client.provision_mask(deployment.blinder_provisioner, 2, 0)
+    try:
+        client.contribute(
+            2,
+            [538.0] + [0.0] * (len(deployment.features) - 1),
+            deployment.features.bigrams,
+        )
+    except ValidationError as exc:
+        print(f"and the 538 attack is stopped in-enclave: {exc}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Glimmers (HotOS 2017) reproduction — experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the experiment index").set_defaults(
+        func=_cmd_list
+    )
+
+    run_parser = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_parser.add_argument("experiment", help="experiment id, e.g. e4, or 'all'")
+    run_parser.add_argument(
+        "overrides", nargs="*", help="key=value parameter overrides"
+    )
+    run_parser.set_defaults(func=_cmd_run)
+
+    sub.add_parser("demo", help="run the quickstart narrative").set_defaults(
+        func=_cmd_demo
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,69 @@
+"""The Glimmer of Trust: the paper's primary contribution.
+
+A *Glimmer* (Figure 2) is a logical trusted third party interposed on the
+trust boundary between a client and a service.  It performs "very limited
+but essential trusted functionality: validation of private data as
+specified by the service, followed by submission to the service", and must
+guarantee two properties:
+
+* **Input Confidentiality** — raw inputs are discarded after processing and
+  outputs leak a bounded amount about private data (via blinding or
+  aggregation);
+* **Input Integrity** — only validated contributions are endorsed.
+
+This package realizes the SGX design of Figure 3 on the simulator:
+
+* :mod:`repro.core.validation` / :mod:`repro.core.predicates` — the
+  Validation component and the predicate ladder of §2;
+* :mod:`repro.core.blinding` — the Blinding component (§3's sum-zero
+  scheme, via :mod:`repro.crypto.masking`);
+* :mod:`repro.core.signing` — the Signing component and the signed
+  contribution format;
+* :mod:`repro.core.glimmer` — the enclave program wiring the three
+  components together behind a single ecall;
+* :mod:`repro.core.provisioning` — vetting registry, attested key
+  provisioning, blinding-mask distribution;
+* :mod:`repro.core.service` — the cloud service: quote/signature
+  verification, deduplication, aggregation;
+* :mod:`repro.core.client` — honest and malicious client devices;
+* :mod:`repro.core.confidential` — §4.1 validation confidentiality
+  (encrypted predicates) and :mod:`repro.core.auditor` (the 1-bit runtime
+  auditor);
+* :mod:`repro.core.remote` — §4.2 Glimmer-as-a-service for TEE-less
+  clients.
+"""
+
+from repro.core.blinding import BlindingComponent
+from repro.core.client import ClientDevice, MaliciousClient
+from repro.core.glimmer import GlimmerProgram, ProcessRequest, build_glimmer_image
+from repro.core.predicates import (
+    KeystrokeCorroborationPredicate,
+    NormBoundPredicate,
+    RangeCheckPredicate,
+    RateLimitPredicate,
+)
+from repro.core.provisioning import ServiceProvisioner, VettingRegistry
+from repro.core.service import CloudService
+from repro.core.signing import SignedContribution, SigningComponent
+from repro.core.validation import PredicateRegistry, PrivateContext, ValidationOutcome
+
+__all__ = [
+    "BlindingComponent",
+    "ClientDevice",
+    "MaliciousClient",
+    "GlimmerProgram",
+    "ProcessRequest",
+    "build_glimmer_image",
+    "KeystrokeCorroborationPredicate",
+    "NormBoundPredicate",
+    "RangeCheckPredicate",
+    "RateLimitPredicate",
+    "ServiceProvisioner",
+    "VettingRegistry",
+    "CloudService",
+    "SignedContribution",
+    "SigningComponent",
+    "PredicateRegistry",
+    "PrivateContext",
+    "ValidationOutcome",
+]

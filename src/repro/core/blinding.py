@@ -1,0 +1,63 @@
+"""The Blinding component inside the Glimmer.
+
+§3's construction: a trusted blinding service distributes per-client mask
+vectors summing to zero; the Glimmer's Blinding component "computes the
+blinded user contribution y_i = x_i + p_i", which is safe to reveal because
+the mask is secret, yet sums of all clients' blinded vectors equal the sum
+of the true contributions.
+
+Masks arrive encrypted (to a key only the attested Glimmer holds) and are
+single-use: re-using a mask across rounds would let the service difference
+two contributions, so the component destroys each mask after use.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.crypto.fixedpoint import FixedPointCodec
+from repro.crypto.masking import apply_mask
+from repro.errors import CryptoError
+
+
+class BlindingComponent:
+    """Applies sum-zero masks to fixed-point-encoded contributions.
+
+    Masks are keyed by ``(round_id, party_index)``: an on-device Glimmer
+    holds a single party's mask per round, while a shared remote Glimmer
+    (§4.2) may hold one per client it serves.
+    """
+
+    def __init__(self, codec: FixedPointCodec | None = None) -> None:
+        self.codec = codec or FixedPointCodec()
+        self._masks: dict[tuple[int, int], tuple[int, ...]] = {}
+
+    def install_mask(
+        self, round_id: int, party_index: int, mask: Sequence[int]
+    ) -> None:
+        """Store a decrypted mask for one (round, party); rejects double install."""
+        key = (round_id, party_index)
+        if key in self._masks:
+            raise CryptoError(
+                f"mask for round {round_id} party {party_index} already installed"
+            )
+        self._masks[key] = tuple(int(v) for v in mask)
+
+    def has_mask(self, round_id: int, party_index: int = 0) -> bool:
+        return (round_id, party_index) in self._masks
+
+    def blind(
+        self, round_id: int, party_index: int, values: Sequence[float]
+    ) -> list[int]:
+        """Encode and mask a contribution; consumes the party's round mask."""
+        mask = self._masks.pop((round_id, party_index), None)
+        if mask is None:
+            raise CryptoError(
+                f"no blinding mask installed for round {round_id} party {party_index}"
+            )
+        encoded = self.codec.encode(values)
+        if len(mask) != len(encoded):
+            raise CryptoError(
+                f"mask length {len(mask)} does not match contribution length {len(encoded)}"
+            )
+        return apply_mask(encoded, mask, self.codec.modulus_bits)

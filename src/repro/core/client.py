@@ -1,0 +1,241 @@
+"""Client devices: honest, and the rogues' gallery of Figure 1d.
+
+A :class:`ClientDevice` owns an SGX platform, loads the vetted Glimmer
+image, serves the Glimmer's ocalls for private data from its local stores,
+and drives the attested provisioning handshakes.  Its
+:meth:`contribute` method is the end-to-end client path of Figure 3:
+train → hand to Glimmer → relay whatever the Glimmer endorsed.
+
+:class:`MaliciousClient` extends it with every cheat the paper discusses:
+
+* ``poison_*`` — feed manipulated values to the Glimmer (caught or not by
+  the predicate, per the E6 ladder);
+* ``forge_evidence`` — answer the Glimmer's private-data ocall with
+  fabricated context (robotic keystroke traces, fake sentences);
+* ``bypass_glimmer`` — submit a self-signed contribution without any
+  enclave (fails the service's signature check);
+* ``tamper_after_signing`` — alter a genuinely signed payload in transit
+  (breaks the signature).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.glimmer import ProcessRequest
+from repro.core.provisioning import BlinderProvisioner, ServiceProvisioner
+from repro.core.signing import SignedContribution
+from repro.core.validation import PrivateContext
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.schnorr import SchnorrKeyPair
+from repro.sgx.attestation import AttestationService, report_data_for
+from repro.sgx.enclave import Enclave
+from repro.sgx.measurement import EnclaveImage
+from repro.sgx.platform import SgxPlatform
+
+
+@dataclass
+class LocalDataStore:
+    """Everything private on the device the Glimmer may request via ocall."""
+
+    sentences: list = field(default_factory=list)
+    keystroke_trace: object | None = None
+    geo_context: object | None = None
+    shopping_context: object | None = None
+    session_signals: object | None = None
+    video_stream: object | None = None
+    extra: dict = field(default_factory=dict)
+
+    def context_for(self, fields: Sequence[str]) -> PrivateContext:
+        context = PrivateContext(extra=dict(self.extra))
+        for name in fields:
+            if hasattr(context, name):
+                setattr(context, name, getattr(self, name))
+        return context
+
+
+class ClientDevice:
+    """An honest client: device, platform, Glimmer, and local data."""
+
+    def __init__(
+        self,
+        client_id: str,
+        glimmer_image: EnclaveImage,
+        attestation_service: AttestationService,
+        seed: bytes,
+        data: LocalDataStore | None = None,
+    ) -> None:
+        self.client_id = client_id
+        self.rng = HmacDrbg(seed, personalization=f"client:{client_id}")
+        self.data = data or LocalDataStore()
+        self.platform = SgxPlatform(
+            seed + b":platform", attestation_service=attestation_service
+        )
+        self.glimmer: Enclave = self.platform.load_enclave(
+            glimmer_image,
+            ocall_handlers={"collect_private_data": self._serve_private_data},
+        )
+        self._session_counter = 0
+        self._party_index_for_round: dict[int, int] = {}
+
+    # ----------------------------------------------------------- ocall side
+
+    def _serve_private_data(self, fields: Sequence[str]) -> PrivateContext:
+        """The host's answer to the Glimmer's private-data request."""
+        return self.data.context_for(fields)
+
+    # --------------------------------------------------------- provisioning
+
+    def _attested_handshake(self) -> tuple[bytes, int, object]:
+        """Run begin_handshake and quote the binding (session, dh_pub, quote)."""
+        self._session_counter += 1
+        session_id = (
+            self.client_id.encode("utf-8")
+            + self._session_counter.to_bytes(4, "big")
+        )
+        dh_public = self.glimmer.ecall("begin_handshake", session_id)
+        quote = self.platform.quote_enclave(
+            self.glimmer, report_data_for(dh_public.to_bytes(256, "big"))
+        )
+        return session_id, dh_public, quote
+
+    def provision_signing_key(self, provisioner: ServiceProvisioner) -> bytes:
+        """Obtain the service signing key; returns the sealed backup blob."""
+        session_id, dh_public, quote = self._attested_handshake()
+        delivery = provisioner.provision_signing_key(session_id, dh_public, quote)
+        return self.glimmer.ecall("install_signing_key", delivery)
+
+    def provision_mask(
+        self, provisioner: BlinderProvisioner, round_id: int, party_index: int
+    ) -> None:
+        """Obtain this round's blinding mask from the blinding service."""
+        session_id, dh_public, quote = self._attested_handshake()
+        delivery = provisioner.provision_mask(
+            session_id, dh_public, quote, round_id, party_index
+        )
+        self.glimmer.ecall("install_blinding_mask", round_id, party_index, delivery)
+        self._party_index_for_round[round_id] = party_index
+
+    # --------------------------------------------------------- contribution
+
+    def contribute(
+        self,
+        round_id: int,
+        values: Sequence[float],
+        features: Sequence[tuple[str, str]],
+        blind: bool = True,
+        claims: dict | None = None,
+        context_fields: Sequence[str] = (),
+    ) -> SignedContribution:
+        """The honest path: hand values to the Glimmer, relay its endorsement.
+
+        Raises :class:`ValidationError` if the Glimmer rejects — an honest
+        client simply does not submit in that case.
+        """
+        request = ProcessRequest(
+            round_id=round_id,
+            values=tuple(float(v) for v in values),
+            features=tuple(features),
+            blind=blind,
+            party_index=self._party_index_for_round.get(round_id, 0),
+            claims=dict(claims or {}),
+            context_fields=tuple(context_fields),
+        )
+        return self.glimmer.ecall("process_contribution", request)
+
+
+class MaliciousClient(ClientDevice):
+    """A client that cheats at every layer it controls."""
+
+    def poison_values(
+        self,
+        round_id: int,
+        poisoned: Sequence[float],
+        features: Sequence[tuple[str, str]],
+        blind: bool = True,
+        claims: dict | None = None,
+    ) -> SignedContribution:
+        """Feed manipulated values through the Glimmer (Figure 1d's attempt).
+
+        Whether this raises :class:`ValidationError` is the whole game:
+        the predicate decides.
+        """
+        return self.contribute(
+            round_id, poisoned, features, blind=blind, claims=claims
+        )
+
+    def forge_evidence(self, **overrides) -> None:
+        """Replace the private data the device serves to the Glimmer."""
+        for name, value in overrides.items():
+            if name == "extra":
+                self.data.extra.update(value)
+            else:
+                setattr(self.data, name, value)
+
+    def bypass_glimmer(
+        self,
+        round_id: int,
+        values: Sequence[float],
+        blinded_shape: bool = True,
+    ) -> SignedContribution:
+        """Fabricate a contribution signed with a key the attacker made up.
+
+        Without genuine attestation the attacker cannot obtain the real
+        signing key, so a self-generated key is the best available forgery.
+        """
+        forged_key = SchnorrKeyPair.generate(self.rng.fork("forged-key"))
+        nonce = self.rng.generate(16)
+        if blinded_shape:
+            ring = tuple(
+                int(round(float(v) * (1 << 16))) % (1 << 64) for v in values
+            )
+            plain = None
+        else:
+            ring = None
+            plain = tuple(float(v) for v in values)
+        from repro.core.signing import contribution_digest
+
+        digest = contribution_digest(round_id, nonce, blinded_shape, ring, plain, 1.0)
+        return SignedContribution(
+            round_id=round_id,
+            nonce=nonce,
+            blinded=blinded_shape,
+            ring_payload=ring,
+            plain_payload=plain,
+            confidence=1.0,
+            signature=forged_key.sign(digest),
+        )
+
+    def tamper_after_signing(
+        self, genuine: SignedContribution, boost: float = 538.0
+    ) -> SignedContribution:
+        """Rewrite a genuinely signed payload without re-signing."""
+        if genuine.ring_payload is not None:
+            mutated = list(genuine.ring_payload)
+            mutated[0] = (mutated[0] + int(boost) * (1 << 16)) % (1 << 64)
+            return SignedContribution(
+                round_id=genuine.round_id,
+                nonce=genuine.nonce,
+                blinded=genuine.blinded,
+                ring_payload=tuple(mutated),
+                plain_payload=None,
+                confidence=genuine.confidence,
+                signature=genuine.signature,
+            )
+        mutated_plain = list(genuine.plain_payload or ())
+        if mutated_plain:
+            mutated_plain[0] = boost
+        return SignedContribution(
+            round_id=genuine.round_id,
+            nonce=genuine.nonce,
+            blinded=genuine.blinded,
+            ring_payload=None,
+            plain_payload=tuple(mutated_plain),
+            confidence=genuine.confidence,
+            signature=genuine.signature,
+        )
+
+    def replay(self, genuine: SignedContribution) -> SignedContribution:
+        """Submit a copy of an already-submitted contribution."""
+        return genuine

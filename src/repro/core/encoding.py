@@ -1,0 +1,80 @@
+"""Canonical byte encodings for everything the Glimmer signs or transmits.
+
+Signatures are only as strong as the unambiguity of what they cover, so all
+signed structures funnel through these helpers: length-framed field lists
+hashed under domain tags.  Public keys also serialize here so that they can
+ride inside measured enclave configs.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Sequence
+
+from repro.crypto.dh import DHGroup, OAKLEY_GROUP_1, TEST_GROUP
+from repro.crypto.schnorr import SchnorrPublicKey
+from repro.errors import ConfigurationError
+
+_GROUPS = {group.name: group for group in (OAKLEY_GROUP_1, TEST_GROUP)}
+
+
+def encode_float_vector(values: Sequence[float]) -> bytes:
+    """IEEE-754 doubles, big-endian, length-prefixed."""
+    return len(values).to_bytes(4, "big") + struct.pack(f">{len(values)}d", *values)
+
+
+def decode_float_vector(blob: bytes) -> list[float]:
+    if len(blob) < 4:
+        raise ConfigurationError("float vector blob too short")
+    count = int.from_bytes(blob[:4], "big")
+    expected = 4 + 8 * count
+    if len(blob) != expected:
+        raise ConfigurationError("float vector blob has wrong length")
+    return list(struct.unpack(f">{count}d", blob[4:]))
+
+
+def encode_ring_vector(values: Sequence[int]) -> bytes:
+    """Unsigned 64-bit ring elements, big-endian, length-prefixed."""
+    out = bytearray(len(values).to_bytes(4, "big"))
+    for value in values:
+        out += (int(value) % (1 << 64)).to_bytes(8, "big")
+    return bytes(out)
+
+
+def decode_ring_vector(blob: bytes) -> list[int]:
+    if len(blob) < 4:
+        raise ConfigurationError("ring vector blob too short")
+    count = int.from_bytes(blob[:4], "big")
+    expected = 4 + 8 * count
+    if len(blob) != expected:
+        raise ConfigurationError("ring vector blob has wrong length")
+    return [
+        int.from_bytes(blob[4 + 8 * i : 12 + 8 * i], "big") for i in range(count)
+    ]
+
+
+def encode_public_key(key: SchnorrPublicKey) -> bytes:
+    name = key.group.name.encode("utf-8")
+    element = key.element.to_bytes(256, "big")
+    return len(name).to_bytes(2, "big") + name + element
+
+
+def decode_public_key(blob: bytes) -> SchnorrPublicKey:
+    if len(blob) < 2:
+        raise ConfigurationError("public key blob too short")
+    name_len = int.from_bytes(blob[:2], "big")
+    if len(blob) != 2 + name_len + 256:
+        raise ConfigurationError("public key blob has wrong length")
+    name = blob[2 : 2 + name_len].decode("utf-8")
+    group = _GROUPS.get(name)
+    if group is None:
+        raise ConfigurationError(f"unknown group {name!r}")
+    element = int.from_bytes(blob[2 + name_len :], "big")
+    return SchnorrPublicKey(group=group, element=element)
+
+
+def group_by_name(name: str) -> DHGroup:
+    group = _GROUPS.get(name)
+    if group is None:
+        raise ConfigurationError(f"unknown group {name!r}")
+    return group

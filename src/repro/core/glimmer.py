@@ -1,0 +1,446 @@
+"""The Glimmer enclave program — Figure 3 realized on the SGX simulator.
+
+One enclave hosts the three components ("We have shown all components ...
+within a single SGX enclave, which is more efficient as there is only one
+transition in and out of the enclave"; the decomposed variant lives in
+:mod:`repro.core.split`):
+
+* **Validation** runs the predicate named in the *measured* config, over
+  private data the Glimmer must request from the untrusted host via ocall
+  ("the Glimmer cannot directly obtain such information; it must request
+  this information from the host system");
+* **Blinding** applies a sum-zero mask provisioned by the blinding service
+  for the round;
+* **Signing** endorses the (blinded or plain) payload with the
+  service-provided key, which arrives over an attested DH handshake and is
+  sealed to the Glimmer's measurement between sessions.
+
+Input Integrity: ``process_contribution`` signs only when validation
+passes.  Input Confidentiality: raw values and private context live only in
+locals of that method; nothing is retained after it returns, and the
+blinded payload is the only value-derived output.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.blinding import BlindingComponent
+from repro.core.encoding import decode_public_key, encode_public_key
+from repro.core.signing import SignedContribution, SigningComponent
+from repro.core.validation import PrivateContext, default_registry
+from repro.crypto.cipher import AuthenticatedCipher, SealedBox
+from repro.crypto.dh import DHKeyPair
+from repro.crypto.hashing import hash_items
+from repro.crypto.schnorr import SchnorrKeyPair, SchnorrPublicKey, SchnorrSignature
+from repro.errors import (
+    AuthenticationError,
+    ConfigurationError,
+    CryptoError,
+    ProtocolError,
+    ValidationError,
+)
+from repro.sgx.enclave import EnclaveProgram, ecall
+from repro.sgx.measurement import EnclaveImage, VendorKey
+
+
+@dataclass(frozen=True)
+class GlimmerConfig:
+    """The measured configuration baked into a Glimmer image.
+
+    Everything here is part of MRENCLAVE: the predicate spec (so the
+    service knows what validation an attested Glimmer performs), the
+    service's handshake-verification key (§4.1: "embedding the signature
+    verification key in the Glimmer code"), the blinding service's key, and
+    a digest of the feature space the service published.
+    """
+
+    predicate_spec: str
+    service_identity: SchnorrPublicKey
+    blinder_identity: SchnorrPublicKey
+    features_digest: bytes
+    dp_sigma: float = 0.0
+    """Per-contribution Gaussian noise std the Glimmer adds before blinding
+    (0 disables).  Measured, so the cohort's differential-privacy level is
+    part of the vetted identity — a user can check what noise the Glimmer
+    promises before trusting it."""
+
+    def encode(self) -> bytes:
+        spec = self.predicate_spec.encode("utf-8")
+        service_blob = encode_public_key(self.service_identity)
+        blinder_blob = encode_public_key(self.blinder_identity)
+        dp_blob = struct.pack(">d", self.dp_sigma)
+        return b"".join(
+            len(part).to_bytes(4, "big") + part
+            for part in (spec, service_blob, blinder_blob, self.features_digest, dp_blob)
+        )
+
+    @classmethod
+    def decode(cls, blob: bytes) -> "GlimmerConfig":
+        parts = []
+        offset = 0
+        for __ in range(5):
+            if offset + 4 > len(blob):
+                raise ConfigurationError("truncated Glimmer config")
+            size = int.from_bytes(blob[offset : offset + 4], "big")
+            offset += 4
+            if offset + size > len(blob):
+                raise ConfigurationError("truncated Glimmer config")
+            parts.append(blob[offset : offset + size])
+            offset += size
+        if offset != len(blob):
+            raise ConfigurationError("trailing bytes in Glimmer config")
+        if len(parts[4]) != 8:
+            raise ConfigurationError("malformed dp_sigma field")
+        return cls(
+            predicate_spec=parts[0].decode("utf-8"),
+            service_identity=decode_public_key(parts[1]),
+            blinder_identity=decode_public_key(parts[2]),
+            features_digest=parts[3],
+            dp_sigma=struct.unpack(">d", parts[4])[0],
+        )
+
+
+def features_digest(bigrams: Sequence[tuple[str, str]]) -> bytes:
+    """Digest of the service-published feature space."""
+    return hash_items(
+        "feature-space",
+        [f"{left}\x00{right}".encode("utf-8") for left, right in bigrams],
+    )
+
+
+@dataclass(frozen=True)
+class ProcessRequest:
+    """What the client hands the Glimmer for one contribution."""
+
+    round_id: int
+    values: tuple[float, ...]
+    features: tuple[tuple[str, str], ...]
+    blind: bool = True
+    party_index: int = 0
+    """Which blinding-mask slot this contribution consumes (see §3's p_i)."""
+    context_fields: tuple[str, ...] = ()
+    claims: dict = field(default_factory=dict)
+    """Adversary-supplied claims such as the execution-trace commitment."""
+
+
+@dataclass(frozen=True)
+class KeyDelivery:
+    """Service → Glimmer: the signing key, over the attested handshake."""
+
+    session_id: bytes
+    peer_dh_public: int
+    handshake_signature: SchnorrSignature
+    encrypted_payload: bytes
+
+
+def handshake_digest(
+    context: str, session_id: bytes, glimmer_dh_public: int, peer_dh_public: int
+) -> bytes:
+    """What the service/blinder signs: both handshake halves plus context."""
+    return hash_items(
+        "glimmer-handshake",
+        [
+            context.encode("utf-8"),
+            session_id,
+            glimmer_dh_public.to_bytes(256, "big"),
+            peer_dh_public.to_bytes(256, "big"),
+        ],
+    )
+
+
+class GlimmerProgram(EnclaveProgram):
+    """The single-enclave Glimmer (Figure 3)."""
+
+    def on_load(self) -> None:
+        self._config = GlimmerConfig.decode(self.api.config)
+        self._predicate = default_registry().build(self._config.predicate_spec)
+        self._blinding = BlindingComponent()
+        self._signing: SigningComponent | None = None
+        self._sessions: dict[bytes, DHKeyPair] = {}
+
+    # ------------------------------------------------- attested provisioning
+
+    @ecall
+    def begin_handshake(self, session_id: bytes) -> int:
+        """Start a provisioning session; returns the Glimmer's DH public value.
+
+        The host must bind this value into an attestation quote
+        (``report_data_for(dh_public bytes)``) so the remote peer knows the
+        handshake terminates inside this measured Glimmer.
+        """
+        if session_id in self._sessions:
+            raise ProtocolError("session id already in use")
+        self.api.charge_dh()
+        keypair = DHKeyPair.generate(
+            self._config.service_identity.group, self.api.rng
+        )
+        self._sessions[session_id] = keypair
+        return keypair.public
+
+    def _open_delivery(
+        self, delivery: KeyDelivery, signer: SchnorrPublicKey, context: str
+    ) -> bytes:
+        keypair = self._sessions.pop(delivery.session_id, None)
+        if keypair is None:
+            raise ProtocolError("no handshake in progress for this session")
+        digest = handshake_digest(
+            context, delivery.session_id, keypair.public, delivery.peer_dh_public
+        )
+        try:
+            signer.verify(digest, delivery.handshake_signature)
+        except AuthenticationError as exc:
+            raise AuthenticationError(
+                f"peer handshake signature invalid for {context!r}"
+            ) from exc
+        self.api.charge_dh()
+        key = keypair.derive_key(delivery.peer_dh_public, context)
+        cipher = AuthenticatedCipher(key)
+        self.api.charge_aead(len(delivery.encrypted_payload))
+        return cipher.decrypt(
+            SealedBox.from_bytes(delivery.encrypted_payload),
+            associated_data=delivery.session_id,
+        )
+
+    @ecall
+    def install_signing_key(self, delivery: KeyDelivery) -> bytes:
+        """Accept the service's signing key; returns a sealed backup blob.
+
+        The key is sealed to this Glimmer's measurement ("the signing key
+        ... sealed to the Glimmer code, so that it is only available to
+        instances of Glimmer enclaves") so the host can persist it without
+        being able to read it.
+        """
+        plaintext = self._open_delivery(
+            delivery, self._config.service_identity, "signing-key-provisioning"
+        )
+        secret = int.from_bytes(plaintext, "big")
+        keypair = SchnorrKeyPair.from_secret(
+            secret, self._config.service_identity.group
+        )
+        self._signing = SigningComponent(keypair)
+        return self.api.seal(plaintext, policy="mrenclave")
+
+    @ecall
+    def restore_signing_key(self, sealed_blob: bytes) -> None:
+        """Reload a previously sealed signing key (after enclave restart)."""
+        plaintext = self.api.unseal(sealed_blob)
+        secret = int.from_bytes(plaintext, "big")
+        self._signing = SigningComponent(
+            SchnorrKeyPair.from_secret(secret, self._config.service_identity.group)
+        )
+
+    @ecall
+    def install_blinding_mask(
+        self, round_id: int, party_index: int, delivery: KeyDelivery
+    ) -> None:
+        """Accept a (round, party) mask from the blinding service (attested channel)."""
+        plaintext = self._open_delivery(
+            delivery, self._config.blinder_identity, "blinding-mask-provisioning"
+        )
+        if len(plaintext) % 8 != 0:
+            raise CryptoError("mask payload has invalid length")
+        mask = [
+            int.from_bytes(plaintext[i : i + 8], "big")
+            for i in range(0, len(plaintext), 8)
+        ]
+        self._blinding.install_mask(round_id, party_index, mask)
+
+    # --------------------------------------------------------- the main path
+
+    @ecall
+    def process_contribution(self, request: ProcessRequest) -> SignedContribution:
+        """Validate → blind → sign.  Raises :class:`ValidationError` on reject.
+
+        Raw values and the private context exist only inside this call
+        (Input Confidentiality); the signature is issued only on a passing
+        validation (Input Integrity).
+        """
+        context = self._collect_context(request)
+        return self._process_with_context(request, context)
+
+    @ecall
+    def process_remote(
+        self, session_id: bytes, client_dh_public: int, ciphertext: bytes
+    ) -> bytes:
+        """§4.2 Glimmer-as-a-service entry point.
+
+        A TEE-less IoT client, having verified this Glimmer's quote, sends
+        its contribution *and its private validation data* encrypted under
+        the attested channel key (on-device ocalls would reach the host's
+        data, not the remote client's).  The response — a signed
+        contribution — returns encrypted under the same channel.
+        """
+        keypair = self._sessions.pop(session_id, None)
+        if keypair is None:
+            raise ProtocolError("no handshake in progress for this session")
+        self.api.charge_dh()
+        key = keypair.derive_key(client_dh_public, "glimmer-as-a-service")
+        cipher = AuthenticatedCipher(key)
+        self.api.charge_aead(len(ciphertext))
+        plaintext = cipher.decrypt(
+            SealedBox.from_bytes(ciphertext), associated_data=session_id
+        )
+        request, context = _decode_remote_payload(plaintext)
+        self._prepare_context(request, context)
+        signed = self._process_with_context(request, context)
+        response = _encode_remote_response(signed)
+        self.api.charge_aead(len(response))
+        nonce = self.api.rng.generate(16)
+        return cipher.encrypt(
+            nonce, response, associated_data=session_id + b":response"
+        ).to_bytes()
+
+    def _process_with_context(
+        self, request: ProcessRequest, context: PrivateContext
+    ) -> SignedContribution:
+        if self._signing is None:
+            raise ProtocolError("signing key not provisioned")
+        if features_digest(request.features) != self._config.features_digest:
+            raise ValidationError(
+                "feature list does not match the service-published digest"
+            )
+        outcome = self._predicate.evaluate(request.values, context)
+        self.api.charge(outcome.cycles, "validation")
+        if not outcome.passed:
+            raise ValidationError(
+                f"{outcome.predicate_name} rejected contribution: {outcome.reason}"
+            )
+        nonce = self.api.rng.generate(16)
+        if request.blind:
+            values = request.values
+            if self._config.dp_sigma > 0.0:
+                # Distributed DP (Gaussian mechanism): each Glimmer adds
+                # noise before blinding, so the *aggregate* — the only thing
+                # the service ever sees — carries calibrated noise even if
+                # the service is curious.  The noise is enclave-private.
+                values = tuple(
+                    v + self.api.rng.gauss(0.0, self._config.dp_sigma)
+                    for v in values
+                )
+                self.api.charge(40 * len(values), "dp-noise")
+            ring_payload = self._blinding.blind(
+                request.round_id, request.party_index, values
+            )
+            self.api.charge_aead(8 * len(ring_payload))
+            self.api.charge_signature()
+            return self._signing.endorse(
+                round_id=request.round_id,
+                nonce=nonce,
+                blinded=True,
+                ring_payload=ring_payload,
+                plain_payload=None,
+                confidence=outcome.confidence,
+            )
+        self.api.charge_signature()
+        return self._signing.endorse(
+            round_id=request.round_id,
+            nonce=nonce,
+            blinded=False,
+            ring_payload=None,
+            plain_payload=tuple(request.values),
+            confidence=outcome.confidence,
+        )
+
+    def _collect_context(self, request: ProcessRequest) -> PrivateContext:
+        """Ask the untrusted host for the private validation data."""
+        needed = tuple(
+            dict.fromkeys(
+                tuple(self._predicate.required_context()) + request.context_fields
+            )
+        )
+        if needed:
+            raw = self.api.ocall("collect_private_data", needed)
+        else:
+            raw = PrivateContext()
+        if not isinstance(raw, PrivateContext):
+            raise ValidationError("host returned malformed private context")
+        context = PrivateContext(
+            sentences=raw.sentences,
+            keystroke_trace=raw.keystroke_trace,
+            geo_context=raw.geo_context,
+            shopping_context=raw.shopping_context,
+            session_signals=raw.session_signals,
+            video_stream=raw.video_stream,
+            extra=dict(raw.extra),
+        )
+        self._prepare_context(request, context)
+        return context
+
+    def _prepare_context(self, request: ProcessRequest, context: PrivateContext) -> None:
+        """Attach the Glimmer-controlled fields predicates rely on."""
+        context.extra.setdefault("features", request.features)
+        context.extra["round_id"] = request.round_id
+        context.extra["counter"] = self.api.monotonic_counter(
+            f"contributions-round-{request.round_id}"
+        )
+        context.extra.update(request.claims)
+
+    # ----------------------------------------------------------- inspection
+
+    @ecall
+    def predicate_name(self) -> str:
+        """The measured predicate spec (handy for logging and tests)."""
+        return self._config.predicate_spec
+
+    @ecall
+    def has_signing_key(self) -> bool:
+        return self._signing is not None
+
+    @ecall
+    def has_mask(self, round_id: int, party_index: int = 0) -> bool:
+        return self._blinding.has_mask(round_id, party_index)
+
+
+def _encode_remote_payload(request: ProcessRequest, context: PrivateContext) -> bytes:
+    """Serialize a remote contribution (simulation-grade: pickle inside AE).
+
+    In a production Glimmer this would be a fixed wire format; pickling is
+    confined to the *inside* of an authenticated ciphertext, so the
+    security-relevant properties (confidentiality, integrity of the wire
+    blob) still hold in the simulation.
+    """
+    return pickle.dumps((request, context), protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _decode_remote_payload(blob: bytes) -> tuple[ProcessRequest, PrivateContext]:
+    request, context = pickle.loads(blob)
+    if not isinstance(request, ProcessRequest) or not isinstance(context, PrivateContext):
+        raise ProtocolError("malformed remote contribution payload")
+    return request, context
+
+
+def _encode_remote_response(signed: SignedContribution) -> bytes:
+    return pickle.dumps(signed, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode_remote_response(blob: bytes) -> SignedContribution:
+    """Client-side decoding of the Glimmer's encrypted response."""
+    signed = pickle.loads(blob)
+    if not isinstance(signed, SignedContribution):
+        raise ProtocolError("malformed remote response")
+    return signed
+
+
+def build_glimmer_image(
+    vendor: VendorKey,
+    config: GlimmerConfig,
+    name: str = "glimmer",
+    version: int = 1,
+    memory_bytes: int = 1 << 20,
+    debug: bool = False,
+) -> EnclaveImage:
+    """Measure and sign a Glimmer image for loading onto platforms."""
+    return EnclaveImage.build(
+        GlimmerProgram,
+        vendor,
+        name=name,
+        version=version,
+        config=config.encode(),
+        memory_bytes=memory_bytes,
+        debug=debug,
+    )

@@ -1,0 +1,498 @@
+"""Concrete validation predicates — the ladder of §2.
+
+The paper sketches an escalation of validators for the keyboard service:
+
+1. *range-checking model parameters* — cheap, stops out-of-range forgery
+   (the 538 attack) but "she can still send arbitrary fictitious values
+   within that range";
+2. *observe actual keyboard behavior (a la NAB [5]) to match keyboard
+   events to reported model weights* — costlier, forces the adversary to
+   fabricate keyboard activity;
+3. *observe CPU branches [17] to identify a plausible execution of the
+   model-construction code* — costliest, forces fabrication of a whole
+   training execution.
+
+Each predicate here reports its simulated cycle cost, so experiment E6 can
+chart Glimmer-side complexity against the adversary's forgery cost and the
+detection rate at each rung.  Geo and purchase predicates serve the
+photos-for-maps (E11) and recommender examples.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Sequence
+
+from repro.core.validation import PrivateContext, ValidationOutcome
+from repro.crypto.hashing import hash_items
+from repro.errors import ConfigurationError
+
+# Cycle-cost coefficients (same currency as repro.sgx.costs).
+_RANGE_CYCLES_PER_PARAM = 4
+_NORM_CYCLES_PER_PARAM = 8
+_KEYSTROKE_CYCLES_PER_EVENT = 35
+_EXEC_TRACE_CYCLES_PER_TOKEN = 240
+_GEO_CYCLES_PER_FIX = 20
+_PURCHASE_CYCLES_PER_RECORD = 15
+_SILHOUETTE_CYCLES_PER_FRAME = 90  # per-frame silhouette extraction is pricey
+
+# Human typing never has near-zero inter-key variance (ms^2).
+_MIN_HUMAN_TIMING_VARIANCE = 500.0
+
+
+class AcceptAllPredicate:
+    """The no-Glimmer baseline: endorse everything (Figure 1c's failure)."""
+
+    name = "accept-all"
+
+    def required_context(self) -> tuple[str, ...]:
+        return ()
+
+    def evaluate(self, values: Sequence[float], context: PrivateContext) -> ValidationOutcome:
+        return ValidationOutcome(
+            passed=True, confidence=0.0, reason="no validation performed",
+            predicate_name=self.name, cycles=1,
+        )
+
+
+class RangeCheckPredicate:
+    """Every parameter must lie in ``[low, high]`` — the paper's first rung.
+
+    Defeats the Figure 1d magnitude attack outright; cannot tell a maxed-out
+    legal value from a genuine one.
+    """
+
+    name = "range"
+
+    def __init__(self, low: float = 0.0, high: float = 1.0) -> None:
+        if low > high:
+            raise ConfigurationError("range low must not exceed high")
+        self.low = low
+        self.high = high
+
+    def required_context(self) -> tuple[str, ...]:
+        return ()
+
+    def evaluate(self, values: Sequence[float], context: PrivateContext) -> ValidationOutcome:
+        cycles = _RANGE_CYCLES_PER_PARAM * max(1, len(values))
+        for i, value in enumerate(values):
+            if not self.low <= value <= self.high:
+                return ValidationOutcome(
+                    passed=False,
+                    confidence=1.0,
+                    reason=(
+                        f"parameter {i} = {value} outside legal range "
+                        f"[{self.low}, {self.high}]"
+                    ),
+                    predicate_name=self.name,
+                    cycles=cycles,
+                )
+        return ValidationOutcome(
+            passed=True, confidence=1.0, reason="all parameters in range",
+            predicate_name=self.name, cycles=cycles,
+        )
+
+
+class NormBoundPredicate:
+    """L2 norm of the contribution must not exceed ``bound``.
+
+    The standard defense against gradient-boosting attacks when per-
+    parameter ranges are too loose.
+    """
+
+    name = "norm"
+
+    def __init__(self, bound: float = 8.0) -> None:
+        if bound <= 0:
+            raise ConfigurationError("norm bound must be positive")
+        self.bound = bound
+
+    def required_context(self) -> tuple[str, ...]:
+        return ()
+
+    def evaluate(self, values: Sequence[float], context: PrivateContext) -> ValidationOutcome:
+        cycles = _NORM_CYCLES_PER_PARAM * max(1, len(values))
+        norm = math.sqrt(sum(v * v for v in values))
+        passed = norm <= self.bound
+        return ValidationOutcome(
+            passed=passed,
+            confidence=1.0,
+            reason=f"L2 norm {norm:.3f} vs bound {self.bound}",
+            predicate_name=self.name,
+            cycles=cycles,
+        )
+
+
+class RateLimitPredicate:
+    """At most ``max_per_round`` contributions per aggregation round.
+
+    Uses the enclave's monotonic counter when the Glimmer provides one (in
+    ``context.extra['counter']``), making the limit rollback-proof against
+    a host that restarts the enclave.
+    """
+
+    name = "rate"
+
+    def __init__(self, max_per_round: int = 1) -> None:
+        if max_per_round < 1:
+            raise ConfigurationError("max_per_round must be >= 1")
+        self.max_per_round = max_per_round
+        self._fallback_counts: Counter = Counter()
+
+    def required_context(self) -> tuple[str, ...]:
+        return ()
+
+    def evaluate(self, values: Sequence[float], context: PrivateContext) -> ValidationOutcome:
+        round_id = int(context.extra.get("round_id", 0))
+        counter = context.extra.get("counter")
+        if counter is not None:
+            count = counter.increment()
+        else:
+            self._fallback_counts[round_id] += 1
+            count = self._fallback_counts[round_id]
+        passed = count <= self.max_per_round
+        return ValidationOutcome(
+            passed=passed,
+            confidence=1.0,
+            reason=f"contribution {count} of {self.max_per_round} allowed this round",
+            predicate_name=self.name,
+            cycles=60,
+        )
+
+
+class KeystrokeCorroborationPredicate:
+    """NAB-style rung 2: reported weights must match observed typing.
+
+    Requires ``context.keystroke_trace`` (a
+    :class:`repro.workloads.keyboard.KeystrokeTrace`) and
+    ``context.extra['features']`` (the bigram list).  Two checks:
+
+    * the trace's inter-key timing variance must be human-plausible (a
+      machine-generated trace is flat);
+    * weights recomputed from the *typed* text must match the reported
+      vector within ``tolerance``.
+    """
+
+    name = "keystrokes"
+
+    def __init__(self, tolerance: float = 0.15) -> None:
+        if tolerance < 0:
+            raise ConfigurationError("tolerance must be non-negative")
+        self.tolerance = tolerance
+
+    def required_context(self) -> tuple[str, ...]:
+        return ("keystroke_trace",)
+
+    def evaluate(self, values: Sequence[float], context: PrivateContext) -> ValidationOutcome:
+        trace = context.keystroke_trace
+        features = context.extra.get("features")
+        if trace is None or features is None:
+            return ValidationOutcome(
+                passed=False, confidence=1.0,
+                reason="keystroke trace or feature list unavailable",
+                predicate_name=self.name, cycles=10,
+            )
+        events = getattr(trace, "events", [])
+        cycles = _KEYSTROKE_CYCLES_PER_EVENT * max(1, len(events))
+        if len(events) < 16:
+            return ValidationOutcome(
+                passed=False, confidence=1.0,
+                reason=f"trace too short ({len(events)} events) to corroborate",
+                predicate_name=self.name, cycles=cycles,
+            )
+        if trace.timing_variance() < _MIN_HUMAN_TIMING_VARIANCE:
+            return ValidationOutcome(
+                passed=False, confidence=0.95,
+                reason="inter-key timing variance is machine-like",
+                predicate_name=self.name, cycles=cycles,
+            )
+        recomputed = _weights_from_sentences(trace.typed_sentences(), features)
+        worst = max(
+            (abs(r - v) for r, v in zip(recomputed, values)), default=0.0
+        )
+        if len(recomputed) != len(values):
+            return ValidationOutcome(
+                passed=False, confidence=1.0,
+                reason="reported vector length does not match feature list",
+                predicate_name=self.name, cycles=cycles,
+            )
+        passed = worst <= self.tolerance
+        return ValidationOutcome(
+            passed=passed,
+            confidence=0.9,
+            reason=f"max |reported - observed| = {worst:.4f} vs tolerance {self.tolerance}",
+            predicate_name=self.name,
+            cycles=cycles,
+        )
+
+
+class ExecutionTracePredicate:
+    """XTrec-style rung 3: a plausible training execution must back the weights.
+
+    The client supplies its training sentences and a *trace commitment* —
+    a hash chain over (sentences, resulting weights) standing in for a CPU
+    branch trace [17].  The predicate re-executes training inside the
+    Glimmer, recomputes the commitment, and requires both to match.  An
+    adversary now has to fabricate an entire consistent execution, the
+    costliest rung of the ladder.
+    """
+
+    name = "exec-trace"
+
+    def __init__(self, tolerance: float = 0.02) -> None:
+        if tolerance < 0:
+            raise ConfigurationError("tolerance must be non-negative")
+        self.tolerance = tolerance
+
+    def required_context(self) -> tuple[str, ...]:
+        return ("sentences",)
+
+    def evaluate(self, values: Sequence[float], context: PrivateContext) -> ValidationOutcome:
+        sentences = context.sentences
+        features = context.extra.get("features")
+        commitment = context.extra.get("trace_commitment")
+        if sentences is None or features is None or commitment is None:
+            return ValidationOutcome(
+                passed=False, confidence=1.0,
+                reason="sentences, features, or trace commitment unavailable",
+                predicate_name=self.name, cycles=10,
+            )
+        num_tokens = sum(len(s) for s in sentences)
+        cycles = _EXEC_TRACE_CYCLES_PER_TOKEN * max(1, num_tokens)
+        recomputed = _weights_from_sentences(sentences, features)
+        if len(recomputed) != len(values):
+            return ValidationOutcome(
+                passed=False, confidence=1.0,
+                reason="reported vector length does not match feature list",
+                predicate_name=self.name, cycles=cycles,
+            )
+        worst = max(
+            (abs(r - v) for r, v in zip(recomputed, values)), default=0.0
+        )
+        expected_commitment = trace_commitment(sentences, recomputed)
+        if commitment != expected_commitment:
+            return ValidationOutcome(
+                passed=False, confidence=1.0,
+                reason="execution trace commitment does not replay",
+                predicate_name=self.name, cycles=cycles,
+            )
+        passed = worst <= self.tolerance
+        return ValidationOutcome(
+            passed=passed,
+            confidence=0.98,
+            reason=f"replayed execution matches within {worst:.4f}",
+            predicate_name=self.name,
+            cycles=cycles,
+        )
+
+
+class GeoCorroborationPredicate:
+    """Photos-for-maps: the user must actually have been where they claim.
+
+    Requires ``context.geo_context`` (track + camera fingerprint) and
+    ``context.extra['submission']`` (the photo).  Checks that the claimed
+    location is within ``radius`` of the user's track around the photo
+    timestamp, and that the photo's camera fingerprint matches the device.
+    """
+
+    name = "geo"
+
+    def __init__(self, radius: float = 25.0) -> None:
+        if radius <= 0:
+            raise ConfigurationError("radius must be positive")
+        self.radius = radius
+
+    def required_context(self) -> tuple[str, ...]:
+        return ("geo_context",)
+
+    def evaluate(self, values: Sequence[float], context: PrivateContext) -> ValidationOutcome:
+        geo = context.geo_context
+        submission = context.extra.get("submission")
+        if geo is None or submission is None:
+            return ValidationOutcome(
+                passed=False, confidence=1.0,
+                reason="geo context or submission unavailable",
+                predicate_name=self.name, cycles=10,
+            )
+        cycles = _GEO_CYCLES_PER_FIX * max(1, len(geo.track))
+        if submission.camera_fingerprint != geo.camera_fingerprint:
+            return ValidationOutcome(
+                passed=False, confidence=1.0,
+                reason="camera fingerprint does not match this device",
+                predicate_name=self.name, cycles=cycles,
+            )
+        fix = geo.position_at(submission.taken_at_ms)
+        if fix is None:
+            return ValidationOutcome(
+                passed=False, confidence=1.0, reason="no GPS track available",
+                predicate_name=self.name, cycles=cycles,
+            )
+        offset = math.hypot(
+            fix.x - submission.claimed_x, fix.y - submission.claimed_y
+        )
+        passed = offset <= self.radius
+        return ValidationOutcome(
+            passed=passed,
+            confidence=0.9,
+            reason=f"claimed location {offset:.1f}m from track (radius {self.radius}m)",
+            predicate_name=self.name,
+            cycles=cycles,
+        )
+
+
+class PurchaseCorroborationPredicate:
+    """Recommender: a review must be backed by a purchase that predates it."""
+
+    name = "purchase"
+
+    def required_context(self) -> tuple[str, ...]:
+        return ("shopping_context",)
+
+    def evaluate(self, values: Sequence[float], context: PrivateContext) -> ValidationOutcome:
+        shopping = context.shopping_context
+        review = context.extra.get("review")
+        if shopping is None or review is None:
+            return ValidationOutcome(
+                passed=False, confidence=1.0,
+                reason="shopping context or review unavailable",
+                predicate_name=self.name, cycles=10,
+            )
+        cycles = _PURCHASE_CYCLES_PER_RECORD * max(1, len(shopping.purchases))
+        purchase_time = shopping.purchase_time(review.product_id)
+        if purchase_time is None:
+            return ValidationOutcome(
+                passed=False, confidence=1.0,
+                reason=f"no purchase of {review.product_id} in history",
+                predicate_name=self.name, cycles=cycles,
+            )
+        if review.posted_at_ms < purchase_time:
+            return ValidationOutcome(
+                passed=False, confidence=1.0,
+                reason="review predates the purchase",
+                predicate_name=self.name, cycles=cycles,
+            )
+        return ValidationOutcome(
+            passed=True, confidence=0.95, reason="purchase corroborates review",
+            predicate_name=self.name, cycles=cycles,
+        )
+
+
+class SilhouetteCorroborationPredicate:
+    """Activity detection: the motion histogram must replay from the video.
+
+    §2's third example: "checking that silhouettes are legitimate requires
+    analysis of full video streams captured at people's homes."  Requires
+    ``context.extra['video_stream']`` (a
+    :class:`repro.workloads.camera.VideoStream`); the predicate recomputes
+    the motion-energy histogram from the private frames and requires the
+    reported vector to match within ``tolerance`` per bin.  A forger
+    without real footage cannot produce a matching histogram except by
+    guessing the resident's actual movements.
+    """
+
+    name = "silhouette"
+
+    def __init__(self, tolerance: float = 0.05) -> None:
+        if tolerance < 0:
+            raise ConfigurationError("tolerance must be non-negative")
+        self.tolerance = tolerance
+
+    def required_context(self) -> tuple[str, ...]:
+        return ("video_stream",)
+
+    def evaluate(self, values: Sequence[float], context: PrivateContext) -> ValidationOutcome:
+        from repro.workloads.camera import motion_histogram
+
+        stream = context.video_stream
+        if stream is None:
+            return ValidationOutcome(
+                passed=False, confidence=1.0,
+                reason="video stream unavailable",
+                predicate_name=self.name, cycles=10,
+            )
+        frames = getattr(stream, "frames", [])
+        cycles = _SILHOUETTE_CYCLES_PER_FRAME * max(1, len(frames))
+        recomputed = motion_histogram(frames)
+        if len(recomputed) != len(values):
+            return ValidationOutcome(
+                passed=False, confidence=1.0,
+                reason="reported histogram has the wrong number of bins",
+                predicate_name=self.name, cycles=cycles,
+            )
+        worst = max(
+            (abs(r - v) for r, v in zip(recomputed, values)), default=0.0
+        )
+        passed = worst <= self.tolerance
+        return ValidationOutcome(
+            passed=passed,
+            confidence=0.95,
+            reason=f"max |reported - observed| = {worst:.4f} vs tolerance {self.tolerance}",
+            predicate_name=self.name,
+            cycles=cycles,
+        )
+
+
+class ChainPredicate:
+    """All member predicates must pass; costs add, confidence is the minimum."""
+
+    name = "chain"
+
+    def __init__(self, members: Sequence) -> None:
+        if not members:
+            raise ConfigurationError("chain needs at least one member")
+        self.members = list(members)
+
+    def required_context(self) -> tuple[str, ...]:
+        needed: list[str] = []
+        for member in self.members:
+            for item in member.required_context():
+                if item not in needed:
+                    needed.append(item)
+        return tuple(needed)
+
+    def evaluate(self, values: Sequence[float], context: PrivateContext) -> ValidationOutcome:
+        total_cycles = 0
+        confidence = 1.0
+        for member in self.members:
+            outcome = member.evaluate(values, context)
+            total_cycles += outcome.cycles
+            confidence = min(confidence, outcome.confidence)
+            if not outcome.passed:
+                return ValidationOutcome(
+                    passed=False,
+                    confidence=outcome.confidence,
+                    reason=f"{member.name}: {outcome.reason}",
+                    predicate_name=self.name,
+                    cycles=total_cycles,
+                )
+        return ValidationOutcome(
+            passed=True, confidence=confidence, reason="all chained predicates passed",
+            predicate_name=self.name, cycles=total_cycles,
+        )
+
+
+def _weights_from_sentences(sentences, features) -> list[float]:
+    """Shared weight recomputation (must mirror the client trainer exactly)."""
+    pair_counts: Counter = Counter()
+    left_counts: Counter = Counter()
+    for sentence in sentences:
+        for left, right in zip(sentence, sentence[1:]):
+            pair_counts[(left, right)] += 1
+            left_counts[left] += 1
+    weights = []
+    for left, right in features:
+        total = left_counts.get(left, 0)
+        weights.append(pair_counts.get((left, right), 0) / total if total else 0.0)
+    return weights
+
+
+def trace_commitment(sentences, weights: Sequence[float]) -> bytes:
+    """The execution-trace commitment both client and Glimmer compute."""
+    items = [b"exec-trace-v1"]
+    for sentence in sentences:
+        items.append(" ".join(sentence).encode("utf-8"))
+    items.append(
+        b"".join(round(w * 1_000_000).to_bytes(8, "big", signed=True) for w in weights)
+    )
+    return hash_items("exec-trace-commitment", items)

@@ -1,0 +1,191 @@
+"""Trust establishment: vetting, attested key and mask provisioning.
+
+§3's trust story has three legs, all implemented here:
+
+1. **Vetting** — "Once it has been vetted, the hash of the Glimmer is
+   published, and the user can use SGX to attest that their client is
+   running the approved Glimmer."  :class:`VettingRegistry` is the
+   published list of approved measurements (think: the EFF's signed list).
+2. **Service-side provisioning** — the service verifies a quote that binds
+   the Glimmer's DH handshake value to an approved measurement, then ships
+   its signing key encrypted under the agreed key, signing its own
+   handshake half so the Glimmer knows it talks to the real service
+   (mutual authentication, as §4.1 spells out).
+3. **Blinding-mask provisioning** — the blinding service does the same
+   dance per aggregation round, delivering each client's sum-zero mask.
+
+Both provisioners refuse unattested, mis-measured, debug, or mis-bound
+Glimmers — the checks experiment E12 exercises one by one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.glimmer import KeyDelivery, handshake_digest
+from repro.crypto.cipher import AuthenticatedCipher
+from repro.crypto.dh import DHKeyPair
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.masking import BlindingService
+from repro.crypto.schnorr import SchnorrKeyPair
+from repro.errors import AttestationError, ConfigurationError
+from repro.sgx.attestation import AttestationService, Quote, QuotePolicy, report_data_for
+
+
+class VettingRegistry:
+    """The published list of vetted Glimmer measurements."""
+
+    def __init__(self) -> None:
+        self._approved: dict[str, bytes] = {}
+
+    def publish(self, name: str, mrenclave: bytes) -> None:
+        """Publish a vetted Glimmer hash (idempotent for the same hash)."""
+        existing = self._approved.get(name)
+        if existing is not None and existing != mrenclave:
+            raise ConfigurationError(
+                f"{name!r} already published with a different measurement"
+            )
+        self._approved[name] = mrenclave
+
+    def approved_measurement(self, name: str) -> bytes:
+        measurement = self._approved.get(name)
+        if measurement is None:
+            raise ConfigurationError(f"no vetted Glimmer named {name!r}")
+        return measurement
+
+    def is_approved(self, mrenclave: bytes) -> bool:
+        return mrenclave in self._approved.values()
+
+
+def _verify_bound_quote(
+    attestation: AttestationService,
+    quote: Quote,
+    expected_mrenclave: bytes,
+    glimmer_dh_public: int,
+) -> None:
+    """Verify a quote and that it binds the given handshake value."""
+    result = attestation.verify(
+        quote, QuotePolicy(expected_mrenclave=expected_mrenclave)
+    )
+    expected_binding = report_data_for(glimmer_dh_public.to_bytes(256, "big"))
+    if result.report_data != expected_binding:
+        raise AttestationError(
+            "quote does not bind the presented DH handshake value"
+        )
+
+
+@dataclass
+class _ProvisionerBase:
+    """Shared quote-check + encrypted-delivery machinery."""
+
+    identity: SchnorrKeyPair
+    attestation: AttestationService
+    registry: VettingRegistry
+    glimmer_name: str
+    rng: HmacDrbg
+
+    def _deliver(
+        self,
+        session_id: bytes,
+        glimmer_dh_public: int,
+        quote: Quote,
+        payload: bytes,
+        context: str,
+    ) -> KeyDelivery:
+        expected = self.registry.approved_measurement(self.glimmer_name)
+        _verify_bound_quote(self.attestation, quote, expected, glimmer_dh_public)
+        keypair = DHKeyPair.generate(self.identity.group, self.rng)
+        digest = handshake_digest(context, session_id, glimmer_dh_public, keypair.public)
+        signature = self.identity.sign(digest)
+        key = keypair.derive_key(glimmer_dh_public, context)
+        cipher = AuthenticatedCipher(key)
+        nonce = self.rng.generate(16)
+        box = cipher.encrypt(nonce, payload, associated_data=session_id)
+        return KeyDelivery(
+            session_id=session_id,
+            peer_dh_public=keypair.public,
+            handshake_signature=signature,
+            encrypted_payload=box.to_bytes(),
+        )
+
+
+class ServiceProvisioner(_ProvisionerBase):
+    """The service side of signing-key provisioning.
+
+    ``identity`` doubles as the service's handshake-signing identity; the
+    *contribution signing key* delivered to Glimmers is separate
+    (``signing_keypair``), so compromising one does not compromise the
+    other.
+    """
+
+    def __init__(
+        self,
+        identity: SchnorrKeyPair,
+        signing_keypair: SchnorrKeyPair,
+        attestation: AttestationService,
+        registry: VettingRegistry,
+        glimmer_name: str,
+        rng: HmacDrbg,
+    ) -> None:
+        super().__init__(identity, attestation, registry, glimmer_name, rng)
+        self.signing_keypair = signing_keypair
+
+    def provision_signing_key(
+        self, session_id: bytes, glimmer_dh_public: int, quote: Quote
+    ) -> KeyDelivery:
+        """Verify the attested handshake and ship the signing key secret."""
+        secret_bytes = self.signing_keypair.secret.to_bytes(256, "big")
+        return self._deliver(
+            session_id,
+            glimmer_dh_public,
+            quote,
+            secret_bytes,
+            "signing-key-provisioning",
+        )
+
+
+class BlinderProvisioner(_ProvisionerBase):
+    """The blinding service side of per-round mask provisioning.
+
+    Wraps a :class:`repro.crypto.masking.BlindingService`; the paper notes
+    this party "could, itself, be implemented as a separate enclave on one
+    of the clients, or as a distinct trusted service".
+    """
+
+    def __init__(
+        self,
+        identity: SchnorrKeyPair,
+        blinding: BlindingService,
+        attestation: AttestationService,
+        registry: VettingRegistry,
+        glimmer_name: str,
+        rng: HmacDrbg,
+    ) -> None:
+        super().__init__(identity, attestation, registry, glimmer_name, rng)
+        self.blinding = blinding
+
+    def open_round(self, round_id: int, num_parties: int, length: int) -> None:
+        self.blinding.open_round(round_id, num_parties, length)
+
+    def provision_mask(
+        self,
+        session_id: bytes,
+        glimmer_dh_public: int,
+        quote: Quote,
+        round_id: int,
+        party_index: int,
+    ) -> KeyDelivery:
+        """Verify the attested handshake and ship the party's round mask."""
+        mask = self.blinding.mask_for(round_id, party_index)
+        payload = b"".join(int(v).to_bytes(8, "big") for v in mask)
+        return self._deliver(
+            session_id,
+            glimmer_dh_public,
+            quote,
+            payload,
+            "blinding-mask-provisioning",
+        )
+
+    def reveal_dropout_mask(self, round_id: int, party_index: int) -> tuple[int, ...]:
+        """§3 dropout repair: disclose a non-submitting party's mask."""
+        return self.blinding.mask_for_dropout(round_id, party_index)

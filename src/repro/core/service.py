@@ -1,0 +1,174 @@
+"""The cloud service: verifies Glimmer endorsements and aggregates.
+
+The service trusts nothing a client relays except what the Glimmer's
+signature covers.  Per contribution it checks:
+
+* signature validity under the contribution-signing public key (whose
+  secret half only attested Glimmers hold);
+* round consistency (the signed round id must match the open round);
+* nonce freshness (a replayed signed contribution is dropped);
+* payload kind (a round is either blinded or plaintext, fixed at opening).
+
+For blinded rounds the service computes only the ring sum — it never sees
+an individual contribution — and repairs dropouts with masks disclosed by
+the blinding service (§3).  The aggregate divides by the number of
+*contributions actually included*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.signing import SignedContribution
+from repro.crypto.fixedpoint import FixedPointCodec
+from repro.crypto.masking import apply_mask
+from repro.crypto.schnorr import SchnorrPublicKey
+from repro.errors import ProtocolError
+
+
+@dataclass
+class RoundState:
+    """Accounting for one aggregation round."""
+
+    round_id: int
+    blinded: bool
+    expected_parties: int
+    accepted: list[SignedContribution] = field(default_factory=list)
+    seen_nonces: set = field(default_factory=set)
+    rejected: dict[str, int] = field(default_factory=dict)
+
+    def reject(self, reason: str) -> None:
+        self.rejected[reason] = self.rejected.get(reason, 0) + 1
+
+
+@dataclass(frozen=True)
+class RoundResult:
+    """The service's output for a round."""
+
+    round_id: int
+    aggregate: np.ndarray
+    num_contributions: int
+    num_dropouts_repaired: int
+    rejected: dict
+
+
+class CloudService:
+    """Verifies signed contributions and aggregates per round."""
+
+    def __init__(
+        self,
+        signing_public: SchnorrPublicKey,
+        codec: FixedPointCodec | None = None,
+    ) -> None:
+        self._signing_public = signing_public
+        self._codec = codec or FixedPointCodec()
+        self._rounds: dict[int, RoundState] = {}
+
+    @property
+    def codec(self) -> FixedPointCodec:
+        return self._codec
+
+    def open_round(
+        self, round_id: int, expected_parties: int, blinded: bool = True
+    ) -> None:
+        if round_id in self._rounds:
+            raise ProtocolError(f"round {round_id} already open")
+        if expected_parties < 1:
+            raise ProtocolError("expected_parties must be >= 1")
+        self._rounds[round_id] = RoundState(
+            round_id=round_id, blinded=blinded, expected_parties=expected_parties
+        )
+
+    def round_state(self, round_id: int) -> RoundState:
+        state = self._rounds.get(round_id)
+        if state is None:
+            raise ProtocolError(f"round {round_id} not open")
+        return state
+
+    # ------------------------------------------------------------ admission
+
+    def submit(self, round_id: int, contribution: SignedContribution) -> bool:
+        """Admit one contribution; returns True if accepted.
+
+        Rejections are counted by reason in the round state — the paper's
+        Input Integrity property shows up as "everything unsigned, forged,
+        replayed, or tampered lands in ``rejected``".
+        """
+        state = self.round_state(round_id)
+        if not isinstance(contribution, SignedContribution):
+            state.reject("not-a-signed-contribution")
+            return False
+        if contribution.round_id != round_id:
+            state.reject("wrong-round")
+            return False
+        if contribution.blinded != state.blinded:
+            state.reject("wrong-payload-kind")
+            return False
+        if contribution.nonce in state.seen_nonces:
+            state.reject("replayed-nonce")
+            return False
+        try:
+            digest = contribution.signed_bytes()
+        except Exception:
+            state.reject("malformed-payload")
+            return False
+        if not self._signing_public.is_valid(digest, contribution.signature):
+            state.reject("invalid-signature")
+            return False
+        state.seen_nonces.add(contribution.nonce)
+        state.accepted.append(contribution)
+        return True
+
+    # ---------------------------------------------------------- aggregation
+
+    def finalize_blinded_round(
+        self,
+        round_id: int,
+        dropout_masks: Sequence[Sequence[int]] = (),
+    ) -> RoundResult:
+        """Ring-sum the blinded payloads, repair dropouts, decode.
+
+        ``dropout_masks`` are the masks of parties that were provisioned a
+        mask but never submitted, disclosed by the blinding service.  Since
+        Σp = 0, adding the missing masks restores an exact sum of the
+        submitted contributions.
+        """
+        state = self.round_state(round_id)
+        if not state.blinded:
+            raise ProtocolError("round is not blinded; use finalize_plain_round")
+        if not state.accepted:
+            raise ProtocolError("no accepted contributions to aggregate")
+        vectors = [list(c.ring_payload) for c in state.accepted]
+        total = self._codec.sum_vectors(vectors)
+        for mask in dropout_masks:
+            total = apply_mask(total, list(mask), self._codec.modulus_bits)
+        decoded = self._codec.decode(total)
+        count = len(state.accepted)
+        return RoundResult(
+            round_id=round_id,
+            aggregate=decoded / count,
+            num_contributions=count,
+            num_dropouts_repaired=len(dropout_masks),
+            rejected=dict(state.rejected),
+        )
+
+    def finalize_plain_round(self, round_id: int) -> RoundResult:
+        """Average plaintext payloads (the Figure 1b path, via a Glimmer)."""
+        state = self.round_state(round_id)
+        if state.blinded:
+            raise ProtocolError("round is blinded; use finalize_blinded_round")
+        if not state.accepted:
+            raise ProtocolError("no accepted contributions to aggregate")
+        stacked = np.stack(
+            [np.asarray(c.plain_payload, dtype=float) for c in state.accepted]
+        )
+        return RoundResult(
+            round_id=round_id,
+            aggregate=stacked.mean(axis=0),
+            num_contributions=len(state.accepted),
+            num_dropouts_repaired=0,
+            rejected=dict(state.rejected),
+        )

@@ -1,0 +1,117 @@
+"""The Signing component and the signed contribution format.
+
+§3: "The third Glimmer component, Signing, takes a user-contributed input
+(blinded or unblinded) and the result of the Validation component ... If
+validation passed, the Signing component signs the user-contributed input
+and returns it to the client for transmission to the service."
+
+A :class:`SignedContribution` binds, under the service-provisioned key:
+
+* the payload (blinded ring vector or plaintext float vector),
+* the round id and a fresh nonce (replay protection at the service),
+* the validation confidence,
+* whether the payload is blinded.
+
+The client relays this object; any tampering in transit breaks the
+signature, which is what makes the client untrusted-but-harmless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.encoding import encode_float_vector, encode_ring_vector
+from repro.crypto.hashing import hash_items
+from repro.crypto.schnorr import SchnorrKeyPair, SchnorrPublicKey, SchnorrSignature
+from repro.errors import CryptoError
+
+
+@dataclass(frozen=True)
+class SignedContribution:
+    """What leaves the Glimmer for the service."""
+
+    round_id: int
+    nonce: bytes
+    blinded: bool
+    ring_payload: tuple[int, ...] | None
+    plain_payload: tuple[float, ...] | None
+    confidence: float
+    signature: SchnorrSignature
+
+    def signed_bytes(self) -> bytes:
+        return contribution_digest(
+            self.round_id,
+            self.nonce,
+            self.blinded,
+            self.ring_payload,
+            self.plain_payload,
+            self.confidence,
+        )
+
+
+def contribution_digest(
+    round_id: int,
+    nonce: bytes,
+    blinded: bool,
+    ring_payload: Sequence[int] | None,
+    plain_payload: Sequence[float] | None,
+    confidence: float,
+) -> bytes:
+    """Canonical digest the signature covers."""
+    if (ring_payload is None) == (plain_payload is None):
+        raise CryptoError("exactly one of ring/plain payload must be present")
+    payload_bytes = (
+        encode_ring_vector(ring_payload)
+        if ring_payload is not None
+        else encode_float_vector(plain_payload)  # type: ignore[arg-type]
+    )
+    return hash_items(
+        "signed-contribution",
+        [
+            round_id.to_bytes(8, "big"),
+            nonce,
+            b"\x01" if blinded else b"\x00",
+            b"ring" if ring_payload is not None else b"plain",
+            payload_bytes,
+            round(confidence * 10_000).to_bytes(2, "big"),
+        ],
+    )
+
+
+class SigningComponent:
+    """Holds the service-provisioned signing key inside the Glimmer.
+
+    The key arrives via attested provisioning and is kept sealed between
+    sessions; this object is the unsealed, in-enclave working form.
+    """
+
+    def __init__(self, keypair: SchnorrKeyPair) -> None:
+        self._keypair = keypair
+
+    @property
+    def public_key(self) -> SchnorrPublicKey:
+        return self._keypair.public_key
+
+    def endorse(
+        self,
+        round_id: int,
+        nonce: bytes,
+        blinded: bool,
+        ring_payload: Sequence[int] | None,
+        plain_payload: Sequence[float] | None,
+        confidence: float,
+    ) -> SignedContribution:
+        """Sign a validated payload.  Callers must have checked validation."""
+        digest = contribution_digest(
+            round_id, nonce, blinded, ring_payload, plain_payload, confidence
+        )
+        return SignedContribution(
+            round_id=round_id,
+            nonce=nonce,
+            blinded=blinded,
+            ring_payload=tuple(ring_payload) if ring_payload is not None else None,
+            plain_payload=tuple(plain_payload) if plain_payload is not None else None,
+            confidence=confidence,
+            signature=self._keypair.sign(digest),
+        )

@@ -1,0 +1,49 @@
+"""Self-contained cryptographic toolkit for the Glimmers reproduction.
+
+The Glimmer architecture (validation → blinding → signing inside a TEE)
+needs: deterministic randomness, key derivation, authenticated encryption,
+Diffie-Hellman key agreement, digital signatures, secret sharing, additive
+blinding, and a full secure-aggregation protocol.  All of it is implemented
+here on top of :mod:`hashlib`/:mod:`hmac` only, so the simulator is
+dependency-free, deterministic under seeding, and easy to audit.
+
+.. warning::
+   Simulation-grade crypto: parameters are sized for fast simulation and the
+   implementations are not constant-time.  Do not reuse outside this repo.
+"""
+
+from repro.crypto.cipher import AuthenticatedCipher, SealedBox
+from repro.crypto.dh import DHGroup, DHKeyPair, OAKLEY_GROUP_1, TEST_GROUP
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.fixedpoint import FixedPointCodec
+from repro.crypto.hashing import hash_bytes, hash_items, hexdigest
+from repro.crypto.kdf import hkdf
+from repro.crypto.masking import BlindingService, SumZeroMasks
+from repro.crypto.schnorr import SchnorrKeyPair, SchnorrPublicKey, SchnorrSignature
+from repro.crypto.secagg import SecureAggregationServer, SecureAggregationClient
+from repro.crypto.shamir import ShamirShare, split_secret, recover_secret
+
+__all__ = [
+    "AuthenticatedCipher",
+    "SealedBox",
+    "DHGroup",
+    "DHKeyPair",
+    "OAKLEY_GROUP_1",
+    "TEST_GROUP",
+    "HmacDrbg",
+    "FixedPointCodec",
+    "hash_bytes",
+    "hash_items",
+    "hexdigest",
+    "hkdf",
+    "BlindingService",
+    "SumZeroMasks",
+    "SchnorrKeyPair",
+    "SchnorrPublicKey",
+    "SchnorrSignature",
+    "SecureAggregationServer",
+    "SecureAggregationClient",
+    "ShamirShare",
+    "split_secret",
+    "recover_secret",
+]

@@ -1,0 +1,95 @@
+"""Fixed-point encoding of real-valued model vectors into a modular ring.
+
+Blinding (§3) operates on integers modulo ``2^64``: masks cancel exactly only
+in modular arithmetic.  Model weights are floats, so every protocol in this
+library encodes them as scaled integers first.  The codec is exact for the
+quantization it advertises and round-trips any value within its range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+DEFAULT_MODULUS_BITS = 64
+
+
+@dataclass(frozen=True)
+class FixedPointCodec:
+    """Encode floats in ``[-bound, bound]`` as integers mod ``2^modulus_bits``.
+
+    Parameters
+    ----------
+    scale:
+        Quantization factor: an encoded value represents ``round(x * scale)``.
+    bound:
+        Largest representable magnitude *after aggregation*.  Choose
+        ``bound >= max_clients * per_client_bound`` so sums never wrap.
+    modulus_bits:
+        Ring size.  The codec refuses configurations where ``bound * scale``
+        does not fit in half the ring (positive/negative halves).
+    """
+
+    scale: int = 1 << 16
+    bound: float = 1 << 20
+    modulus_bits: int = DEFAULT_MODULUS_BITS
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ConfigurationError("scale must be positive")
+        if self.bound <= 0:
+            raise ConfigurationError("bound must be positive")
+        if self.bound * self.scale >= self.modulus() // 2:
+            raise ConfigurationError(
+                "bound * scale must fit in half the ring to preserve signs"
+            )
+
+    def modulus(self) -> int:
+        return 1 << self.modulus_bits
+
+    def encode_value(self, value: float) -> int:
+        if not -self.bound <= value <= self.bound:
+            raise ConfigurationError(
+                f"value {value!r} outside codec bound ±{self.bound}"
+            )
+        return round(value * self.scale) % self.modulus()
+
+    def decode_value(self, encoded: int) -> float:
+        modulus = self.modulus()
+        encoded %= modulus
+        if encoded >= modulus // 2:  # negative half
+            encoded -= modulus
+        return encoded / self.scale
+
+    def encode(self, values: Sequence[float]) -> list[int]:
+        """Encode a float vector; raises if any entry exceeds the bound."""
+        return [self.encode_value(float(v)) for v in values]
+
+    def decode(self, encoded: Sequence[int]) -> np.ndarray:
+        """Decode a ring vector back to floats."""
+        return np.array([self.decode_value(int(e)) for e in encoded], dtype=float)
+
+    def add(self, left: Sequence[int], right: Sequence[int]) -> list[int]:
+        """Component-wise ring addition (what the service does with blinded vectors)."""
+        if len(left) != len(right):
+            raise ConfigurationError("vector length mismatch")
+        modulus = self.modulus()
+        return [(a + b) % modulus for a, b in zip(left, right)]
+
+    def sum_vectors(self, vectors: Sequence[Sequence[int]]) -> list[int]:
+        """Ring sum of many encoded vectors."""
+        if not vectors:
+            raise ConfigurationError("no vectors to sum")
+        length = len(vectors[0])
+        modulus = self.modulus()
+        total = [0] * length
+        for vector in vectors:
+            if len(vector) != length:
+                raise ConfigurationError("vector length mismatch")
+            for i, value in enumerate(vector):
+                total[i] = (total[i] + value) % modulus
+        return total

@@ -1,0 +1,44 @@
+"""HKDF (RFC 5869) key derivation over HMAC-SHA256.
+
+Used everywhere a protocol turns a shared secret into working keys: the
+attested Diffie-Hellman channels of §4.1/§4.2, sealing keys in the SGX
+simulator, and per-pair mask seeds in secure aggregation.
+"""
+
+from __future__ import annotations
+
+import hmac
+import hashlib
+
+_HASH_LEN = 32
+
+
+def hkdf_extract(salt: bytes, input_key_material: bytes) -> bytes:
+    """HKDF-Extract: concentrate entropy into a pseudorandom key."""
+    if not salt:
+        salt = b"\x00" * _HASH_LEN
+    return hmac.new(salt, input_key_material, hashlib.sha256).digest()
+
+
+def hkdf_expand(pseudorandom_key: bytes, info: bytes, length: int) -> bytes:
+    """HKDF-Expand: stretch a pseudorandom key to ``length`` bytes."""
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    if length > 255 * _HASH_LEN:
+        raise ValueError("HKDF output length limit exceeded")
+    blocks = []
+    previous = b""
+    counter = 1
+    while sum(len(b) for b in blocks) < length:
+        previous = hmac.new(
+            pseudorandom_key, previous + info + bytes([counter]), hashlib.sha256
+        ).digest()
+        blocks.append(previous)
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def hkdf(input_key_material: bytes, info: str, length: int = 32, salt: bytes = b"") -> bytes:
+    """One-shot HKDF with a string ``info`` label for readability at call sites."""
+    prk = hkdf_extract(salt, input_key_material)
+    return hkdf_expand(prk, info.encode("utf-8"), length)

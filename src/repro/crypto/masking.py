@@ -1,0 +1,187 @@
+"""Sum-zero additive blinding — the exact construction of §3 of the paper.
+
+    "Assume the existence of a trusted blinding service ... that computes N
+    random blinding values p_i such that Σ p_i = 0.  It then seals each p_i
+    value to the Glimmer code, and encrypts one of the sealed values to each
+    of N clients' public keys ... The Blinding component then computes the
+    blinded user contribution y_i = x_i + p_i."
+
+:class:`BlindingService` plays that trusted third party: it samples ``N``
+mask vectors summing to zero in the ring, and hands each out encrypted to a
+per-client key.  :class:`SumZeroMasks` is the client-side arithmetic.
+
+The paper notes the blinding service "could, itself, be implemented as a
+separate enclave on one of the clients"; :mod:`repro.core.provisioning`
+hosts this service inside a simulated enclave and handles the sealing leg.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.crypto.cipher import AuthenticatedCipher, SealedBox
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.fixedpoint import FixedPointCodec
+from repro.errors import ConfigurationError, CryptoError
+
+
+@dataclass(frozen=True)
+class SumZeroMasks:
+    """A family of N ring vectors whose component-wise sum is zero."""
+
+    masks: tuple[tuple[int, ...], ...]
+    modulus_bits: int
+
+    @classmethod
+    def sample(
+        cls, num_parties: int, length: int, rng: HmacDrbg, modulus_bits: int = 64
+    ) -> "SumZeroMasks":
+        """Sample N masks with Σ_i masks[i] ≡ 0 (mod 2^modulus_bits), per component.
+
+        The first N-1 masks are uniform; the last is the ring negation of
+        their sum, which makes the family jointly uniform subject to the
+        sum-zero constraint.
+        """
+        if num_parties < 1:
+            raise ConfigurationError("need at least one party")
+        if length < 1:
+            raise ConfigurationError("mask length must be positive")
+        modulus = 1 << modulus_bits
+        masks: list[tuple[int, ...]] = []
+        running = [0] * length
+        for _ in range(num_parties - 1):
+            mask = tuple(rng.randint(modulus) for _ in range(length))
+            for i, value in enumerate(mask):
+                running[i] = (running[i] + value) % modulus
+            masks.append(mask)
+        masks.append(tuple((-total) % modulus for total in running))
+        return cls(masks=tuple(masks), modulus_bits=modulus_bits)
+
+    def mask_for(self, party_index: int) -> tuple[int, ...]:
+        return self.masks[party_index]
+
+    def verify_sum_zero(self) -> bool:
+        """Sanity invariant used by tests and the blinding service's self-check."""
+        modulus = 1 << self.modulus_bits
+        length = len(self.masks[0])
+        totals = [0] * length
+        for mask in self.masks:
+            for i, value in enumerate(mask):
+                totals[i] = (totals[i] + value) % modulus
+        return all(total == 0 for total in totals)
+
+
+def apply_mask(
+    encoded: Sequence[int], mask: Sequence[int], modulus_bits: int = 64
+) -> list[int]:
+    """Blind an encoded contribution: ``y_i = x_i + p_i`` in the ring."""
+    if len(encoded) != len(mask):
+        raise ConfigurationError("mask length does not match vector length")
+    modulus = 1 << modulus_bits
+    return [(x + p) % modulus for x, p in zip(encoded, mask)]
+
+
+def remove_mask(
+    blinded: Sequence[int], mask: Sequence[int], modulus_bits: int = 64
+) -> list[int]:
+    """Inverse of :func:`apply_mask` (used for dropout repair and tests)."""
+    if len(blinded) != len(mask):
+        raise ConfigurationError("mask length does not match vector length")
+    modulus = 1 << modulus_bits
+    return [(y - p) % modulus for y, p in zip(blinded, mask)]
+
+
+@dataclass(frozen=True)
+class EncryptedMask:
+    """A mask encrypted to one client's key, tagged with the round it belongs to."""
+
+    party_index: int
+    round_id: int
+    box: SealedBox
+
+
+class BlindingService:
+    """The trusted blinding service of §3.
+
+    For each aggregation round it samples a fresh :class:`SumZeroMasks`
+    family and encrypts mask ``i`` under client ``i``'s symmetric key (in
+    the full system this key comes from an attested DH exchange with the
+    client's Glimmer; see :mod:`repro.core.provisioning`).
+
+    The service never learns contributions — it only produces masks — which
+    is why the paper can afford to centralize it.
+    """
+
+    def __init__(
+        self,
+        rng: HmacDrbg,
+        codec: FixedPointCodec | None = None,
+    ) -> None:
+        self._rng = rng
+        self._codec = codec or FixedPointCodec()
+        self._round_masks: dict[int, SumZeroMasks] = {}
+
+    @property
+    def codec(self) -> FixedPointCodec:
+        return self._codec
+
+    def open_round(self, round_id: int, num_parties: int, length: int) -> SumZeroMasks:
+        """Sample the mask family for a round (idempotent per round id)."""
+        if round_id in self._round_masks:
+            raise CryptoError(f"round {round_id} already opened")
+        masks = SumZeroMasks.sample(
+            num_parties, length, self._rng.fork(f"round-{round_id}"),
+            modulus_bits=self._codec.modulus_bits,
+        )
+        self._round_masks[round_id] = masks
+        return masks
+
+    def encrypted_mask(
+        self, round_id: int, party_index: int, client_key: bytes
+    ) -> EncryptedMask:
+        """Encrypt party ``i``'s mask under its key, bound to the round id."""
+        masks = self._round_masks.get(round_id)
+        if masks is None:
+            raise CryptoError(f"round {round_id} not opened")
+        mask = masks.mask_for(party_index)
+        payload = b"".join(value.to_bytes(8, "big") for value in mask)
+        cipher = AuthenticatedCipher(client_key)
+        nonce = self._rng.generate(16)
+        associated = round_id.to_bytes(8, "big") + party_index.to_bytes(4, "big")
+        return EncryptedMask(
+            party_index=party_index,
+            round_id=round_id,
+            box=cipher.encrypt(nonce, payload, associated_data=associated),
+        )
+
+    @staticmethod
+    def decrypt_mask(encrypted: EncryptedMask, client_key: bytes) -> tuple[int, ...]:
+        """Client-side decryption; raises on tampering or round/party mismatch."""
+        cipher = AuthenticatedCipher(client_key)
+        associated = encrypted.round_id.to_bytes(8, "big") + encrypted.party_index.to_bytes(
+            4, "big"
+        )
+        payload = cipher.decrypt(encrypted.box, associated_data=associated)
+        if len(payload) % 8 != 0:
+            raise CryptoError("mask payload has invalid length")
+        return tuple(
+            int.from_bytes(payload[i : i + 8], "big") for i in range(0, len(payload), 8)
+        )
+
+    def mask_for(self, round_id: int, party_index: int) -> tuple[int, ...]:
+        """The raw mask for one party in one round (provisioning-side view)."""
+        masks = self._round_masks.get(round_id)
+        if masks is None:
+            raise CryptoError(f"round {round_id} not opened")
+        return masks.mask_for(party_index)
+
+    def mask_for_dropout(self, round_id: int, party_index: int) -> tuple[int, ...]:
+        """Reveal a dropped-out party's mask so the round sum stays exact.
+
+        With the §3 scheme, if client ``i`` never submits, the service's sum
+        is off by ``p_i`` (because Σp = 0); the blinding service can
+        disclose just that mask (learning nothing about submitted
+        contributions) to repair the round.
+        """
+        return self.mask_for(round_id, party_index)

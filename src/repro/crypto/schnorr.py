@@ -1,0 +1,156 @@
+"""Schnorr signatures over the quadratic-residue subgroup of a safe prime.
+
+The Glimmer's *Signing* component endorses validated contributions with a
+service-provided key (§3); the service verifies the signatures before
+aggregation.  The scheme is classic Schnorr (Fiat-Shamir transformed):
+
+* keygen:  ``x ← [1, q)``, ``y = h^x mod p`` where ``h = g^2`` generates the
+  order-``q`` subgroup of a safe prime ``p = 2q + 1``.
+* sign:    ``k ← [1, q)``, ``r = h^k``, ``e = H(r, y, m) mod q``,
+  ``s = (k + e·x) mod q``; signature is ``(e, s)``.
+* verify:  ``r' = h^s · y^{-e}``; accept iff ``H(r', y, m) ≡ e (mod q)``.
+
+Signing is *derandomized* (RFC 6979 style): the nonce ``k`` is derived from
+the secret key and message through the DRBG, so the simulator never risks
+nonce reuse and signatures are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.dh import DHGroup, OAKLEY_GROUP_1
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.hashing import hash_items, hash_to_int
+from repro.errors import AuthenticationError, CryptoError
+
+
+def _subgroup_generator(group: DHGroup) -> int:
+    return group.subgroup_generator()
+
+
+def _int_bytes(value: int, group: DHGroup) -> bytes:
+    size = (group.prime.bit_length() + 7) // 8
+    return value.to_bytes(size, "big")
+
+
+@dataclass(frozen=True)
+class SchnorrSignature:
+    """A Schnorr signature ``(challenge, response)``."""
+
+    challenge: int
+    response: int
+
+    _COMPONENT_SIZE = 256  # bytes; fits any subgroup order up to 2048 bits
+
+    def to_bytes(self) -> bytes:
+        size = self._COMPONENT_SIZE
+        return self.challenge.to_bytes(size, "big") + self.response.to_bytes(size, "big")
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "SchnorrSignature":
+        size = cls._COMPONENT_SIZE
+        if len(blob) != 2 * size:
+            raise CryptoError("malformed signature encoding")
+        return cls(
+            challenge=int.from_bytes(blob[:size], "big"),
+            response=int.from_bytes(blob[size:], "big"),
+        )
+
+
+@dataclass(frozen=True)
+class SchnorrPublicKey:
+    """Verification key ``y = h^x`` in a named group."""
+
+    group: DHGroup
+    element: int
+
+    def verify(self, message: bytes, signature: SchnorrSignature) -> None:
+        """Raise :class:`AuthenticationError` unless ``signature`` is valid."""
+        group = self.group
+        q = group.subgroup_order
+        if not (0 <= signature.challenge < q and 0 <= signature.response < q):
+            raise AuthenticationError("signature components out of range")
+        if not group.is_valid_element(self.element):
+            raise AuthenticationError("public key is not a valid group element")
+        h = _subgroup_generator(group)
+        # r' = h^s * y^(-e)  =  h^s * y^(q - e)   (y has order q)
+        r_prime = (
+            group.power(h, signature.response)
+            * group.power(self.element, q - signature.challenge)
+        ) % group.prime
+        expected = _challenge(group, r_prime, self.element, message)
+        if expected != signature.challenge:
+            raise AuthenticationError("Schnorr verification failed")
+
+    def is_valid(self, message: bytes, signature: SchnorrSignature) -> bool:
+        """Boolean form of :meth:`verify` for counting experiments."""
+        try:
+            self.verify(message, signature)
+        except AuthenticationError:
+            return False
+        return True
+
+    def fingerprint(self) -> bytes:
+        """Stable identifier for this key (used in provisioning registries)."""
+        return hash_items(
+            "schnorr-key-fingerprint",
+            [self.group.name.encode(), _int_bytes(self.element, self.group)],
+        )
+
+
+def _challenge(group: DHGroup, commitment: int, public: int, message: bytes) -> int:
+    data = hash_items(
+        "schnorr-challenge",
+        [
+            group.name.encode(),
+            _int_bytes(commitment, group),
+            _int_bytes(public, group),
+            message,
+        ],
+    )
+    return hash_to_int("schnorr-challenge-int", data, group.subgroup_order)
+
+
+@dataclass(frozen=True)
+class SchnorrKeyPair:
+    """Signing key pair.  Create with :meth:`generate`."""
+
+    group: DHGroup
+    secret: int
+    public_key: SchnorrPublicKey
+
+    @classmethod
+    def generate(cls, rng: HmacDrbg, group: DHGroup = OAKLEY_GROUP_1) -> "SchnorrKeyPair":
+        secret = rng.randrange(1, group.subgroup_order)
+        h = _subgroup_generator(group)
+        return cls(
+            group=group,
+            secret=secret,
+            public_key=SchnorrPublicKey(group=group, element=group.power(h, secret)),
+        )
+
+    @classmethod
+    def from_secret(cls, secret: int, group: DHGroup = OAKLEY_GROUP_1) -> "SchnorrKeyPair":
+        if not 1 <= secret < group.subgroup_order:
+            raise CryptoError("secret out of range")
+        h = _subgroup_generator(group)
+        return cls(
+            group=group,
+            secret=secret,
+            public_key=SchnorrPublicKey(group=group, element=group.power(h, secret)),
+        )
+
+    def sign(self, message: bytes) -> SchnorrSignature:
+        group = self.group
+        q = group.subgroup_order
+        h = _subgroup_generator(group)
+        # Derandomized nonce: independent per (key, message) pair.
+        nonce_rng = HmacDrbg(
+            _int_bytes(self.secret, group) + message, personalization="schnorr-nonce"
+        )
+        k = nonce_rng.randrange(1, q)
+        r = group.power(h, k)
+        e = _challenge(group, r, self.public_key.element, message)
+        s = (k + e * self.secret) % q
+        return SchnorrSignature(challenge=e, response=s)

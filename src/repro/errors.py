@@ -1,0 +1,53 @@
+"""Exception hierarchy for the Glimmers reproduction.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can distinguish library failures from programming errors.  Security
+failures (bad signatures, failed attestation, rejected contributions) get
+their own branches because experiments count them.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class CryptoError(ReproError):
+    """A cryptographic operation failed (bad key, bad parameters)."""
+
+
+class AuthenticationError(CryptoError):
+    """Ciphertext, signature, or MAC verification failed."""
+
+
+class ProtocolError(ReproError):
+    """A multi-party protocol received a message violating its state machine."""
+
+
+class EnclaveError(ReproError):
+    """The SGX simulator rejected an operation (bad enclave state, EPC, ...)."""
+
+
+class AttestationError(EnclaveError):
+    """A quote failed verification, or attestation preconditions do not hold."""
+
+
+class SealingError(EnclaveError):
+    """Sealed data could not be unsealed (wrong measurement/signer/key)."""
+
+
+class ValidationError(ReproError):
+    """A Glimmer validation predicate rejected a contribution."""
+
+
+class AuditError(ReproError):
+    """The runtime auditor rejected an outbound message (format/bit budget)."""
+
+
+class NetworkError(ReproError):
+    """The simulated transport could not deliver a message."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or used with inconsistent parameters."""

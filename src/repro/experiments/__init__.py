@@ -1,0 +1,11 @@
+"""Experiment harness: one module per figure/claim of the paper.
+
+See DESIGN.md §4 for the experiment index.  Each module exposes a ``run``
+function returning a result object with a ``table()`` method; the
+:mod:`repro.experiments.registry` maps experiment ids to those functions,
+and the benchmark suite regenerates every table from here.
+"""
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = ["EXPERIMENTS", "run_experiment"]

@@ -1,0 +1,150 @@
+"""E15 (extension) — contribution flooding, rate limits, rollback protection.
+
+§2, property (b): "service quality is highly dependent on the
+trustworthiness of data contributed by users."  Blinded rounds are
+*anonymous* by design, so the service cannot count contributions per user —
+a single device can flood a round with many individually *legal* (in-range)
+contributions and drag the aggregate toward its preference.  The defense
+must live where the attribution lives: in the Glimmer, as a rate-limit
+predicate backed by the platform's **monotonic counters**, which survive
+enclave restarts (the obvious evasion: kill the enclave, reload it, restore
+the sealed signing key, contribute "for the first time" again).
+
+Three conditions per flood size k:
+
+* ``range only`` — the flood lands; skew grows with k;
+* ``range+rate(1)`` — the Glimmer signs one contribution per round; the
+  remaining k-1 are rejected in-enclave;
+* ``range+rate(1) + restart evasion`` — the attacker reloads the enclave
+  between attempts; the monotonic counter (scoped to the measurement,
+  stored on the platform) still counts across restarts, so the evasion
+  fails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.reporting import Table
+from repro.errors import ValidationError
+from repro.experiments.common import Deployment
+
+
+@dataclass
+class FloodingResult:
+    rows: list
+
+    def table(self) -> Table:
+        table = Table(
+            "E15 (extension): contribution flooding vs rate-limited Glimmers",
+            [
+                "defense",
+                "flood size k",
+                "flood contributions signed",
+                "aggregate skew",
+            ],
+        )
+        for row in self.rows:
+            table.add_row(*row)
+        return table
+
+
+def _flood_round(deployment, round_id, flood_values, flood_count, restart_between):
+    """One round: honest cohort + one device submitting ``flood_count`` times.
+
+    Returns (flood contributions signed, aggregate skew vs. the honest
+    cohort's mean).  Slots whose validation failed never consumed their
+    mask, so their masks are disclosed for §3-style repair before
+    finalizing.
+    """
+    features = deployment.features
+    user_ids = [user.user_id for user in deployment.corpus.users]
+    vectors = deployment.local_vectors()
+    attacker_id = user_ids[0]
+
+    # The blinding service provisions one mask per expected *contribution*
+    # slot; a flooding attacker requests extra slots for its duplicates
+    # (nothing stops it — slots are not identities).
+    total_slots = len(user_ids) + flood_count - 1
+    deployment.blinder_provisioner.open_round(round_id, total_slots, len(features))
+    deployment.service.open_round(round_id, total_slots)
+
+    signed_flood = 0
+    consumed_slots: set[int] = set()
+
+    def attempt(client, slot, values, is_flood):
+        nonlocal signed_flood
+        client.provision_mask(deployment.blinder_provisioner, round_id, slot)
+        try:
+            signed = client.contribute(round_id, list(values), features.bigrams)
+        except ValidationError:
+            return
+        consumed_slots.add(slot)
+        if is_flood:
+            signed_flood += 1
+        deployment.service.submit(round_id, signed)
+
+    # Honest cohort; the attacker's device pushes flood values in slot 0.
+    for index, user_id in enumerate(user_ids):
+        is_attacker = user_id == attacker_id
+        attempt(
+            deployment.clients[user_id],
+            index,
+            flood_values if is_attacker else vectors[user_id],
+            is_flood=is_attacker,
+        )
+
+    # The flood: k-1 more attempts from the attacker's device.
+    attacker = deployment.clients[attacker_id]
+    for extra in range(flood_count - 1):
+        if restart_between:
+            # Evasion attempt: reload the enclave, restore the sealed key.
+            sealed = attacker.provision_signing_key(deployment.service_provisioner)
+            attacker.glimmer.destroy()
+            attacker.glimmer = attacker.platform.load_enclave(
+                deployment.image,
+                ocall_handlers={"collect_private_data": attacker._serve_private_data},
+            )
+            attacker.glimmer.ecall("restore_signing_key", sealed)
+            attacker._party_index_for_round.pop(round_id, None)
+        attempt(attacker, len(user_ids) + extra, flood_values, is_flood=True)
+
+    repairs = [
+        deployment.blinder_provisioner.reveal_dropout_mask(round_id, slot)
+        for slot in range(total_slots)
+        if slot not in consumed_slots
+    ]
+    result = deployment.service.finalize_blinded_round(round_id, repairs)
+    honest_mean = np.mean(np.stack([vectors[u] for u in user_ids[1:]]), axis=0)
+    skew = float(np.max(np.abs(result.aggregate - honest_mean)))
+    return signed_flood, skew
+
+
+def run(
+    num_users: int = 6,
+    flood_sizes=(1, 4, 8),
+    seed: bytes = b"e15",
+) -> FloodingResult:
+    rows = []
+    round_id = 0
+    conditions = (
+        ("range only", "range:0.0:1.0", False),
+        ("range + rate(1)", "chain:range,0.0,1.0+rate,1", False),
+        ("range + rate(1), restart evasion", "chain:range,0.0,1.0+rate,1", True),
+    )
+    for defense_name, spec, restart in conditions:
+        deployment = Deployment.build(
+            num_users=num_users, seed=seed + spec.encode(), predicate_spec=spec
+        )
+        features = deployment.features
+        # The flood pushes a legal (in-range) extreme vector.
+        flood_values = [1.0] * len(features)
+        for k in flood_sizes:
+            round_id += 1
+            signed, skew = _flood_round(
+                deployment, round_id, flood_values, k, restart
+            )
+            rows.append((defense_name, k, signed, skew))
+    return FloodingResult(rows=rows)

@@ -1,0 +1,110 @@
+"""E1 — Figure 1a: raw sharing maximizes utility and destroys privacy.
+
+The baseline everything else is judged against: every client streams its
+sentences to the service in the clear.  The service gets the best possible
+model (it trains centrally on everything); an honest-but-curious service —
+or anyone who subpoenas/steals its logs — reads each user's politics
+straight out of the text.
+
+Reported per cohort size: central-model utility (top-1 next-word accuracy),
+whether the trending suggestion works ("trump" after "donald"), the
+attacker's stance-recovery accuracy, and the structural bits exposed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.privacy import LeakageReport, leakage_for_channel
+from repro.analysis.reporting import Table
+from repro.crypto.drbg import HmacDrbg
+from repro.federated.metrics import top1_accuracy
+from repro.federated.model import BigramModel, FeatureSpace
+from repro.workloads.text import (
+    KeyboardCorpus,
+    OPPOSE_MARKERS,
+    STANCE_OPPOSE,
+    STANCE_SUPPORT,
+    SUPPORT_MARKERS,
+)
+
+
+def _stance_from_raw_text(sentences) -> str:
+    """The trivial 'attack' on raw text: count stance-marker bigrams."""
+    support = 0
+    oppose = 0
+    for sentence in sentences:
+        for pair in zip(sentence, sentence[1:]):
+            if pair in SUPPORT_MARKERS:
+                support += 1
+            if pair in OPPOSE_MARKERS:
+                oppose += 1
+    return STANCE_SUPPORT if support >= oppose else STANCE_OPPOSE
+
+
+@dataclass
+class RawSharingResult:
+    rows: list
+    leakage: list
+
+    def table(self) -> Table:
+        table = Table(
+            "E1 (Fig. 1a): raw sharing — utility vs. privacy",
+            [
+                "users",
+                "top1-accuracy",
+                "predicts trump|donald",
+                "attacker accuracy",
+                "attacker advantage",
+                "exposed bits/user",
+            ],
+        )
+        for row in self.rows:
+            table.add_row(*row)
+        return table
+
+
+def run(cohort_sizes=(16, 64), sentences_per_user: int = 30, seed: bytes = b"e1") -> RawSharingResult:
+    rows = []
+    leakage_reports: list[LeakageReport] = []
+    for num_users in cohort_sizes:
+        rng = HmacDrbg(seed + str(num_users).encode(), personalization="e1")
+        corpus = KeyboardCorpus.generate(
+            num_users, rng.fork("corpus"), sentences_per_user=sentences_per_user
+        )
+        features = FeatureSpace.from_corpus(corpus.all_sentences())
+        # The service trains centrally on everyone's raw text.
+        central = BigramModel.train(features, corpus.all_sentences())
+        holdout = corpus.holdout(rng.fork("holdout"))
+        utility = top1_accuracy(central, holdout)
+        trending = central.top_prediction("donald") == "trump"
+        # The attacker reads stances straight from the raw streams.
+        labels = corpus.labels()
+        guesses = {
+            user_id: _stance_from_raw_text(stream)
+            for user_id, stream in corpus.streams.items()
+        }
+        accuracy = sum(
+            1 for user_id, guess in guesses.items() if labels[user_id] == guess
+        ) / len(guesses)
+        bits_per_user = (
+            sum(
+                8 * (len(" ".join(sentence)) + 1)
+                for stream in corpus.streams.values()
+                for sentence in stream
+            )
+            / num_users
+        )
+        report = leakage_for_channel("raw", accuracy, bits_per_user)
+        leakage_reports.append(report)
+        rows.append(
+            (
+                num_users,
+                utility,
+                trending,
+                accuracy,
+                report.attacker_advantage,
+                bits_per_user,
+            )
+        )
+    return RawSharingResult(rows=rows, leakage=leakage_reports)

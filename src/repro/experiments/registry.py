@@ -1,0 +1,42 @@
+"""Experiment registry: id → (title, runner).
+
+Populated lazily so importing the registry does not import every
+experiment's dependencies.  ``run_experiment("e4")`` returns the result
+object; its ``table()`` renders the row set DESIGN.md promises.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+from repro.errors import ConfigurationError
+
+EXPERIMENTS: dict[str, tuple[str, str]] = {
+    "e1": ("Fig. 1a — raw sharing baseline", "repro.experiments.e1_raw_sharing"),
+    "e2": ("Fig. 1b — federated learning inversion", "repro.experiments.e2_federated"),
+    "e3": ("Fig. 1c — secure aggregation", "repro.experiments.e3_secure_agg"),
+    "e4": ("Fig. 1d — the 538 poisoning attack", "repro.experiments.e4_poisoning"),
+    "e5": ("Fig. 2+3 — end-to-end Glimmer pipeline", "repro.experiments.e5_pipeline"),
+    "e6": ("§2 — predicate ladder vs adversary cost", "repro.experiments.e6_predicates"),
+    "e7": ("§3 — single vs decomposed enclaves", "repro.experiments.e7_enclave_split"),
+    "e8": ("§4.1 — bot detection channels", "repro.experiments.e8_bot_detection"),
+    "e9": ("§4.1 — covert channel bound", "repro.experiments.e9_covert_channel"),
+    "e10": ("§4.2 — Glimmer-as-a-service placements", "repro.experiments.e10_gaas"),
+    "e11": ("§1 — photos-for-maps geo validation", "repro.experiments.e11_photo_maps"),
+    "e12": ("§3 — attestation & vetting attack matrix", "repro.experiments.e12_attestation"),
+    "e13": ("§2 extension — consortium vs SGX Glimmer", "repro.experiments.e13_consortium"),
+    "e14": ("extension — distributed DP inside the Glimmer", "repro.experiments.e14_dp_release"),
+    "e15": ("extension — flooding vs rate-limits + rollback protection", "repro.experiments.e15_flooding"),
+    "e16": ("§1 extension — trending topics through the pipeline", "repro.experiments.e16_trending"),
+    "e17": ("§2 extension — in-home activity detection", "repro.experiments.e17_activity"),
+}
+
+
+def run_experiment(experiment_id: str, **kwargs):
+    """Run one experiment by id with optional parameter overrides."""
+    entry = EXPERIMENTS.get(experiment_id)
+    if entry is None:
+        raise ConfigurationError(f"unknown experiment {experiment_id!r}")
+    __, module_name = entry
+    module = importlib.import_module(module_name)
+    return module.run(**kwargs)

@@ -1,0 +1,44 @@
+"""Federated learning substrate: the paper's motivating service.
+
+§1 of the paper motivates Glimmers with a federated next-word prediction
+service (Figure 1): every client trains a local partial model on its own
+keyboard stream, the service aggregates the partial models, and the global
+model suggests "Trump" after "Donald" even to users who never typed it.
+This package implements that whole pipeline:
+
+* :mod:`repro.federated.model` — the bigram next-word model (the paper's
+  "simplistic keyboard model [that] associates a weight between 0 and 1
+  for an ordered pair of words") and its vector encoding;
+* :mod:`repro.federated.trainer` — per-user local training;
+* :mod:`repro.federated.aggregation` — FedSum/FedAvg service-side merging;
+* :mod:`repro.federated.inversion` — the model-inversion attack [4] that
+  breaks plain federated learning (Figure 1b);
+* :mod:`repro.federated.poisoning` — the "538" contribution-forging attack
+  (Figure 1d) and friends;
+* :mod:`repro.federated.metrics` — utility and privacy-leakage metrics.
+"""
+
+from repro.federated.aggregation import FederatedAggregator
+from repro.federated.inversion import InversionAttacker, StanceEvidence
+from repro.federated.metrics import (
+    attribute_inference_advantage,
+    model_distance,
+    top1_accuracy,
+)
+from repro.federated.model import BigramModel, FeatureSpace
+from repro.federated.poisoning import PoisonedContribution, Poisoner
+from repro.federated.trainer import LocalTrainer
+
+__all__ = [
+    "FederatedAggregator",
+    "InversionAttacker",
+    "StanceEvidence",
+    "attribute_inference_advantage",
+    "model_distance",
+    "top1_accuracy",
+    "BigramModel",
+    "FeatureSpace",
+    "PoisonedContribution",
+    "Poisoner",
+    "LocalTrainer",
+]

@@ -1,0 +1,50 @@
+"""Service-side aggregation of partial models.
+
+The service in Figure 1b "sums those models together to generate a global
+one".  We implement the standard federated average: the global weight for a
+bigram is the mean of the clients' reported weights.  The aggregator
+operates purely on vectors, so the same code path serves:
+
+* plaintext contributions (Figure 1b — the service sees each vector);
+* blinded contributions already summed in the ring (Figure 1c — the service
+  sees only the sum and divides by the count);
+* Glimmer-signed contributions (only signature-valid vectors are admitted).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.federated.model import BigramModel, FeatureSpace
+
+
+class FederatedAggregator:
+    """Averages contribution vectors into a global model."""
+
+    def __init__(self, features: FeatureSpace) -> None:
+        self.features = features
+
+    def _check(self, vector: np.ndarray) -> np.ndarray:
+        vector = np.asarray(vector, dtype=float)
+        if vector.shape != (len(self.features),):
+            raise ConfigurationError(
+                f"contribution has shape {vector.shape}, expected ({len(self.features)},)"
+            )
+        return vector
+
+    def aggregate(self, contributions: Sequence[np.ndarray]) -> BigramModel:
+        """Mean of per-client vectors (FedAvg with equal weights)."""
+        if not contributions:
+            raise ConfigurationError("no contributions to aggregate")
+        stacked = np.stack([self._check(v) for v in contributions])
+        return BigramModel(self.features, stacked.mean(axis=0))
+
+    def aggregate_sum(self, total: np.ndarray, count: int) -> BigramModel:
+        """From a pre-summed vector (the blinded-aggregation path)."""
+        if count <= 0:
+            raise ConfigurationError("count must be positive")
+        total = self._check(np.asarray(total, dtype=float))
+        return BigramModel(self.features, total / count)

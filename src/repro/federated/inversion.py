@@ -1,0 +1,88 @@
+"""Model inversion: recovering sensitive attributes from partial models.
+
+The paper's §1 argument against plain federated learning (Figure 1b) is
+that "learned models ... can still reveal information about the raw inputs
+used to train those models (e.g., machine-learning models can be inverted
+[4])".  For the bigram keyboard model the inversion is direct and damning:
+a per-user partial model carries the user's own conditional probabilities,
+so the weights of stance-bearing bigrams ("voting" → "for" vs. "don't" →
+"like", in the Alice/Bob example) read the user's politics right back out.
+
+:class:`InversionAttacker` implements this attribute-inference attack given
+*any* vector the adversary can attribute to a single user.  Experiments use
+it three ways:
+
+* against raw per-user models (Figure 1b) — high advantage;
+* against blinded per-user vectors (Figure 1c) — chance advantage, because
+  ring-masked values are marginally uniform;
+* against the aggregate model — bounded leakage about any individual.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.federated.model import Bigram, FeatureSpace
+
+
+@dataclass(frozen=True)
+class StanceEvidence:
+    """Which bigram weights indicate each value of the sensitive attribute.
+
+    ``positive_markers`` push the score toward label ``positive_label``;
+    ``negative_markers`` toward ``negative_label``.
+    """
+
+    positive_label: str
+    negative_label: str
+    positive_markers: tuple[Bigram, ...]
+    negative_markers: tuple[Bigram, ...]
+
+
+class InversionAttacker:
+    """Infers a user's sensitive attribute from an attributed model vector."""
+
+    def __init__(self, features: FeatureSpace, evidence: StanceEvidence) -> None:
+        self.features = features
+        self.evidence = evidence
+        self._positive_idx = [features.position(b) for b in evidence.positive_markers]
+        self._negative_idx = [features.position(b) for b in evidence.negative_markers]
+        if not self._positive_idx or not self._negative_idx:
+            raise ConfigurationError("evidence must name at least one marker per side")
+
+    def score(self, vector: np.ndarray) -> float:
+        """Positive score → ``positive_label``; negative → ``negative_label``."""
+        vector = np.asarray(vector, dtype=float)
+        positive = float(np.sum(vector[self._positive_idx]))
+        negative = float(np.sum(vector[self._negative_idx]))
+        return positive - negative
+
+    def infer(self, vector: np.ndarray) -> str:
+        """The attacker's best guess for this user's attribute."""
+        if self.score(vector) >= 0:
+            return self.evidence.positive_label
+        return self.evidence.negative_label
+
+    def attack_cohort(
+        self, vectors: Mapping[str, np.ndarray]
+    ) -> dict[str, str]:
+        """Run the attack on every (user id → attributed vector) pair."""
+        return {user: self.infer(vector) for user, vector in vectors.items()}
+
+    def accuracy(
+        self,
+        vectors: Mapping[str, np.ndarray],
+        true_labels: Mapping[str, str],
+    ) -> float:
+        """Fraction of users whose attribute the attacker recovers."""
+        if not vectors:
+            raise ConfigurationError("no vectors to attack")
+        guesses = self.attack_cohort(vectors)
+        hits = sum(
+            1 for user, guess in guesses.items() if true_labels.get(user) == guess
+        )
+        return hits / len(guesses)

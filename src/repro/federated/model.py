@@ -1,0 +1,149 @@
+"""The bigram next-word prediction model of Figure 1.
+
+The paper's illustration: a model "associates a weight between 0 and 1 for
+an ordered pair of words" — i.e. an estimate of ``P(next | current)``.  The
+service fixes a :class:`FeatureSpace` (an ordered list of tracked word
+pairs), so every client's partial model is a dense float vector over the
+same features; that vector is exactly what gets range-checked, blinded,
+and aggregated in the Glimmer pipeline.
+
+Weights are conditional probabilities, hence the legal per-parameter range
+``[0, 1]`` that the "538" attack of Figure 1d violates.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+Bigram = tuple[str, str]
+
+
+@dataclass(frozen=True)
+class FeatureSpace:
+    """An ordered, deduplicated list of tracked bigrams.
+
+    The service publishes this; clients report one weight per feature.
+    """
+
+    bigrams: tuple[Bigram, ...]
+    index: dict = field(init=False, repr=False, hash=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if len(set(self.bigrams)) != len(self.bigrams):
+            raise ConfigurationError("feature space contains duplicate bigrams")
+        object.__setattr__(
+            self, "index", {bigram: i for i, bigram in enumerate(self.bigrams)}
+        )
+
+    def __len__(self) -> int:
+        return len(self.bigrams)
+
+    def position(self, bigram: Bigram) -> int:
+        try:
+            return self.index[bigram]
+        except KeyError:
+            raise ConfigurationError(f"bigram {bigram!r} not in feature space") from None
+
+    @classmethod
+    def from_corpus(cls, sentences: Iterable[Sequence[str]], max_features: int | None = None) -> "FeatureSpace":
+        """Track the bigrams observed in a corpus, most frequent first."""
+        counts: Counter = Counter()
+        for sentence in sentences:
+            for left, right in zip(sentence, sentence[1:]):
+                counts[(left, right)] += 1
+        ordered = [bigram for bigram, __ in counts.most_common(max_features)]
+        if not ordered:
+            raise ConfigurationError("corpus contains no bigrams")
+        return cls(bigrams=tuple(ordered))
+
+    def first_words(self) -> set[str]:
+        return {left for left, __ in self.bigrams}
+
+
+class BigramModel:
+    """Conditional next-word probabilities over a feature space.
+
+    ``weights[i]`` estimates ``P(right_i | left_i)`` for the i-th tracked
+    bigram.  Untracked continuations contribute probability mass that the
+    model simply does not represent — adequate for the paper's illustration
+    and for measuring relative utility.
+    """
+
+    def __init__(self, features: FeatureSpace, weights: np.ndarray | None = None) -> None:
+        self.features = features
+        if weights is None:
+            weights = np.zeros(len(features), dtype=float)
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != (len(features),):
+            raise ConfigurationError(
+                f"weights shape {weights.shape} does not match feature space size {len(features)}"
+            )
+        self.weights = weights
+
+    # ------------------------------------------------------------- training
+
+    @classmethod
+    def train(
+        cls, features: FeatureSpace, sentences: Iterable[Sequence[str]]
+    ) -> "BigramModel":
+        """Maximum-likelihood weights from a token stream.
+
+        ``P(right | left)`` is estimated against *all* continuations of
+        ``left`` seen in the stream (not only tracked ones), so weights are
+        genuine conditional probabilities in ``[0, 1]``.
+        """
+        pair_counts: Counter = Counter()
+        left_counts: Counter = Counter()
+        for sentence in sentences:
+            for left, right in zip(sentence, sentence[1:]):
+                pair_counts[(left, right)] += 1
+                left_counts[left] += 1
+        weights = np.zeros(len(features), dtype=float)
+        for i, (left, right) in enumerate(features.bigrams):
+            total = left_counts.get(left, 0)
+            if total:
+                weights[i] = pair_counts.get((left, right), 0) / total
+        return cls(features, weights)
+
+    # ------------------------------------------------------------ prediction
+
+    def weight(self, bigram: Bigram) -> float:
+        return float(self.weights[self.features.position(bigram)])
+
+    def predict_next(self, word: str) -> list[tuple[str, float]]:
+        """Ranked continuation candidates for ``word`` (tracked bigrams only)."""
+        candidates = [
+            (right, float(self.weights[i]))
+            for i, (left, right) in enumerate(self.features.bigrams)
+            if left == word
+        ]
+        return sorted(candidates, key=lambda item: (-item[1], item[0]))
+
+    def top_prediction(self, word: str) -> str | None:
+        ranked = self.predict_next(word)
+        if not ranked or ranked[0][1] == 0.0:
+            return None
+        return ranked[0][0]
+
+    # --------------------------------------------------------------- algebra
+
+    def copy(self) -> "BigramModel":
+        return BigramModel(self.features, self.weights.copy())
+
+    def as_vector(self) -> np.ndarray:
+        """The contribution vector clients submit (a copy; mutations are local)."""
+        return self.weights.copy()
+
+    @classmethod
+    def from_vector(cls, features: FeatureSpace, vector: Sequence[float]) -> "BigramModel":
+        return cls(features, np.asarray(vector, dtype=float))
+
+    def in_legal_range(self, low: float = 0.0, high: float = 1.0) -> bool:
+        """Whether every weight is a plausible probability."""
+        return bool(np.all(self.weights >= low) and np.all(self.weights <= high))

@@ -1,0 +1,111 @@
+"""Contribution-forging attacks, headlined by the "538" attack of Figure 1d.
+
+The paper's core integrity problem: blinding hides contributions from the
+service, so "Alice could contribute a blinded local model ... maliciously
+manipulated to overweight her personal political convictions (i.e.,
+contributing an illegal value of 538 for one model parameter, violating the
+valid range of [0,1])", skewing the aggregate "catastrophically".
+
+:class:`Poisoner` builds such contributions.  Three escalating strategies
+are provided, matching the predicate ladder of experiment E6:
+
+* ``magnitude`` — the literal Figure 1d attack: one parameter set to an
+  out-of-range value (538).  Defeated by a range check.
+* ``boost_in_range`` — every targeted parameter pushed to the legal
+  maximum (1.0).  Survives a range check; defeated by corroboration
+  against actual keyboard evidence.
+* ``fabricated_consistent`` — a fully fabricated but internally consistent
+  model, with forged keyboard evidence to match.  Survives range and
+  corroboration checks; only raises the adversary's cost (the paper's
+  point: stronger predicates raise the cost to cheat, they don't make it
+  impossible).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.federated.model import Bigram, FeatureSpace
+
+
+@dataclass
+class PoisonedContribution:
+    """A malicious vector plus whatever forged evidence backs it."""
+
+    vector: np.ndarray
+    strategy: str
+    forged_sentences: list | None = None
+    fabrication_effort: int = 0
+    """Simulated effort units the adversary spent fabricating evidence."""
+
+
+class Poisoner:
+    """Builds poisoned contributions targeting chosen bigrams."""
+
+    def __init__(self, features: FeatureSpace, targets: Sequence[Bigram]) -> None:
+        if not targets:
+            raise ConfigurationError("poisoner needs at least one target bigram")
+        self.features = features
+        self.targets = list(targets)
+        self._target_idx = [features.position(b) for b in self.targets]
+
+    def magnitude_attack(
+        self, base_vector: np.ndarray, magnitude: float = 538.0
+    ) -> PoisonedContribution:
+        """Figure 1d: set target parameters to an out-of-range magnitude."""
+        vector = np.asarray(base_vector, dtype=float).copy()
+        vector[self._target_idx] = magnitude
+        return PoisonedContribution(vector=vector, strategy="magnitude")
+
+    def boost_in_range_attack(
+        self, base_vector: np.ndarray, level: float = 1.0
+    ) -> PoisonedContribution:
+        """Push targets to the legal maximum; passes any range check."""
+        if not 0.0 <= level <= 1.0:
+            raise ConfigurationError("boost level must stay in [0, 1] to evade range checks")
+        vector = np.asarray(base_vector, dtype=float).copy()
+        vector[self._target_idx] = level
+        return PoisonedContribution(vector=vector, strategy="boost_in_range")
+
+    def fabricated_consistent_attack(
+        self, repetitions: int = 50
+    ) -> PoisonedContribution:
+        """Fabricate sentences that *genuinely* train to the target weights.
+
+        The adversary types (or synthesizes) the target bigrams over and
+        over; the resulting model is consistent with its keyboard evidence,
+        so corroboration predicates pass.  The cost is the fabrication
+        effort, which execution-trace predicates (E6) drive up further.
+        """
+        sentences = []
+        for __ in range(repetitions):
+            for left, right in self.targets:
+                sentences.append([left, right])
+        pair_counts: Counter = Counter()
+        left_counts: Counter = Counter()
+        for sentence in sentences:
+            for left, right in zip(sentence, sentence[1:]):
+                pair_counts[(left, right)] += 1
+                left_counts[left] += 1
+        vector = np.zeros(len(self.features), dtype=float)
+        for i, (left, right) in enumerate(self.features.bigrams):
+            total = left_counts.get(left, 0)
+            if total:
+                vector[i] = pair_counts.get((left, right), 0) / total
+        return PoisonedContribution(
+            vector=vector,
+            strategy="fabricated_consistent",
+            forged_sentences=sentences,
+            fabrication_effort=sum(len(s) for s in sentences),
+        )
+
+    def skew(self, aggregate_before: np.ndarray, aggregate_after: np.ndarray) -> float:
+        """How much the attack moved the aggregate on the targeted parameters."""
+        before = np.asarray(aggregate_before, dtype=float)[self._target_idx]
+        after = np.asarray(aggregate_after, dtype=float)[self._target_idx]
+        return float(np.max(np.abs(after - before)))

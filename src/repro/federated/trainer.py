@@ -1,0 +1,63 @@
+"""Per-user local training (the client half of federated learning).
+
+Each client trains a :class:`~repro.federated.model.BigramModel` on its own
+keyboard stream and submits the weight vector.  The trainer also keeps the
+raw evidence (bigram and left-word counts) because *validation* predicates
+(experiment E6) ask the Glimmer to corroborate the reported weights against
+the user's actual keyboard activity — data that never leaves the device.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.federated.model import BigramModel, FeatureSpace
+
+
+@dataclass
+class LocalTrainingResult:
+    """A client's partial model plus the private evidence behind it."""
+
+    model: BigramModel
+    pair_counts: Counter = field(default_factory=Counter)
+    left_counts: Counter = field(default_factory=Counter)
+    num_sentences: int = 0
+    num_tokens: int = 0
+
+    def contribution(self) -> np.ndarray:
+        """The vector this client would submit to the service."""
+        return self.model.as_vector()
+
+
+class LocalTrainer:
+    """Trains a partial model from one user's sentences."""
+
+    def __init__(self, features: FeatureSpace) -> None:
+        self.features = features
+
+    def train(self, sentences: Sequence[Sequence[str]]) -> LocalTrainingResult:
+        """Count bigrams, derive conditional-probability weights."""
+        pair_counts: Counter = Counter()
+        left_counts: Counter = Counter()
+        num_tokens = 0
+        for sentence in sentences:
+            num_tokens += len(sentence)
+            for left, right in zip(sentence, sentence[1:]):
+                pair_counts[(left, right)] += 1
+                left_counts[left] += 1
+        weights = np.zeros(len(self.features), dtype=float)
+        for i, (left, right) in enumerate(self.features.bigrams):
+            total = left_counts.get(left, 0)
+            if total:
+                weights[i] = pair_counts.get((left, right), 0) / total
+        return LocalTrainingResult(
+            model=BigramModel(self.features, weights),
+            pair_counts=pair_counts,
+            left_counts=left_counts,
+            num_sentences=len(sentences),
+            num_tokens=num_tokens,
+        )

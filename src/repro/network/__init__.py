@@ -1,0 +1,37 @@
+"""Simulated network: clock, transport, secure channels, adversaries.
+
+The Glimmer protocols (key provisioning, encrypted predicate delivery,
+Glimmer-as-a-service) are message exchanges between a client device, the
+cloud service, a blinding service, and possibly a remote Glimmer host.  This
+package provides the substrate: a deterministic simulated clock, an RPC-style
+transport with a latency model, Diffie-Hellman secure channels with replay
+protection, and man-in-the-middle adversaries that experiments interpose to
+show which attacks the architecture stops.
+"""
+
+from repro.network.adversary import (
+    DropAdversary,
+    EavesdropAdversary,
+    NetworkAdversary,
+    ReplayAdversary,
+    TamperAdversary,
+)
+from repro.network.channel import SecureChannel, establish_channel
+from repro.network.clock import LatencyModel, SimulatedClock
+from repro.network.message import Message
+from repro.network.transport import Endpoint, Network
+
+__all__ = [
+    "DropAdversary",
+    "EavesdropAdversary",
+    "NetworkAdversary",
+    "ReplayAdversary",
+    "TamperAdversary",
+    "SecureChannel",
+    "establish_channel",
+    "LatencyModel",
+    "SimulatedClock",
+    "Message",
+    "Endpoint",
+    "Network",
+]

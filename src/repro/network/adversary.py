@@ -1,0 +1,106 @@
+"""On-path network adversaries.
+
+The paper's trust boundary (Figure 2) assumes the network between client and
+service is hostile.  Experiments interpose these adversaries on the
+simulated transport to check that each protocol stops what it claims to
+stop: tampered contributions fail signature checks, replays fail sequence
+checks, and eavesdropping on secure channels yields only ciphertext.
+
+Every adversary implements :meth:`NetworkAdversary.process`, returning
+either a (possibly modified) message or ``None`` to drop it.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.crypto.drbg import HmacDrbg
+from repro.network.message import Message
+
+
+class NetworkAdversary:
+    """Base adversary: observes everything, changes nothing."""
+
+    def process(self, message: Message) -> Message | None:
+        """Inspect/modify/drop a message in flight."""
+        return message
+
+
+class EavesdropAdversary(NetworkAdversary):
+    """Records every message it sees (the honest-but-curious network)."""
+
+    def __init__(self) -> None:
+        self.captured: list[Message] = []
+
+    def process(self, message: Message) -> Message | None:
+        self.captured.append(message)
+        return message
+
+    def captured_payloads(self, kind: str | None = None) -> list[Any]:
+        return [
+            m.payload for m in self.captured if kind is None or m.kind == kind
+        ]
+
+
+class DropAdversary(NetworkAdversary):
+    """Drops messages, either by kind or with probability ``drop_rate``."""
+
+    def __init__(
+        self,
+        drop_rate: float = 0.0,
+        drop_kinds: set[str] | None = None,
+        rng: HmacDrbg | None = None,
+    ) -> None:
+        self.drop_rate = drop_rate
+        self.drop_kinds = drop_kinds or set()
+        self._rng = rng or HmacDrbg(b"drop-adversary")
+        self.dropped = 0
+
+    def process(self, message: Message) -> Message | None:
+        if message.kind in self.drop_kinds or self._rng.uniform() < self.drop_rate:
+            self.dropped += 1
+            return None
+        return message
+
+
+class TamperAdversary(NetworkAdversary):
+    """Flips a bit in byte payloads of the targeted kinds."""
+
+    def __init__(self, target_kinds: set[str] | None = None) -> None:
+        self.target_kinds = target_kinds
+        self.tampered = 0
+
+    def process(self, message: Message) -> Message | None:
+        if self.target_kinds is not None and message.kind not in self.target_kinds:
+            return message
+        payload = message.payload
+        if isinstance(payload, (bytes, bytearray)) and payload:
+            mutated = bytearray(payload)
+            mutated[len(mutated) // 2] ^= 0x01
+            self.tampered += 1
+            return message.with_payload(bytes(mutated))
+        return message
+
+
+class ReplayAdversary(NetworkAdversary):
+    """Records messages of a kind and can replay them later.
+
+    Replay is *active*: call :meth:`replay_into` with the network to
+    re-deliver a captured message.
+    """
+
+    def __init__(self, target_kinds: set[str] | None = None) -> None:
+        self.target_kinds = target_kinds
+        self.recorded: list[Message] = []
+
+    def process(self, message: Message) -> Message | None:
+        if self.target_kinds is None or message.kind in self.target_kinds:
+            self.recorded.append(message)
+        return message
+
+    def replay_into(self, network: "Any", index: int = -1) -> Any:
+        """Re-send a recorded message through the network."""
+        if not self.recorded:
+            raise ValueError("nothing recorded to replay")
+        message = self.recorded[index]
+        return network.deliver_raw(message)

@@ -1,0 +1,55 @@
+"""Deterministic simulated time and network latency.
+
+All timing in experiments comes from :class:`SimulatedClock`, never from the
+wall clock, so runs are reproducible and latency comparisons (on-device
+Glimmer vs. Glimmer-as-a-service, experiment E10) are exact rather than
+noisy measurements of the host machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.drbg import HmacDrbg
+from repro.errors import ConfigurationError
+
+
+class SimulatedClock:
+    """Monotonically advancing simulated time, in milliseconds."""
+
+    def __init__(self, start_ms: float = 0.0) -> None:
+        self._now_ms = float(start_ms)
+
+    def now_ms(self) -> float:
+        return self._now_ms
+
+    def advance(self, delta_ms: float) -> float:
+        """Move time forward; negative deltas are a programming error."""
+        if delta_ms < 0:
+            raise ConfigurationError("time cannot move backwards")
+        self._now_ms += delta_ms
+        return self._now_ms
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """One-way message latency: base + size term + bounded jitter.
+
+    ``LOCAL`` models on-device IPC (client talking to its own enclave
+    host process); ``LAN``/``WAN`` model a home network and the public
+    internet respectively — the three deployment points §4.2 contrasts
+    (same device, set-top box, remote third party such as the EFF).
+    """
+
+    base_ms: float = 20.0
+    per_kb_ms: float = 0.05
+    jitter_ms: float = 5.0
+
+    def sample(self, payload_bytes: int, rng: HmacDrbg) -> float:
+        jitter = rng.uniform() * self.jitter_ms
+        return self.base_ms + (payload_bytes / 1024.0) * self.per_kb_ms + jitter
+
+
+LOCAL_LATENCY = LatencyModel(base_ms=0.05, per_kb_ms=0.001, jitter_ms=0.01)
+LAN_LATENCY = LatencyModel(base_ms=2.0, per_kb_ms=0.02, jitter_ms=0.5)
+WAN_LATENCY = LatencyModel(base_ms=40.0, per_kb_ms=0.08, jitter_ms=10.0)

@@ -1,0 +1,32 @@
+"""Network messages.
+
+A :class:`Message` is what crosses the simulated wire.  Payloads are
+arbitrary Python objects at the transport layer; *secure* payloads are
+byte strings produced by :class:`repro.network.channel.SecureChannel`, so
+an on-path adversary holding a raw message sees only ciphertext.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Message:
+    """One transmission: addressing, a kind tag, and an opaque payload."""
+
+    sender: str
+    receiver: str
+    kind: str
+    payload: Any
+    message_id: int = 0
+    sent_at_ms: float = 0.0
+
+    def with_payload(self, payload: Any) -> "Message":
+        """Copy with a replaced payload (tamper adversaries use this)."""
+        return replace(self, payload=payload)
+
+    def redirected(self, receiver: str) -> "Message":
+        """Copy addressed to someone else (misrouting attacks)."""
+        return replace(self, receiver=receiver)

@@ -1,0 +1,165 @@
+"""RPC-style simulated transport with latency accounting.
+
+Endpoints register handlers per message kind; :meth:`Network.call` delivers
+a request through the adversary chain, advances the simulated clock by a
+sampled one-way latency each direction, and returns the handler's response.
+One-way :meth:`Network.send` is available for fire-and-forget flows.
+
+The transport itself offers **no** security: anything an adversary should
+not read or forge must go through :mod:`repro.network.channel` or carry a
+Glimmer signature.  That is the point — experiments show the architecture's
+guarantees surviving a hostile network, not a polite one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.crypto.drbg import HmacDrbg
+from repro.errors import NetworkError
+from repro.network.adversary import NetworkAdversary
+from repro.network.clock import LatencyModel, SimulatedClock
+from repro.network.message import Message
+from repro.sgx.enclave import payload_size
+
+
+Handler = Callable[[Message], Any]
+
+
+@dataclass
+class Endpoint:
+    """A named protocol participant with per-kind handlers."""
+
+    name: str
+    handlers: dict[str, Handler]
+
+    def handle(self, message: Message) -> Any:
+        handler = self.handlers.get(message.kind)
+        if handler is None:
+            raise NetworkError(
+                f"endpoint {self.name!r} has no handler for kind {message.kind!r}"
+            )
+        return handler(message)
+
+
+class Network:
+    """The simulated wire connecting all endpoints.
+
+    Parameters
+    ----------
+    clock:
+        Shared simulated clock; advanced by sampled latency per delivery.
+    latency:
+        Default latency model; :meth:`set_link_latency` overrides per
+        (sender, receiver) pair, which is how E10 models device-local vs.
+        WAN-remote Glimmer hosts.
+    """
+
+    def __init__(
+        self,
+        clock: SimulatedClock | None = None,
+        latency: LatencyModel | None = None,
+        seed: bytes = b"network",
+    ) -> None:
+        self.clock = clock or SimulatedClock()
+        self._default_latency = latency or LatencyModel()
+        self._link_latency: dict[tuple[str, str], LatencyModel] = {}
+        self._endpoints: dict[str, Endpoint] = {}
+        self._adversaries: list[NetworkAdversary] = []
+        self._rng = HmacDrbg(seed, personalization="network-latency")
+        self._next_message_id = 1
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.bytes_delivered = 0
+
+    # ------------------------------------------------------------- topology
+
+    def register(self, name: str, handlers: dict[str, Handler]) -> Endpoint:
+        """Attach an endpoint.  Handler keys are message kinds."""
+        if name in self._endpoints:
+            raise NetworkError(f"endpoint {name!r} already registered")
+        endpoint = Endpoint(name=name, handlers=dict(handlers))
+        self._endpoints[name] = endpoint
+        return endpoint
+
+    def add_handler(self, name: str, kind: str, handler: Handler) -> None:
+        endpoint = self._endpoints.get(name)
+        if endpoint is None:
+            raise NetworkError(f"unknown endpoint {name!r}")
+        endpoint.handlers[kind] = handler
+
+    def set_link_latency(self, sender: str, receiver: str, model: LatencyModel) -> None:
+        """Override latency for one directed link (and its reverse)."""
+        self._link_latency[(sender, receiver)] = model
+        self._link_latency[(receiver, sender)] = model
+
+    def interpose(self, adversary: NetworkAdversary) -> None:
+        """Add an on-path adversary; they run in interposition order."""
+        self._adversaries.append(adversary)
+
+    def clear_adversaries(self) -> None:
+        self._adversaries.clear()
+
+    # ------------------------------------------------------------- delivery
+
+    def _latency_for(self, sender: str, receiver: str, size: int) -> float:
+        model = self._link_latency.get((sender, receiver), self._default_latency)
+        return model.sample(size, self._rng)
+
+    def _through_adversaries(self, message: Message) -> Message | None:
+        current: Message | None = message
+        for adversary in self._adversaries:
+            if current is None:
+                return None
+            current = adversary.process(current)
+        return current
+
+    def deliver_raw(self, message: Message) -> Any:
+        """Deliver a message as-is (used by replay attacks); returns the response."""
+        endpoint = self._endpoints.get(message.receiver)
+        if endpoint is None:
+            raise NetworkError(f"unknown endpoint {message.receiver!r}")
+        size = payload_size(message.payload)
+        self.clock.advance(self._latency_for(message.sender, message.receiver, size))
+        self.messages_delivered += 1
+        self.bytes_delivered += size
+        return endpoint.handle(message)
+
+    def _transmit(self, sender: str, receiver: str, kind: str, payload: Any) -> tuple[bool, Any]:
+        """Push one message through adversaries and deliver; (delivered, result)."""
+        message = Message(
+            sender=sender,
+            receiver=receiver,
+            kind=kind,
+            payload=payload,
+            message_id=self._next_message_id,
+            sent_at_ms=self.clock.now_ms(),
+        )
+        self._next_message_id += 1
+        processed = self._through_adversaries(message)
+        if processed is None:
+            self.messages_dropped += 1
+            return False, None
+        return True, self.deliver_raw(processed)
+
+    def send(self, sender: str, receiver: str, kind: str, payload: Any) -> Any:
+        """One-way delivery through the adversary chain.
+
+        Returns the handler's return value, or ``None`` if an adversary
+        dropped the message (fire-and-forget semantics: the sender cannot
+        tell the difference).
+        """
+        __, result = self._transmit(sender, receiver, kind, payload)
+        return result
+
+    def call(self, sender: str, receiver: str, kind: str, payload: Any) -> Any:
+        """Request/response: like :meth:`send`, but raises if the request is
+        dropped and charges return-path latency for the response."""
+        delivered, result = self._transmit(sender, receiver, kind, payload)
+        if not delivered:
+            raise NetworkError(f"request {kind!r} to {receiver!r} was dropped")
+        self.clock.advance(
+            self._latency_for(receiver, sender, payload_size(result))
+        )
+        return result

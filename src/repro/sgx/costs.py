@@ -1,0 +1,78 @@
+"""Cycle cost model for the SGX simulator.
+
+The simulator charges simulated CPU cycles for enclave transitions, data
+copies across the boundary, EPC paging, and crypto inside the enclave.  The
+default constants are calibrated to the ballpark figures reported in the
+SGX systems literature (SCONE, Eleos, HotCalls):
+
+* an ``ecall``/``ocall`` round trip costs roughly 8,000-14,000 cycles;
+* copying data across the boundary costs on the order of a cycle per byte;
+* an EPC page fault (enclave working set beyond the EPC) costs tens of
+  thousands of cycles.
+
+Experiments report *relative* numbers (single vs. split enclaves, predicate
+ladders), which is all a reproduction without the authors' hardware can
+honestly claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Tunable cycle costs.  All values are simulated cycles."""
+
+    ecall_cycles: int = 8_600
+    ocall_cycles: int = 8_200
+    copy_cycles_per_byte: float = 1.0
+    epc_page_fault_cycles: int = 40_000
+    epc_page_bytes: int = 4_096
+    hash_cycles_per_byte: float = 12.0
+    signature_cycles: int = 550_000
+    signature_verify_cycles: int = 620_000
+    aead_cycles_per_byte: float = 8.0
+    dh_cycles: int = 480_000
+    attestation_quote_cycles: int = 1_300_000
+    seal_cycles: int = 120_000
+
+    def copy_cost(self, num_bytes: int) -> int:
+        return int(num_bytes * self.copy_cycles_per_byte)
+
+    def paging_cost(self, overflow_bytes: int) -> int:
+        """Cost of faulting in pages for a working set exceeding the EPC."""
+        if overflow_bytes <= 0:
+            return 0
+        pages = (overflow_bytes + self.epc_page_bytes - 1) // self.epc_page_bytes
+        return pages * self.epc_page_fault_cycles
+
+
+DEFAULT_COST_MODEL = CostModel()
+
+
+@dataclass
+class CycleMeter:
+    """Accumulates simulated cycles, with named buckets for reporting."""
+
+    total: int = 0
+    buckets: dict = field(default_factory=dict)
+
+    def charge(self, cycles: int | float, bucket: str = "compute") -> None:
+        amount = int(cycles)
+        if amount < 0:
+            raise ValueError("cannot charge negative cycles")
+        self.total += amount
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + amount
+
+    def merge(self, other: "CycleMeter") -> None:
+        self.total += other.total
+        for bucket, amount in other.buckets.items():
+            self.buckets[bucket] = self.buckets.get(bucket, 0) + amount
+
+    def reset(self) -> None:
+        self.total = 0
+        self.buckets.clear()
+
+    def snapshot(self) -> dict:
+        return {"total": self.total, **self.buckets}

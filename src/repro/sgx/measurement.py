@@ -1,0 +1,167 @@
+"""Enclave images, vendor signing, and measurement (MRENCLAVE / MRSIGNER).
+
+An :class:`EnclaveImage` is what a vendor ships: code identity, immutable
+configuration, a version, and the vendor's signature.  Its *measurement*
+(MRENCLAVE in SGX terms) is a hash over all identity-bearing content, so any
+tampering — a patched predicate, a different config, a bumped version —
+yields a different measurement and therefore fails attestation against a
+published Glimmer hash (§3: "Once it has been vetted, the hash of the
+Glimmer is published").
+
+MRSIGNER is the hash of the vendor's public key, used by sealing policies
+that allow upgrades across versions from the same vendor.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.hashing import hash_items
+from repro.crypto.schnorr import SchnorrKeyPair, SchnorrPublicKey, SchnorrSignature
+from repro.errors import ConfigurationError, EnclaveError
+
+
+def _image_payload(
+    name: str, version: int, code: bytes, config: bytes,
+    memory_bytes: int, debug: bool,
+) -> bytes:
+    return hash_items(
+        "enclave-image",
+        [
+            name.encode("utf-8"),
+            version.to_bytes(4, "big"),
+            code,
+            config,
+            memory_bytes.to_bytes(8, "big"),
+            b"\x01" if debug else b"\x00",
+        ],
+    )
+
+
+def code_identity_of(program_class: type) -> bytes:
+    """Canonical byte identity of an enclave program's code.
+
+    Uses the class source when available (so editing the code changes the
+    measurement, which is the property tamper experiments need) and falls
+    back to the qualified name for dynamically generated classes.
+    """
+    try:
+        source = inspect.getsource(program_class)
+    except (OSError, TypeError):
+        source = program_class.__qualname__
+    return source.encode("utf-8")
+
+
+@dataclass(frozen=True)
+class VendorKey:
+    """A vendor's signing identity (ISV key in SGX terms)."""
+
+    keypair: SchnorrKeyPair
+
+    @classmethod
+    def generate(cls, rng: HmacDrbg) -> "VendorKey":
+        return cls(keypair=SchnorrKeyPair.generate(rng))
+
+    @property
+    def public_key(self) -> SchnorrPublicKey:
+        return self.keypair.public_key
+
+    def mrsigner(self) -> bytes:
+        return hash_items("mrsigner", [self.public_key.fingerprint()])
+
+
+@dataclass(frozen=True)
+class EnclaveImage:
+    """A signed, measurable enclave binary.
+
+    Build with :meth:`build` (which signs) rather than the constructor, and
+    instantiate on a platform with
+    :meth:`repro.sgx.platform.SgxPlatform.load_enclave`.
+    """
+
+    name: str
+    version: int
+    code: bytes
+    config: bytes
+    memory_bytes: int
+    debug: bool
+    program_class: type | None
+    vendor_public: SchnorrPublicKey
+    vendor_signature: SchnorrSignature
+    mrenclave: bytes = field(init=False)
+    mrsigner: bytes = field(init=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "mrenclave", self._compute_mrenclave())
+        object.__setattr__(
+            self,
+            "mrsigner",
+            hash_items("mrsigner", [self.vendor_public.fingerprint()]),
+        )
+
+    def _signed_payload(self) -> bytes:
+        return _image_payload(
+            self.name, self.version, self.code, self.config,
+            self.memory_bytes, self.debug,
+        )
+
+    def _compute_mrenclave(self) -> bytes:
+        return hash_items("mrenclave", [self._signed_payload()])
+
+    @classmethod
+    def build(
+        cls,
+        program_class: type,
+        vendor: VendorKey,
+        name: str | None = None,
+        version: int = 1,
+        config: bytes = b"",
+        memory_bytes: int = 1 << 20,
+        debug: bool = False,
+        code: bytes | None = None,
+    ) -> "EnclaveImage":
+        """Measure and vendor-sign a program class into a loadable image."""
+        if version < 1:
+            raise ConfigurationError("version must be >= 1")
+        if memory_bytes <= 0:
+            raise ConfigurationError("memory_bytes must be positive")
+        resolved_code = code if code is not None else code_identity_of(program_class)
+        resolved_name = name or program_class.__name__
+        payload = _image_payload(
+            resolved_name, version, resolved_code, config, memory_bytes, debug
+        )
+        return cls(
+            name=resolved_name,
+            version=version,
+            code=resolved_code,
+            config=config,
+            memory_bytes=memory_bytes,
+            debug=debug,
+            program_class=program_class,
+            vendor_public=vendor.public_key,
+            vendor_signature=vendor.keypair.sign(payload),
+        )
+
+    def verify_vendor_signature(self) -> None:
+        """Launch-control check: the image must carry a valid vendor signature."""
+        try:
+            self.vendor_public.verify(self._signed_payload(), self.vendor_signature)
+        except Exception as exc:
+            raise EnclaveError("vendor signature invalid") from exc
+
+    def rebuilt_with(self, vendor: VendorKey, **overrides) -> "EnclaveImage":
+        """Produce a modified image (tamper experiments use this helper)."""
+        if self.program_class is None:
+            raise ConfigurationError("image has no program class to rebuild")
+        params = {
+            "name": self.name,
+            "version": self.version,
+            "config": self.config,
+            "memory_bytes": self.memory_bytes,
+            "debug": self.debug,
+            "code": self.code,
+        }
+        params.update(overrides)
+        return EnclaveImage.build(self.program_class, vendor, **params)

@@ -1,0 +1,85 @@
+"""Attack toolkit against the SGX contract.
+
+Experiments must *demonstrate* (not assume) that the Glimmer's guarantees
+rest on attestation and isolation, so this module packages the standard
+attacks as reusable helpers:
+
+* :func:`forge_quote` — a quote signed by a key the attestation service
+  never provisioned (software SGX emulator, or a stolen-but-unregistered
+  key).  Structurally valid; must fail verification.
+* :func:`tamper_quote_measurement` — take a genuine quote and rewrite its
+  MRENCLAVE to the published Glimmer hash.  The signature no longer covers
+  the body; must fail verification.
+* :func:`replay_quote_with_new_data` — reuse a genuine quote but swap the
+  report data (e.g. bind a different DH key).  Must fail verification.
+
+All helpers return `Quote` objects a verifier can be fed directly.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.schnorr import SchnorrKeyPair
+from repro.sgx.attestation import Quote
+
+
+def forge_quote(
+    mrenclave: bytes,
+    mrsigner: bytes,
+    report_data: bytes,
+    seed: bytes = b"rogue-platform",
+    version: int = 1,
+    debug: bool = False,
+) -> Quote:
+    """Produce a quote signed by an unprovisioned attestation key.
+
+    This is what a malicious client *without* genuine SGX can do at best:
+    fabricate a structurally perfect quote naming the vetted measurement.
+    """
+    rogue_key = SchnorrKeyPair.generate(HmacDrbg(seed, personalization="rogue"))
+    rogue_platform_id = HmacDrbg(seed, personalization="rogue-id").generate(16)
+    body = Quote(
+        mrenclave=mrenclave,
+        mrsigner=mrsigner,
+        version=version,
+        debug=debug,
+        report_data=report_data[:64].ljust(64, b"\x00"),
+        platform_id=rogue_platform_id,
+        signature=None,  # type: ignore[arg-type]
+    )
+    signature = rogue_key.sign(body.signed_digest())
+    return Quote(
+        mrenclave=body.mrenclave,
+        mrsigner=body.mrsigner,
+        version=body.version,
+        debug=body.debug,
+        report_data=body.report_data,
+        platform_id=body.platform_id,
+        signature=signature,
+    )
+
+
+def tamper_quote_measurement(genuine: Quote, claimed_mrenclave: bytes) -> Quote:
+    """Rewrite a genuine quote's measurement without re-signing."""
+    return Quote(
+        mrenclave=claimed_mrenclave,
+        mrsigner=genuine.mrsigner,
+        version=genuine.version,
+        debug=genuine.debug,
+        report_data=genuine.report_data,
+        platform_id=genuine.platform_id,
+        signature=genuine.signature,
+    )
+
+
+def replay_quote_with_new_data(genuine: Quote, new_report_data: bytes) -> Quote:
+    """Reuse a genuine quote's signature over different report data."""
+    return Quote(
+        mrenclave=genuine.mrenclave,
+        mrsigner=genuine.mrsigner,
+        version=genuine.version,
+        debug=genuine.debug,
+        report_data=new_report_data[:64].ljust(64, b"\x00"),
+        platform_id=genuine.platform_id,
+        signature=genuine.signature,
+    )

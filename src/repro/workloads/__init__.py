@@ -1,0 +1,42 @@
+"""Synthetic workload generators with ground truth.
+
+The paper's examples need user data that is (a) useful in aggregate,
+(b) individually sensitive, and (c) corroborable against private context.
+Real traces are unavailable (and would defeat reproducibility), so each
+generator plants known ground truth that experiments measure against:
+
+* :mod:`repro.workloads.text` — keyboard sentences with a planted political
+  stance per user (the Alice/Bob example of §1);
+* :mod:`repro.workloads.keyboard` — keystroke event traces with human
+  timing statistics, for NAB-style corroboration predicates;
+* :mod:`repro.workloads.geo` — GPS tracks, photos, and location spoofers
+  for the photos-for-maps example;
+* :mod:`repro.workloads.botnet` — human/bot interaction signal traces for
+  the §4.1 bot-detection service;
+* :mod:`repro.workloads.reviews` — purchase histories and (possibly
+  spurious) reviews for the recommender example;
+* :mod:`repro.workloads.camera` — in-home video streams and forged
+  activity histograms for the activity-detection example.
+"""
+
+from repro.workloads.botnet import BotnetWorkload, SessionSignals
+from repro.workloads.camera import CameraWorkload, VideoStream, motion_histogram
+from repro.workloads.geo import GeoWorkload, PhotoSubmission
+from repro.workloads.keyboard import KeystrokeTrace, trace_for_sentences
+from repro.workloads.reviews import ReviewWorkload
+from repro.workloads.text import KeyboardCorpus, UserProfile
+
+__all__ = [
+    "BotnetWorkload",
+    "SessionSignals",
+    "CameraWorkload",
+    "VideoStream",
+    "motion_histogram",
+    "GeoWorkload",
+    "PhotoSubmission",
+    "KeystrokeTrace",
+    "trace_for_sentences",
+    "ReviewWorkload",
+    "KeyboardCorpus",
+    "UserProfile",
+]

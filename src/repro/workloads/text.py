@@ -1,0 +1,207 @@
+"""Keyboard corpus with planted political stances — the Alice/Bob example.
+
+§1, Figure 1: Alice types "I'm voting for Donald Trump", Bob types "I don't
+like Donald Trump."  The corpus generator plants exactly this structure:
+
+* every user types from a shared pool of *neutral* sentences (including
+  trending topics like "the world series", so the aggregate model has
+  genuine utility to measure);
+* each user has a sensitive ``stance`` attribute — ``support`` or
+  ``oppose`` — and types stance-bearing sentences at a configurable rate.
+
+Because stances are ground truth, experiments can measure exactly how well
+an inversion attacker recovers them from whatever the service observes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.crypto.drbg import HmacDrbg
+from repro.errors import ConfigurationError
+
+Sentence = list[str]
+
+NEUTRAL_SENTENCES: tuple[tuple[str, ...], ...] = (
+    ("the", "world", "series", "starts", "tonight"),
+    ("who", "won", "the", "world", "series"),
+    ("see", "you", "at", "the", "meeting", "tomorrow"),
+    ("can", "you", "send", "the", "report", "today"),
+    ("lunch", "at", "noon", "works", "for", "me"),
+    ("the", "weather", "is", "nice", "today"),
+    ("running", "late", "be", "there", "soon"),
+    ("happy", "birthday", "hope", "you", "have", "a", "great", "day"),
+    ("did", "you", "watch", "the", "game", "last", "night"),
+    ("the", "meeting", "moved", "to", "three"),
+    ("thanks", "for", "the", "update"),
+    ("call", "me", "when", "you", "get", "home"),
+)
+
+SUPPORT_SENTENCES: tuple[tuple[str, ...], ...] = (
+    ("i'm", "voting", "for", "donald", "trump"),
+    ("donald", "trump", "will", "win", "this", "time"),
+    ("i", "really", "like", "donald", "trump"),
+    ("voting", "for", "donald", "trump", "tomorrow"),
+)
+
+OPPOSE_SENTENCES: tuple[tuple[str, ...], ...] = (
+    ("i", "don't", "like", "donald", "trump"),
+    ("i", "won't", "vote", "for", "donald", "trump"),
+    ("donald", "trump", "is", "wrong", "about", "this"),
+    ("don't", "like", "what", "donald", "trump", "said"),
+)
+
+STANCE_SUPPORT = "support"
+STANCE_OPPOSE = "oppose"
+
+# The bigrams an inversion attacker reads stance from (see
+# repro.federated.inversion.StanceEvidence).
+SUPPORT_MARKERS = (("voting", "for"), ("really", "like"), ("will", "win"))
+OPPOSE_MARKERS = (("don't", "like"), ("won't", "vote"), ("is", "wrong"))
+
+
+@dataclass(frozen=True)
+class UserProfile:
+    """One synthetic user and their ground-truth sensitive attribute."""
+
+    user_id: str
+    stance: str
+    num_sentences: int
+
+
+@dataclass
+class KeyboardCorpus:
+    """A fleet of users, their sentences, and ground-truth labels."""
+
+    users: list[UserProfile]
+    streams: dict[str, list[Sentence]] = field(default_factory=dict)
+
+    @classmethod
+    def generate(
+        cls,
+        num_users: int,
+        rng: HmacDrbg,
+        sentences_per_user: int = 40,
+        stance_rate: float = 0.25,
+        support_fraction: float = 0.5,
+        ensure_stance: bool = True,
+    ) -> "KeyboardCorpus":
+        """Generate a corpus.
+
+        Parameters
+        ----------
+        stance_rate:
+            Probability that any given sentence is stance-bearing rather
+            than neutral.
+        support_fraction:
+            Fraction of users whose stance is ``support``.
+        ensure_stance:
+            When True (the default), each user types *at least one* stance
+            sentence, so ground truth is always expressed in their stream.
+            Trending experiments set it False so a zero ``stance_rate``
+            genuinely means "nobody is typing about the topic yet".
+        """
+        if num_users < 1:
+            raise ConfigurationError("need at least one user")
+        if not 0.0 <= stance_rate <= 1.0:
+            raise ConfigurationError("stance_rate must be in [0, 1]")
+        if not 0.0 <= support_fraction <= 1.0:
+            raise ConfigurationError("support_fraction must be in [0, 1]")
+        if sentences_per_user < 1:
+            raise ConfigurationError("sentences_per_user must be >= 1")
+        users = []
+        streams: dict[str, list[Sentence]] = {}
+        num_support = round(num_users * support_fraction)
+        for index in range(num_users):
+            stance = STANCE_SUPPORT if index < num_support else STANCE_OPPOSE
+            user_id = f"user-{index:04d}"
+            user_rng = rng.fork(user_id)
+            stream = cls._stream_for(
+                user_rng, stance, sentences_per_user, stance_rate, ensure_stance
+            )
+            users.append(
+                UserProfile(user_id=user_id, stance=stance, num_sentences=len(stream))
+            )
+            streams[user_id] = stream
+        return cls(users=users, streams=streams)
+
+    @classmethod
+    def generate_trending(
+        cls,
+        num_users: int,
+        rng: HmacDrbg,
+        epoch_intensities: Sequence[float],
+        sentences_per_user: int = 30,
+        support_fraction: float = 0.5,
+    ) -> list["KeyboardCorpus"]:
+        """Per-epoch corpora with the topic ramping up over time.
+
+        Models §1's premise: "as current topics ... trend up — because many
+        users type them on their keyboards in a short time-span".  Epoch
+        ``t`` has topic intensity ``epoch_intensities[t]`` (0 = nobody is
+        typing about it); user identities and stances are stable across
+        epochs.
+        """
+        if not epoch_intensities:
+            raise ConfigurationError("need at least one epoch")
+        return [
+            cls.generate(
+                num_users,
+                rng.fork(f"epoch-{epoch}"),
+                sentences_per_user=sentences_per_user,
+                stance_rate=intensity,
+                support_fraction=support_fraction,
+                ensure_stance=False,
+            )
+            for epoch, intensity in enumerate(epoch_intensities)
+        ]
+
+    @staticmethod
+    def _stream_for(
+        rng: HmacDrbg,
+        stance: str,
+        count: int,
+        stance_rate: float,
+        ensure_stance: bool,
+    ) -> list[Sentence]:
+        stance_pool = SUPPORT_SENTENCES if stance == STANCE_SUPPORT else OPPOSE_SENTENCES
+        stream: list[Sentence] = []
+        guaranteed = 1 if ensure_stance else 0
+        for __ in range(count - guaranteed):
+            if rng.uniform() < stance_rate:
+                stream.append(list(rng.choice(stance_pool)))
+            else:
+                stream.append(list(rng.choice(NEUTRAL_SENTENCES)))
+        if ensure_stance:
+            stream.append(list(rng.choice(stance_pool)))  # guarantee expression
+        rng.shuffle(stream)
+        return stream
+
+    def labels(self) -> dict[str, str]:
+        """Ground truth: user id → stance."""
+        return {user.user_id: user.stance for user in self.users}
+
+    def all_sentences(self) -> list[Sentence]:
+        """The union of every user's stream (for feature-space discovery)."""
+        merged: list[Sentence] = []
+        for user in self.users:
+            merged.extend(self.streams[user.user_id])
+        return merged
+
+    def holdout(self, rng: HmacDrbg, num_sentences: int = 200) -> list[Sentence]:
+        """Fresh sentences from the same distribution, for utility scoring."""
+        pool = NEUTRAL_SENTENCES + SUPPORT_SENTENCES + OPPOSE_SENTENCES
+        return [list(rng.choice(pool)) for __ in range(num_sentences)]
+
+
+def stance_evidence():
+    """The marker sets an inversion attacker uses (import cycle avoider)."""
+    from repro.federated.inversion import StanceEvidence
+
+    return StanceEvidence(
+        positive_label=STANCE_SUPPORT,
+        negative_label=STANCE_OPPOSE,
+        positive_markers=SUPPORT_MARKERS,
+        negative_markers=OPPOSE_MARKERS,
+    )

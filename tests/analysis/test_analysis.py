@@ -1,0 +1,124 @@
+"""Tests for stats, reporting tables, and leakage accounting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.privacy import LeakageReport, bits_of_vector, leakage_for_channel
+from repro.analysis.reporting import Table
+from repro.analysis.stats import mean, percentile, stddev
+from repro.errors import ConfigurationError
+
+
+# ---------------------------------------------------------------------- stats
+
+def test_mean():
+    assert mean([1.0, 2.0, 3.0]) == 2.0
+    with pytest.raises(ConfigurationError):
+        mean([])
+
+
+def test_stddev():
+    assert stddev([5.0]) == 0.0
+    assert stddev([1.0, 3.0]) == pytest.approx(2.0 ** 0.5)
+    with pytest.raises(ConfigurationError):
+        stddev([])
+
+
+def test_percentile_basic():
+    values = [1.0, 2.0, 3.0, 4.0]
+    assert percentile(values, 0) == 1.0
+    assert percentile(values, 100) == 4.0
+    assert percentile(values, 50) == pytest.approx(2.5)
+
+
+def test_percentile_singleton():
+    assert percentile([7.0], 95) == 7.0
+
+
+def test_percentile_validations():
+    with pytest.raises(ConfigurationError):
+        percentile([], 50)
+    with pytest.raises(ConfigurationError):
+        percentile([1.0], 101)
+
+
+def test_percentile_order_independent():
+    assert percentile([3.0, 1.0, 2.0], 50) == percentile([1.0, 2.0, 3.0], 50)
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+def test_percentile_bounds_property(values):
+    assert min(values) <= percentile(values, 50) <= max(values)
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+def test_mean_between_min_max(values):
+    assert min(values) - 1e-6 <= mean(values) <= max(values) + 1e-6
+
+
+# --------------------------------------------------------------------- tables
+
+def test_table_render_aligned():
+    table = Table("Title", ["col-a", "b"])
+    table.add_row(1, "xx")
+    table.add_row(22222, "y")
+    rendered = table.render()
+    lines = rendered.splitlines()
+    assert lines[0] == "Title"
+    assert "col-a" in lines[2]
+    assert len({len(line) for line in lines[3:]} | {len(lines[2])}) <= 2
+
+
+def test_table_row_arity_checked():
+    table = Table("T", ["a", "b"])
+    with pytest.raises(ConfigurationError):
+        table.add_row(1)
+
+
+def test_table_needs_columns():
+    with pytest.raises(ConfigurationError):
+        Table("T", [])
+
+
+def test_table_formats_booleans_and_floats():
+    table = Table("T", ["x"])
+    table.add_row(True)
+    table.add_row(0.123456)
+    table.add_row(1e9)
+    rendered = table.render()
+    assert "yes" in rendered
+    assert "0.1235" in rendered
+    assert "e+09" in rendered
+
+
+def test_table_str():
+    table = Table("T", ["x"])
+    table.add_row(1)
+    assert str(table) == table.render()
+
+
+# -------------------------------------------------------------------- privacy
+
+def test_leakage_report():
+    report = leakage_for_channel("raw", 1.0, 5000.0)
+    assert report.attacker_advantage == pytest.approx(1.0)
+    assert "raw" in report.summary()
+
+
+def test_leakage_chance_has_zero_advantage():
+    report = leakage_for_channel("blinded", 0.5, 64.0)
+    assert report.attacker_advantage == pytest.approx(0.0)
+
+
+def test_leakage_validations():
+    with pytest.raises(ConfigurationError):
+        leakage_for_channel("x", 1.5, 10.0)
+    with pytest.raises(ConfigurationError):
+        leakage_for_channel("x", 0.5, -1.0)
+
+
+def test_bits_of_vector():
+    assert bits_of_vector(10) == 640.0
+    assert bits_of_vector(0) == 0.0
+    with pytest.raises(ConfigurationError):
+        bits_of_vector(-1)

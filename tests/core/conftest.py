@@ -1,0 +1,17 @@
+"""Shared fixtures for core (Glimmer) tests: a small, fast deployment."""
+
+import pytest
+
+from repro.experiments.common import Deployment
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    """A 4-user deployment over the TEST_GROUP, fully provisioned."""
+    return Deployment.build(num_users=4, seed=b"core-tests", sentences_per_user=20)
+
+
+@pytest.fixture
+def fresh_deployment():
+    """A per-test deployment for tests that mutate round state."""
+    return Deployment.build(num_users=3, seed=b"core-tests-fresh", sentences_per_user=15)

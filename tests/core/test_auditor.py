@@ -1,0 +1,133 @@
+"""Tests for the §4.1 runtime auditor."""
+
+import pytest
+
+from repro.core.auditor import (
+    CHALLENGE_BYTES,
+    RESPONSE_BYTES,
+    SIGNATURE_BYTES,
+    RuntimeAuditor,
+    VerdictMessage,
+    expected_response,
+)
+from repro.errors import AuditError
+
+CHALLENGE = b"c" * CHALLENGE_BYTES
+
+
+def good_message(verdict=1, session="s1", challenge=CHALLENGE):
+    return VerdictMessage(
+        session_id=session,
+        challenge=challenge,
+        verdict_bit=verdict,
+        challenge_response=expected_response(challenge, verdict),
+        signature_bytes=b"\x00" * SIGNATURE_BYTES,
+    )
+
+
+def test_well_formed_message_passes():
+    auditor = RuntimeAuditor()
+    auditor.audit(good_message(), CHALLENGE)
+    assert auditor.capacity_bound_bits("s1") == 1
+
+
+def test_both_verdict_values_pass():
+    auditor = RuntimeAuditor()
+    auditor.audit(good_message(0), CHALLENGE)
+    auditor.audit(good_message(1), CHALLENGE)
+    assert auditor.capacity_bound_bits("s1") == 2
+
+
+def test_non_bit_verdict_rejected():
+    auditor = RuntimeAuditor()
+    bad = VerdictMessage(
+        session_id="s1", challenge=CHALLENGE, verdict_bit=2,
+        challenge_response=expected_response(CHALLENGE, 0),
+        signature_bytes=b"\x00" * SIGNATURE_BYTES,
+    )
+    with pytest.raises(AuditError):
+        auditor.audit(bad, CHALLENGE)
+
+
+def test_wrong_challenge_rejected():
+    auditor = RuntimeAuditor()
+    with pytest.raises(AuditError):
+        auditor.audit(good_message(), b"d" * CHALLENGE_BYTES)
+
+
+def test_bad_challenge_length_rejected():
+    auditor = RuntimeAuditor()
+    message = VerdictMessage(
+        session_id="s1", challenge=b"short", verdict_bit=1,
+        challenge_response=expected_response(b"short", 1),
+        signature_bytes=b"\x00" * SIGNATURE_BYTES,
+    )
+    with pytest.raises(AuditError):
+        auditor.audit(message, b"short")
+
+
+def test_nondeterministic_response_rejected():
+    """The response field cannot carry anything but H(challenge || bit)."""
+    auditor = RuntimeAuditor()
+    message = VerdictMessage(
+        session_id="s1", challenge=CHALLENGE, verdict_bit=1,
+        challenge_response=b"z" * RESPONSE_BYTES,  # smuggled data
+        signature_bytes=b"\x00" * SIGNATURE_BYTES,
+    )
+    with pytest.raises(AuditError):
+        auditor.audit(message, CHALLENGE)
+
+
+def test_response_for_wrong_bit_rejected():
+    auditor = RuntimeAuditor()
+    message = VerdictMessage(
+        session_id="s1", challenge=CHALLENGE, verdict_bit=1,
+        challenge_response=expected_response(CHALLENGE, 0),
+        signature_bytes=b"\x00" * SIGNATURE_BYTES,
+    )
+    with pytest.raises(AuditError):
+        auditor.audit(message, CHALLENGE)
+
+
+def test_oversized_signature_rejected():
+    auditor = RuntimeAuditor()
+    message = VerdictMessage(
+        session_id="s1", challenge=CHALLENGE, verdict_bit=1,
+        challenge_response=expected_response(CHALLENGE, 1),
+        signature_bytes=b"\x00" * (SIGNATURE_BYTES + 8),  # widened channel
+    )
+    with pytest.raises(AuditError):
+        auditor.audit(message, CHALLENGE)
+
+
+def test_bit_budget_enforced():
+    auditor = RuntimeAuditor(max_bits_per_session=2)
+    auditor.audit(good_message(), CHALLENGE)
+    auditor.audit(good_message(), CHALLENGE)
+    with pytest.raises(AuditError):
+        auditor.audit(good_message(), CHALLENGE)
+    assert auditor.capacity_bound_bits("s1") == 2
+
+
+def test_budget_is_per_session():
+    auditor = RuntimeAuditor(max_bits_per_session=1)
+    auditor.audit(good_message(session="a"), CHALLENGE)
+    auditor.audit(good_message(session="b"), CHALLENGE)  # separate budget
+    with pytest.raises(AuditError):
+        auditor.audit(good_message(session="a"), CHALLENGE)
+
+
+def test_rejected_messages_do_not_consume_budget():
+    auditor = RuntimeAuditor(max_bits_per_session=1)
+    with pytest.raises(AuditError):
+        auditor.audit(good_message(), b"x" * CHALLENGE_BYTES)
+    auditor.audit(good_message(), CHALLENGE)  # budget still available
+    record = auditor.record_for("s1")
+    assert record.messages_rejected == 1
+    assert record.messages_passed == 1
+
+
+def test_expected_response_deterministic_and_distinct():
+    assert expected_response(CHALLENGE, 0) == expected_response(CHALLENGE, 0)
+    assert expected_response(CHALLENGE, 0) != expected_response(CHALLENGE, 1)
+    assert expected_response(CHALLENGE, 1) != expected_response(b"d" * 32, 1)

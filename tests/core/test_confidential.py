@@ -1,0 +1,226 @@
+"""Tests for §4.1 validation confidentiality end to end."""
+
+import pytest
+
+from repro.core.auditor import RuntimeAuditor
+from repro.core.confidential import (
+    BotDetectionService,
+    ConfidentialGlimmerProgram,
+    ExfiltratingGlimmerProgram,
+    MalformedOutputGlimmerProgram,
+    build_confidential_image,
+    decode_detector,
+    encode_detector,
+    raw_signal_leakage_bits,
+)
+from repro.core.provisioning import VettingRegistry
+from repro.crypto.dh import TEST_GROUP
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.schnorr import SchnorrKeyPair
+from repro.errors import (
+    AttestationError,
+    AuditError,
+    AuthenticationError,
+    CryptoError,
+    ProtocolError,
+)
+from repro.sgx.attestation import AttestationService, report_data_for
+from repro.sgx.measurement import VendorKey
+from repro.sgx.platform import SgxPlatform, ThreatModel
+from repro.workloads.botnet import BotnetWorkload, DetectorWeights
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = HmacDrbg(b"confidential-tests")
+    ias = AttestationService(b"conf-ias")
+    vendor = VendorKey.generate(rng.fork("vendor"))
+    identity = SchnorrKeyPair.generate(rng.fork("identity"), TEST_GROUP)
+    image = build_confidential_image(vendor, identity.public_key)
+    registry = VettingRegistry()
+    registry.publish("bot-glimmer", image.mrenclave)
+    workload = BotnetWorkload.generate(30, rng.fork("workload"))
+    return rng, ias, vendor, identity, image, registry, workload
+
+
+def provisioned(setup, seed=b"conf-plat", program_image=None, name="bot-glimmer"):
+    rng, ias, vendor, identity, image, registry, workload = setup
+    image = program_image or image
+    service = BotDetectionService(
+        identity, DetectorWeights(), ias, registry, name, rng.fork(seed.decode())
+    )
+    platform = SgxPlatform(seed, attestation_service=ias)
+    store = {}
+    enclave = platform.load_enclave(
+        image, ocall_handlers={"collect_session_signals": lambda sid: store[sid]}
+    )
+    session = seed + b":prov"
+    public = enclave.ecall("begin_handshake", session)
+    quote = platform.quote_enclave(
+        enclave, report_data_for(public.to_bytes(256, "big"))
+    )
+    enclave.ecall(
+        "install_detector", service.provision_detector(session, public, quote)
+    )
+    return enclave, service, store, platform
+
+
+def test_detector_codec_roundtrip():
+    detector = DetectorWeights(weights=(1.0, -2.5, 3.25), bias=0.5, threshold=-1.0)
+    decoded, secret = decode_detector(encode_detector(detector, 987654321))
+    assert decoded == detector
+    assert secret == 987654321
+
+
+def test_detector_codec_rejects_malformed():
+    with pytest.raises(CryptoError):
+        decode_detector(b"")
+    blob = encode_detector(DetectorWeights(), 1)
+    with pytest.raises(CryptoError):
+        decode_detector(blob[:-1])
+
+
+def test_end_to_end_detection_accuracy(setup):
+    __, __, __, __, __, __, workload = setup
+    enclave, service, store, __ = provisioned(setup, b"conf-e2e")
+    auditor = RuntimeAuditor()
+    correct = 0
+    for signals in workload.sessions:
+        store[signals.session_id] = signals
+        challenge = service.new_challenge(signals.session_id)
+        message = enclave.ecall("evaluate_session", signals.session_id, challenge)
+        auditor.audit(message, challenge)
+        if service.verify_verdict(message) != signals.is_bot:
+            correct += 1
+    assert correct / len(workload.sessions) >= 0.95
+
+
+def test_detector_never_visible_to_host(setup):
+    """Validation confidentiality: the host cannot read the detector weights."""
+    enclave, __, __, platform = provisioned(setup, b"conf-secrecy")
+    from repro.errors import EnclaveError
+
+    with pytest.raises(EnclaveError):
+        enclave.peek_private_state()
+
+
+def test_detector_visible_only_under_memory_disclosure(setup):
+    enclave, __, __, platform = provisioned(setup, b"conf-breach")
+    platform.threat_model.memory_disclosure = True
+    state = enclave.peek_private_state()
+    assert state["_detector"] is not None  # the breach model works as designed
+
+
+def test_evaluate_before_provisioning_rejected(setup):
+    rng, ias, vendor, identity, image, registry, workload = setup
+    platform = SgxPlatform(b"conf-unprov", attestation_service=ias)
+    enclave = platform.load_enclave(image)
+    with pytest.raises(ProtocolError):
+        enclave.ecall("evaluate_session", "s", b"c" * 32)
+
+
+def test_provisioning_requires_vetted_measurement(setup):
+    rng, ias, vendor, identity, image, registry, workload = setup
+    rogue_image = build_confidential_image(
+        vendor, identity.public_key, program_class=ExfiltratingGlimmerProgram,
+        name="unvetted",
+    )
+    service = BotDetectionService(
+        identity, DetectorWeights(), ias, registry, "bot-glimmer", rng.fork("rx")
+    )
+    platform = SgxPlatform(b"conf-rogue", attestation_service=ias)
+    enclave = platform.load_enclave(rogue_image)
+    session = b"rogue-session"
+    public = enclave.ecall("begin_handshake", session)
+    quote = platform.quote_enclave(
+        enclave, report_data_for(public.to_bytes(256, "big"))
+    )
+    with pytest.raises(AttestationError):
+        service.provision_detector(session, public, quote)
+
+
+def test_verdict_replay_rejected(setup):
+    __, __, __, __, __, __, workload = setup
+    enclave, service, store, __ = provisioned(setup, b"conf-replay")
+    signals = workload.sessions[0]
+    store[signals.session_id] = signals
+    challenge = service.new_challenge(signals.session_id)
+    message = enclave.ecall("evaluate_session", signals.session_id, challenge)
+    service.verify_verdict(message)  # consumes the challenge
+    with pytest.raises(ProtocolError):
+        service.verify_verdict(message)
+
+
+def test_forged_verdict_signature_rejected(setup):
+    __, __, __, __, __, __, workload = setup
+    enclave, service, store, __ = provisioned(setup, b"conf-forge")
+    signals = workload.sessions[0]
+    store[signals.session_id] = signals
+    challenge = service.new_challenge(signals.session_id)
+    message = enclave.ecall("evaluate_session", signals.session_id, challenge)
+    from repro.core.auditor import VerdictMessage, expected_response
+
+    flipped = VerdictMessage(
+        session_id=message.session_id,
+        challenge=message.challenge,
+        verdict_bit=1 - message.verdict_bit,
+        challenge_response=expected_response(
+            message.challenge, 1 - message.verdict_bit
+        ),
+        signature_bytes=message.signature_bytes,
+    )
+    with pytest.raises(AuthenticationError):
+        service.verify_verdict(flipped)
+
+
+def test_exfiltrator_passes_auditor_but_is_counted(setup):
+    rng, ias, vendor, identity, image, registry, workload = setup
+    exfil_image = build_confidential_image(
+        vendor, identity.public_key, program_class=ExfiltratingGlimmerProgram,
+        name="exfil-glimmer",
+    )
+    registry.publish("exfil-glimmer", exfil_image.mrenclave)
+    enclave, service, store, __ = provisioned(
+        setup, b"conf-exfil", program_image=exfil_image, name="exfil-glimmer"
+    )
+    auditor = RuntimeAuditor(max_bits_per_session=4)
+    signals = workload.sessions[0]
+    store[signals.session_id] = signals
+    passed = 0
+    for __ in range(10):
+        challenge = service.new_challenge(signals.session_id)
+        message = enclave.ecall("evaluate_session", signals.session_id, challenge)
+        try:
+            auditor.audit(message, challenge)
+            passed += 1
+        except AuditError:
+            pass
+    assert passed == 4
+    assert auditor.capacity_bound_bits(signals.session_id) == 4
+
+
+def test_malformed_stuffer_always_rejected(setup):
+    rng, ias, vendor, identity, image, registry, workload = setup
+    stuffer_image = build_confidential_image(
+        vendor, identity.public_key, program_class=MalformedOutputGlimmerProgram,
+        name="stuffer-glimmer",
+    )
+    registry.publish("stuffer-glimmer", stuffer_image.mrenclave)
+    enclave, service, store, __ = provisioned(
+        setup, b"conf-stuffer", program_image=stuffer_image, name="stuffer-glimmer"
+    )
+    auditor = RuntimeAuditor()
+    signals = workload.sessions[0]
+    store[signals.session_id] = signals
+    for __ in range(3):
+        challenge = service.new_challenge(signals.session_id)
+        message = enclave.ecall("evaluate_session", signals.session_id, challenge)
+        with pytest.raises(AuditError):
+            auditor.audit(message, challenge)
+    assert auditor.capacity_bound_bits(signals.session_id) == 0
+
+
+def test_raw_leakage_positive_for_all_sessions(setup):
+    __, __, __, __, __, __, workload = setup
+    for signals in workload.sessions:
+        assert raw_signal_leakage_bits(signals) > 100

@@ -1,0 +1,97 @@
+"""Tests for canonical encodings."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.encoding import (
+    decode_float_vector,
+    decode_public_key,
+    decode_ring_vector,
+    encode_float_vector,
+    encode_public_key,
+    encode_ring_vector,
+    group_by_name,
+)
+from repro.crypto.dh import OAKLEY_GROUP_1, TEST_GROUP
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.schnorr import SchnorrKeyPair
+from repro.errors import ConfigurationError
+
+
+def test_float_vector_roundtrip():
+    values = [0.0, 1.5, -2.25, 1e10, -1e-10]
+    assert decode_float_vector(encode_float_vector(values)) == values
+
+
+def test_float_vector_empty():
+    assert decode_float_vector(encode_float_vector([])) == []
+
+
+def test_float_vector_truncated():
+    blob = encode_float_vector([1.0, 2.0])
+    with pytest.raises(ConfigurationError):
+        decode_float_vector(blob[:-1])
+    with pytest.raises(ConfigurationError):
+        decode_float_vector(b"\x00\x00")
+
+
+def test_ring_vector_roundtrip():
+    values = [0, 1, (1 << 64) - 1, 12345678901234567890 % (1 << 64)]
+    assert decode_ring_vector(encode_ring_vector(values)) == values
+
+
+def test_ring_vector_wraps_modulo():
+    assert decode_ring_vector(encode_ring_vector([1 << 64])) == [0]
+
+
+def test_ring_vector_malformed():
+    with pytest.raises(ConfigurationError):
+        decode_ring_vector(b"\x00")
+    blob = encode_ring_vector([1, 2])
+    with pytest.raises(ConfigurationError):
+        decode_ring_vector(blob + b"\x00")
+
+
+def test_public_key_roundtrip():
+    for group in (TEST_GROUP, OAKLEY_GROUP_1):
+        key = SchnorrKeyPair.generate(HmacDrbg(b"enc"), group).public_key
+        decoded = decode_public_key(encode_public_key(key))
+        assert decoded.element == key.element
+        assert decoded.group.name == key.group.name
+
+
+def test_public_key_malformed():
+    with pytest.raises(ConfigurationError):
+        decode_public_key(b"\x00")
+    key = SchnorrKeyPair.generate(HmacDrbg(b"enc"), TEST_GROUP).public_key
+    blob = encode_public_key(key)
+    with pytest.raises(ConfigurationError):
+        decode_public_key(blob[:-1])
+
+
+def test_public_key_unknown_group():
+    key = SchnorrKeyPair.generate(HmacDrbg(b"enc"), TEST_GROUP).public_key
+    blob = encode_public_key(key)
+    name = b"nonexistent-group"
+    forged = len(name).to_bytes(2, "big") + name + blob[-256:]
+    with pytest.raises(ConfigurationError):
+        decode_public_key(forged)
+
+
+def test_group_by_name():
+    assert group_by_name("test-64bit") is TEST_GROUP
+    assert group_by_name("oakley-group-1") is OAKLEY_GROUP_1
+    with pytest.raises(ConfigurationError):
+        group_by_name("nope")
+
+
+@settings(max_examples=50)
+@given(st.lists(st.floats(allow_nan=False, allow_infinity=False), max_size=32))
+def test_float_vector_roundtrip_property(values):
+    assert decode_float_vector(encode_float_vector(values)) == values
+
+
+@settings(max_examples=50)
+@given(st.lists(st.integers(min_value=0, max_value=(1 << 64) - 1), max_size=32))
+def test_ring_vector_roundtrip_property(values):
+    assert decode_ring_vector(encode_ring_vector(values)) == values

@@ -1,0 +1,128 @@
+"""Tests for the Signing and Blinding components and the contribution format."""
+
+import pytest
+
+from repro.core.blinding import BlindingComponent
+from repro.core.signing import SignedContribution, SigningComponent, contribution_digest
+from repro.crypto.dh import TEST_GROUP
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.fixedpoint import FixedPointCodec
+from repro.crypto.masking import SumZeroMasks, remove_mask
+from repro.crypto.schnorr import SchnorrKeyPair
+from repro.errors import CryptoError
+
+
+@pytest.fixture
+def signer():
+    return SigningComponent(SchnorrKeyPair.generate(HmacDrbg(b"sign"), TEST_GROUP))
+
+
+def test_endorse_ring_payload_verifies(signer):
+    signed = signer.endorse(
+        round_id=1, nonce=b"n" * 16, blinded=True,
+        ring_payload=[1, 2, 3], plain_payload=None, confidence=1.0,
+    )
+    signer.public_key.verify(signed.signed_bytes(), signed.signature)
+
+
+def test_endorse_plain_payload_verifies(signer):
+    signed = signer.endorse(
+        round_id=1, nonce=b"n" * 16, blinded=False,
+        ring_payload=None, plain_payload=[0.5, 0.25], confidence=0.9,
+    )
+    signer.public_key.verify(signed.signed_bytes(), signed.signature)
+
+
+def test_digest_requires_exactly_one_payload():
+    with pytest.raises(CryptoError):
+        contribution_digest(1, b"n", True, [1], [1.0], 1.0)
+    with pytest.raises(CryptoError):
+        contribution_digest(1, b"n", True, None, None, 1.0)
+
+
+def test_digest_binds_every_field(signer):
+    base = contribution_digest(1, b"n" * 16, True, [1, 2], None, 1.0)
+    assert contribution_digest(2, b"n" * 16, True, [1, 2], None, 1.0) != base
+    assert contribution_digest(1, b"m" * 16, True, [1, 2], None, 1.0) != base
+    assert contribution_digest(1, b"n" * 16, False, [1, 2], None, 1.0) != base
+    assert contribution_digest(1, b"n" * 16, True, [1, 3], None, 1.0) != base
+    assert contribution_digest(1, b"n" * 16, True, [1, 2], None, 0.5) != base
+
+
+def test_tampered_payload_fails_verification(signer):
+    signed = signer.endorse(
+        round_id=1, nonce=b"n" * 16, blinded=True,
+        ring_payload=[1, 2, 3], plain_payload=None, confidence=1.0,
+    )
+    tampered = SignedContribution(
+        round_id=signed.round_id,
+        nonce=signed.nonce,
+        blinded=signed.blinded,
+        ring_payload=(9, 2, 3),
+        plain_payload=None,
+        confidence=signed.confidence,
+        signature=signed.signature,
+    )
+    assert not signer.public_key.is_valid(tampered.signed_bytes(), tampered.signature)
+
+
+def test_ring_and_plain_digests_never_collide(signer):
+    """The payload-kind tag prevents a float payload masquerading as ring."""
+    ring = contribution_digest(1, b"n" * 16, False, [0], None, 1.0)
+    plain = contribution_digest(1, b"n" * 16, False, None, [0.0], 1.0)
+    assert ring != plain
+
+
+# ---------------------------------------------------------------- blinding
+
+def test_blinding_component_roundtrip():
+    codec = FixedPointCodec()
+    component = BlindingComponent(codec)
+    masks = SumZeroMasks.sample(2, 3, HmacDrbg(b"bl"))
+    component.install_mask(7, 0, masks.mask_for(0))
+    blinded = component.blind(7, 0, [0.5, -0.25, 1.0])
+    unblinded = codec.decode(remove_mask(blinded, list(masks.mask_for(0))))
+    assert list(unblinded) == pytest.approx([0.5, -0.25, 1.0])
+
+
+def test_blinding_mask_single_use():
+    component = BlindingComponent()
+    masks = SumZeroMasks.sample(2, 2, HmacDrbg(b"bl"))
+    component.install_mask(1, 0, masks.mask_for(0))
+    component.blind(1, 0, [0.1, 0.2])
+    with pytest.raises(CryptoError):
+        component.blind(1, 0, [0.1, 0.2])
+
+
+def test_blinding_double_install_rejected():
+    component = BlindingComponent()
+    masks = SumZeroMasks.sample(2, 2, HmacDrbg(b"bl"))
+    component.install_mask(1, 0, masks.mask_for(0))
+    with pytest.raises(CryptoError):
+        component.install_mask(1, 0, masks.mask_for(1))
+    # a different party slot in the same round is fine (shared remote Glimmer)
+    component.install_mask(1, 1, masks.mask_for(1))
+
+
+def test_blinding_missing_mask_rejected():
+    with pytest.raises(CryptoError):
+        BlindingComponent().blind(99, 0, [0.5])
+
+
+def test_blinding_length_mismatch_rejected():
+    component = BlindingComponent()
+    masks = SumZeroMasks.sample(2, 2, HmacDrbg(b"bl"))
+    component.install_mask(1, 0, masks.mask_for(0))
+    with pytest.raises(CryptoError):
+        component.blind(1, 0, [0.5, 0.5, 0.5])
+
+
+def test_has_mask():
+    component = BlindingComponent()
+    assert not component.has_mask(1)
+    masks = SumZeroMasks.sample(2, 2, HmacDrbg(b"bl"))
+    component.install_mask(1, 0, masks.mask_for(0))
+    assert component.has_mask(1)
+    assert not component.has_mask(1, party_index=1)
+    component.blind(1, 0, [0.1, 0.2])
+    assert not component.has_mask(1)

@@ -1,0 +1,211 @@
+"""Tests for the decomposed (three-enclave) Glimmer."""
+
+import numpy as np
+import pytest
+
+from repro.core.glimmer import GlimmerConfig, ProcessRequest, features_digest
+from repro.core.provisioning import BlinderProvisioner, ServiceProvisioner
+from repro.core.split import SplitGlimmer, build_split_images
+from repro.core.validation import PrivateContext
+from repro.crypto.masking import BlindingService, remove_mask
+from repro.errors import AttestationError, AuthenticationError, ValidationError
+from repro.experiments.common import Deployment
+from repro.sgx.attestation import report_data_for
+from repro.sgx.platform import SgxPlatform
+
+FEATURES = (("a", "b"), ("c", "d"), ("e", "f"))
+
+
+@pytest.fixture
+def split_setup():
+    deployment = Deployment.build(
+        num_users=1, seed=b"split-tests", provision_clients=False
+    )
+    config = GlimmerConfig(
+        predicate_spec="range:0.0:1.0",
+        service_identity=deployment.service_identity.public_key,
+        blinder_identity=deployment.blinder_identity.public_key,
+        features_digest=features_digest(FEATURES),
+    )
+    images = build_split_images(deployment.vendor, config)
+    platform = SgxPlatform(b"split-platform", attestation_service=deployment.attestation)
+    split = SplitGlimmer(
+        platform, images,
+        ocall_handlers={"collect_private_data": lambda fields: PrivateContext()},
+    )
+    deployment.registry.publish("glimmer-signing", images.signing.mrenclave)
+    deployment.registry.publish("glimmer-blinding", images.blinding.mrenclave)
+    service_prov = ServiceProvisioner(
+        deployment.service_identity, deployment.signing_keypair,
+        deployment.attestation, deployment.registry, "glimmer-signing",
+        deployment.rng.fork("split-sp"),
+    )
+    blinding_service = BlindingService(deployment.rng.fork("split-bs"), deployment.codec)
+    blinder_prov = BlinderProvisioner(
+        deployment.blinder_identity, blinding_service,
+        deployment.attestation, deployment.registry, "glimmer-blinding",
+        deployment.rng.fork("split-bp"),
+    )
+    # Provision the signing key.
+    session = b"split-sign"
+    public = split.signing.ecall("begin_handshake", session)
+    quote = platform.quote_enclave(
+        split.signing, report_data_for(public.to_bytes(256, "big"))
+    )
+    split.signing.ecall(
+        "install_signing_key",
+        service_prov.provision_signing_key(session, public, quote),
+    )
+    return deployment, platform, split, blinder_prov
+
+
+def provision_mask(deployment, platform, split, blinder_prov, round_id):
+    blinder_prov.open_round(round_id, 1, len(FEATURES))
+    session = f"split-mask-{round_id}".encode()
+    public = split.blinding.ecall("begin_handshake", session)
+    quote = platform.quote_enclave(
+        split.blinding, report_data_for(public.to_bytes(256, "big"))
+    )
+    split.blinding.ecall(
+        "install_blinding_mask",
+        round_id,
+        0,
+        blinder_prov.provision_mask(session, public, quote, round_id, 0),
+    )
+
+
+def test_split_end_to_end(split_setup):
+    deployment, platform, split, blinder_prov = split_setup
+    provision_mask(deployment, platform, split, blinder_prov, 1)
+    request = ProcessRequest(round_id=1, values=(0.5, 0.25, 1.0), features=FEATURES)
+    signed = split.process_contribution(request)
+    deployment.signing_keypair.public_key.verify(signed.signed_bytes(), signed.signature)
+    mask = blinder_prov.blinding.mask_for(1, 0)
+    recovered = deployment.codec.decode(
+        remove_mask(list(signed.ring_payload), list(mask))
+    )
+    assert list(recovered) == pytest.approx([0.5, 0.25, 1.0])
+
+
+def test_split_validation_rejects_poison(split_setup):
+    deployment, platform, split, blinder_prov = split_setup
+    provision_mask(deployment, platform, split, blinder_prov, 1)
+    request = ProcessRequest(round_id=1, values=(538.0, 0.0, 0.0), features=FEATURES)
+    with pytest.raises(ValidationError):
+        split.process_contribution(request)
+
+
+def test_host_cannot_skip_validation(split_setup):
+    """The blinding enclave only accepts ciphertext from the validation enclave."""
+    deployment, platform, split, blinder_prov = split_setup
+    provision_mask(deployment, platform, split, blinder_prov, 1)
+    import pickle
+
+    from repro.errors import CryptoError
+
+    forged = pickle.dumps(
+        {"round_id": 1, "values": (538.0, 0.0, 0.0), "blind": True, "confidence": 1.0}
+    )
+    with pytest.raises((AuthenticationError, CryptoError)):
+        split.blinding.ecall("blind", forged)
+
+
+def test_host_cannot_replay_intermediate(split_setup):
+    """Sequence numbers stop the host replaying a validated payload."""
+    deployment, platform, split, blinder_prov = split_setup
+    provision_mask(deployment, platform, split, blinder_prov, 1)
+    request = ProcessRequest(round_id=1, values=(0.5, 0.25, 1.0), features=FEATURES)
+    wire1 = split.validation.ecall("validate", request)
+    split.blinding.ecall("blind", wire1)
+    with pytest.raises(AuthenticationError):
+        split.blinding.ecall("blind", wire1)
+
+
+def test_pairing_rejects_wrong_measurement(split_setup):
+    deployment, platform, split, blinder_prov = split_setup
+    offer = split.validation.ecall("offer_pairing", "rogue-link")
+    with pytest.raises(AttestationError):
+        split.signing.ecall(
+            "accept_pairing", "rogue-link", offer, b"\x00" * 32
+        )
+
+
+def test_pairing_rejects_cross_platform_report(split_setup):
+    deployment, platform, split, blinder_prov = split_setup
+    other_platform = SgxPlatform(
+        b"other-split-platform", attestation_service=deployment.attestation
+    )
+    images = build_split_images(
+        deployment.vendor,
+        GlimmerConfig.decode(split.validation.image.config),
+    )
+    other = SplitGlimmer(
+        other_platform, images,
+        ocall_handlers={"collect_private_data": lambda fields: PrivateContext()},
+    )
+    offer = other.validation.ecall("offer_pairing", "cross-link")
+    with pytest.raises(AttestationError):
+        split.blinding.ecall(
+            "accept_pairing", "cross-link", offer, other.validation.mrenclave
+        )
+
+
+def test_split_uses_three_transition_pairs(split_setup):
+    deployment, platform, split, blinder_prov = split_setup
+    provision_mask(deployment, platform, split, blinder_prov, 1)
+    for enclave in (split.validation, split.blinding, split.signing):
+        enclave.meter.reset()
+    request = ProcessRequest(round_id=1, values=(0.5, 0.25, 1.0), features=FEATURES)
+    split.process_contribution(request)
+    ecall_cost = platform.cost_model.ecall_cycles
+    assert split.transition_cycles() == 3 * ecall_cost
+
+
+def test_split_unblinded_path(split_setup):
+    deployment, platform, split, blinder_prov = split_setup
+    request = ProcessRequest(
+        round_id=9, values=(0.5, 0.25, 1.0), features=FEATURES, blind=False
+    )
+    signed = split.process_contribution(request)
+    assert not signed.blinded
+    assert signed.plain_payload == (0.5, 0.25, 1.0)
+    deployment.signing_keypair.public_key.verify(signed.signed_bytes(), signed.signature)
+
+
+def test_split_rate_limit_uses_monotonic_counter(split_setup):
+    """A rate-limited split Glimmer counts across validation-enclave restarts."""
+    deployment, platform, split, blinder_prov = split_setup
+    from repro.core.glimmer import GlimmerConfig, features_digest
+    from repro.core.split import build_split_images
+    from repro.core.validation import PrivateContext as PC
+
+    config = GlimmerConfig(
+        predicate_spec="chain:range,0.0,1.0+rate,1",
+        service_identity=deployment.service_identity.public_key,
+        blinder_identity=deployment.blinder_identity.public_key,
+        features_digest=features_digest(FEATURES),
+    )
+    images = build_split_images(deployment.vendor, config)
+    rate_platform = SgxPlatform(
+        b"rate-split-platform", attestation_service=deployment.attestation
+    )
+    rated = SplitGlimmer(
+        rate_platform, images,
+        ocall_handlers={"collect_private_data": lambda fields: PC()},
+    )
+    request = ProcessRequest(
+        round_id=1, values=(0.5, 0.25, 1.0), features=FEATURES, blind=False
+    )
+    # First validation passes the rate limit...
+    rated.validation.ecall("validate", request)
+    # ...a second attempt is rejected...
+    with pytest.raises(ValidationError):
+        rated.validation.ecall("validate", request)
+    # ...and restarting the validation enclave does not reset the count.
+    rated.validation.destroy()
+    rated.validation = rate_platform.load_enclave(
+        images.validation,
+        ocall_handlers={"collect_private_data": lambda fields: PC()},
+    )
+    with pytest.raises(ValidationError):
+        rated.validation.ecall("validate", request)

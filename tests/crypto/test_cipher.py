@@ -1,0 +1,114 @@
+"""Tests for the authenticated cipher."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.cipher import AuthenticatedCipher, SealedBox, NONCE_SIZE
+from repro.errors import AuthenticationError, CryptoError
+
+KEY = b"k" * 32
+NONCE = b"n" * NONCE_SIZE
+
+
+def test_roundtrip():
+    cipher = AuthenticatedCipher(KEY)
+    box = cipher.encrypt(NONCE, b"hello world")
+    assert cipher.decrypt(box) == b"hello world"
+
+
+def test_roundtrip_empty_plaintext():
+    cipher = AuthenticatedCipher(KEY)
+    assert cipher.decrypt(cipher.encrypt(NONCE, b"")) == b""
+
+
+def test_ciphertext_differs_from_plaintext():
+    cipher = AuthenticatedCipher(KEY)
+    box = cipher.encrypt(NONCE, b"secret message bytes")
+    assert box.ciphertext != b"secret message bytes"
+
+
+def test_tamper_ciphertext_detected():
+    cipher = AuthenticatedCipher(KEY)
+    box = cipher.encrypt(NONCE, b"payload")
+    bad = SealedBox(box.nonce, bytes([box.ciphertext[0] ^ 1]) + box.ciphertext[1:], box.tag)
+    with pytest.raises(AuthenticationError):
+        cipher.decrypt(bad)
+
+
+def test_tamper_tag_detected():
+    cipher = AuthenticatedCipher(KEY)
+    box = cipher.encrypt(NONCE, b"payload")
+    bad = SealedBox(box.nonce, box.ciphertext, bytes(32))
+    with pytest.raises(AuthenticationError):
+        cipher.decrypt(bad)
+
+
+def test_tamper_nonce_detected():
+    cipher = AuthenticatedCipher(KEY)
+    box = cipher.encrypt(NONCE, b"payload")
+    bad = SealedBox(b"m" * NONCE_SIZE, box.ciphertext, box.tag)
+    with pytest.raises(AuthenticationError):
+        cipher.decrypt(bad)
+
+
+def test_wrong_key_fails():
+    box = AuthenticatedCipher(KEY).encrypt(NONCE, b"payload")
+    with pytest.raises(AuthenticationError):
+        AuthenticatedCipher(b"x" * 32).decrypt(box)
+
+
+def test_associated_data_bound():
+    cipher = AuthenticatedCipher(KEY)
+    box = cipher.encrypt(NONCE, b"payload", associated_data=b"header-1")
+    assert cipher.decrypt(box, associated_data=b"header-1") == b"payload"
+    with pytest.raises(AuthenticationError):
+        cipher.decrypt(box, associated_data=b"header-2")
+
+
+def test_short_key_rejected():
+    with pytest.raises(CryptoError):
+        AuthenticatedCipher(b"short")
+
+
+def test_bad_nonce_length_rejected():
+    with pytest.raises(CryptoError):
+        AuthenticatedCipher(KEY).encrypt(b"short", b"data")
+
+
+def test_serialization_roundtrip():
+    cipher = AuthenticatedCipher(KEY)
+    box = cipher.encrypt(NONCE, b"some payload")
+    blob = box.to_bytes()
+    restored = SealedBox.from_bytes(blob)
+    assert restored == box
+    assert cipher.decrypt(restored) == b"some payload"
+
+
+def test_from_bytes_too_short():
+    with pytest.raises(CryptoError):
+        SealedBox.from_bytes(b"tiny")
+
+
+def test_distinct_nonces_distinct_ciphertexts():
+    cipher = AuthenticatedCipher(KEY)
+    a = cipher.encrypt(b"a" * NONCE_SIZE, b"same plaintext")
+    b = cipher.encrypt(b"b" * NONCE_SIZE, b"same plaintext")
+    assert a.ciphertext != b.ciphertext
+
+
+@given(st.binary(max_size=512), st.binary(max_size=64))
+def test_roundtrip_property(plaintext, associated):
+    cipher = AuthenticatedCipher(KEY)
+    box = cipher.encrypt(NONCE, plaintext, associated_data=associated)
+    assert cipher.decrypt(box, associated_data=associated) == plaintext
+
+
+@given(st.binary(min_size=1, max_size=128), st.integers(min_value=0, max_value=127))
+def test_any_bitflip_detected(plaintext, position):
+    cipher = AuthenticatedCipher(KEY)
+    box = cipher.encrypt(NONCE, plaintext)
+    index = position % len(box.ciphertext)
+    mutated = bytearray(box.ciphertext)
+    mutated[index] ^= 0x01
+    with pytest.raises(AuthenticationError):
+        cipher.decrypt(SealedBox(box.nonce, bytes(mutated), box.tag))

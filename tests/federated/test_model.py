@@ -1,0 +1,147 @@
+"""Tests for the bigram model and feature space."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.federated.model import BigramModel, FeatureSpace
+
+SENTENCES = [
+    ["donald", "trump", "will", "win"],
+    ["i'm", "voting", "for", "donald", "trump"],
+    ["donald", "duck", "cartoons"],
+]
+
+
+def test_feature_space_from_corpus():
+    features = FeatureSpace.from_corpus(SENTENCES)
+    assert ("donald", "trump") in features.bigrams
+    assert ("donald", "duck") in features.bigrams
+    assert len(set(features.bigrams)) == len(features.bigrams)
+
+
+def test_feature_space_most_frequent_first():
+    features = FeatureSpace.from_corpus(SENTENCES)
+    assert features.bigrams[0] == ("donald", "trump")  # appears twice
+
+
+def test_feature_space_max_features():
+    features = FeatureSpace.from_corpus(SENTENCES, max_features=3)
+    assert len(features) == 3
+
+
+def test_feature_space_rejects_duplicates():
+    with pytest.raises(ConfigurationError):
+        FeatureSpace(bigrams=(("a", "b"), ("a", "b")))
+
+
+def test_feature_space_rejects_empty_corpus():
+    with pytest.raises(ConfigurationError):
+        FeatureSpace.from_corpus([["single"]])
+
+
+def test_feature_space_position():
+    features = FeatureSpace(bigrams=(("a", "b"), ("c", "d")))
+    assert features.position(("c", "d")) == 1
+    with pytest.raises(ConfigurationError):
+        features.position(("x", "y"))
+
+
+def test_train_computes_conditional_probabilities():
+    features = FeatureSpace.from_corpus(SENTENCES)
+    model = BigramModel.train(features, SENTENCES)
+    # "donald" is followed by "trump" twice and "duck" once.
+    assert model.weight(("donald", "trump")) == pytest.approx(2 / 3)
+    assert model.weight(("donald", "duck")) == pytest.approx(1 / 3)
+
+
+def test_weights_always_probabilities():
+    features = FeatureSpace.from_corpus(SENTENCES)
+    model = BigramModel.train(features, SENTENCES)
+    assert model.in_legal_range()
+
+
+def test_untrained_model_zero_weights():
+    features = FeatureSpace.from_corpus(SENTENCES)
+    model = BigramModel(features)
+    assert np.all(model.weights == 0)
+    assert model.top_prediction("donald") is None
+
+
+def test_predict_next_ranked():
+    features = FeatureSpace.from_corpus(SENTENCES)
+    model = BigramModel.train(features, SENTENCES)
+    ranked = model.predict_next("donald")
+    assert ranked[0] == ("trump", pytest.approx(2 / 3))
+    assert ranked[1][0] == "duck"
+
+
+def test_predict_unknown_word():
+    features = FeatureSpace.from_corpus(SENTENCES)
+    model = BigramModel.train(features, SENTENCES)
+    assert model.predict_next("zebra") == []
+    assert model.top_prediction("zebra") is None
+
+
+def test_vector_roundtrip():
+    features = FeatureSpace.from_corpus(SENTENCES)
+    model = BigramModel.train(features, SENTENCES)
+    restored = BigramModel.from_vector(features, model.as_vector())
+    assert np.array_equal(restored.weights, model.weights)
+
+
+def test_as_vector_is_a_copy():
+    features = FeatureSpace.from_corpus(SENTENCES)
+    model = BigramModel.train(features, SENTENCES)
+    vector = model.as_vector()
+    vector[0] = 999.0
+    assert model.weights[0] != 999.0
+
+
+def test_wrong_vector_shape_rejected():
+    features = FeatureSpace.from_corpus(SENTENCES)
+    with pytest.raises(ConfigurationError):
+        BigramModel(features, np.zeros(len(features) + 1))
+
+
+def test_copy_independent():
+    features = FeatureSpace.from_corpus(SENTENCES)
+    model = BigramModel.train(features, SENTENCES)
+    clone = model.copy()
+    clone.weights[0] = 0.123
+    assert model.weights[0] != 0.123
+
+
+def test_in_legal_range_detects_violations():
+    features = FeatureSpace.from_corpus(SENTENCES)
+    model = BigramModel(features, np.zeros(len(features)))
+    model.weights[0] = 538.0
+    assert not model.in_legal_range()
+
+
+def test_first_words():
+    features = FeatureSpace(bigrams=(("a", "b"), ("a", "c"), ("d", "e")))
+    assert features.first_words() == {"a", "d"}
+
+
+@settings(max_examples=30)
+@given(
+    st.lists(
+        st.lists(st.sampled_from(["a", "b", "c", "d"]), min_size=2, max_size=6),
+        min_size=1,
+        max_size=10,
+    )
+)
+def test_train_property_weights_are_probabilities(sentences):
+    features = FeatureSpace.from_corpus(sentences)
+    model = BigramModel.train(features, sentences)
+    assert model.in_legal_range()
+    # Per left word, tracked weights sum to at most 1 (they are a sub-pmf).
+    for left in features.first_words():
+        total = sum(
+            model.weights[i]
+            for i, (l, __) in enumerate(features.bigrams)
+            if l == left
+        )
+        assert total <= 1.0 + 1e-9

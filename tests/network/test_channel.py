@@ -1,0 +1,120 @@
+"""Tests for DH secure channels: confidentiality, replay, reorder, direction."""
+
+import pytest
+
+from repro.crypto.dh import TEST_GROUP
+from repro.crypto.drbg import HmacDrbg
+from repro.errors import AuthenticationError, ProtocolError
+from repro.network.channel import (
+    HandshakeOffer,
+    SecureChannel,
+    checked_offer,
+    establish_channel,
+    fresh_keypair,
+)
+
+
+def make_pair(context="test-session"):
+    rng = HmacDrbg(b"channel-tests")
+    alice_kp = fresh_keypair(rng.fork("alice"), TEST_GROUP)
+    bob_kp = fresh_keypair(rng.fork("bob"), TEST_GROUP)
+    alice = establish_channel(alice_kp, bob_kp.public, context, rng.fork("a"), initiator=True)
+    bob = establish_channel(bob_kp, alice_kp.public, context, rng.fork("b"), initiator=False)
+    return alice, bob
+
+
+def test_roundtrip_both_directions():
+    alice, bob = make_pair()
+    assert bob.decrypt(alice.encrypt(b"hello bob")) == b"hello bob"
+    assert alice.decrypt(bob.encrypt(b"hello alice")) == b"hello alice"
+
+
+def test_multiple_messages_in_order():
+    alice, bob = make_pair()
+    for i in range(10):
+        assert bob.decrypt(alice.encrypt(f"msg-{i}".encode())) == f"msg-{i}".encode()
+
+
+def test_replay_rejected():
+    alice, bob = make_pair()
+    wire = alice.encrypt(b"one")
+    bob.decrypt(wire)
+    with pytest.raises(AuthenticationError):
+        bob.decrypt(wire)
+
+
+def test_reorder_rejected():
+    alice, bob = make_pair()
+    first = alice.encrypt(b"first")
+    second = alice.encrypt(b"second")
+    with pytest.raises(AuthenticationError):
+        bob.decrypt(second)
+    # in-order still works afterwards
+    assert bob.decrypt(first) == b"first"
+
+
+def test_direction_confusion_rejected():
+    """A message cannot be reflected back to its sender."""
+    alice, bob = make_pair()
+    wire = alice.encrypt(b"outbound")
+    with pytest.raises(AuthenticationError):
+        alice.decrypt(wire)
+
+
+def test_tampered_ciphertext_rejected():
+    alice, bob = make_pair()
+    wire = bytearray(alice.encrypt(b"payload"))
+    wire[-1] ^= 0x01
+    with pytest.raises(AuthenticationError):
+        bob.decrypt(bytes(wire))
+
+
+def test_context_separation():
+    rng = HmacDrbg(b"ctx")
+    alice_kp = fresh_keypair(rng.fork("alice"), TEST_GROUP)
+    bob_kp = fresh_keypair(rng.fork("bob"), TEST_GROUP)
+    alice = establish_channel(alice_kp, bob_kp.public, "ctx-one", rng.fork("a"), True)
+    bob = establish_channel(bob_kp, alice_kp.public, "ctx-two", rng.fork("b"), False)
+    with pytest.raises(AuthenticationError):
+        bob.decrypt(alice.encrypt(b"cross-context"))
+
+
+def test_wrong_peer_key_fails():
+    rng = HmacDrbg(b"wrongpeer")
+    alice_kp = fresh_keypair(rng.fork("alice"), TEST_GROUP)
+    bob_kp = fresh_keypair(rng.fork("bob"), TEST_GROUP)
+    eve_kp = fresh_keypair(rng.fork("eve"), TEST_GROUP)
+    alice = establish_channel(alice_kp, bob_kp.public, "s", rng.fork("a"), True)
+    eve = establish_channel(eve_kp, alice_kp.public, "s", rng.fork("e"), False)
+    with pytest.raises(AuthenticationError):
+        eve.decrypt(alice.encrypt(b"for bob only"))
+
+
+def test_checked_offer_valid():
+    rng = HmacDrbg(b"offer")
+    keypair = fresh_keypair(rng, TEST_GROUP)
+    offer = HandshakeOffer(dh_public=keypair.public, group_name=TEST_GROUP.name)
+    assert checked_offer(offer, TEST_GROUP) == keypair.public
+
+
+def test_checked_offer_wrong_group():
+    offer = HandshakeOffer(dh_public=4, group_name="some-other-group")
+    with pytest.raises(ProtocolError):
+        checked_offer(offer, TEST_GROUP)
+
+
+def test_checked_offer_invalid_element():
+    offer = HandshakeOffer(dh_public=1, group_name=TEST_GROUP.name)
+    with pytest.raises(AuthenticationError):
+        checked_offer(offer, TEST_GROUP)
+
+
+def test_ciphertext_hides_plaintext():
+    alice, _ = make_pair()
+    wire = alice.encrypt(b"the secret contribution")
+    assert b"the secret contribution" not in wire
+
+
+def test_empty_message_roundtrip():
+    alice, bob = make_pair()
+    assert bob.decrypt(alice.encrypt(b"")) == b""

@@ -1,0 +1,75 @@
+"""Shared fixtures for SGX simulator tests."""
+
+import pytest
+
+from repro.crypto.drbg import HmacDrbg
+from repro.sgx import (
+    AttestationService,
+    EnclaveImage,
+    EnclaveProgram,
+    SgxPlatform,
+    VendorKey,
+    ecall,
+)
+
+
+class CounterProgram(EnclaveProgram):
+    """A tiny enclave used across the SGX tests."""
+
+    def on_load(self):
+        self._count = 0
+        self._secret = b"enclave-private-secret"
+
+    @ecall
+    def increment(self, by=1):
+        self.api.charge(10)
+        self._count += by
+        return self._count
+
+    @ecall
+    def seal_secret(self):
+        return self.api.seal(self._secret)
+
+    @ecall
+    def unseal(self, blob):
+        return self.api.unseal(blob)
+
+    @ecall
+    def seal_to_signer(self):
+        return self.api.seal(self._secret, policy="mrsigner")
+
+    @ecall
+    def fetch_from_host(self, what):
+        return self.api.ocall("fetch", what)
+
+    @ecall
+    def bump_counter(self, name):
+        return self.api.monotonic_counter(name).increment()
+
+    def not_an_ecall(self):
+        return "host should never reach this"
+
+
+@pytest.fixture
+def vendor():
+    return VendorKey.generate(HmacDrbg(b"test-vendor"))
+
+
+@pytest.fixture
+def attestation_service():
+    return AttestationService(seed=b"test-ias")
+
+
+@pytest.fixture
+def image(vendor):
+    return EnclaveImage.build(CounterProgram, vendor)
+
+
+@pytest.fixture
+def platform(attestation_service):
+    return SgxPlatform(b"test-platform", attestation_service=attestation_service)
+
+
+@pytest.fixture
+def enclave(platform, image):
+    return platform.load_enclave(image)

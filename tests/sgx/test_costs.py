@@ -1,0 +1,77 @@
+"""Tests for the cycle cost model and meters."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sgx.costs import CostModel, CycleMeter, DEFAULT_COST_MODEL
+
+
+def test_copy_cost_scales():
+    model = CostModel(copy_cycles_per_byte=2.0)
+    assert model.copy_cost(100) == 200
+    assert model.copy_cost(0) == 0
+
+
+def test_paging_cost_zero_within_epc():
+    assert DEFAULT_COST_MODEL.paging_cost(0) == 0
+    assert DEFAULT_COST_MODEL.paging_cost(-5) == 0
+
+
+def test_paging_cost_rounds_up_to_pages():
+    model = CostModel(epc_page_fault_cycles=100, epc_page_bytes=4096)
+    assert model.paging_cost(1) == 100
+    assert model.paging_cost(4096) == 100
+    assert model.paging_cost(4097) == 200
+
+
+def test_meter_charge_and_buckets():
+    meter = CycleMeter()
+    meter.charge(10, "a")
+    meter.charge(5, "b")
+    meter.charge(7, "a")
+    assert meter.total == 22
+    assert meter.buckets == {"a": 17, "b": 5}
+
+
+def test_meter_rejects_negative():
+    with pytest.raises(ValueError):
+        CycleMeter().charge(-1)
+
+
+def test_meter_truncates_float():
+    meter = CycleMeter()
+    meter.charge(2.9)
+    assert meter.total == 2
+
+
+def test_meter_merge():
+    a = CycleMeter()
+    a.charge(10, "x")
+    b = CycleMeter()
+    b.charge(3, "x")
+    b.charge(4, "y")
+    a.merge(b)
+    assert a.total == 17
+    assert a.buckets == {"x": 13, "y": 4}
+
+
+def test_meter_reset():
+    meter = CycleMeter()
+    meter.charge(10)
+    meter.reset()
+    assert meter.total == 0
+    assert meter.buckets == {}
+
+
+def test_meter_snapshot():
+    meter = CycleMeter()
+    meter.charge(5, "z")
+    assert meter.snapshot() == {"total": 5, "z": 5}
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10_000), max_size=50))
+def test_meter_total_is_sum_of_buckets(charges):
+    meter = CycleMeter()
+    for i, amount in enumerate(charges):
+        meter.charge(amount, f"bucket-{i % 3}")
+    assert meter.total == sum(meter.buckets.values())

@@ -1,0 +1,104 @@
+"""Tests for enclave images and measurement."""
+
+import pytest
+
+from repro.crypto.drbg import HmacDrbg
+from repro.errors import ConfigurationError, EnclaveError
+from repro.sgx import EnclaveImage, EnclaveProgram, VendorKey, ecall
+from repro.sgx.measurement import code_identity_of
+
+from tests.sgx.conftest import CounterProgram
+
+
+class OtherProgram(EnclaveProgram):
+    @ecall
+    def noop(self):
+        return None
+
+
+def test_measurement_deterministic(vendor):
+    a = EnclaveImage.build(CounterProgram, vendor)
+    b = EnclaveImage.build(CounterProgram, vendor)
+    assert a.mrenclave == b.mrenclave
+
+
+def test_different_code_different_measurement(vendor):
+    a = EnclaveImage.build(CounterProgram, vendor)
+    b = EnclaveImage.build(OtherProgram, vendor, name=a.name)
+    assert a.mrenclave != b.mrenclave
+
+
+def test_config_changes_measurement(vendor):
+    a = EnclaveImage.build(CounterProgram, vendor, config=b"range=[0,1]")
+    b = EnclaveImage.build(CounterProgram, vendor, config=b"range=[0,538]")
+    assert a.mrenclave != b.mrenclave
+
+
+def test_version_changes_measurement(vendor):
+    a = EnclaveImage.build(CounterProgram, vendor, version=1)
+    b = EnclaveImage.build(CounterProgram, vendor, version=2)
+    assert a.mrenclave != b.mrenclave
+
+
+def test_debug_flag_changes_measurement(vendor):
+    a = EnclaveImage.build(CounterProgram, vendor, debug=False)
+    b = EnclaveImage.build(CounterProgram, vendor, debug=True)
+    assert a.mrenclave != b.mrenclave
+
+
+def test_mrsigner_tracks_vendor(vendor):
+    other_vendor = VendorKey.generate(HmacDrbg(b"other-vendor"))
+    a = EnclaveImage.build(CounterProgram, vendor)
+    b = EnclaveImage.build(CounterProgram, other_vendor)
+    assert a.mrsigner != b.mrsigner
+    assert a.mrenclave == b.mrenclave  # same code, same measurement
+
+
+def test_same_vendor_same_mrsigner(vendor):
+    a = EnclaveImage.build(CounterProgram, vendor, version=1)
+    b = EnclaveImage.build(CounterProgram, vendor, version=2)
+    assert a.mrsigner == b.mrsigner
+
+
+def test_vendor_signature_verifies(image):
+    image.verify_vendor_signature()  # must not raise
+
+
+def test_forged_vendor_signature_rejected(vendor, image):
+    impostor = VendorKey.generate(HmacDrbg(b"impostor"))
+    forged = EnclaveImage(
+        name=image.name,
+        version=image.version,
+        code=image.code,
+        config=image.config,
+        memory_bytes=image.memory_bytes,
+        debug=image.debug,
+        program_class=image.program_class,
+        vendor_public=vendor.public_key,           # claims the real vendor
+        vendor_signature=impostor.keypair.sign(b"junk"),
+    )
+    with pytest.raises(EnclaveError):
+        forged.verify_vendor_signature()
+
+
+def test_invalid_build_parameters(vendor):
+    with pytest.raises(ConfigurationError):
+        EnclaveImage.build(CounterProgram, vendor, version=0)
+    with pytest.raises(ConfigurationError):
+        EnclaveImage.build(CounterProgram, vendor, memory_bytes=0)
+
+
+def test_code_identity_uses_source():
+    identity = code_identity_of(CounterProgram)
+    assert b"increment" in identity
+
+
+def test_rebuilt_with_overrides(vendor, image):
+    rebuilt = image.rebuilt_with(vendor, version=5)
+    assert rebuilt.version == 5
+    assert rebuilt.mrenclave != image.mrenclave
+    rebuilt.verify_vendor_signature()
+
+
+def test_rebuilt_identical_matches(vendor, image):
+    assert image.rebuilt_with(vendor).mrenclave == image.mrenclave

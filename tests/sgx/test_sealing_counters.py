@@ -1,0 +1,145 @@
+"""Tests for sealed storage and monotonic counters."""
+
+import pytest
+
+from repro.crypto.drbg import HmacDrbg
+from repro.errors import EnclaveError, SealingError
+from repro.sgx import EnclaveImage, SgxPlatform, VendorKey
+from repro.sgx.counters import CounterStore, MonotonicCounter
+from repro.sgx.enclave import EnclaveIdentity
+from repro.sgx.sealing import SealingManager
+
+from tests.sgx.conftest import CounterProgram
+
+
+def identity(mrenclave=b"\x01" * 32, mrsigner=b"\x02" * 32, version=1, debug=False):
+    return EnclaveIdentity(
+        mrenclave=mrenclave, mrsigner=mrsigner, version=version, debug=debug
+    )
+
+
+@pytest.fixture
+def sealing():
+    return SealingManager(b"root-secret" * 3, HmacDrbg(b"seal-rng"))
+
+
+def test_seal_unseal_roundtrip(sealing):
+    ident = identity()
+    blob = sealing.seal(ident, b"payload", "mrenclave")
+    assert sealing.unseal(ident, blob) == b"payload"
+
+
+def test_mrenclave_policy_blocks_other_code(sealing):
+    blob = sealing.seal(identity(), b"payload", "mrenclave")
+    other = identity(mrenclave=b"\x09" * 32)
+    with pytest.raises(SealingError):
+        sealing.unseal(other, blob)
+
+
+def test_mrsigner_policy_survives_code_change(sealing):
+    blob = sealing.seal(identity(), b"payload", "mrsigner")
+    upgraded = identity(mrenclave=b"\x09" * 32)  # same signer, new code
+    assert sealing.unseal(upgraded, blob) == b"payload"
+
+
+def test_mrsigner_policy_blocks_other_vendor(sealing):
+    blob = sealing.seal(identity(), b"payload", "mrsigner")
+    other_vendor = identity(mrsigner=b"\x0a" * 32)
+    with pytest.raises(SealingError):
+        sealing.unseal(other_vendor, blob)
+
+
+def test_unknown_policy_rejected(sealing):
+    with pytest.raises(SealingError):
+        sealing.seal(identity(), b"x", "mrwhatever")
+
+
+def test_truncated_blob_rejected(sealing):
+    with pytest.raises(SealingError):
+        sealing.unseal(identity(), b"\x00" * 10)
+
+
+def test_unknown_policy_byte_rejected(sealing):
+    blob = sealing.seal(identity(), b"x", "mrenclave")
+    with pytest.raises(SealingError):
+        sealing.unseal(identity(), b"\x07" + blob[1:])
+
+
+def test_header_tamper_rejected(sealing):
+    ident = identity()
+    blob = sealing.seal(ident, b"x", "mrenclave")
+    # Flip a bit in the ciphertext region.
+    mutated = blob[:40] + bytes([blob[40] ^ 1]) + blob[41:]
+    with pytest.raises(SealingError):
+        sealing.unseal(ident, mutated)
+
+
+def test_cross_platform_sealing_fails():
+    ident = identity()
+    sealing_a = SealingManager(b"secret-a" * 4, HmacDrbg(b"a"))
+    sealing_b = SealingManager(b"secret-b" * 4, HmacDrbg(b"b"))
+    blob = sealing_a.seal(ident, b"data", "mrenclave")
+    with pytest.raises(SealingError):
+        sealing_b.unseal(ident, blob)
+
+
+def test_empty_payload_roundtrip(sealing):
+    ident = identity()
+    assert sealing.unseal(ident, sealing.seal(ident, b"", "mrenclave")) == b""
+
+
+def test_sealed_blobs_nondeterministic(sealing):
+    ident = identity()
+    assert sealing.seal(ident, b"x", "mrenclave") != sealing.seal(ident, b"x", "mrenclave")
+
+
+def test_cross_enclave_unseal_via_platform(vendor, attestation_service):
+    """End-to-end: a different program cannot unseal the Glimmer's state."""
+    from repro.sgx import EnclaveProgram, ecall
+
+    class Thief(EnclaveProgram):
+        @ecall
+        def try_unseal(self, blob):
+            return self.api.unseal(blob)
+
+    platform = SgxPlatform(b"seal-plat", attestation_service=attestation_service)
+    victim = platform.load_enclave(EnclaveImage.build(CounterProgram, vendor))
+    thief = platform.load_enclave(EnclaveImage.build(Thief, vendor))
+    blob = victim.ecall("seal_secret")
+    with pytest.raises(SealingError):
+        thief.ecall("try_unseal", blob)
+
+
+def test_mrsigner_sealing_upgrade_path(vendor, attestation_service):
+    """A v2 image from the same vendor can unseal v1's mrsigner-sealed data."""
+    platform = SgxPlatform(b"upg-plat", attestation_service=attestation_service)
+    v1 = platform.load_enclave(EnclaveImage.build(CounterProgram, vendor, version=1))
+    v2 = platform.load_enclave(EnclaveImage.build(CounterProgram, vendor, version=2))
+    blob = v1.ecall("seal_to_signer")
+    assert v2.ecall("unseal", blob) == b"enclave-private-secret"
+
+
+def test_monotonic_counter_increments():
+    counter = MonotonicCounter(b"m" * 32, "quota")
+    assert counter.value == 0
+    assert counter.increment() == 1
+    assert counter.increment() == 2
+
+
+def test_rollback_detection():
+    counter = MonotonicCounter(b"m" * 32, "quota")
+    counter.increment()
+    counter.assert_at_least(1)
+    with pytest.raises(EnclaveError):
+        counter.assert_at_least(5)
+
+
+def test_counter_store_scoping():
+    store = CounterStore()
+    a = store.counter_for(b"a" * 32, "n")
+    b = store.counter_for(b"b" * 32, "n")
+    same_a = store.counter_for(b"a" * 32, "n")
+    a.increment()
+    assert same_a.value == 1
+    assert b.value == 0
+    assert len(store) == 2

@@ -1,0 +1,59 @@
+"""Direct unit tests for the SGX attack toolkit."""
+
+from repro.crypto.drbg import HmacDrbg
+from repro.sgx.threats import (
+    forge_quote,
+    replay_quote_with_new_data,
+    tamper_quote_measurement,
+)
+
+MRENCLAVE = b"\x01" * 32
+MRSIGNER = b"\x02" * 32
+
+
+def test_forged_quote_is_structurally_complete():
+    quote = forge_quote(MRENCLAVE, MRSIGNER, b"binding")
+    assert quote.mrenclave == MRENCLAVE
+    assert quote.mrsigner == MRSIGNER
+    assert len(quote.report_data) == 64
+    assert quote.signature is not None
+
+
+def test_forged_quote_signature_is_internally_consistent():
+    """The forgery is a *valid* signature — just under an unprovisioned key.
+
+    This matters: verification must fail on provisioning grounds, not
+    because the attacker was sloppy.
+    """
+    from repro.crypto.schnorr import SchnorrKeyPair
+
+    quote = forge_quote(MRENCLAVE, MRSIGNER, b"binding", seed=b"att")
+    rogue = SchnorrKeyPair.generate(HmacDrbg(b"att", personalization="rogue"))
+    rogue.public_key.verify(quote.signed_digest(), quote.signature)
+
+
+def test_forge_quote_deterministic_per_seed():
+    a = forge_quote(MRENCLAVE, MRSIGNER, b"x", seed=b"s1")
+    b = forge_quote(MRENCLAVE, MRSIGNER, b"x", seed=b"s1")
+    c = forge_quote(MRENCLAVE, MRSIGNER, b"x", seed=b"s2")
+    assert a == b
+    assert a.platform_id != c.platform_id
+
+
+def test_tamper_preserves_everything_but_measurement():
+    original = forge_quote(MRENCLAVE, MRSIGNER, b"x")
+    tampered = tamper_quote_measurement(original, b"\x09" * 32)
+    assert tampered.mrenclave == b"\x09" * 32
+    assert tampered.signature == original.signature
+    assert tampered.report_data == original.report_data
+    assert tampered.signed_digest() != original.signed_digest()
+
+
+def test_replay_swaps_report_data_only():
+    original = forge_quote(MRENCLAVE, MRSIGNER, b"old binding")
+    replayed = replay_quote_with_new_data(original, b"new binding")
+    assert replayed.report_data.startswith(b"new binding")
+    assert len(replayed.report_data) == 64
+    assert replayed.mrenclave == original.mrenclave
+    assert replayed.signature == original.signature
+    assert replayed.signed_digest() != original.signed_digest()

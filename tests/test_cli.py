@@ -1,0 +1,46 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_overrides, build_parser, main
+from repro.experiments.registry import EXPERIMENTS
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for experiment_id in EXPERIMENTS:
+        assert experiment_id in out
+
+
+def test_run_single_experiment(capsys):
+    assert main(["run", "e9", "budgets=(1,)"]) == 0
+    out = capsys.readouterr().out
+    assert "covert-channel capacity" in out
+
+
+def test_run_unknown_experiment(capsys):
+    assert main(["run", "e99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_demo_command(capsys):
+    assert main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "538" in out
+    assert "aggregate max error" in out
+
+
+def test_parse_overrides_literals():
+    parsed = _parse_overrides(["num_users=4", "magnitudes=(538.0,)", "name=abc"])
+    assert parsed == {"num_users": 4, "magnitudes": (538.0,), "name": "abc"}
+
+
+def test_parse_overrides_rejects_malformed():
+    with pytest.raises(SystemExit):
+        _parse_overrides(["not-a-pair"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,116 @@
+"""Tests for the error hierarchy, the LocalDataStore, and Deployment glue."""
+
+import pytest
+
+from repro import __version__
+from repro.core.client import LocalDataStore
+from repro.errors import (
+    AttestationError,
+    AuditError,
+    AuthenticationError,
+    ConfigurationError,
+    CryptoError,
+    EnclaveError,
+    NetworkError,
+    ProtocolError,
+    ReproError,
+    SealingError,
+    ValidationError,
+)
+from repro.experiments.common import Deployment
+
+
+def test_version_string():
+    assert __version__.count(".") == 2
+
+
+def test_every_error_derives_from_repro_error():
+    for error_class in (
+        CryptoError, AuthenticationError, ProtocolError, EnclaveError,
+        AttestationError, SealingError, ValidationError, AuditError,
+        NetworkError, ConfigurationError,
+    ):
+        assert issubclass(error_class, ReproError)
+
+
+def test_error_specializations():
+    assert issubclass(AuthenticationError, CryptoError)
+    assert issubclass(AttestationError, EnclaveError)
+    assert issubclass(SealingError, EnclaveError)
+
+
+def test_catching_base_catches_all():
+    with pytest.raises(ReproError):
+        raise AttestationError("boom")
+
+
+# ----------------------------------------------------------- LocalDataStore
+
+def test_datastore_serves_only_requested_fields():
+    store = LocalDataStore(
+        sentences=[["a", "b"]],
+        geo_context="GEO",
+        shopping_context="SHOP",
+    )
+    context = store.context_for(("sentences",))
+    assert context.sentences == [["a", "b"]]
+    assert context.geo_context is None  # not requested, not served
+    assert context.shopping_context is None
+
+
+def test_datastore_extra_always_copied():
+    store = LocalDataStore(extra={"submission": "photo"})
+    context = store.context_for(())
+    assert context.extra == {"submission": "photo"}
+    context.extra["submission"] = "mutated"
+    assert store.extra["submission"] == "photo"
+
+
+def test_datastore_ignores_unknown_fields():
+    store = LocalDataStore()
+    context = store.context_for(("no_such_field",))
+    assert context.sentences is None
+
+
+# --------------------------------------------------------------- Deployment
+
+@pytest.fixture(scope="module")
+def deployment():
+    return Deployment.build(num_users=3, seed=b"deployment-glue", sentences_per_user=10)
+
+
+def test_deployment_provisions_all_clients(deployment):
+    assert set(deployment.clients) == {u.user_id for u in deployment.corpus.users}
+    for client in deployment.clients.values():
+        assert client.glimmer.ecall("has_signing_key")
+
+
+def test_deployment_vetting_matches_image(deployment):
+    from repro.experiments.common import GLIMMER_NAME
+
+    assert (
+        deployment.registry.approved_measurement(GLIMMER_NAME)
+        == deployment.image.mrenclave
+    )
+
+
+def test_deployment_honest_round_matches_local_mean(deployment):
+    import numpy as np
+
+    aggregate = deployment.honest_round(7)
+    vectors = deployment.local_vectors()
+    expected = np.mean(np.stack(list(vectors.values())), axis=0)
+    assert np.allclose(aggregate, expected, atol=1e-3)
+
+
+def test_deployment_deterministic():
+    a = Deployment.build(num_users=2, seed=b"same-seed", sentences_per_user=8)
+    b = Deployment.build(num_users=2, seed=b"same-seed", sentences_per_user=8)
+    assert a.image.mrenclave == b.image.mrenclave
+    assert a.corpus.streams == b.corpus.streams
+
+
+def test_deployment_different_seeds_differ():
+    a = Deployment.build(num_users=2, seed=b"seed-a", sentences_per_user=8)
+    b = Deployment.build(num_users=2, seed=b"seed-b", sentences_per_user=8)
+    assert a.corpus.streams != b.corpus.streams

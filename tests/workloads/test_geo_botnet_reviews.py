@@ -1,0 +1,158 @@
+"""Tests for geo, botnet, and review workload generators."""
+
+import pytest
+
+from repro.crypto.drbg import HmacDrbg
+from repro.errors import ConfigurationError
+from repro.workloads.botnet import BotnetWorkload, DetectorWeights
+from repro.workloads.geo import GeoWorkload, distance
+from repro.workloads.reviews import ReviewWorkload
+
+
+def rng():
+    return HmacDrbg(b"workload-tests-2")
+
+
+# ----------------------------------------------------------------------- geo
+
+def test_geo_shape():
+    workload = GeoWorkload.generate(5, rng(), photos_per_user=3)
+    assert len(workload.contexts) == 5
+    assert len(workload.submissions) == 15
+
+
+def test_geo_honest_photos_near_track():
+    workload = GeoWorkload.generate(6, rng())
+    for photo in workload.submissions:
+        if photo.is_spoofed:
+            continue
+        context = workload.contexts[photo.user_id]
+        fix = context.position_at(photo.taken_at_ms)
+        assert distance(fix.x, fix.y, photo.claimed_x, photo.claimed_y) < 20.0
+
+
+def test_geo_spoofed_photos_inconsistent():
+    workload = GeoWorkload.generate(8, rng(), spoof_fraction=0.5)
+    spoofed = [p for p in workload.submissions if p.is_spoofed]
+    assert spoofed
+    for photo in spoofed:
+        context = workload.contexts[photo.user_id]
+        fix = context.position_at(photo.taken_at_ms)
+        far = distance(fix.x, fix.y, photo.claimed_x, photo.claimed_y) > 100.0
+        wrong_camera = photo.camera_fingerprint != context.camera_fingerprint
+        assert far or wrong_camera
+
+
+def test_geo_track_timestamps_monotonic():
+    workload = GeoWorkload.generate(3, rng())
+    for context in workload.contexts.values():
+        times = [p.timestamp_ms for p in context.track]
+        assert times == sorted(times)
+
+
+def test_geo_labels():
+    workload = GeoWorkload.generate(4, rng())
+    labels = workload.labels()
+    assert len(labels) == len(workload.submissions)
+
+
+def test_geo_validations():
+    with pytest.raises(ConfigurationError):
+        GeoWorkload.generate(0, rng())
+    with pytest.raises(ConfigurationError):
+        GeoWorkload.generate(2, rng(), spoof_fraction=1.5)
+
+
+def test_position_at_nearest():
+    workload = GeoWorkload.generate(1, rng())
+    context = next(iter(workload.contexts.values()))
+    first = context.track[0]
+    assert context.position_at(first.timestamp_ms) == first
+
+
+# -------------------------------------------------------------------- botnet
+
+def test_botnet_shape_and_labels():
+    workload = BotnetWorkload.generate(40, rng(), bot_fraction=0.25)
+    assert len(workload.sessions) == 40
+    assert sum(workload.labels().values()) == 10
+
+
+def test_botnet_naive_bots_detectable():
+    workload = BotnetWorkload.generate(100, rng(), bot_sophistication=0.0)
+    assert DetectorWeights().accuracy(workload) >= 0.95
+
+
+def test_botnet_sophistication_degrades_detection():
+    naive = BotnetWorkload.generate(100, rng().fork("a"), bot_sophistication=0.0)
+    sophisticated = BotnetWorkload.generate(
+        100, rng().fork("b"), bot_sophistication=0.95
+    )
+    detector = DetectorWeights()
+    assert detector.accuracy(sophisticated) < detector.accuracy(naive)
+
+
+def test_botnet_sessions_carry_private_context():
+    workload = BotnetWorkload.generate(5, rng())
+    for session in workload.sessions:
+        assert session.browsing_history
+        assert session.cookie_ids
+        assert session.interest_profile
+
+
+def test_botnet_feature_vector_length_matches_detector():
+    workload = BotnetWorkload.generate(2, rng())
+    detector = DetectorWeights()
+    assert len(workload.sessions[0].feature_vector()) == len(detector.weights)
+
+
+def test_botnet_validations():
+    with pytest.raises(ConfigurationError):
+        BotnetWorkload.generate(0, rng())
+    with pytest.raises(ConfigurationError):
+        BotnetWorkload.generate(5, rng(), bot_fraction=2.0)
+    with pytest.raises(ConfigurationError):
+        BotnetWorkload.generate(5, rng(), bot_sophistication=-0.5)
+
+
+def test_detector_accuracy_empty_rejected():
+    with pytest.raises(ConfigurationError):
+        DetectorWeights().accuracy(BotnetWorkload(sessions=[]))
+
+
+# ------------------------------------------------------------------- reviews
+
+def test_reviews_shape():
+    workload = ReviewWorkload.generate(5, rng(), reviews_per_user=4)
+    assert len(workload.contexts) == 5
+    assert len(workload.reviews) == 20
+
+
+def test_honest_reviews_have_prior_purchase():
+    workload = ReviewWorkload.generate(10, rng())
+    for review in workload.reviews:
+        context = workload.contexts[review.user_id]
+        if not review.is_spurious:
+            purchase_time = context.purchase_time(review.product_id)
+            assert purchase_time is not None
+            assert review.posted_at_ms >= purchase_time
+
+
+def test_spurious_reviews_lack_purchase():
+    workload = ReviewWorkload.generate(10, rng(), spurious_fraction=0.5)
+    spurious = [r for r in workload.reviews if r.is_spurious]
+    assert spurious
+    for review in spurious:
+        assert not workload.contexts[review.user_id].purchased(review.product_id)
+
+
+def test_ratings_in_range():
+    workload = ReviewWorkload.generate(10, rng())
+    assert all(1 <= r.rating <= 5 for r in workload.reviews)
+
+
+def test_reviews_validations():
+    with pytest.raises(ConfigurationError):
+        ReviewWorkload.generate(0, rng())
+    with pytest.raises(ConfigurationError):
+        ReviewWorkload.generate(2, rng(), spurious_fraction=-0.1)

@@ -1,0 +1,169 @@
+"""Tests for the keyboard corpus and keystroke trace generators."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.drbg import HmacDrbg
+from repro.errors import ConfigurationError
+from repro.workloads.keyboard import (
+    HUMAN_MEAN_INTERVAL_MS,
+    empty_trace,
+    robotic_trace_for_sentences,
+    trace_for_sentences,
+)
+from repro.workloads.text import (
+    KeyboardCorpus,
+    OPPOSE_SENTENCES,
+    STANCE_OPPOSE,
+    STANCE_SUPPORT,
+    SUPPORT_SENTENCES,
+    stance_evidence,
+)
+
+
+def rng():
+    return HmacDrbg(b"workload-tests")
+
+
+def test_corpus_shape():
+    corpus = KeyboardCorpus.generate(10, rng(), sentences_per_user=15)
+    assert len(corpus.users) == 10
+    assert all(len(corpus.streams[u.user_id]) == 15 for u in corpus.users)
+
+
+def test_corpus_deterministic_per_seed():
+    a = KeyboardCorpus.generate(4, HmacDrbg(b"same"))
+    b = KeyboardCorpus.generate(4, HmacDrbg(b"same"))
+    assert a.streams == b.streams
+
+
+def test_corpus_support_fraction():
+    corpus = KeyboardCorpus.generate(10, rng(), support_fraction=0.3)
+    supporters = [u for u in corpus.users if u.stance == STANCE_SUPPORT]
+    assert len(supporters) == 3
+
+
+def test_every_user_expresses_stance():
+    corpus = KeyboardCorpus.generate(20, rng(), stance_rate=0.0)
+    stance_pools = {
+        STANCE_SUPPORT: {tuple(s) for s in SUPPORT_SENTENCES},
+        STANCE_OPPOSE: {tuple(s) for s in OPPOSE_SENTENCES},
+    }
+    for user in corpus.users:
+        stream = corpus.streams[user.user_id]
+        assert any(tuple(s) in stance_pools[user.stance] for s in stream)
+
+
+def test_users_never_type_other_stance():
+    corpus = KeyboardCorpus.generate(20, rng())
+    oppose_pool = {tuple(s) for s in OPPOSE_SENTENCES}
+    support_pool = {tuple(s) for s in SUPPORT_SENTENCES}
+    for user in corpus.users:
+        stream = {tuple(s) for s in corpus.streams[user.user_id]}
+        if user.stance == STANCE_SUPPORT:
+            assert not stream & oppose_pool
+        else:
+            assert not stream & support_pool
+
+
+def test_corpus_validations():
+    with pytest.raises(ConfigurationError):
+        KeyboardCorpus.generate(0, rng())
+    with pytest.raises(ConfigurationError):
+        KeyboardCorpus.generate(2, rng(), stance_rate=1.5)
+    with pytest.raises(ConfigurationError):
+        KeyboardCorpus.generate(2, rng(), support_fraction=-0.1)
+    with pytest.raises(ConfigurationError):
+        KeyboardCorpus.generate(2, rng(), sentences_per_user=0)
+
+
+def test_labels_and_all_sentences():
+    corpus = KeyboardCorpus.generate(5, rng(), sentences_per_user=8)
+    labels = corpus.labels()
+    assert set(labels) == {u.user_id for u in corpus.users}
+    assert len(corpus.all_sentences()) == 5 * 8
+
+
+def test_holdout_fresh_sentences():
+    corpus = KeyboardCorpus.generate(3, rng())
+    holdout = corpus.holdout(rng().fork("h"), num_sentences=50)
+    assert len(holdout) == 50
+
+
+def test_stance_evidence_markers_exist_in_corpus():
+    corpus = KeyboardCorpus.generate(10, rng())
+    evidence = stance_evidence()
+    bigrams = {
+        pair
+        for stream in corpus.streams.values()
+        for sentence in stream
+        for pair in zip(sentence, sentence[1:])
+    }
+    assert any(marker in bigrams for marker in evidence.positive_markers)
+    assert any(marker in bigrams for marker in evidence.negative_markers)
+
+
+# ----------------------------------------------------------------- keyboard
+
+SENTENCES = [["hello", "world"], ["the", "quick", "brown", "fox"]]
+
+
+def test_trace_types_exact_text():
+    trace = trace_for_sentences(SENTENCES, rng())
+    assert trace.typed_sentences() == SENTENCES
+
+
+def test_robotic_trace_types_exact_text():
+    trace = robotic_trace_for_sentences(SENTENCES)
+    assert trace.typed_sentences() == SENTENCES
+
+
+def test_human_trace_has_variance():
+    trace = trace_for_sentences(SENTENCES, rng())
+    assert trace.timing_variance() > 500.0
+
+
+def test_robotic_trace_is_flat():
+    trace = robotic_trace_for_sentences(SENTENCES)
+    assert trace.timing_variance() < 1.0
+
+
+def test_human_intervals_plausible():
+    trace = trace_for_sentences(SENTENCES, rng())
+    intervals = trace.inter_key_intervals()
+    mean = sum(intervals) / len(intervals)
+    assert 0.3 * HUMAN_MEAN_INTERVAL_MS < mean < 8 * HUMAN_MEAN_INTERVAL_MS
+
+
+def test_timestamps_monotonic():
+    trace = trace_for_sentences(SENTENCES, rng())
+    times = [e.timestamp_ms for e in trace.events]
+    assert times == sorted(times)
+
+
+def test_empty_trace():
+    trace = empty_trace()
+    assert trace.events == []
+    assert trace.duration_ms() == 0.0
+    assert trace.timing_variance() == 0.0
+    assert trace.typed_sentences() == []
+
+
+def test_duration_positive():
+    trace = trace_for_sentences(SENTENCES, rng())
+    assert trace.duration_ms() > 0
+
+
+@settings(max_examples=20)
+@given(
+    st.lists(
+        st.lists(
+            st.sampled_from(["aa", "bb", "cc"]), min_size=1, max_size=4
+        ),
+        min_size=1,
+        max_size=4,
+    )
+)
+def test_trace_roundtrip_property(sentences):
+    trace = trace_for_sentences(sentences, HmacDrbg(b"prop"))
+    assert trace.typed_sentences() == sentences
