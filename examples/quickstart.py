@@ -1,16 +1,21 @@
 #!/usr/bin/env python3
 """Quickstart: one client, one Glimmer, one validated blinded contribution.
 
-Walks the minimal end-to-end path of the paper's architecture (Figure 3):
+Walks the minimal end-to-end path of the paper's architecture (Figure 3),
+with every protocol step travelling as a message over the simulated
+transport via the RoundEngine:
 
 1. the service publishes a feature space and a vetted Glimmer image;
 2. a client device loads the Glimmer and obtains the signing key over an
    attested handshake;
-3. the blinding service provisions a sum-zero mask for the round;
-4. the client's Glimmer validates, blinds, and signs a contribution;
+3. the round engine opens the round and commands each client to fetch its
+   sum-zero mask from the blinding service — over the wire;
+4. the client's Glimmer validates, blinds, and signs a contribution, which
+   the client submits to the cloud service — over the wire;
 5. the cloud service verifies the endorsement and — together with the rest
    of the cohort — recovers the exact aggregate without ever seeing the
-   client's values;
+   client's values; the engine hands back a RoundReport of everything the
+   wire and the enclaves did;
 6. a poisoned contribution (the famous 538) is rejected inside the enclave.
 
 Run:  python examples/quickstart.py
@@ -18,8 +23,8 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro.errors import ValidationError
 from repro.experiments.common import Deployment
+from repro.runtime.telemetry import OUTCOME_ACCEPTED, OUTCOME_VALIDATION_REJECTED
 
 NUM_USERS = 5
 
@@ -28,52 +33,61 @@ def main() -> None:
     print("== Glimmers quickstart ==\n")
 
     # Deployment.build stands up the whole cast: attestation service,
-    # vendor, vetted Glimmer image, provisioners, cloud service, and a
-    # synthetic keyboard corpus with one client device per user.
+    # vendor, vetted Glimmer image, provisioners, cloud service, a message
+    # bus with a RoundEngine, and a synthetic keyboard corpus with one
+    # client device per user.
     deployment = Deployment.build(num_users=NUM_USERS, seed=b"quickstart")
+    engine = deployment.engine
     features = deployment.features
     print(f"service tracks {len(features)} bigram features")
     print(f"vetted Glimmer measurement: {deployment.image.mrenclave.hex()[:16]}…")
 
     # Open a blinded aggregation round: the blinding service samples N
-    # masks summing to zero and provisions each client's Glimmer.
+    # masks summing to zero, and the engine commands each client to fetch
+    # its mask over an attested handshake — all of it as bus messages.
     user_ids = [user.user_id for user in deployment.corpus.users]
     deployment.open_round(1, user_ids)
     print(f"round 1 open with {len(user_ids)} participants\n")
 
-    # Every client trains locally and contributes through its Glimmer.
+    # Every client trains locally and contributes through its Glimmer; the
+    # signed blinded payload goes to the service over the wire.
     vectors = deployment.local_vectors()
     for user_id in user_ids:
-        signed = deployment.clients[user_id].contribute(
-            1, list(vectors[user_id]), features.bigrams
+        outcome = engine.contribute(
+            user_id, 1, list(vectors[user_id]), features.bigrams
         )
-        accepted = deployment.service.submit(1, signed)
         print(f"  {user_id}: blinded contribution "
-              f"{'accepted' if accepted else 'REJECTED'}")
+              f"{'accepted' if outcome == OUTCOME_ACCEPTED else outcome.upper()}")
 
     # The service sums blinded vectors; masks cancel; the aggregate is exact.
-    result = deployment.service.finalize_blinded_round(1)
+    report = engine.finalize_round(1)
     truth = np.mean(np.stack([vectors[u] for u in user_ids]), axis=0)
-    error = float(np.max(np.abs(result.aggregate - truth)))
+    error = float(np.max(np.abs(report.aggregate - truth)))
     print(f"\naggregate recovered with max error {error:.2e}")
+
+    # The engine metered the whole round: transport and enclave telemetry.
+    print(f"round telemetry: {report.messages_sent} messages "
+          f"({report.messages_dropped} dropped), {report.bytes_on_wire} bytes, "
+          f"{report.latency_ms:.1f} ms simulated latency")
+    print(f"                 {report.ecalls} ecalls, "
+          f"{report.enclave_transition_cycles:,} enclave transition cycles")
 
     from repro.federated.model import BigramModel
 
-    model = BigramModel.from_vector(features, result.aggregate)
+    model = BigramModel.from_vector(features, report.aggregate)
     print(f"the global model now suggests {model.top_prediction('donald')!r} "
           f"after 'donald'")
 
     # And the attack of Figure 1d: a contribution of 538 never gets signed.
-    deployment.blinder_provisioner.open_round(2, 1, len(features))
-    deployment.service.open_round(2, 1)
-    client = deployment.clients[user_ids[0]]
-    client.provision_mask(deployment.blinder_provisioner, 2, 0)
+    engine.open_round(2, 1, len(features))
+    engine.provision_mask(user_ids[0], 2, 0)
     poisoned = [538.0] + [0.0] * (len(features) - 1)
-    try:
-        client.contribute(2, poisoned, features.bigrams)
+    outcome = engine.contribute(user_ids[0], 2, poisoned, features.bigrams)
+    if outcome == OUTCOME_VALIDATION_REJECTED:
+        print("\nthe 538 attack was stopped inside the enclave "
+              "(validation-rejected; the Glimmer never signed it)")
+    else:
         print("\n!!! the 538 attack went through — this should never print")
-    except ValidationError as exc:
-        print(f"\nthe 538 attack was stopped inside the enclave:\n  {exc}")
 
 
 if __name__ == "__main__":

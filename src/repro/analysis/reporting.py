@@ -3,10 +3,14 @@
 Every experiment renders its results through :class:`Table` so the
 benchmark harness and EXPERIMENTS.md show identical rows.  No external
 dependencies; values are formatted compactly and columns aligned.
+Tables also serialize to JSON (:meth:`Table.as_dict` /
+:meth:`Table.to_json`) so benchmark trajectories can be tracked by
+machines, not just read by people.
 """
 
 from __future__ import annotations
 
+import json
 from typing import Any, Sequence
 
 from repro.errors import ConfigurationError
@@ -24,6 +28,23 @@ def _format_value(value: Any) -> str:
     return str(value)
 
 
+def _json_safe(value: Any) -> Any:
+    """Coerce a cell to something ``json.dumps`` accepts.
+
+    Handles numpy scalars/arrays by duck-typing so this module keeps its
+    no-dependency promise.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if hasattr(value, "tolist"):  # numpy arrays
+        return value.tolist()
+    if hasattr(value, "item"):  # numpy scalars
+        return value.item()
+    return str(value)
+
+
 class Table:
     """An aligned, titled, plain-text results table."""
 
@@ -33,12 +54,14 @@ class Table:
         self.title = title
         self.columns = list(columns)
         self.rows: list[list[str]] = []
+        self.raw_rows: list[list[Any]] = []
 
     def add_row(self, *values: Any) -> None:
         if len(values) != len(self.columns):
             raise ConfigurationError(
                 f"row has {len(values)} values, table has {len(self.columns)} columns"
             )
+        self.raw_rows.append(list(values))
         self.rows.append([_format_value(v) for v in values])
 
     def render(self) -> str:
@@ -53,6 +76,18 @@ class Table:
         for row in self.rows:
             lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
         return "\n".join(lines)
+
+    def as_dict(self) -> dict[str, Any]:
+        """The table's unformatted content as a JSON-safe dict."""
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [[_json_safe(v) for v in row] for row in self.raw_rows],
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Machine-readable twin of :meth:`render`."""
+        return json.dumps(self.as_dict(), indent=indent)
 
     def __str__(self) -> str:
         return self.render()

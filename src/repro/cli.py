@@ -4,7 +4,8 @@ Usage (also available as ``python -m repro``)::
 
     python -m repro list                     # experiment index
     python -m repro run e4                   # run one experiment, print its table
-    python -m repro run all                  # run all twelve
+    python -m repro run all                  # run every registered experiment
+    python -m repro run e4 --json            # machine-readable table output
     python -m repro demo                     # the quickstart narrative
 
 Experiment parameter overrides are passed as ``key=value`` pairs and parsed
@@ -50,8 +51,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if experiment_id not in EXPERIMENTS:
             print(f"unknown experiment {experiment_id!r}; try 'list'", file=sys.stderr)
             return 2
-        result = run_experiment(experiment_id, **overrides)
-        print(result.table().render())
+        try:
+            result = run_experiment(experiment_id, **overrides)
+        except Exception as exc:
+            print(f"{experiment_id} failed: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        table = result.table()
+        print(table.to_json(indent=2) if args.json else table.render())
         print()
     return status
 
@@ -60,34 +67,31 @@ def _cmd_demo(_args: argparse.Namespace) -> int:
     """A self-contained miniature of examples/quickstart.py."""
     import numpy as np
 
-    from repro.errors import ValidationError
     from repro.experiments.common import Deployment
+    from repro.runtime.telemetry import OUTCOME_VALIDATION_REJECTED
 
     deployment = Deployment.build(num_users=4, seed=b"cli-demo")
     user_ids = [user.user_id for user in deployment.corpus.users]
-    deployment.open_round(1, user_ids)
     vectors = deployment.local_vectors()
-    for user_id in user_ids:
-        signed = deployment.clients[user_id].contribute(
-            1, list(vectors[user_id]), deployment.features.bigrams
-        )
-        deployment.service.submit(1, signed)
-    result = deployment.service.finalize_blinded_round(1)
+    aggregate = deployment.honest_round(1)
     truth = np.mean(np.stack([vectors[u] for u in user_ids]), axis=0)
-    print(f"blinded round of {len(user_ids)} clients: aggregate max error "
-          f"{float(np.max(np.abs(result.aggregate - truth))):.2e}")
-    deployment.blinder_provisioner.open_round(2, 1, len(deployment.features))
-    deployment.service.open_round(2, 1)
-    client = deployment.clients[user_ids[0]]
-    client.provision_mask(deployment.blinder_provisioner, 2, 0)
-    try:
-        client.contribute(
-            2,
-            [538.0] + [0.0] * (len(deployment.features) - 1),
-            deployment.features.bigrams,
-        )
-    except ValidationError as exc:
-        print(f"and the 538 attack is stopped in-enclave: {exc}")
+    print(f"blinded round of {len(user_ids)} clients over the message bus: "
+          f"aggregate max error {float(np.max(np.abs(aggregate - truth))):.2e}")
+    report = deployment.last_report
+    print(f"  telemetry: {report.messages_sent} messages, "
+          f"{report.bytes_on_wire} bytes, {report.latency_ms:.1f} ms simulated, "
+          f"{report.ecalls} ecalls")
+    engine = deployment.engine
+    engine.open_round(2, 1, len(deployment.features))
+    engine.provision_mask(user_ids[0], 2, 0)
+    outcome = engine.contribute(
+        user_ids[0],
+        2,
+        [538.0] + [0.0] * (len(deployment.features) - 1),
+        deployment.features.bigrams,
+    )
+    if outcome == OUTCOME_VALIDATION_REJECTED:
+        print("and the 538 attack is stopped in-enclave: validation-rejected")
     return 0
 
 
@@ -106,6 +110,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("experiment", help="experiment id, e.g. e4, or 'all'")
     run_parser.add_argument(
         "overrides", nargs="*", help="key=value parameter overrides"
+    )
+    run_parser.add_argument(
+        "--json", action="store_true", help="print tables as JSON"
     )
     run_parser.set_defaults(func=_cmd_run)
 

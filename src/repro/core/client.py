@@ -100,6 +100,25 @@ class ClientDevice:
         )
         return session_id, dh_public, quote
 
+    def handshake_request(self) -> tuple[bytes, int, object]:
+        """Start an attested handshake; the tuple is what goes on the wire.
+
+        Provisioning over a transport sends this to a provisioner endpoint
+        and feeds the returned :class:`KeyDelivery` to :meth:`install_mask`
+        (or ``install_signing_key``).  Direct-call provisioning keeps using
+        :meth:`provision_signing_key` / :meth:`provision_mask`.
+        """
+        return self._attested_handshake()
+
+    def install_mask(self, round_id: int, party_index: int, delivery) -> None:
+        """Install a delivered blinding mask for ``round_id``."""
+        self.glimmer.ecall("install_blinding_mask", round_id, party_index, delivery)
+        self._party_index_for_round[round_id] = party_index
+
+    def party_index_for(self, round_id: int) -> int | None:
+        """The slot this client holds a mask for in ``round_id``, if any."""
+        return self._party_index_for_round.get(round_id)
+
     def provision_signing_key(self, provisioner: ServiceProvisioner) -> bytes:
         """Obtain the service signing key; returns the sealed backup blob."""
         session_id, dh_public, quote = self._attested_handshake()
@@ -114,8 +133,7 @@ class ClientDevice:
         delivery = provisioner.provision_mask(
             session_id, dh_public, quote, round_id, party_index
         )
-        self.glimmer.ecall("install_blinding_mask", round_id, party_index, delivery)
-        self._party_index_for_round[round_id] = party_index
+        self.install_mask(round_id, party_index, delivery)
 
     # --------------------------------------------------------- contribution
 

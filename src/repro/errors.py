@@ -49,5 +49,9 @@ class NetworkError(ReproError):
     """The simulated transport could not deliver a message."""
 
 
+class RoundAbortedError(ProtocolError):
+    """A round lost too many participants to finalize safely."""
+
+
 class ConfigurationError(ReproError):
     """An object was constructed or used with inconsistent parameters."""

@@ -31,6 +31,9 @@ from repro.crypto.masking import BlindingService
 from repro.crypto.schnorr import SchnorrKeyPair
 from repro.federated.model import FeatureSpace
 from repro.federated.trainer import LocalTrainer
+from repro.network.transport import Network
+from repro.runtime.engine import RoundEngine
+from repro.runtime.telemetry import RoundReport
 from repro.sgx.attestation import AttestationService
 from repro.sgx.measurement import EnclaveImage, VendorKey
 from repro.workloads.text import KeyboardCorpus
@@ -58,7 +61,11 @@ class Deployment:
     service_provisioner: ServiceProvisioner
     blinder_provisioner: BlinderProvisioner
     service: CloudService
+    network: Network
+    engine: RoundEngine
     clients: dict[str, ClientDevice] = field(default_factory=dict)
+    last_report: RoundReport | None = None
+    _vector_cache: dict[str, np.ndarray] = field(default_factory=dict)
 
     @classmethod
     def build(
@@ -103,6 +110,9 @@ class Deployment:
             BlindingService(rng.fork("blinding-service"), codec),
             attestation, registry, GLIMMER_NAME, rng.fork("blinder-provisioner"),
         )
+        service = CloudService(signing_keypair.public_key, codec)
+        network = Network(seed=seed + b":network")
+        engine = RoundEngine(network, service, blinder_provisioner)
         deployment = cls(
             rng=rng,
             group=group,
@@ -119,7 +129,9 @@ class Deployment:
             registry=registry,
             service_provisioner=service_provisioner,
             blinder_provisioner=blinder_provisioner,
-            service=CloudService(signing_keypair.public_key, codec),
+            service=service,
+            network=network,
+            engine=engine,
         )
         if provision_clients:
             for user in corpus.users:
@@ -145,40 +157,53 @@ class Deployment:
         )
         client.provision_signing_key(self.service_provisioner)
         self.clients[user_id] = client
+        self.engine.register_client(client)
         return client
 
     # ------------------------------------------------------------ round glue
 
     def open_round(self, round_id: int, participants: list[str]) -> None:
-        """Open a blinded round and provision masks to each participant."""
-        self.blinder_provisioner.open_round(
-            round_id, len(participants), len(self.features)
-        )
-        self.service.open_round(round_id, len(participants), blinded=True)
+        """Open a blinded round and provision masks over the message bus."""
+        self.engine.open_round(round_id, len(participants), len(self.features))
         for index, user_id in enumerate(participants):
-            self.clients[user_id].provision_mask(
-                self.blinder_provisioner, round_id, index
-            )
+            self.engine.provision_mask(user_id, round_id, index)
 
-    def local_vectors(self) -> dict[str, np.ndarray]:
-        """Every user's honestly trained contribution vector."""
-        return {
-            user.user_id: self.trainer.train(
-                self.corpus.streams[user.user_id]
-            ).contribution()
-            for user in self.corpus.users
-        }
+    def local_vectors(
+        self, participants: list[str] | None = None
+    ) -> dict[str, np.ndarray]:
+        """Honestly trained contribution vectors, cached across rounds.
+
+        Training is deterministic per user, so each user is trained at
+        most once per deployment; pass ``participants`` to train only the
+        users a round actually needs.
+        """
+        if participants is None:
+            participants = [user.user_id for user in self.corpus.users]
+        for user_id in participants:
+            if user_id not in self._vector_cache:
+                self._vector_cache[user_id] = self.trainer.train(
+                    self.corpus.streams[user_id]
+                ).contribution()
+        return {user_id: self._vector_cache[user_id] for user_id in participants}
 
     def honest_round(
-        self, round_id: int, participants: list[str] | None = None
+        self,
+        round_id: int,
+        participants: list[str] | None = None,
+        dropouts: list[str] | None = None,
     ) -> "np.ndarray":
-        """Run one fully honest blinded round; returns the aggregate vector."""
+        """Run one fully honest blinded round over the message bus.
+
+        Returns the aggregate vector; the full :class:`RoundReport` (with
+        transport and enclave telemetry) lands in :attr:`last_report`.
+        """
         participants = participants or [u.user_id for u in self.corpus.users]
-        self.open_round(round_id, participants)
-        vectors = self.local_vectors()
-        for user_id in participants:
-            signed = self.clients[user_id].contribute(
-                round_id, list(vectors[user_id]), self.features.bigrams
-            )
-            self.service.submit(round_id, signed)
-        return self.service.finalize_blinded_round(round_id).aggregate
+        vectors = self.local_vectors(participants)
+        self.last_report = self.engine.run_round(
+            round_id,
+            participants,
+            vectors,
+            self.features.bigrams,
+            dropouts=tuple(dropouts or ()),
+        )
+        return self.last_report.aggregate

@@ -28,8 +28,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.reporting import Table
-from repro.errors import ValidationError
 from repro.experiments.common import Deployment
+from repro.runtime.telemetry import OUTCOME_VALIDATION_REJECTED
 
 
 @dataclass
@@ -55,10 +55,12 @@ def _flood_round(deployment, round_id, flood_values, flood_count, restart_betwee
     """One round: honest cohort + one device submitting ``flood_count`` times.
 
     Returns (flood contributions signed, aggregate skew vs. the honest
-    cohort's mean).  Slots whose validation failed never consumed their
-    mask, so their masks are disclosed for §3-style repair before
-    finalizing.
+    cohort's mean).  The round runs over the message bus via the
+    deployment's :class:`~repro.runtime.engine.RoundEngine`; slots whose
+    validation failed never consumed their mask, so the engine reveals
+    them for §3-style repair at finalization.
     """
+    engine = deployment.engine
     features = deployment.features
     user_ids = [user.user_id for user in deployment.corpus.users]
     vectors = deployment.local_vectors()
@@ -68,29 +70,24 @@ def _flood_round(deployment, round_id, flood_values, flood_count, restart_betwee
     # slot; a flooding attacker requests extra slots for its duplicates
     # (nothing stops it — slots are not identities).
     total_slots = len(user_ids) + flood_count - 1
-    deployment.blinder_provisioner.open_round(round_id, total_slots, len(features))
-    deployment.service.open_round(round_id, total_slots)
+    engine.open_round(round_id, total_slots, len(features))
 
     signed_flood = 0
-    consumed_slots: set[int] = set()
 
-    def attempt(client, slot, values, is_flood):
+    def attempt(client_id, slot, values, is_flood):
         nonlocal signed_flood
-        client.provision_mask(deployment.blinder_provisioner, round_id, slot)
-        try:
-            signed = client.contribute(round_id, list(values), features.bigrams)
-        except ValidationError:
+        engine.provision_mask(client_id, round_id, slot)
+        outcome = engine.contribute(client_id, round_id, list(values), features.bigrams)
+        if outcome == OUTCOME_VALIDATION_REJECTED:
             return
-        consumed_slots.add(slot)
         if is_flood:
             signed_flood += 1
-        deployment.service.submit(round_id, signed)
 
     # Honest cohort; the attacker's device pushes flood values in slot 0.
     for index, user_id in enumerate(user_ids):
         is_attacker = user_id == attacker_id
         attempt(
-            deployment.clients[user_id],
+            user_id,
             index,
             flood_values if is_attacker else vectors[user_id],
             is_flood=is_attacker,
@@ -109,16 +106,11 @@ def _flood_round(deployment, round_id, flood_values, flood_count, restart_betwee
             )
             attacker.glimmer.ecall("restore_signing_key", sealed)
             attacker._party_index_for_round.pop(round_id, None)
-        attempt(attacker, len(user_ids) + extra, flood_values, is_flood=True)
+        attempt(attacker_id, len(user_ids) + extra, flood_values, is_flood=True)
 
-    repairs = [
-        deployment.blinder_provisioner.reveal_dropout_mask(round_id, slot)
-        for slot in range(total_slots)
-        if slot not in consumed_slots
-    ]
-    result = deployment.service.finalize_blinded_round(round_id, repairs)
+    report = engine.finalize_round(round_id)
     honest_mean = np.mean(np.stack([vectors[u] for u in user_ids[1:]]), axis=0)
-    skew = float(np.max(np.abs(result.aggregate - honest_mean)))
+    skew = float(np.max(np.abs(report.aggregate - honest_mean)))
     return signed_flood, skew
 
 

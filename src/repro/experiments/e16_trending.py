@@ -111,6 +111,12 @@ def run(
     service = CloudService(deployment.signing_keypair.public_key, deployment.codec)
 
     from repro.core.client import ClientDevice, LocalDataStore
+    from repro.network.transport import Network
+    from repro.runtime.engine import RoundEngine
+
+    # Each epoch's round runs over its own message bus through the engine.
+    network = Network(seed=seed + b":trend-network")
+    engine = RoundEngine(network, service, blinder_prov)
 
     user_ids = [user.user_id for user in epochs[0].users]
     clients = {}
@@ -120,6 +126,7 @@ def run(
             seed=b"trend:" + user_id.encode(), data=LocalDataStore(),
         )
         client.provision_signing_key(service_prov)
+        engine.register_client(client)
         clients[user_id] = client
 
     trainer = LocalTrainer(features)
@@ -127,21 +134,19 @@ def run(
     epochs_to_trend = None
     for epoch, (intensity, corpus) in enumerate(zip(epoch_intensities, epochs)):
         round_id = epoch + 1
-        blinder_prov.open_round(round_id, num_users, len(features))
-        service.open_round(round_id, num_users)
-        vectors = {}
-        for index, user_id in enumerate(user_ids):
-            clients[user_id].provision_mask(blinder_prov, round_id, index)
-            vector = trainer.train(corpus.streams[user_id]).contribution()
-            vectors[user_id] = vector
-            signed = clients[user_id].contribute(
-                round_id, list(vector), features.bigrams
-            )
-            service.submit(round_id, signed)
-        result = service.finalize_blinded_round(round_id)
+        vectors = {
+            user_id: trainer.train(corpus.streams[user_id]).contribution()
+            for user_id in user_ids
+        }
+        report = engine.run_round(
+            round_id,
+            [clients[u].client_id for u in user_ids],
+            {clients[u].client_id: vectors[u] for u in user_ids},
+            features.bigrams,
+        )
         truth = np.mean(np.stack([vectors[u] for u in user_ids]), axis=0)
-        error = float(np.max(np.abs(result.aggregate - truth)))
-        model = BigramModel.from_vector(features, result.aggregate)
+        error = float(np.max(np.abs(report.aggregate - truth)))
+        model = BigramModel.from_vector(features, report.aggregate)
         weight = model.weight(("donald", "trump"))
         suggests = model.top_prediction("donald") == "trump"
         if suggests and epochs_to_trend is None and intensity > 0:

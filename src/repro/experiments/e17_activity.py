@@ -38,7 +38,9 @@ from repro.crypto.drbg import HmacDrbg
 from repro.crypto.fixedpoint import FixedPointCodec
 from repro.crypto.masking import BlindingService
 from repro.crypto.schnorr import SchnorrKeyPair
-from repro.errors import ValidationError
+from repro.network.transport import Network
+from repro.runtime.engine import RoundEngine
+from repro.runtime.telemetry import OUTCOME_ACCEPTED
 from repro.sgx.attestation import AttestationService
 from repro.sgx.measurement import VendorKey
 from repro.workloads.camera import (
@@ -110,8 +112,10 @@ def run(
             ias, registry, name, rng.fork(f"bp-{tolerance}"),
         )
         service = CloudService(signing.public_key, codec)
-        blinder_prov.open_round(round_id, num_users, MOTION_BINS)
-        service.open_round(round_id, num_users)
+        # Every home's provisioning and submission goes over the message bus.
+        network = Network(seed=seed + f":activity-{tolerance}".encode())
+        engine = RoundEngine(network, service, blinder_prov)
+        engine.open_round(round_id, num_users, MOTION_BINS)
 
         forged_total = honest_total = 0
         forged_rejected = honest_accepted = 0
@@ -126,14 +130,13 @@ def run(
                 data=LocalDataStore(video_stream=stream),
             )
             client.provision_signing_key(service_prov)
-            client.provision_mask(blinder_prov, round_id, index)
-            try:
-                signed = client.contribute(
-                    round_id, list(contribution.values), HISTOGRAM_FEATURES
-                )
-                accepted = service.submit(round_id, signed)
-            except ValidationError:
-                accepted = False
+            engine.register_client(client)
+            engine.provision_mask(client.client_id, round_id, index)
+            outcome = engine.contribute(
+                client.client_id, round_id, list(contribution.values),
+                HISTOGRAM_FEATURES,
+            )
+            accepted = outcome == OUTCOME_ACCEPTED
             if contribution.is_forged:
                 forged_total += 1
                 forged_rejected += not accepted
@@ -145,16 +148,10 @@ def run(
                         (index, stream.activity == ACTIVITY_ACTIVE)
                     )
 
-        # Repair masks for rejected slots, decode the aggregate of survivors.
-        accepted_indices = {index for index, __ in accepted_labels}
-        repairs = [
-            blinder_prov.reveal_dropout_mask(round_id, index)
-            for index in range(num_users)
-            if index not in accepted_indices
-        ]
+        # The engine repairs masks for rejected slots at finalization.
         separation = float("nan")
         if accepted_labels:
-            result = service.finalize_blinded_round(round_id, repairs)
+            engine.finalize_round(round_id)
             # Utility: do honest histograms separate active from idle homes?
             # Compare per-cohort high-motion mass from the raw honest data
             # (the aggregate blends cohorts; separation is measured on the

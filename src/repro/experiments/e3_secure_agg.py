@@ -4,8 +4,14 @@ Two blinding schemes, both cited in §3, run over the same cohort:
 
 * the paper's own construction — a trusted blinding service distributing
   sum-zero masks (``y_i = x_i + p_i``, Σp = 0), with dropout repair by
-  disclosing the missing masks;
-* Bonawitz et al.'s decentralized pairwise masking with Shamir recovery.
+  disclosing the missing masks.  This arm runs end-to-end over the
+  message bus: the :class:`~repro.runtime.engine.RoundEngine` provisions
+  masks and collects signed submissions through the simulated transport
+  while an eavesdropper records every wire payload — the "blinded
+  per-user vectors" the inversion attacker gets are exactly the bytes an
+  on-path observer saw;
+* Bonawitz et al.'s decentralized pairwise masking with Shamir recovery
+  (run directly; it is the contrast scheme, not Glimmer traffic).
 
 For each scheme and dropout rate we report: the maximum error between the
 recovered aggregate and the true mean of the submitted contributions
@@ -23,12 +29,12 @@ from repro.analysis.reporting import Table
 from repro.crypto.drbg import HmacDrbg
 from repro.crypto.dh import TEST_GROUP
 from repro.crypto.fixedpoint import FixedPointCodec
-from repro.crypto.masking import BlindingService, apply_mask
 from repro.crypto.secagg import SecureAggregationClient, SecureAggregationServer
+from repro.experiments.common import Deployment
 from repro.federated.inversion import InversionAttacker
-from repro.federated.model import FeatureSpace
-from repro.federated.trainer import LocalTrainer
-from repro.workloads.text import KeyboardCorpus, stance_evidence
+from repro.network.adversary import EavesdropAdversary
+from repro.runtime.messages import KIND_SUBMIT, client_endpoint
+from repro.workloads.text import stance_evidence
 
 
 @dataclass
@@ -52,26 +58,21 @@ class SecureAggResult:
         return table
 
 
-def _blinding_service_round(vectors, dropouts, codec, rng):
-    """Run the §3 sum-zero scheme; returns (aggregate, blinded-per-user)."""
-    user_ids = list(vectors)
-    length = len(next(iter(vectors.values())))
-    service = BlindingService(rng.fork("blinding"), codec)
-    service.open_round(1, len(user_ids), length)
-    blinded = {}
-    submitted = []
-    for index, user_id in enumerate(user_ids):
-        mask = service.mask_for(1, index)
-        blind_vector = apply_mask(codec.encode(list(vectors[user_id])), mask)
-        blinded[user_id] = np.array(codec.decode(blind_vector))
-        if user_id not in dropouts:
-            submitted.append(blind_vector)
-    total = codec.sum_vectors(submitted)
-    for index, user_id in enumerate(user_ids):
-        if user_id in dropouts:
-            total = apply_mask(total, service.mask_for_dropout(1, index))
-    aggregate = codec.decode(total) / (len(user_ids) - len(dropouts))
-    return aggregate, blinded
+def _captured_blinded(eavesdropper, codec, round_id, user_ids):
+    """Per-user blinded vectors as an on-path observer decoded them."""
+    blinded: dict[str, np.ndarray] = {}
+    for message in eavesdropper.captured:
+        if message.kind != KIND_SUBMIT:
+            continue
+        contribution = message.payload.contribution
+        if contribution.round_id != round_id or contribution.ring_payload is None:
+            continue
+        for user_id in user_ids:
+            if message.sender == client_endpoint(user_id):
+                blinded.setdefault(
+                    user_id, np.array(codec.decode(list(contribution.ring_payload)))
+                )
+    return blinded
 
 
 def _bonawitz_round(vectors, dropouts, codec, rng):
@@ -115,35 +116,65 @@ def run(
     seed: bytes = b"e3",
 ) -> SecureAggResult:
     rng = HmacDrbg(seed, personalization="e3")
-    corpus = KeyboardCorpus.generate(
-        num_users, rng.fork("corpus"), sentences_per_user=sentences_per_user
+    deployment = Deployment.build(
+        num_users=num_users, seed=seed, sentences_per_user=sentences_per_user
     )
-    features = FeatureSpace.from_corpus(corpus.all_sentences())
-    trainer = LocalTrainer(features)
-    vectors = {
-        user.user_id: trainer.train(corpus.streams[user.user_id]).contribution()
-        for user in corpus.users
-    }
-    labels = corpus.labels()
-    attacker = InversionAttacker(features, stance_evidence())
+    eavesdropper = EavesdropAdversary()
+    deployment.network.interpose(eavesdropper)
+    vectors = deployment.local_vectors()
+    user_ids = [user.user_id for user in deployment.corpus.users]
+    labels = deployment.corpus.labels()
+    attacker = InversionAttacker(deployment.features, stance_evidence())
     plain_accuracy = attacker.accuracy(vectors, labels)
 
     rows = []
-    for scheme, runner in (
-        ("sum-zero blinding service (§3)", _blinding_service_round),
-        ("pairwise secagg (Bonawitz)", _bonawitz_round),
-    ):
-        for rate in dropout_rates:
-            num_drop = int(round(rate * num_users))
-            dropouts = set(list(vectors)[:num_drop])
-            aggregate, blinded = runner(
-                vectors, dropouts, FixedPointCodec(), rng.fork(f"{scheme}-{rate}")
+    # ---- §3 sum-zero blinding service, end-to-end over the bus -------------
+    for round_id, rate in enumerate(dropout_rates, start=1):
+        num_drop = int(round(rate * num_users))
+        dropouts = user_ids[:num_drop]
+        report = deployment.engine.run_round(
+            round_id,
+            user_ids,
+            vectors,
+            deployment.features.bigrams,
+            dropouts=dropouts,
+        )
+        survivors = [u for u in user_ids if u not in dropouts]
+        truth = np.mean(np.stack([vectors[u] for u in survivors]), axis=0)
+        error = float(np.max(np.abs(report.aggregate - truth)))
+        blinded = _captured_blinded(
+            eavesdropper, deployment.codec, round_id, user_ids
+        )
+        blinded_accuracy = attacker.accuracy(blinded, labels)
+        rows.append(
+            (
+                "sum-zero blinding service (§3)",
+                num_users,
+                rate,
+                error,
+                blinded_accuracy,
+                plain_accuracy,
             )
-            survivors = [u for u in vectors if u not in dropouts]
-            truth = np.mean(np.stack([vectors[u] for u in survivors]), axis=0)
-            error = float(np.max(np.abs(aggregate - truth)))
-            blinded_accuracy = attacker.accuracy(blinded, labels)
-            rows.append(
-                (scheme, num_users, rate, error, blinded_accuracy, plain_accuracy)
+        )
+    # ---- Bonawitz pairwise masking, for contrast ---------------------------
+    for rate in dropout_rates:
+        num_drop = int(round(rate * num_users))
+        dropouts = set(user_ids[:num_drop])
+        aggregate, masked = _bonawitz_round(
+            vectors, dropouts, FixedPointCodec(), rng.fork(f"bonawitz-{rate}")
+        )
+        survivors = [u for u in user_ids if u not in dropouts]
+        truth = np.mean(np.stack([vectors[u] for u in survivors]), axis=0)
+        error = float(np.max(np.abs(aggregate - truth)))
+        masked_accuracy = attacker.accuracy(masked, labels)
+        rows.append(
+            (
+                "pairwise secagg (Bonawitz)",
+                num_users,
+                rate,
+                error,
+                masked_accuracy,
+                plain_accuracy,
             )
+        )
     return SecureAggResult(rows=rows)

@@ -20,7 +20,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.reporting import Table
-from repro.errors import ValidationError
 from repro.experiments.common import Deployment
 from repro.federated.model import BigramModel
 from repro.federated.poisoning import Poisoner
@@ -118,32 +117,25 @@ def run(
             )
 
             # ---- condition 2: Glimmer with a range predicate ---------------
+            # The whole round runs over the message bus: the engine
+            # provisions masks, each poisoned contribution dies inside the
+            # Glimmer (validation-rejected), and the engine repairs the
+            # blocked parties' mask slots at finalization.
             round_id += 1
-            deployment.open_round(round_id, user_ids)
-            accepted = []
-            blocked = 0
-            for index, user_id in enumerate(user_ids):
-                client = deployment.clients[user_id]
-                values = vectors[user_id]
-                if user_id in attacker_ids:
-                    values = poisoner.magnitude_attack(values, magnitude).vector
-                try:
-                    signed = client.contribute(
-                        round_id, list(values), features.bigrams
-                    )
-                except ValidationError:
-                    blocked += 1
-                    continue
-                deployment.service.submit(round_id, signed)
-                accepted.append(user_id)
-            dropout_masks = [
-                deployment.blinder_provisioner.reveal_dropout_mask(round_id, index)
-                for index, user_id in enumerate(user_ids)
-                if user_id not in accepted
-            ]
-            result = deployment.service.finalize_blinded_round(
-                round_id, dropout_masks
+            values_by_user = {
+                user_id: (
+                    poisoner.magnitude_attack(vectors[user_id], magnitude).vector
+                    if user_id in attacker_ids
+                    else vectors[user_id]
+                )
+                for user_id in user_ids
+            }
+            report = deployment.engine.run_round(
+                round_id, user_ids, values_by_user, features.bigrams
             )
+            result = report.service_result
+            blocked = report.validation_rejections
+            accepted = list(report.survivors)
             defended_model = BigramModel.from_vector(features, result.aggregate)
             honest_survivors = np.mean(
                 np.stack([vectors[u] for u in accepted]), axis=0

@@ -1,0 +1,41 @@
+"""Round orchestration over the simulated transport.
+
+The :class:`~repro.runtime.engine.RoundEngine` replaces the direct-call
+plumbing experiments used to do by hand: every mask provisioning,
+contribution submission, and round finalization travels as a typed message
+over :class:`repro.network.transport.Network`, so latency models, drop
+models, and on-path adversaries apply to the *main* pipeline, and every
+round yields a :class:`~repro.runtime.telemetry.RoundReport`.
+"""
+
+from repro.runtime.engine import BLINDER, ENGINE, SERVICE, RoundEngine, client_endpoint
+from repro.runtime.telemetry import (
+    OUTCOME_ACCEPTED,
+    OUTCOME_DEADLINE_MISSED,
+    OUTCOME_DROPOUT,
+    OUTCOME_PROVISION_FAILED,
+    OUTCOME_SERVICE_REJECTED,
+    OUTCOME_SUBMIT_FAILED,
+    OUTCOME_UNREACHABLE,
+    OUTCOME_VALIDATION_REJECTED,
+    PhaseStats,
+    RoundReport,
+)
+
+__all__ = [
+    "BLINDER",
+    "ENGINE",
+    "SERVICE",
+    "RoundEngine",
+    "client_endpoint",
+    "PhaseStats",
+    "RoundReport",
+    "OUTCOME_ACCEPTED",
+    "OUTCOME_DEADLINE_MISSED",
+    "OUTCOME_DROPOUT",
+    "OUTCOME_PROVISION_FAILED",
+    "OUTCOME_SERVICE_REJECTED",
+    "OUTCOME_SUBMIT_FAILED",
+    "OUTCOME_UNREACHABLE",
+    "OUTCOME_VALIDATION_REJECTED",
+]

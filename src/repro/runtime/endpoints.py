@@ -1,0 +1,168 @@
+"""Bus-facing adapters for the round participants.
+
+Each adapter turns one protocol party into a named transport endpoint:
+handler keys are the message kinds in :mod:`repro.runtime.messages`, and
+handler bodies call the party's existing methods — the parties themselves
+do not know about the bus.  The client adapter is the interesting one: a
+``client/provision-mask`` or ``client/contribute`` command makes the
+*client* originate further messages (mask request to the blinding
+service, signed submission to the cloud service), so the full §3 message
+flow goes over the wire, adversaries included.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import NetworkError, ValidationError
+from repro.network.message import Message
+from repro.runtime import messages as m
+from repro.runtime.telemetry import (
+    OUTCOME_ACCEPTED,
+    OUTCOME_SERVICE_REJECTED,
+    OUTCOME_SUBMIT_FAILED,
+    OUTCOME_VALIDATION_REJECTED,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.engine import RoundEngine
+
+
+class ServiceEndpoint:
+    """The cloud service as a transport endpoint."""
+
+    def __init__(self, service) -> None:
+        self.service = service
+
+    def handlers(self) -> dict:
+        return {
+            m.KIND_OPEN_SERVICE: self._handle_open,
+            m.KIND_SUBMIT: self._handle_submit,
+            m.KIND_FINALIZE: self._handle_finalize,
+        }
+
+    def _handle_open(self, message: Message):
+        request: m.OpenServiceRound = message.payload
+        self.service.open_round(
+            request.round_id, request.expected_parties, blinded=request.blinded
+        )
+        return True
+
+    def _handle_submit(self, message: Message) -> bool:
+        request: m.SubmitContribution = message.payload
+        return self.service.submit(request.round_id, request.contribution)
+
+    def _handle_finalize(self, message: Message):
+        request: m.FinalizeRound = message.payload
+        if self.service.round_state(request.round_id).blinded:
+            return self.service.finalize_blinded_round(
+                request.round_id, request.dropout_masks
+            )
+        return self.service.finalize_plain_round(request.round_id)
+
+
+class BlinderEndpoint:
+    """The blinding service as a transport endpoint."""
+
+    def __init__(self, provisioner) -> None:
+        self.provisioner = provisioner
+
+    def handlers(self) -> dict:
+        return {
+            m.KIND_OPEN_BLINDER: self._handle_open,
+            m.KIND_MASK_REQUEST: self._handle_mask_request,
+            m.KIND_REVEAL_MASK: self._handle_reveal,
+        }
+
+    def _handle_open(self, message: Message):
+        request: m.OpenBlinderRound = message.payload
+        self.provisioner.open_round(
+            request.round_id, request.num_parties, request.vector_length
+        )
+        return True
+
+    def _handle_mask_request(self, message: Message):
+        request: m.MaskRequest = message.payload
+        return self.provisioner.provision_mask(
+            request.session_id,
+            request.dh_public,
+            request.quote,
+            request.round_id,
+            request.party_index,
+        )
+
+    def _handle_reveal(self, message: Message):
+        request: m.RevealMask = message.payload
+        return self.provisioner.reveal_dropout_mask(
+            request.round_id, request.party_index
+        )
+
+
+class ClientEndpoint:
+    """One client device as a transport endpoint.
+
+    Engine commands arrive here; the resulting client-originated traffic
+    (attested mask requests, signed submissions) goes back out over the
+    same network under this endpoint's name, so eavesdroppers see exactly
+    what a real on-path attacker would.
+    """
+
+    def __init__(self, engine: "RoundEngine", client, name: str) -> None:
+        self.engine = engine
+        self.client = client
+        self.name = name
+
+    def handlers(self) -> dict:
+        return {
+            m.KIND_PROVISION_MASK: self._handle_provision,
+            m.KIND_CONTRIBUTE: self._handle_contribute,
+        }
+
+    def _handle_provision(self, message: Message) -> bool:
+        request: m.ProvisionMask = message.payload
+        record = self.engine.round_record(request.round_id)
+        self.engine.note_client_join(record, self.client)
+        session_id, dh_public, quote = self.client.handshake_request()
+        record.ecalls += 1  # begin_handshake
+        delivery = self.engine.call_with_retry(
+            record,
+            self.name,
+            m.BLINDER,
+            m.KIND_MASK_REQUEST,
+            m.MaskRequest(
+                session_id=session_id,
+                dh_public=dh_public,
+                quote=quote,
+                round_id=request.round_id,
+                party_index=request.party_index,
+            ),
+        )
+        self.client.install_mask(request.round_id, request.party_index, delivery)
+        record.ecalls += 1  # install_blinding_mask
+        return True
+
+    def _handle_contribute(self, message: Message) -> tuple[str, str | None]:
+        command: m.ContributeCommand = message.payload
+        record = self.engine.round_record(command.round_id)
+        self.engine.note_client_join(record, self.client)
+        record.ecalls += 1  # process_contribution (charged even on rejection)
+        try:
+            signed = self.client.contribute(
+                command.round_id,
+                list(command.values),
+                list(command.features),
+                blind=command.blind,
+                claims=dict(command.claims),
+                context_fields=command.context_fields,
+            )
+        except ValidationError as exc:
+            return OUTCOME_VALIDATION_REJECTED, str(exc)
+        try:
+            accepted = self.engine.submit_signed(
+                self.client.client_id, command.round_id, signed
+            )
+        except NetworkError as exc:
+            return OUTCOME_SUBMIT_FAILED, str(exc)
+        if accepted:
+            return OUTCOME_ACCEPTED, None
+        return OUTCOME_SERVICE_REJECTED, None

@@ -1,0 +1,445 @@
+"""The RoundEngine: message-bus orchestration of Glimmer rounds.
+
+The engine owns the round lifecycle — open → provision → collect →
+finalize — and drives it entirely with typed messages over
+:class:`repro.network.transport.Network`:
+
+* **open**: the blinding service samples this round's sum-zero masks and
+  the cloud service starts accepting contributions;
+* **provision**: each participant is commanded to run its attested
+  handshake against the blinding service and install its mask;
+* **collect**: each participant is commanded to train-endorse-submit; the
+  signed contribution travels client → service over the bus, where drop
+  models and adversaries apply;
+* **finalize**: every mask slot that never produced an *accepted*
+  contribution (dropout, validation rejection, lost submission) is
+  revealed by the blinding service and handed to the cloud service for §3
+  repair, so the aggregate over survivors is exact.
+
+Transient transport drops are retried with bounded exponential backoff
+(only the request leg can drop, so a retry can never double-submit).  A
+round that loses more participants than ``recovery_threshold`` allows
+raises :class:`~repro.errors.RoundAbortedError` instead of publishing a
+degenerate aggregate.  Every finalized round yields a
+:class:`~repro.runtime.telemetry.RoundReport`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.errors import NetworkError, ProtocolError, RoundAbortedError
+from repro.network.transport import Network
+from repro.runtime import messages as m
+from repro.runtime.endpoints import BlinderEndpoint, ClientEndpoint, ServiceEndpoint
+from repro.runtime.messages import BLINDER, ENGINE, SERVICE, client_endpoint
+from repro.runtime.telemetry import (
+    OUTCOME_ACCEPTED,
+    OUTCOME_DEADLINE_MISSED,
+    OUTCOME_DROPOUT,
+    OUTCOME_PROVISION_FAILED,
+    OUTCOME_UNREACHABLE,
+    PhaseStats,
+    RoundReport,
+    meter_delta,
+    meter_snapshot,
+)
+
+__all__ = ["RoundEngine", "ENGINE", "SERVICE", "BLINDER", "client_endpoint"]
+
+
+class _RoundRecord:
+    """Engine-side accounting for one in-flight round."""
+
+    def __init__(self, network: Network, round_id: int, num_slots: int, blinded: bool):
+        self.round_id = round_id
+        self.num_slots = num_slots
+        self.blinded = blinded
+        self.opened_at_ms = network.clock.now_ms()
+        self.participants: list[str] = []
+        self.provisioned: dict[int, str] = {}
+        self.consumed: set[int] = set()
+        self.outcomes: dict[str, str] = {}
+        self.retries = 0
+        self.ecalls = 0
+        self.joined: dict[str, Any] = {}
+        self.meter_start: dict[str, dict[str, int]] = {}
+        self.messages0 = network.messages_delivered + network.messages_dropped
+        self.dropped0 = network.messages_dropped
+        self.bytes0 = network.bytes_delivered
+        self.phases: list[PhaseStats] = []
+        self.window: tuple[str, int, int, int, float] | None = None
+
+    def note_participant(self, client_id: str) -> None:
+        if client_id not in self.participants:
+            self.participants.append(client_id)
+
+
+class RoundEngine:
+    """Orchestrates contribution rounds over a simulated transport."""
+
+    def __init__(
+        self,
+        network: Network,
+        service,
+        blinder_provisioner,
+        *,
+        max_attempts: int = 5,
+        backoff_ms: float = 8.0,
+        recovery_threshold: float = 0.0,
+    ) -> None:
+        self.network = network
+        self.service = service
+        self.blinder_provisioner = blinder_provisioner
+        self.max_attempts = max(1, int(max_attempts))
+        self.backoff_ms = float(backoff_ms)
+        self.recovery_threshold = float(recovery_threshold)
+        self.clients: dict[str, Any] = {}
+        self.reports: dict[int, RoundReport] = {}
+        self._rounds: dict[int, _RoundRecord] = {}
+        network.register(ENGINE, {})
+        network.register(SERVICE, ServiceEndpoint(service).handlers())
+        network.register(BLINDER, BlinderEndpoint(blinder_provisioner).handlers())
+
+    # -------------------------------------------------------------- topology
+
+    def register_client(self, client) -> str:
+        """Attach a client device to the bus; returns its endpoint name.
+
+        Re-registering the same client id replaces its handlers (E15's
+        restart-evasion arm rebuilds enclaves mid-round).
+        """
+        name = client_endpoint(client.client_id)
+        endpoint = ClientEndpoint(self, client, name)
+        if client.client_id in self.clients:
+            for kind, handler in endpoint.handlers().items():
+                self.network.add_handler(name, kind, handler)
+        else:
+            self.network.register(name, endpoint.handlers())
+        self.clients[client.client_id] = client
+        return name
+
+    def _client_name(self, client_id: str) -> str:
+        if client_id not in self.clients:
+            raise ProtocolError(f"client {client_id!r} is not registered on the bus")
+        return client_endpoint(client_id)
+
+    # ------------------------------------------------------------ bookkeeping
+
+    def round_record(self, round_id: int) -> _RoundRecord:
+        record = self._rounds.get(round_id)
+        if record is None:
+            raise ProtocolError(f"round {round_id} is not tracked by the engine")
+        return record
+
+    def note_client_join(self, record: _RoundRecord, client) -> None:
+        """Snapshot a client's enclave meter the first time it acts in a round."""
+        if client.client_id not in record.meter_start:
+            record.meter_start[client.client_id] = meter_snapshot(client.glimmer.meter)
+        record.joined[client.client_id] = client
+
+    def _start_phase(self, record: _RoundRecord, name: str) -> None:
+        self._close_phase(record)
+        record.window = (
+            name,
+            self.network.messages_delivered + self.network.messages_dropped,
+            self.network.messages_dropped,
+            self.network.bytes_delivered,
+            self.network.clock.now_ms(),
+        )
+
+    def _close_phase(self, record: _RoundRecord) -> None:
+        if record.window is None:
+            return
+        name, messages0, dropped0, bytes0, t0 = record.window
+        record.phases.append(
+            PhaseStats(
+                name=name,
+                messages=self.network.messages_delivered
+                + self.network.messages_dropped
+                - messages0,
+                dropped=self.network.messages_dropped - dropped0,
+                bytes_on_wire=self.network.bytes_delivered - bytes0,
+                latency_ms=self.network.clock.now_ms() - t0,
+            )
+        )
+        record.window = None
+
+    # --------------------------------------------------------------- retries
+
+    def call_with_retry(
+        self, record: _RoundRecord, sender: str, receiver: str, kind: str, payload
+    ):
+        """``Network.call`` with bounded exponential backoff on drops.
+
+        Only the request leg of a call can be dropped (the handler never
+        ran), so retrying a command is safe: nothing can be double-signed
+        or double-submitted.
+        """
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return self.network.call(sender, receiver, kind, payload)
+            except NetworkError:
+                if attempt >= self.max_attempts:
+                    raise
+                record.retries += 1
+                self.network.clock.advance(self.backoff_ms * (2 ** (attempt - 1)))
+
+    # --------------------------------------------------------- round lifecycle
+
+    def open_round(
+        self,
+        round_id: int,
+        num_slots: int,
+        vector_length: int,
+        blinded: bool = True,
+    ) -> None:
+        """Open the round at the blinding service and the cloud service."""
+        if round_id in self._rounds:
+            raise ProtocolError(f"round {round_id} is already tracked by the engine")
+        record = _RoundRecord(self.network, round_id, num_slots, blinded)
+        self._rounds[round_id] = record
+        self._start_phase(record, "open")
+        if blinded:
+            self.call_with_retry(
+                record,
+                ENGINE,
+                BLINDER,
+                m.KIND_OPEN_BLINDER,
+                m.OpenBlinderRound(round_id, num_slots, vector_length),
+            )
+        self.call_with_retry(
+            record,
+            ENGINE,
+            SERVICE,
+            m.KIND_OPEN_SERVICE,
+            m.OpenServiceRound(round_id, num_slots, blinded),
+        )
+
+    def provision_mask(self, client_id: str, round_id: int, party_index: int) -> None:
+        """Command a client to fetch and install its mask for one slot."""
+        record = self.round_record(round_id)
+        record.note_participant(client_id)
+        self.call_with_retry(
+            record,
+            ENGINE,
+            self._client_name(client_id),
+            m.KIND_PROVISION_MASK,
+            m.ProvisionMask(round_id, party_index),
+        )
+        record.provisioned[party_index] = client_id
+
+    def contribute(
+        self,
+        client_id: str,
+        round_id: int,
+        values: Sequence[float],
+        features: Sequence,
+        *,
+        blind: bool = True,
+        claims: Mapping | None = None,
+        context_fields: Sequence[str] = (),
+    ) -> str:
+        """Command a client to contribute; returns its outcome label."""
+        record = self.round_record(round_id)
+        record.note_participant(client_id)
+        outcome, _detail = self.call_with_retry(
+            record,
+            ENGINE,
+            self._client_name(client_id),
+            m.KIND_CONTRIBUTE,
+            m.ContributeCommand(
+                round_id=round_id,
+                values=tuple(float(v) for v in values),
+                features=tuple(features),
+                blind=blind,
+                claims=tuple(sorted((claims or {}).items())),
+                context_fields=tuple(context_fields),
+            ),
+        )
+        record.outcomes[client_id] = outcome
+        return outcome
+
+    def submit_signed(
+        self, sender_id: str, round_id: int, contribution, *, slot: int | None = None
+    ) -> bool:
+        """Send an already-signed contribution to the service over the bus.
+
+        Used by client endpoints for the honest path and by experiments to
+        model attackers replaying or injecting contributions on the wire.
+        An accepted submission consumes the sender's mask slot, exempting
+        it from dropout repair.
+        """
+        record = self.round_record(round_id)
+        sender = (
+            client_endpoint(sender_id) if sender_id in self.clients else sender_id
+        )
+        if slot is None and sender_id in self.clients:
+            slot = self.clients[sender_id].party_index_for(round_id)
+        accepted = bool(
+            self.call_with_retry(
+                record,
+                sender,
+                SERVICE,
+                m.KIND_SUBMIT,
+                m.SubmitContribution(round_id, contribution),
+            )
+        )
+        if accepted and slot is not None:
+            record.consumed.add(slot)
+        return accepted
+
+    def finalize_round(self, round_id: int) -> RoundReport:
+        """Repair unconsumed slots, finalize at the service, emit the report."""
+        record = self.round_record(round_id)
+        self._start_phase(record, "finalize")
+        repairs: list[tuple[int, ...]] = []
+        if record.blinded:
+            for slot in range(record.num_slots):
+                if slot in record.consumed:
+                    continue
+                mask = self.call_with_retry(
+                    record, ENGINE, BLINDER, m.KIND_REVEAL_MASK,
+                    m.RevealMask(round_id, slot),
+                )
+                repairs.append(tuple(int(v) for v in mask))
+        result = self.call_with_retry(
+            record,
+            ENGINE,
+            SERVICE,
+            m.KIND_FINALIZE,
+            m.FinalizeRound(round_id, tuple(repairs)),
+        )
+        report = self._build_report(record, result, len(repairs))
+        self.reports[round_id] = report
+        del self._rounds[round_id]
+        return report
+
+    def abandon_round(self, round_id: int) -> None:
+        """Forget an aborted round's engine-side state."""
+        self._rounds.pop(round_id, None)
+
+    # ------------------------------------------------------------ whole round
+
+    def run_round(
+        self,
+        round_id: int,
+        participants: Iterable[str],
+        values_by_user: Mapping[str, Sequence[float]],
+        features: Sequence,
+        *,
+        dropouts: Iterable[str] = (),
+        deadline_ms: float | None = None,
+        claims_by_user: Mapping[str, Mapping] | None = None,
+        context_fields: Sequence[str] = (),
+        recovery_threshold: float | None = None,
+        blind: bool = True,
+    ) -> RoundReport:
+        """Run one full round: open → provision → collect → finalize.
+
+        ``dropouts`` are participants that go silent after being assigned a
+        slot — the §3 recovery path reveals their masks.  A participant
+        whose provisioning or submission is lost to the network is treated
+        the same way.  Raises :class:`RoundAbortedError` when no
+        contribution is accepted, or when survivors fall below
+        ``recovery_threshold`` (a fraction of participants).
+        """
+        participants = list(participants)
+        silent = set(dropouts)
+        threshold = (
+            self.recovery_threshold
+            if recovery_threshold is None
+            else float(recovery_threshold)
+        )
+        features = tuple(features)
+        self.open_round(round_id, len(participants), len(features), blinded=blind)
+        record = self.round_record(round_id)
+        for user_id in participants:
+            record.note_participant(user_id)
+        if blind:
+            self._start_phase(record, "provision")
+            for index, user_id in enumerate(participants):
+                if user_id in silent:
+                    record.outcomes[user_id] = OUTCOME_DROPOUT
+                    continue
+                try:
+                    self.provision_mask(user_id, round_id, index)
+                except NetworkError:
+                    record.outcomes[user_id] = OUTCOME_PROVISION_FAILED
+        self._start_phase(record, "collect")
+        deadline = None if deadline_ms is None else record.opened_at_ms + deadline_ms
+        for user_id in participants:
+            if user_id in silent:
+                record.outcomes.setdefault(user_id, OUTCOME_DROPOUT)
+                continue
+            if record.outcomes.get(user_id) == OUTCOME_PROVISION_FAILED:
+                continue
+            if deadline is not None and self.network.clock.now_ms() > deadline:
+                record.outcomes[user_id] = OUTCOME_DEADLINE_MISSED
+                continue
+            claims = (claims_by_user or {}).get(user_id)
+            try:
+                self.contribute(
+                    user_id,
+                    round_id,
+                    values_by_user[user_id],
+                    features,
+                    blind=blind,
+                    claims=claims,
+                    context_fields=context_fields,
+                )
+            except NetworkError:
+                record.outcomes[user_id] = OUTCOME_UNREACHABLE
+        survivors = [
+            u for u in participants if record.outcomes.get(u) == OUTCOME_ACCEPTED
+        ]
+        if not survivors:
+            raise RoundAbortedError(
+                f"round {round_id}: no contribution was accepted "
+                f"({len(participants)} participants)"
+            )
+        if threshold and len(survivors) < threshold * len(participants):
+            raise RoundAbortedError(
+                f"round {round_id}: {len(survivors)}/{len(participants)} survivors "
+                f"is below the recovery threshold of {threshold:.0%}"
+            )
+        return self.finalize_round(round_id)
+
+    # --------------------------------------------------------------- reports
+
+    def _build_report(
+        self, record: _RoundRecord, result, masks_repaired: int
+    ) -> RoundReport:
+        self._close_phase(record)
+        cycles: dict[str, int] = {}
+        for client_id, before in record.meter_start.items():
+            client = record.joined.get(client_id)
+            if client is None:
+                continue
+            after = meter_snapshot(client.glimmer.meter)
+            for bucket, grown in meter_delta(before, after).items():
+                cycles[bucket] = cycles.get(bucket, 0) + grown
+        return RoundReport(
+            round_id=record.round_id,
+            blinded=record.blinded,
+            participants=tuple(record.participants),
+            outcomes=dict(record.outcomes),
+            num_slots=record.num_slots,
+            masks_repaired=masks_repaired,
+            num_contributions=result.num_contributions,
+            rejected=dict(result.rejected),
+            messages_sent=self.network.messages_delivered
+            + self.network.messages_dropped
+            - record.messages0,
+            messages_dropped=self.network.messages_dropped - record.dropped0,
+            retries=record.retries,
+            bytes_on_wire=self.network.bytes_delivered - record.bytes0,
+            latency_ms=self.network.clock.now_ms() - record.opened_at_ms,
+            ecalls=record.ecalls,
+            enclave_cycles=cycles,
+            phases=tuple(record.phases),
+            aggregate=result.aggregate,
+            service_result=result,
+        )

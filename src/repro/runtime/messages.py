@@ -1,0 +1,117 @@
+"""Typed messages exchanged by the RoundEngine over the transport.
+
+Each round phase has its own message kind so drop models and adversaries
+can target individual flows (``DropAdversary(drop_kinds={KIND_SUBMIT})``
+models a service-side brownout without touching provisioning, for
+example).  Payloads are frozen dataclasses: the wire carries data, never
+live object references, which is what lets :func:`payload_size` price them
+and adversaries capture or tamper with them meaningfully.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+# Well-known endpoint names on the round bus --------------------------------
+ENGINE = "engine"
+SERVICE = "service"
+BLINDER = "blinder"
+
+
+def client_endpoint(client_id: str) -> str:
+    """The transport endpoint name for a client device."""
+    return f"client:{client_id}"
+
+
+# Engine → provisioners / service ------------------------------------------
+KIND_OPEN_BLINDER = "round/open-blinder"
+KIND_OPEN_SERVICE = "round/open-service"
+KIND_FINALIZE = "round/finalize"
+KIND_REVEAL_MASK = "mask/reveal-dropout"
+
+# Engine → clients ----------------------------------------------------------
+KIND_PROVISION_MASK = "client/provision-mask"
+KIND_CONTRIBUTE = "client/contribute"
+
+# Clients → provisioners / service ------------------------------------------
+KIND_MASK_REQUEST = "mask/request"
+KIND_SUBMIT = "contribution/submit"
+
+
+@dataclass(frozen=True)
+class OpenBlinderRound:
+    """Ask the blinding service to sample sum-zero masks for a round."""
+
+    round_id: int
+    num_parties: int
+    vector_length: int
+
+
+@dataclass(frozen=True)
+class OpenServiceRound:
+    """Ask the cloud service to start accepting contributions."""
+
+    round_id: int
+    expected_parties: int
+    blinded: bool = True
+
+
+@dataclass(frozen=True)
+class ProvisionMask:
+    """Command a client to fetch its round mask from the blinding service."""
+
+    round_id: int
+    party_index: int
+
+
+@dataclass(frozen=True)
+class MaskRequest:
+    """A client's attested handshake, forwarded to the blinding service."""
+
+    session_id: bytes
+    dh_public: int
+    quote: Any
+    round_id: int
+    party_index: int
+
+
+@dataclass(frozen=True)
+class ContributeCommand:
+    """Command a client to train-endorse-submit for a round."""
+
+    round_id: int
+    values: tuple
+    features: tuple
+    blind: bool = True
+    claims: tuple = ()  # (key, value) pairs, immutable like the rest
+    context_fields: tuple = ()
+
+
+@dataclass(frozen=True)
+class SubmitContribution:
+    """A signed contribution on its way to the cloud service.
+
+    ``round_id`` names the round the *sender* targets; the service checks
+    it against the signed ``contribution.round_id``, which is how
+    cross-round replay is caught.
+    """
+
+    round_id: int
+    contribution: Any
+
+
+@dataclass(frozen=True)
+class RevealMask:
+    """§3 dropout repair: ask the blinding service for a missing mask."""
+
+    round_id: int
+    party_index: int
+
+
+@dataclass(frozen=True)
+class FinalizeRound:
+    """Close a round at the service, handing over any repair masks."""
+
+    round_id: int
+    dropout_masks: tuple = field(default=())

@@ -1,0 +1,191 @@
+"""Per-round telemetry: what the bus, clock, and enclaves did.
+
+A :class:`RoundReport` is the engine's receipt for one round: participant
+outcomes, dropout repairs, transport counters (messages, drops, retries,
+bytes, simulated latency), and enclave-side cycle accounting pulled from
+each joined client's :class:`~repro.sgx.costs.CycleMeter`.  Reports render
+through :mod:`repro.analysis.reporting` tables and serialize to plain
+JSON-safe dicts so benchmark trajectories can be tracked by machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.analysis.reporting import Table
+
+OUTCOME_ACCEPTED = "accepted"
+OUTCOME_VALIDATION_REJECTED = "validation-rejected"
+OUTCOME_SERVICE_REJECTED = "service-rejected"
+OUTCOME_SUBMIT_FAILED = "submit-failed"
+OUTCOME_PROVISION_FAILED = "provision-failed"
+OUTCOME_UNREACHABLE = "unreachable"
+OUTCOME_DEADLINE_MISSED = "deadline-missed"
+OUTCOME_DROPOUT = "dropout"
+
+
+@dataclass(frozen=True)
+class PhaseStats:
+    """Transport activity attributed to one lifecycle phase."""
+
+    name: str
+    messages: int
+    dropped: int
+    bytes_on_wire: int
+    latency_ms: float
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "messages": self.messages,
+            "dropped": self.dropped,
+            "bytes_on_wire": self.bytes_on_wire,
+            "latency_ms": self.latency_ms,
+        }
+
+
+@dataclass
+class RoundReport:
+    """Everything the engine observed while running one round."""
+
+    round_id: int
+    blinded: bool
+    participants: tuple[str, ...]
+    outcomes: dict[str, str]
+    num_slots: int
+    masks_repaired: int
+    num_contributions: int
+    rejected: dict[str, int]
+    messages_sent: int
+    messages_dropped: int
+    retries: int
+    bytes_on_wire: int
+    latency_ms: float
+    ecalls: int
+    enclave_cycles: dict[str, int]
+    phases: tuple[PhaseStats, ...]
+    aggregate: np.ndarray | None = None
+    service_result: Any = None
+    _survivors: tuple[str, ...] = field(default=(), repr=False)
+
+    # ---------------------------------------------------------- derived views
+
+    @property
+    def survivors(self) -> tuple[str, ...]:
+        if self._survivors:
+            return self._survivors
+        return tuple(
+            uid
+            for uid in self.participants
+            if self.outcomes.get(uid) == OUTCOME_ACCEPTED
+        )
+
+    @property
+    def dropouts(self) -> tuple[str, ...]:
+        return tuple(
+            uid
+            for uid in self.participants
+            if self.outcomes.get(uid)
+            in (OUTCOME_DROPOUT, OUTCOME_DEADLINE_MISSED, OUTCOME_UNREACHABLE)
+        )
+
+    @property
+    def validation_rejections(self) -> int:
+        return sum(
+            1
+            for outcome in self.outcomes.values()
+            if outcome == OUTCOME_VALIDATION_REJECTED
+        )
+
+    @property
+    def enclave_transition_cycles(self) -> int:
+        return self.enclave_cycles.get("transitions", 0)
+
+    @property
+    def enclave_total_cycles(self) -> int:
+        return sum(self.enclave_cycles.values())
+
+    # ------------------------------------------------------------- rendering
+
+    def table(self) -> Table:
+        table = Table(
+            f"round {self.round_id} telemetry ({'blinded' if self.blinded else 'plain'})",
+            ["metric", "value"],
+        )
+        table.add_row("participants", len(self.participants))
+        table.add_row("accepted", len(self.survivors))
+        table.add_row("validation rejections", self.validation_rejections)
+        table.add_row("dropouts", len(self.dropouts))
+        table.add_row("masks repaired", self.masks_repaired)
+        table.add_row("service rejections", sum(self.rejected.values()))
+        table.add_row("messages sent", self.messages_sent)
+        table.add_row("messages dropped", self.messages_dropped)
+        table.add_row("retries", self.retries)
+        table.add_row("bytes on wire", self.bytes_on_wire)
+        table.add_row("latency (ms)", self.latency_ms)
+        table.add_row("ecalls", self.ecalls)
+        table.add_row("enclave transition cycles", self.enclave_transition_cycles)
+        table.add_row("enclave total cycles", self.enclave_total_cycles)
+        for phase in self.phases:
+            table.add_row(
+                f"phase {phase.name}",
+                f"{phase.messages} msgs / {phase.bytes_on_wire} B / "
+                f"{phase.latency_ms:.2f} ms",
+            )
+        return table
+
+    def as_dict(self) -> dict[str, Any]:
+        """A JSON-serializable view (numpy arrays become lists)."""
+        aggregate = None
+        if self.aggregate is not None:
+            aggregate = [float(v) for v in np.asarray(self.aggregate).ravel()]
+        return {
+            "round_id": self.round_id,
+            "blinded": self.blinded,
+            "participants": list(self.participants),
+            "outcomes": dict(self.outcomes),
+            "survivors": list(self.survivors),
+            "dropouts": list(self.dropouts),
+            "num_slots": self.num_slots,
+            "masks_repaired": self.masks_repaired,
+            "num_contributions": self.num_contributions,
+            "validation_rejections": self.validation_rejections,
+            "rejected": dict(self.rejected),
+            "messages_sent": self.messages_sent,
+            "messages_dropped": self.messages_dropped,
+            "retries": self.retries,
+            "bytes_on_wire": self.bytes_on_wire,
+            "latency_ms": self.latency_ms,
+            "ecalls": self.ecalls,
+            "enclave_cycles": dict(self.enclave_cycles),
+            "enclave_transition_cycles": self.enclave_transition_cycles,
+            "phases": [phase.as_dict() for phase in self.phases],
+            "aggregate": aggregate,
+        }
+
+
+def meter_snapshot(meter) -> dict[str, int]:
+    """Copy a CycleMeter's buckets for later delta computation."""
+    snapshot = meter.snapshot()
+    return {bucket: int(value) for bucket, value in snapshot.items()}
+
+
+def meter_delta(
+    before: Mapping[str, int], after: Mapping[str, int]
+) -> dict[str, int]:
+    """Per-bucket growth since ``before``; clamped at zero per bucket.
+
+    Clamping matters for E15's restart-evasion arm: reloading an enclave
+    resets its meter, which would otherwise produce negative deltas.
+    """
+    delta: dict[str, int] = {}
+    for bucket, value in after.items():
+        if bucket == "total":
+            continue
+        grown = int(value) - int(before.get(bucket, 0))
+        if grown > 0:
+            delta[bucket] = grown
+    return delta

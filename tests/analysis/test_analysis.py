@@ -97,6 +97,25 @@ def test_table_str():
     assert str(table) == table.render()
 
 
+def test_table_json_round_trip():
+    import json
+
+    import numpy as np
+
+    table = Table("T", ["name", "score", "ok"])
+    table.add_row("alpha", np.float64(0.25), True)
+    table.add_row("beta", np.array([1, 2]), None)
+    payload = json.loads(table.to_json(indent=2))
+    assert payload == {
+        "title": "T",
+        "columns": ["name", "score", "ok"],
+        "rows": [["alpha", 0.25, True], ["beta", [1, 2], None]],
+    }
+    # Raw values survive untouched even though render() formats them.
+    assert table.rows[0][2] == "yes"
+    assert payload["rows"][0][2] is True
+
+
 # -------------------------------------------------------------------- privacy
 
 def test_leakage_report():

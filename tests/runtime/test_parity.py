@@ -1,0 +1,27 @@
+"""Bus/direct parity: routing E5 through the RoundEngine changes nothing.
+
+The pipeline experiment can drive the protocol either through direct
+method calls (the pre-engine path) or as messages over the transport.
+The attack verdicts and the recovered aggregate must be identical.
+"""
+
+from repro.experiments.e5_pipeline import run
+
+
+def test_e5_bus_matches_direct_calls():
+    bus = run(num_users=6, seed=b"parity", transport="bus")
+    direct = run(num_users=6, seed=b"parity", transport="direct")
+
+    bus_rows = bus.table().raw_rows
+    direct_rows = direct.table().raw_rows
+    assert bus_rows == direct_rows
+
+    assert bus.aggregate_error == direct.aggregate_error
+    assert bus.aggregate_error < 1e-3
+    assert bus.inversion_on_wire == direct.inversion_on_wire
+    assert bus.inversion_on_plain == direct.inversion_on_plain
+
+    # Only the bus run has wire telemetry to report.
+    assert bus.report is not None
+    assert bus.report.messages_sent > 0
+    assert direct.report is None

@@ -24,6 +24,22 @@ def test_run_unknown_experiment(capsys):
     assert "unknown experiment" in capsys.readouterr().err
 
 
+def test_run_json_output(capsys):
+    import json
+
+    assert main(["run", "e9", "budgets=(1,)", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["title"]
+    assert payload["columns"]
+    assert payload["rows"]
+
+
+def test_run_failure_reports_and_returns_nonzero(capsys):
+    assert main(["run", "e9", "no_such_parameter=1"]) == 1
+    err = capsys.readouterr().err
+    assert "e9 failed:" in err
+
+
 def test_demo_command(capsys):
     assert main(["demo"]) == 0
     out = capsys.readouterr().out
