@@ -46,6 +46,28 @@ class BlindingComponent:
     def has_mask(self, round_id: int, party_index: int = 0) -> bool:
         return (round_id, party_index) in self._masks
 
+    def masks_for_round(self, round_id: int) -> dict[int, tuple[int, ...]]:
+        """Snapshot the unconsumed masks of one round (for sealed checkpoints)."""
+        return {
+            party: mask
+            for (rid, party), mask in self._masks.items()
+            if rid == round_id
+        }
+
+    def restore_masks(
+        self, round_id: int, masks: dict[int, Sequence[int]]
+    ) -> None:
+        """Reinstall checkpointed masks after an enclave restart.
+
+        Only fills empty slots: a mask that is already installed (or was
+        consumed since the checkpoint) is left alone, preserving the
+        single-use rule.
+        """
+        for party_index, mask in masks.items():
+            key = (round_id, int(party_index))
+            if key not in self._masks:
+                self._masks[key] = tuple(int(v) for v in mask)
+
     def blind(
         self, round_id: int, party_index: int, values: Sequence[float]
     ) -> list[int]:

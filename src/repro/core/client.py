@@ -29,6 +29,8 @@ from repro.core.signing import SignedContribution
 from repro.core.validation import PrivateContext
 from repro.crypto.drbg import HmacDrbg
 from repro.crypto.schnorr import SchnorrKeyPair
+from repro.errors import EnclaveError
+from repro.faults import ACTION_LOSE, SITE_SEAL_LOSS
 from repro.sgx.attestation import AttestationService, report_data_for
 from repro.sgx.enclave import Enclave
 from repro.sgx.measurement import EnclaveImage
@@ -69,6 +71,7 @@ class ClientDevice:
         self.client_id = client_id
         self.rng = HmacDrbg(seed, personalization=f"client:{client_id}")
         self.data = data or LocalDataStore()
+        self.image = glimmer_image
         self.platform = SgxPlatform(
             seed + b":platform", attestation_service=attestation_service
         )
@@ -78,6 +81,8 @@ class ClientDevice:
         )
         self._session_counter = 0
         self._party_index_for_round: dict[int, int] = {}
+        self._sealed_signing_key: bytes | None = None
+        self._checkpoints: dict[int, bytes] = {}
 
     # ----------------------------------------------------------- ocall side
 
@@ -120,10 +125,17 @@ class ClientDevice:
         return self._party_index_for_round.get(round_id)
 
     def provision_signing_key(self, provisioner: ServiceProvisioner) -> bytes:
-        """Obtain the service signing key; returns the sealed backup blob."""
+        """Obtain the service signing key; returns the sealed backup blob.
+
+        The blob is also kept on the (untrusted) device so a restarted
+        Glimmer can reload its key via ``restore_signing_key`` — sealing
+        means keeping it here leaks nothing.
+        """
         session_id, dh_public, quote = self._attested_handshake()
         delivery = provisioner.provision_signing_key(session_id, dh_public, quote)
-        return self.glimmer.ecall("install_signing_key", delivery)
+        sealed = self.glimmer.ecall("install_signing_key", delivery)
+        self._sealed_signing_key = sealed
+        return sealed
 
     def provision_mask(
         self, provisioner: BlinderProvisioner, round_id: int, party_index: int
@@ -161,6 +173,70 @@ class ClientDevice:
             context_fields=tuple(context_fields),
         )
         return self.glimmer.ecall("process_contribution", request)
+
+    # ------------------------------------------------------- crash / recovery
+
+    @property
+    def crashed(self) -> bool:
+        return not self.glimmer.alive
+
+    def checkpoint_round(self, round_id: int) -> bytes:
+        """Seal the round's enclave state and keep the blob device-side."""
+        blob = self.glimmer.ecall("checkpoint_round", round_id)
+        self._checkpoints[round_id] = blob
+        return blob
+
+    def discard_checkpoint(self, round_id: int) -> None:
+        """Drop a checkpoint once its round no longer needs recovery."""
+        self._checkpoints.pop(round_id, None)
+
+    def crash(self) -> None:
+        """The untrusted OS kills the client process: enclave memory is gone.
+
+        Everything platform-held (sealing root, monotonic counters) and
+        everything host-held (sealed blobs, session counter) survives —
+        exactly the SGX failure model the sealed-checkpoint design targets.
+        """
+        if self.glimmer.alive:
+            self.glimmer.destroy()
+
+    def restart(self) -> list[int]:
+        """Reload the Glimmer and recover sealed state; returns restored rounds.
+
+        The signing key reloads from its sealed backup; each round
+        checkpoint is offered to ``restore_round``, which refuses stale
+        (rolled-back) blobs — those rounds stay unrecovered, their slots
+        get repaired by mask reveal instead of risking a double-submit.
+        A faulted host may also have lost checkpoint blobs entirely
+        (``SITE_SEAL_LOSS``); that degrades to the same repair path.
+        """
+        if self.glimmer.alive:
+            self.glimmer.destroy()
+        self.glimmer = self.platform.load_enclave(
+            self.image,
+            ocall_handlers={"collect_private_data": self._serve_private_data},
+        )
+        if self._sealed_signing_key is not None:
+            self.glimmer.ecall("restore_signing_key", self._sealed_signing_key)
+        injector = getattr(self.platform, "fault_injector", None)
+        restored: list[int] = []
+        for round_id in sorted(self._checkpoints):
+            if injector is not None and (
+                injector.fire(
+                    SITE_SEAL_LOSS, client_id=self.client_id, round_id=round_id
+                )
+                == ACTION_LOSE
+            ):
+                del self._checkpoints[round_id]
+                continue
+            try:
+                self.glimmer.ecall("restore_round", self._checkpoints[round_id])
+            except EnclaveError:
+                # Stale checkpoint (rollback refused) or unsealable blob;
+                # recovery for this round is repair-by-reveal, not restore.
+                continue
+            restored.append(round_id)
+        return restored
 
 
 class MaliciousClient(ClientDevice):

@@ -41,6 +41,7 @@ from repro.errors import (
     AuthenticationError,
     ConfigurationError,
     CryptoError,
+    EnclaveError,
     ProtocolError,
     ValidationError,
 )
@@ -326,6 +327,16 @@ class GlimmerProgram(EnclaveProgram):
             ring_payload = self._blinding.blind(
                 request.round_id, request.party_index, values
             )
+            # Record the signing in a platform counter *before* the signed
+            # contribution leaves the enclave.  The counter never blocks
+            # (repeat signings with fresh masks are legitimate — E15's
+            # flooding arm depends on that); it exists so restore_round can
+            # refuse a checkpoint older than the last signing, which is
+            # what stops a rolled-back enclave from re-signing a consumed
+            # mask and double-submitting.
+            self.api.monotonic_counter(
+                f"blind-signings-round-{request.round_id}"
+            ).increment()
             self.api.charge_aead(8 * len(ring_payload))
             self.api.charge_signature()
             return self._signing.endorse(
@@ -379,6 +390,50 @@ class GlimmerProgram(EnclaveProgram):
             f"contributions-round-{request.round_id}"
         )
         context.extra.update(request.claims)
+
+    # ------------------------------------------------- crash-recoverable state
+
+    @ecall
+    def checkpoint_round(self, round_id: int) -> bytes:
+        """Seal this round's unconsumed masks for crash recovery.
+
+        The blob binds the current value of the round's blind-signing
+        counter: a restarted enclave restoring it can prove the masks
+        inside were not yet consumed when the checkpoint was cut.  Sealed
+        to MRENCLAVE, so the untrusted host can store it but not read it.
+        """
+        masks = self._blinding.masks_for_round(round_id)
+        counter = self.api.monotonic_counter(f"blind-signings-round-{round_id}")
+        state = (int(round_id), masks, int(counter.value))
+        blob = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+        return self.api.seal(blob, policy="mrenclave")
+
+    @ecall
+    def restore_round(self, sealed_blob: bytes) -> int:
+        """Recover round state from a sealed checkpoint; returns the round id.
+
+        Rollback protection: if the round's blind-signing counter has
+        advanced past the checkpointed value, some mask in the blob was
+        already consumed by a signing — reinstalling it would let the host
+        make this enclave sign (and the service accept) the same slot
+        twice.  The platform counter survives enclave death, so the check
+        holds across restarts; such a blob is refused outright.
+        """
+        state = pickle.loads(self.api.unseal(sealed_blob))
+        try:
+            round_id, masks, checkpoint_count = state
+            round_id = int(round_id)
+            checkpoint_count = int(checkpoint_count)
+        except (TypeError, ValueError) as exc:
+            raise EnclaveError("malformed round checkpoint") from exc
+        counter = self.api.monotonic_counter(f"blind-signings-round-{round_id}")
+        if counter.value > checkpoint_count:
+            raise EnclaveError(
+                f"round {round_id} checkpoint is stale: {counter.value} signing(s) "
+                f"recorded since it was sealed (rollback refused)"
+            )
+        self._blinding.restore_masks(round_id, masks)
+        return round_id
 
     # ----------------------------------------------------------- inspection
 

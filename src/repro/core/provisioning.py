@@ -20,15 +20,17 @@ Glimmers — the checks experiment E12 exercises one by one.
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass
 
 from repro.core.glimmer import KeyDelivery, handshake_digest
-from repro.crypto.cipher import AuthenticatedCipher
+from repro.crypto.cipher import AuthenticatedCipher, SealedBox
 from repro.crypto.dh import DHKeyPair
 from repro.crypto.drbg import HmacDrbg
-from repro.crypto.masking import BlindingService
+from repro.crypto.kdf import hkdf
+from repro.crypto.masking import BlindingService, SumZeroMasks
 from repro.crypto.schnorr import SchnorrKeyPair
-from repro.errors import AttestationError, ConfigurationError
+from repro.errors import AttestationError, ConfigurationError, CryptoError
 from repro.sgx.attestation import AttestationService, Quote, QuotePolicy, report_data_for
 
 
@@ -150,6 +152,14 @@ class BlinderProvisioner(_ProvisionerBase):
     Wraps a :class:`repro.crypto.masking.BlindingService`; the paper notes
     this party "could, itself, be implemented as a separate enclave on one
     of the clients, or as a distinct trusted service".
+
+    Either way it can crash.  Each round's mask family is sealed (here: an
+    authenticated cipher under a key derived from the provisioner's
+    identity secret — the moral equivalent of enclave sealing for this
+    simulated party) the moment the round opens, so a restarted blinder
+    can still provision remaining parties and, critically, still reveal
+    dropout masks for §3 repair.  Without that persistence a mid-round
+    blinder crash would force aborting every open round.
     """
 
     def __init__(
@@ -162,10 +172,61 @@ class BlinderProvisioner(_ProvisionerBase):
         rng: HmacDrbg,
     ) -> None:
         super().__init__(identity, attestation, registry, glimmer_name, rng)
-        self.blinding = blinding
+        self.blinding: BlindingService | None = blinding
+        self._codec = blinding.codec
+        self._seal_key = hkdf(
+            identity.secret.to_bytes(256, "big"), "blinder-round-sealing"
+        )
+        self._sealed_rounds: dict[int, bytes] = {}
+        self.restarts = 0
+
+    def _require_blinding(self) -> BlindingService:
+        if self.blinding is None:
+            raise CryptoError("blinding service is down (crashed, not restarted)")
+        return self.blinding
+
+    def _seal_round(self, round_id: int, masks: SumZeroMasks) -> bytes:
+        blob = pickle.dumps(
+            (masks.masks, masks.modulus_bits), protocol=pickle.HIGHEST_PROTOCOL
+        )
+        cipher = AuthenticatedCipher(self._seal_key)
+        nonce = self.rng.generate(16)
+        box = cipher.encrypt(
+            nonce, blob, associated_data=round_id.to_bytes(8, "big")
+        )
+        return box.to_bytes()
+
+    def _unseal_round(self, round_id: int, sealed: bytes) -> SumZeroMasks:
+        cipher = AuthenticatedCipher(self._seal_key)
+        blob = cipher.decrypt(
+            SealedBox.from_bytes(sealed), associated_data=round_id.to_bytes(8, "big")
+        )
+        mask_rows, modulus_bits = pickle.loads(blob)
+        return SumZeroMasks(masks=mask_rows, modulus_bits=modulus_bits)
 
     def open_round(self, round_id: int, num_parties: int, length: int) -> None:
-        self.blinding.open_round(round_id, num_parties, length)
+        masks = self._require_blinding().open_round(round_id, num_parties, length)
+        self._sealed_rounds[round_id] = self._seal_round(round_id, masks)
+
+    def has_round(self, round_id: int) -> bool:
+        return self.blinding is not None and self.blinding.has_round(round_id)
+
+    def crash(self) -> None:
+        """The blinding service process dies; in-memory mask state is gone."""
+        self.blinding = None
+        self.restarts += 1
+
+    def restart(self) -> list[int]:
+        """Stand the service back up and recover all sealed rounds."""
+        self.blinding = BlindingService(
+            self.rng.fork(f"blinder-restart-{self.restarts}"), self._codec
+        )
+        recovered: list[int] = []
+        for round_id in sorted(self._sealed_rounds):
+            masks = self._unseal_round(round_id, self._sealed_rounds[round_id])
+            self.blinding.restore_round(round_id, masks)
+            recovered.append(round_id)
+        return recovered
 
     def provision_mask(
         self,
@@ -176,7 +237,7 @@ class BlinderProvisioner(_ProvisionerBase):
         party_index: int,
     ) -> KeyDelivery:
         """Verify the attested handshake and ship the party's round mask."""
-        mask = self.blinding.mask_for(round_id, party_index)
+        mask = self._require_blinding().mask_for(round_id, party_index)
         payload = b"".join(int(v).to_bytes(8, "big") for v in mask)
         return self._deliver(
             session_id,
@@ -188,4 +249,4 @@ class BlinderProvisioner(_ProvisionerBase):
 
     def reveal_dropout_mask(self, round_id: int, party_index: int) -> tuple[int, ...]:
         """§3 dropout repair: disclose a non-submitting party's mask."""
-        return self.blinding.mask_for_dropout(round_id, party_index)
+        return self._require_blinding().mask_for_dropout(round_id, party_index)

@@ -137,6 +137,30 @@ class BlindingService:
         self._round_masks[round_id] = masks
         return masks
 
+    def has_round(self, round_id: int) -> bool:
+        return round_id in self._round_masks
+
+    def restore_round(self, round_id: int, masks: SumZeroMasks) -> None:
+        """Reinstate a round's mask family from durable (sealed) storage.
+
+        A blinding service restarted mid-round must still be able to
+        reveal dropout masks for §3 repair — this is the recovery half of
+        that story; :class:`repro.core.provisioning.BlinderProvisioner`
+        owns the sealing half.  Restoring a round that is already live
+        with *different* masks is refused: that would split the sum-zero
+        family and silently corrupt the aggregate.
+        """
+        existing = self._round_masks.get(round_id)
+        if existing is not None:
+            if existing != masks:
+                raise CryptoError(
+                    f"round {round_id} already open with different masks"
+                )
+            return
+        if not masks.verify_sum_zero():
+            raise CryptoError(f"restored masks for round {round_id} do not sum to zero")
+        self._round_masks[round_id] = masks
+
     def encrypted_mask(
         self, round_id: int, party_index: int, client_key: bytes
     ) -> EncryptedMask:

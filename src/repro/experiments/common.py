@@ -66,6 +66,7 @@ class Deployment:
     clients: dict[str, ClientDevice] = field(default_factory=dict)
     last_report: RoundReport | None = None
     _vector_cache: dict[str, np.ndarray] = field(default_factory=dict)
+    _fault_injector: object | None = None
 
     @classmethod
     def build(
@@ -156,9 +157,25 @@ class Deployment:
             data=data,
         )
         client.provision_signing_key(self.service_provisioner)
+        client.platform.fault_injector = self._fault_injector
         self.clients[user_id] = client
         self.engine.register_client(client)
         return client
+
+    def enable_faults(self, injector) -> None:
+        """Wire a :class:`repro.faults.FaultInjector` into every layer.
+
+        The transport consults it per message leg, each client's SGX
+        platform per ecall and restart, and the engine at phase
+        boundaries and client lifecycle sites.  Pass ``None`` to turn
+        fault injection back off.  Clients built after this call inherit
+        the injector too.
+        """
+        self._fault_injector = injector
+        self.network.fault_injector = injector
+        self.engine.fault_injector = injector
+        for client in self.clients.values():
+            client.platform.fault_injector = injector
 
     # ------------------------------------------------------------ round glue
 

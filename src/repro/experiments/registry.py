@@ -29,6 +29,7 @@ EXPERIMENTS: dict[str, tuple[str, str]] = {
     "e15": ("extension — flooding vs rate-limits + rollback protection", "repro.experiments.e15_flooding"),
     "e16": ("§1 extension — trending topics through the pipeline", "repro.experiments.e16_trending"),
     "e17": ("§2 extension — in-home activity detection", "repro.experiments.e17_activity"),
+    "e18": ("§3 extension — availability under injected faults", "repro.experiments.e18_availability"),
 }
 
 

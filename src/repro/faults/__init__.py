@@ -1,0 +1,80 @@
+"""Deterministic fault injection for the Glimmer runtime.
+
+The paper's trust model makes the *surroundings* of the enclave hostile:
+the untrusted OS may kill an enclave at any instruction, the network may
+drop either leg of any exchange, and the blinding service may crash
+between sampling masks and revealing them.  This package turns those
+failure modes into named **fault sites** threaded through the stack
+(transport delivery, enclave ecalls, client lifecycle, blinder lifecycle,
+engine phase boundaries) so the chaos suite can prove the runtime's
+exact-or-abort guarantee under adversarial failure timing.
+
+Everything is DRBG-seeded: a :class:`FaultPlan` plus a seed fully
+determines which faults fire and when, so any failing schedule replays
+bit-for-bit.  Components that host a fault site call
+:meth:`FaultInjector.fire` with context (client id, round, phase, message
+kind) and act on the returned action — or do nothing when no injector is
+wired, which keeps the happy path untouched.
+
+Usage::
+
+    plan = FaultPlan(
+        specs=(FaultSpec(site=SITE_CLIENT_POST_SIGN, target="u03", round_id=7),),
+        rates={SITE_RESPONSE: 0.05},
+    )
+    injector = FaultInjector(plan, seed=b"chaos-42")
+    deployment.enable_faults(injector)
+
+or sample a random-but-reproducible schedule::
+
+    plan = FaultPlan.sample(HmacDrbg(b"chaos-42"), fault_rate=0.1, clients=ids)
+"""
+
+from repro.faults.plan import (
+    ACTION_CRASH,
+    ACTION_DROP,
+    ACTION_KILL,
+    ACTION_LOSE,
+    ACTION_PRESSURE,
+    ACTION_STALL,
+    DEFAULT_ACTIONS,
+    PROBABILISTIC_SITES,
+    SITE_BLINDER,
+    SITE_CLIENT_POST_SIGN,
+    SITE_CLIENT_PRE_SIGN,
+    SITE_CLIENT_PROVISION,
+    SITE_ECALL,
+    SITE_EPC_PRESSURE,
+    SITE_PHASE_STALL,
+    SITE_REQUEST,
+    SITE_RESPONSE,
+    SITE_SEAL_LOSS,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.faults.injector import FaultInjector, FiredFault
+
+__all__ = [
+    "ACTION_CRASH",
+    "ACTION_DROP",
+    "ACTION_KILL",
+    "ACTION_LOSE",
+    "ACTION_PRESSURE",
+    "ACTION_STALL",
+    "DEFAULT_ACTIONS",
+    "PROBABILISTIC_SITES",
+    "SITE_BLINDER",
+    "SITE_CLIENT_POST_SIGN",
+    "SITE_CLIENT_PRE_SIGN",
+    "SITE_CLIENT_PROVISION",
+    "SITE_ECALL",
+    "SITE_EPC_PRESSURE",
+    "SITE_PHASE_STALL",
+    "SITE_REQUEST",
+    "SITE_RESPONSE",
+    "SITE_SEAL_LOSS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "FiredFault",
+]

@@ -1,0 +1,94 @@
+"""The live fault injector: plan + seed → deterministic fault firings.
+
+Determinism contract: given the same :class:`FaultPlan`, the same seed,
+and the same sequence of :meth:`FaultInjector.fire` visits (which the
+simulator guarantees — everything runs sequentially off seeded DRBGs),
+the injector fires the same faults in the same order.  The :attr:`fired`
+log is the replay witness: the chaos harness compares two runs' logs
+entry-by-entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.drbg import HmacDrbg
+from repro.faults.plan import DEFAULT_ACTIONS, ACTION_DROP, FaultPlan
+
+
+@dataclass(frozen=True)
+class FiredFault:
+    """One fault that actually fired, in firing order."""
+
+    index: int
+    site: str
+    action: str
+    context: tuple[tuple[str, str], ...]
+
+    def as_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "site": self.site,
+            "action": self.action,
+            "context": dict(self.context),
+        }
+
+
+def _freeze_context(context: dict) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((key, str(value)) for key, value in context.items()))
+
+
+class FaultInjector:
+    """Decides, per fault-site visit, whether the environment misbehaves.
+
+    Scheduled specs take precedence over background rates; a spec fires
+    exactly once (on its ``at_hit``-th matching visit).  Background rates
+    draw from the injector's private DRBG, and a draw happens only when
+    the visited site has a nonzero rate — so adding pressure on one site
+    never perturbs the random stream another site sees.
+    """
+
+    def __init__(self, plan: FaultPlan, seed: bytes = b"fault-injector") -> None:
+        self.plan = plan
+        self._rng = HmacDrbg(seed, personalization="fault-injector")
+        self._hits: dict[int, int] = {}
+        self._spent: set[int] = set()
+        self.fired: list[FiredFault] = []
+
+    def fire(self, site: str, **context) -> str | None:
+        """Visit a fault site; returns the action to inject, or ``None``.
+
+        The caller supplies whatever context it has (``client_id``,
+        ``round_id``, ``phase``, ``kind``); specs filter on it and the
+        fired log records it.
+        """
+        action = None
+        for index, spec in enumerate(self.plan.specs):
+            if spec.site != site or index in self._spent:
+                continue
+            if not spec.matches(context):
+                continue
+            count = self._hits.get(index, 0) + 1
+            self._hits[index] = count
+            if count >= spec.at_hit:
+                self._spent.add(index)
+                action = spec.resolved_action()
+                break
+        if action is None:
+            rate = float(self.plan.rates.get(site, 0.0))
+            if rate > 0.0 and self._rng.uniform() < rate:
+                action = DEFAULT_ACTIONS.get(site, ACTION_DROP)
+        if action is not None:
+            self.fired.append(
+                FiredFault(
+                    index=len(self.fired),
+                    site=site,
+                    action=action,
+                    context=_freeze_context(context),
+                )
+            )
+        return action
+
+    def fired_log(self) -> tuple[tuple[str, str, tuple[tuple[str, str], ...]], ...]:
+        """A hashable summary of everything fired, for replay comparison."""
+        return tuple((f.site, f.action, f.context) for f in self.fired)

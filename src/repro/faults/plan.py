@@ -1,0 +1,181 @@
+"""Fault sites, fault specs, and schedulable fault plans.
+
+A **site** names a place in the stack where the environment can misbehave;
+an **action** names what happens there.  A :class:`FaultSpec` pins a fault
+to a site (optionally filtered by client, round, phase, or message kind)
+and fires exactly once, on the ``at_hit``-th matching visit — that is how
+"kill the blinder between open and provision" or "crash client 3 after
+signing but before submitting" become replayable schedule entries.  A
+:class:`FaultPlan` combines scheduled specs with per-site background
+probabilities for soak-style chaos runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.crypto.drbg import HmacDrbg
+
+# Fault sites ---------------------------------------------------------------
+SITE_REQUEST = "transport.request"
+"""The request leg of a :meth:`Network.call`, after the adversary chain."""
+
+SITE_RESPONSE = "transport.response"
+"""The response leg — the handler already ran when this fires."""
+
+SITE_ECALL = "enclave.ecall"
+"""Entry into any enclave on a faulted platform; the untrusted OS kills it."""
+
+SITE_EPC_PRESSURE = "enclave.epc"
+"""EPC thrash: the ecall proceeds but pays a paging penalty."""
+
+SITE_SEAL_LOSS = "client.seal-loss"
+"""Host storage loses a sealed round checkpoint during client restart."""
+
+SITE_CLIENT_PROVISION = "client.provision"
+"""Client process dies while handling a provision-mask command."""
+
+SITE_CLIENT_PRE_SIGN = "client.pre-sign"
+"""Client process dies after receiving a contribute command, before signing."""
+
+SITE_CLIENT_POST_SIGN = "client.post-sign"
+"""Client process dies after the Glimmer signed, before the submission."""
+
+SITE_BLINDER = "blinder.lifecycle"
+"""The blinding service crashes at a phase boundary and must fail over."""
+
+SITE_PHASE_STALL = "engine.phase"
+"""A phase opens late (models scheduler stalls; exercises phase deadlines)."""
+
+# Fault actions -------------------------------------------------------------
+ACTION_DROP = "drop"
+ACTION_KILL = "kill"
+ACTION_CRASH = "crash"
+ACTION_LOSE = "lose"
+ACTION_PRESSURE = "pressure"
+ACTION_STALL = "stall"
+
+DEFAULT_ACTIONS: Mapping[str, str] = {
+    SITE_REQUEST: ACTION_DROP,
+    SITE_RESPONSE: ACTION_DROP,
+    SITE_ECALL: ACTION_KILL,
+    SITE_EPC_PRESSURE: ACTION_PRESSURE,
+    SITE_SEAL_LOSS: ACTION_LOSE,
+    SITE_CLIENT_PROVISION: ACTION_CRASH,
+    SITE_CLIENT_PRE_SIGN: ACTION_CRASH,
+    SITE_CLIENT_POST_SIGN: ACTION_CRASH,
+    SITE_BLINDER: ACTION_CRASH,
+    SITE_PHASE_STALL: ACTION_STALL,
+}
+
+PROBABILISTIC_SITES: tuple[str, ...] = (
+    SITE_REQUEST,
+    SITE_RESPONSE,
+    SITE_ECALL,
+    SITE_CLIENT_PRE_SIGN,
+    SITE_CLIENT_POST_SIGN,
+    SITE_SEAL_LOSS,
+)
+"""Sites that make sense as background rates in sampled plans.
+
+``SITE_BLINDER`` and ``SITE_CLIENT_PROVISION`` are deliberately excluded:
+they are scheduled as discrete specs instead, because a per-visit rate on
+them degenerates into "everything crashes always" at interesting rates.
+"""
+
+_SCHEDULABLE_CLIENT_SITES = (
+    SITE_CLIENT_PROVISION,
+    SITE_CLIENT_PRE_SIGN,
+    SITE_CLIENT_POST_SIGN,
+)
+
+_PHASES = ("provision", "collect", "finalize")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: fire ``action`` at ``site``, once.
+
+    Filters narrow which visits count: ``target`` matches the acting
+    client's id, ``round_id`` the round, ``phase`` the engine phase, and
+    ``kind`` the message kind.  A ``None`` filter matches anything.  The
+    spec fires on the ``at_hit``-th matching visit and never again.
+    """
+
+    site: str
+    action: str | None = None
+    target: str | None = None
+    round_id: int | None = None
+    phase: str | None = None
+    kind: str | None = None
+    at_hit: int = 1
+
+    def matches(self, context: Mapping[str, object]) -> bool:
+        if self.target is not None and context.get("client_id") != self.target:
+            return False
+        if self.round_id is not None and context.get("round_id") != self.round_id:
+            return False
+        if self.phase is not None and context.get("phase") != self.phase:
+            return False
+        if self.kind is not None and context.get("kind") != self.kind:
+            return False
+        return True
+
+    def resolved_action(self) -> str:
+        return self.action or DEFAULT_ACTIONS.get(self.site, ACTION_DROP)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What can go wrong in one run: scheduled specs + background rates.
+
+    ``rates`` maps a site to a per-visit probability of its default
+    action.  Plans are plain data — pair one with a seed inside a
+    :class:`~repro.faults.injector.FaultInjector` to get a replayable
+    fault schedule.
+    """
+
+    specs: tuple[FaultSpec, ...] = ()
+    rates: Mapping[str, float] = field(default_factory=dict)
+    label: str = ""
+
+    @classmethod
+    def sample(
+        cls,
+        rng: HmacDrbg,
+        fault_rate: float,
+        clients: Sequence[str] = (),
+        rounds: Sequence[int] = (),
+        sites: Sequence[str] | None = None,
+        label: str = "",
+    ) -> "FaultPlan":
+        """Draw a random-but-reproducible plan at roughly ``fault_rate``.
+
+        Each probabilistic site independently gets either no pressure or a
+        rate near ``fault_rate``, so sampled schedules differ in *where*
+        failures land, not just how many.  With ``clients`` given, the
+        plan may also schedule one targeted client crash (provision /
+        pre-sign / post-sign) and one blinder crash at a random phase
+        boundary — the adversarial timings the tentpole cares about.
+        """
+        candidate_sites = tuple(sites) if sites is not None else PROBABILISTIC_SITES
+        rates: dict[str, float] = {}
+        for site in candidate_sites:
+            if rng.uniform() < 0.5:
+                rates[site] = fault_rate * (0.5 + rng.uniform())
+        specs: list[FaultSpec] = []
+        if clients and rng.uniform() < min(1.0, 6.0 * fault_rate):
+            spec_round = rng.choice(list(rounds)) if rounds else None
+            specs.append(
+                FaultSpec(
+                    site=rng.choice(list(_SCHEDULABLE_CLIENT_SITES)),
+                    target=rng.choice(list(clients)),
+                    round_id=spec_round,
+                )
+            )
+        if rng.uniform() < min(1.0, 4.0 * fault_rate):
+            specs.append(
+                FaultSpec(site=SITE_BLINDER, phase=rng.choice(list(_PHASES)))
+            )
+        return cls(specs=tuple(specs), rates=rates, label=label)

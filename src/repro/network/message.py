@@ -22,6 +22,16 @@ class Message:
     payload: Any
     message_id: int = 0
     sent_at_ms: float = 0.0
+    attempt: int = 1
+    """Which delivery attempt of the same logical request this is.
+
+    ``attempt > 1`` marks a sender-side retransmission.  Handlers with
+    side effects key their idempotency caches on it: a retransmission may
+    be answered from cache (the response leg can drop after the handler
+    ran), while a *fresh* message replaying old content (``attempt == 1``)
+    still hits the strict protocol checks — replay attacks must not ride
+    the retry path.
+    """
 
     def with_payload(self, payload: Any) -> "Message":
         """Copy with a replaced payload (tamper adversaries use this)."""

@@ -5,6 +5,16 @@ a request through the adversary chain, advances the simulated clock by a
 sampled one-way latency each direction, and returns the handler's response.
 One-way :meth:`Network.send` is available for fire-and-forget flows.
 
+Both legs of a call face the adversary chain: the response travels back as
+its own :class:`Message` (kind ``<kind>/reply``, addressing reversed), so
+drop models and eavesdroppers apply symmetrically.  A dropped response
+raises :class:`NetworkError` *after* the handler ran — callers that retry
+get at-least-once semantics and handlers must treat retransmissions
+(``Message.attempt > 1``) idempotently.  Responses do not count toward
+``messages_delivered``/``bytes_delivered`` (those meter request traffic,
+which keeps phase accounting comparable across experiments) but a dropped
+response does count as a drop.
+
 The transport itself offers **no** security: anything an adversary should
 not read or forge must go through :mod:`repro.network.channel` or carry a
 Glimmer signature.  That is the point — experiments show the architecture's
@@ -18,6 +28,7 @@ from typing import Any, Callable
 
 from repro.crypto.drbg import HmacDrbg
 from repro.errors import NetworkError
+from repro.faults import ACTION_DROP, SITE_REQUEST, SITE_RESPONSE
 from repro.network.adversary import NetworkAdversary
 from repro.network.clock import LatencyModel, SimulatedClock
 from repro.network.message import Message
@@ -25,6 +36,10 @@ from repro.sgx.enclave import payload_size
 
 
 Handler = Callable[[Message], Any]
+
+REPLY_SUFFIX = "/reply"
+"""Appended to a request's kind to tag its response message, so kind-based
+adversaries and capture filters can tell the two legs apart."""
 
 
 @dataclass
@@ -61,7 +76,9 @@ class Network:
         clock: SimulatedClock | None = None,
         latency: LatencyModel | None = None,
         seed: bytes = b"network",
+        fault_injector=None,
     ) -> None:
+        self.fault_injector = fault_injector
         self.clock = clock or SimulatedClock()
         self._default_latency = latency or LatencyModel()
         self._link_latency: dict[tuple[str, str], LatencyModel] = {}
@@ -126,7 +143,9 @@ class Network:
         self.bytes_delivered += size
         return endpoint.handle(message)
 
-    def _transmit(self, sender: str, receiver: str, kind: str, payload: Any) -> tuple[bool, Any]:
+    def _transmit(
+        self, sender: str, receiver: str, kind: str, payload: Any, attempt: int = 1
+    ) -> tuple[bool, Any]:
         """Push one message through adversaries and deliver; (delivered, result)."""
         message = Message(
             sender=sender,
@@ -135,9 +154,18 @@ class Network:
             payload=payload,
             message_id=self._next_message_id,
             sent_at_ms=self.clock.now_ms(),
+            attempt=attempt,
         )
         self._next_message_id += 1
         processed = self._through_adversaries(message)
+        if processed is not None and self.fault_injector is not None:
+            if (
+                self.fault_injector.fire(
+                    SITE_REQUEST, kind=kind, sender=sender, receiver=receiver
+                )
+                == ACTION_DROP
+            ):
+                processed = None
         if processed is None:
             self.messages_dropped += 1
             return False, None
@@ -153,13 +181,49 @@ class Network:
         __, result = self._transmit(sender, receiver, kind, payload)
         return result
 
-    def call(self, sender: str, receiver: str, kind: str, payload: Any) -> Any:
-        """Request/response: like :meth:`send`, but raises if the request is
-        dropped and charges return-path latency for the response."""
-        delivered, result = self._transmit(sender, receiver, kind, payload)
+    def call(
+        self, sender: str, receiver: str, kind: str, payload: Any, attempt: int = 1
+    ) -> Any:
+        """Request/response over a hostile wire, both legs exposed.
+
+        Raises :class:`NetworkError` if either leg is dropped.  A dropped
+        *request* means the handler never ran, so a retry is free.  A
+        dropped *response* means the handler already ran — the caller
+        cannot tell which, so retried calls must pass an incremented
+        ``attempt`` and handlers must answer retransmissions idempotently.
+        The response faces the same adversary chain as the request (as its
+        own ``<kind>/reply`` message) but is metered only as latency, not
+        as delivered request traffic.
+        """
+        delivered, result = self._transmit(sender, receiver, kind, payload, attempt)
         if not delivered:
             raise NetworkError(f"request {kind!r} to {receiver!r} was dropped")
-        self.clock.advance(
-            self._latency_for(receiver, sender, payload_size(result))
+        response = Message(
+            sender=receiver,
+            receiver=sender,
+            kind=kind + REPLY_SUFFIX,
+            payload=result,
+            message_id=self._next_message_id,
+            sent_at_ms=self.clock.now_ms(),
+            attempt=attempt,
         )
-        return result
+        self._next_message_id += 1
+        processed = self._through_adversaries(response)
+        if processed is not None and self.fault_injector is not None:
+            if (
+                self.fault_injector.fire(
+                    SITE_RESPONSE, kind=kind, sender=receiver, receiver=sender
+                )
+                == ACTION_DROP
+            ):
+                processed = None
+        if processed is None:
+            self.messages_dropped += 1
+            raise NetworkError(
+                f"response to {kind!r} from {receiver!r} was dropped "
+                "(the handler may have run)"
+            )
+        self.clock.advance(
+            self._latency_for(receiver, sender, payload_size(processed.payload))
+        )
+        return processed.payload

@@ -8,17 +8,44 @@ do not know about the bus.  The client adapter is the interesting one: a
 *client* originate further messages (mask request to the blinding
 service, signed submission to the cloud service), so the full §3 message
 flow goes over the wire, adversaries included.
+
+Since the response leg of a call can now drop (see
+:mod:`repro.network.transport`), delivery is at-least-once and every
+handler with side effects is idempotent **for retransmissions**: when
+``message.attempt > 1`` the handler may answer from its result cache.  A
+*fresh* message carrying old content (``attempt == 1``) never takes that
+shortcut — replay attacks still face the strict protocol checks, which is
+exactly the distinction E2's replay arm relies on.
+
+This is also where the client-lifecycle fault sites live: a faulted run
+can kill the client process while it handles a command — before signing,
+or in the gap after the Glimmer signed but before the submission went out
+— which is the adversarial timing the sealed-checkpoint recovery design
+exists to survive.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.errors import NetworkError, ValidationError
+from repro.errors import (
+    CryptoError,
+    EnclaveError,
+    NetworkError,
+    ProtocolError,
+    ValidationError,
+)
+from repro.faults import (
+    ACTION_CRASH,
+    SITE_CLIENT_POST_SIGN,
+    SITE_CLIENT_PRE_SIGN,
+    SITE_CLIENT_PROVISION,
+)
 from repro.network.message import Message
 from repro.runtime import messages as m
 from repro.runtime.telemetry import (
     OUTCOME_ACCEPTED,
+    OUTCOME_CRASHED,
     OUTCOME_SERVICE_REJECTED,
     OUTCOME_SUBMIT_FAILED,
     OUTCOME_VALIDATION_REJECTED,
@@ -33,16 +60,25 @@ class ServiceEndpoint:
 
     def __init__(self, service) -> None:
         self.service = service
+        self._submit_results: dict[bytes, bool] = {}
 
     def handlers(self) -> dict:
         return {
             m.KIND_OPEN_SERVICE: self._handle_open,
             m.KIND_SUBMIT: self._handle_submit,
+            m.KIND_QUERY_SUBMISSION: self._handle_query_submission,
             m.KIND_FINALIZE: self._handle_finalize,
         }
 
     def _handle_open(self, message: Message):
         request: m.OpenServiceRound = message.payload
+        if message.attempt > 1:
+            try:
+                state = self.service.round_state(request.round_id)
+            except ProtocolError:
+                state = None
+            if state is not None and state.blinded == request.blinded:
+                return True  # the earlier attempt's open landed; ack again
         self.service.open_round(
             request.round_id, request.expected_parties, blinded=request.blinded
         )
@@ -50,7 +86,31 @@ class ServiceEndpoint:
 
     def _handle_submit(self, message: Message) -> bool:
         request: m.SubmitContribution = message.payload
-        return self.service.submit(request.round_id, request.contribution)
+        nonce = getattr(request.contribution, "nonce", None)
+        if (
+            message.attempt > 1
+            and nonce is not None
+            and nonce in self._submit_results
+        ):
+            # Retransmission of a submission whose verdict we already
+            # issued but whose response leg was lost.  Answering from
+            # cache keeps at-least-once delivery from double-counting.
+            # Fresh replays (attempt == 1) skip this and hit the
+            # replayed-nonce check below, as they must.
+            return self._submit_results[nonce]
+        accepted = self.service.submit(request.round_id, request.contribution)
+        if nonce is not None:
+            self._submit_results[nonce] = accepted
+        return accepted
+
+    def _handle_query_submission(self, message: Message) -> bool:
+        """Reconciliation: was this nonce accepted into its round?"""
+        request: m.SubmissionStatusQuery = message.payload
+        try:
+            state = self.service.round_state(request.round_id)
+        except ProtocolError:
+            return False
+        return request.nonce in state.seen_nonces
 
     def _handle_finalize(self, message: Message):
         request: m.FinalizeRound = message.payload
@@ -76,12 +136,17 @@ class BlinderEndpoint:
 
     def _handle_open(self, message: Message):
         request: m.OpenBlinderRound = message.payload
+        if message.attempt > 1 and getattr(self.provisioner, "has_round", None):
+            if self.provisioner.has_round(request.round_id):
+                return True
         self.provisioner.open_round(
             request.round_id, request.num_parties, request.vector_length
         )
         return True
 
     def _handle_mask_request(self, message: Message):
+        # Stateless per request: re-answering a retransmitted handshake
+        # just re-derives a fresh delivery for the same session.
         request: m.MaskRequest = message.payload
         return self.provisioner.provision_mask(
             request.session_id,
@@ -111,6 +176,7 @@ class ClientEndpoint:
         self.engine = engine
         self.client = client
         self.name = name
+        self._contribute_outcomes: dict[int, tuple[str, str | None]] = {}
 
     def handlers(self) -> dict:
         return {
@@ -118,10 +184,36 @@ class ClientEndpoint:
             m.KIND_CONTRIBUTE: self._handle_contribute,
         }
 
+    def outcome_for(self, round_id: int) -> tuple[str, str | None] | None:
+        """The last contribute outcome this endpoint issued for a round."""
+        return self._contribute_outcomes.get(round_id)
+
+    def _fire(self, site: str, round_id: int) -> bool:
+        injector = self.engine.fault_injector
+        if injector is None:
+            return False
+        return (
+            injector.fire(
+                site, client_id=self.client.client_id, round_id=round_id
+            )
+            == ACTION_CRASH
+        )
+
     def _handle_provision(self, message: Message) -> bool:
         request: m.ProvisionMask = message.payload
         record = self.engine.round_record(request.round_id)
         self.engine.note_client_join(record, self.client)
+        if (
+            message.attempt > 1
+            and self.client.party_index_for(request.round_id) == request.party_index
+        ):
+            return True  # mask already installed; only the ack was lost
+        if self._fire(SITE_CLIENT_PROVISION, request.round_id):
+            self.client.crash()
+            raise EnclaveError(
+                f"client {self.client.client_id!r} crashed while provisioning "
+                f"round {request.round_id} (injected fault)"
+            )
         session_id, dh_public, quote = self.client.handshake_request()
         record.ecalls += 1  # begin_handshake
         delivery = self.engine.call_with_retry(
@@ -139,12 +231,34 @@ class ClientEndpoint:
         )
         self.client.install_mask(request.round_id, request.party_index, delivery)
         record.ecalls += 1  # install_blinding_mask
+        if hasattr(self.client, "checkpoint_round"):
+            # Seal the freshly installed mask so a later crash in this
+            # round is recoverable.  Not counted in record.ecalls, which
+            # tracks the paper's three-ecall protocol path per client.
+            self.client.checkpoint_round(request.round_id)
         return True
+
+    def _remember(
+        self, round_id: int, outcome: tuple[str, str | None]
+    ) -> tuple[str, str | None]:
+        self._contribute_outcomes[round_id] = outcome
+        return outcome
 
     def _handle_contribute(self, message: Message) -> tuple[str, str | None]:
         command: m.ContributeCommand = message.payload
         record = self.engine.round_record(command.round_id)
         self.engine.note_client_join(record, self.client)
+        if message.attempt > 1 and command.round_id in self._contribute_outcomes:
+            # Retransmitted command: the earlier attempt ran to completion
+            # and only its response was lost.  Re-running it would re-sign
+            # (or double-submit); answer from the cache instead.
+            return self._contribute_outcomes[command.round_id]
+        if self._fire(SITE_CLIENT_PRE_SIGN, command.round_id):
+            self.client.crash()
+            return self._remember(
+                command.round_id,
+                (OUTCOME_CRASHED, "killed before the Glimmer signed"),
+            )
         record.ecalls += 1  # process_contribution (charged even on rejection)
         try:
             signed = self.client.contribute(
@@ -156,13 +270,34 @@ class ClientEndpoint:
                 context_fields=command.context_fields,
             )
         except ValidationError as exc:
-            return OUTCOME_VALIDATION_REJECTED, str(exc)
+            return self._remember(
+                command.round_id, (OUTCOME_VALIDATION_REJECTED, str(exc))
+            )
+        except (EnclaveError, CryptoError, ProtocolError) as exc:
+            # Enclave killed mid-ecall, mask unavailable after an
+            # unrecoverable checkpoint, or key state missing: the client
+            # is effectively down for this round until restarted.
+            return self._remember(command.round_id, (OUTCOME_CRASHED, str(exc)))
+        if self._fire(SITE_CLIENT_POST_SIGN, command.round_id):
+            # The nastiest timing: the mask is consumed and the signing
+            # counter advanced, but nothing was submitted.  Recovery must
+            # NOT resurrect the mask (rollback check) — the slot gets
+            # repaired by reveal instead.
+            self.client.crash()
+            return self._remember(
+                command.round_id,
+                (OUTCOME_CRASHED, "killed after signing, before submission"),
+            )
         try:
             accepted = self.engine.submit_signed(
                 self.client.client_id, command.round_id, signed
             )
         except NetworkError as exc:
-            return OUTCOME_SUBMIT_FAILED, str(exc)
+            return self._remember(
+                command.round_id, (OUTCOME_SUBMIT_FAILED, str(exc))
+            )
         if accepted:
-            return OUTCOME_ACCEPTED, None
-        return OUTCOME_SERVICE_REJECTED, None
+            if hasattr(self.client, "discard_checkpoint"):
+                self.client.discard_checkpoint(command.round_id)
+            return self._remember(command.round_id, (OUTCOME_ACCEPTED, None))
+        return self._remember(command.round_id, (OUTCOME_SERVICE_REJECTED, None))

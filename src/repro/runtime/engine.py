@@ -16,28 +16,49 @@ finalize — and drives it entirely with typed messages over
   revealed by the blinding service and handed to the cloud service for §3
   repair, so the aggregate over survivors is exact.
 
-Transient transport drops are retried with bounded exponential backoff
-(only the request leg can drop, so a retry can never double-submit).  A
-round that loses more participants than ``recovery_threshold`` allows
-raises :class:`~repro.errors.RoundAbortedError` instead of publishing a
-degenerate aggregate.  Every finalized round yields a
-:class:`~repro.runtime.telemetry.RoundReport`.
+Delivery is **at-least-once**: either leg of a call can drop, so a failed
+call may still have executed its handler.  Retries are therefore paired
+with handler-side idempotency (see :mod:`repro.runtime.endpoints`), and a
+submission whose every attempt failed is *reconciled* — the engine asks
+the service whether the nonce landed before deciding the slot's fate.  A
+slot that cannot be reconciled is *unresolved*, and an unresolved slot
+forces an abort: revealing its mask might double-count a contribution
+that was actually accepted, and exactness outranks availability.
+
+Retries use exponential backoff capped at ``max_backoff_ms`` with
+deterministic DRBG-derived jitter, so storms decorrelate without
+breaking replayability.  Crashed client enclaves are restarted once and
+recover from sealed checkpoints; a crashed blinding service is restarted
+at the next phase boundary and recovers from its sealed round state.  A
+round that still loses more participants than ``recovery_threshold``
+allows raises :class:`~repro.errors.RoundAbortedError` — with its phase
+window closed and a partial :class:`~repro.runtime.telemetry.RoundReport`
+(``aborted=True``) recorded, so telemetry survives the failure.
 """
 
 from __future__ import annotations
 
 from typing import Any, Iterable, Mapping, Sequence
 
-from repro.errors import NetworkError, ProtocolError, RoundAbortedError
+from repro.crypto.drbg import HmacDrbg
+from repro.errors import (
+    EnclaveError,
+    NetworkError,
+    ProtocolError,
+    RoundAbortedError,
+)
+from repro.faults import ACTION_CRASH, ACTION_STALL, SITE_BLINDER, SITE_PHASE_STALL
 from repro.network.transport import Network
 from repro.runtime import messages as m
 from repro.runtime.endpoints import BlinderEndpoint, ClientEndpoint, ServiceEndpoint
 from repro.runtime.messages import BLINDER, ENGINE, SERVICE, client_endpoint
 from repro.runtime.telemetry import (
     OUTCOME_ACCEPTED,
+    OUTCOME_CRASHED,
     OUTCOME_DEADLINE_MISSED,
     OUTCOME_DROPOUT,
     OUTCOME_PROVISION_FAILED,
+    OUTCOME_SUBMIT_FAILED,
     OUTCOME_UNREACHABLE,
     PhaseStats,
     RoundReport,
@@ -46,6 +67,9 @@ from repro.runtime.telemetry import (
 )
 
 __all__ = ["RoundEngine", "ENGINE", "SERVICE", "BLINDER", "client_endpoint"]
+
+#: Simulated wall-clock cost of an injected phase stall (SITE_PHASE_STALL).
+PHASE_STALL_MS = 40.0
 
 
 class _RoundRecord:
@@ -59,8 +83,11 @@ class _RoundRecord:
         self.participants: list[str] = []
         self.provisioned: dict[int, str] = {}
         self.consumed: set[int] = set()
+        self.unresolved: set[int] = set()
         self.outcomes: dict[str, str] = {}
         self.retries = 0
+        self.recoveries = 0
+        self.faults0 = 0
         self.ecalls = 0
         self.joined: dict[str, Any] = {}
         self.meter_start: dict[str, dict[str, int]] = {}
@@ -86,14 +113,20 @@ class RoundEngine:
         *,
         max_attempts: int = 5,
         backoff_ms: float = 8.0,
+        max_backoff_ms: float = 256.0,
         recovery_threshold: float = 0.0,
+        fault_injector=None,
+        seed: bytes = b"round-engine",
     ) -> None:
         self.network = network
         self.service = service
         self.blinder_provisioner = blinder_provisioner
         self.max_attempts = max(1, int(max_attempts))
         self.backoff_ms = float(backoff_ms)
+        self.max_backoff_ms = float(max_backoff_ms)
         self.recovery_threshold = float(recovery_threshold)
+        self.fault_injector = fault_injector
+        self._retry_rng = HmacDrbg(seed, personalization="retry-jitter")
         self.clients: dict[str, Any] = {}
         self.reports: dict[int, RoundReport] = {}
         self._rounds: dict[int, _RoundRecord] = {}
@@ -140,6 +173,7 @@ class RoundEngine:
 
     def _start_phase(self, record: _RoundRecord, name: str) -> None:
         self._close_phase(record)
+        self._fire_phase_faults(record, name)
         record.window = (
             name,
             self.network.messages_delivered + self.network.messages_dropped,
@@ -147,6 +181,29 @@ class RoundEngine:
             self.network.bytes_delivered,
             self.network.clock.now_ms(),
         )
+
+    def _fire_phase_faults(self, record: _RoundRecord, phase: str) -> None:
+        """Phase boundaries are where lifecycle faults land.
+
+        A blinder crash here is immediately followed by a restart that
+        recovers sealed round state — the availability claim E18 measures
+        is that such a round still finalizes exactly (repair masks come
+        from unsealed state, not enclave memory).
+        """
+        injector = self.fault_injector
+        if injector is None:
+            return
+        action = injector.fire(
+            SITE_BLINDER, round_id=record.round_id, phase=phase
+        )
+        if action == ACTION_CRASH and hasattr(self.blinder_provisioner, "crash"):
+            self.blinder_provisioner.crash()
+            self.blinder_provisioner.restart()
+        if (
+            injector.fire(SITE_PHASE_STALL, round_id=record.round_id, phase=phase)
+            == ACTION_STALL
+        ):
+            self.network.clock.advance(PHASE_STALL_MS)
 
     def _close_phase(self, record: _RoundRecord) -> None:
         if record.window is None:
@@ -170,22 +227,34 @@ class RoundEngine:
     def call_with_retry(
         self, record: _RoundRecord, sender: str, receiver: str, kind: str, payload
     ):
-        """``Network.call`` with bounded exponential backoff on drops.
+        """``Network.call`` with capped, jittered exponential backoff.
 
-        Only the request leg of a call can be dropped (the handler never
-        ran), so retrying a command is safe: nothing can be double-signed
-        or double-submitted.
+        Either leg of a call can drop, so a failed attempt may still have
+        executed its handler — retransmissions carry an increasing
+        ``attempt`` number so handlers can answer idempotently from their
+        result caches (see :mod:`repro.runtime.endpoints`).  Backoff
+        doubles from ``backoff_ms`` but never exceeds ``max_backoff_ms``,
+        and each wait adds up to one backoff-interval of jitter drawn from
+        the engine's DRBG: deterministic for a given seed, decorrelated
+        across retrying callers.
         """
         attempt = 0
         while True:
             attempt += 1
             try:
-                return self.network.call(sender, receiver, kind, payload)
+                return self.network.call(
+                    sender, receiver, kind, payload, attempt=attempt
+                )
             except NetworkError:
                 if attempt >= self.max_attempts:
                     raise
                 record.retries += 1
-                self.network.clock.advance(self.backoff_ms * (2 ** (attempt - 1)))
+                delay = min(
+                    self.backoff_ms * (2 ** (attempt - 1)), self.max_backoff_ms
+                )
+                self.network.clock.advance(
+                    delay + delay * self._retry_rng.uniform()
+                )
 
     # --------------------------------------------------------- round lifecycle
 
@@ -200,6 +269,8 @@ class RoundEngine:
         if round_id in self._rounds:
             raise ProtocolError(f"round {round_id} is already tracked by the engine")
         record = _RoundRecord(self.network, round_id, num_slots, blinded)
+        if self.fault_injector is not None:
+            record.faults0 = len(self.fault_injector.fired)
         self._rounds[round_id] = record
         self._start_phase(record, "open")
         if blinded:
@@ -271,6 +342,15 @@ class RoundEngine:
         model attackers replaying or injecting contributions on the wire.
         An accepted submission consumes the sender's mask slot, exempting
         it from dropout repair.
+
+        When every attempt fails, the submission is *reconciled*: the
+        service is asked whether the contribution's nonce landed (the
+        handler may have run with only the response lost).  If it did,
+        the slot is consumed and the submit reported accepted.  If the
+        reconciliation query itself cannot be delivered, the slot is
+        marked unresolved — finalizing the round would then risk both
+        counting the contribution *and* revealing its mask, so
+        :meth:`finalize_round` aborts instead.
         """
         record = self.round_record(round_id)
         sender = (
@@ -278,40 +358,87 @@ class RoundEngine:
         )
         if slot is None and sender_id in self.clients:
             slot = self.clients[sender_id].party_index_for(round_id)
-        accepted = bool(
-            self.call_with_retry(
-                record,
-                sender,
-                SERVICE,
-                m.KIND_SUBMIT,
-                m.SubmitContribution(round_id, contribution),
+        try:
+            accepted = bool(
+                self.call_with_retry(
+                    record,
+                    sender,
+                    SERVICE,
+                    m.KIND_SUBMIT,
+                    m.SubmitContribution(round_id, contribution),
+                )
             )
-        )
+        except NetworkError:
+            nonce = getattr(contribution, "nonce", None)
+            if nonce is None:
+                raise
+            try:
+                landed = bool(
+                    self.call_with_retry(
+                        record,
+                        ENGINE,
+                        SERVICE,
+                        m.KIND_QUERY_SUBMISSION,
+                        m.SubmissionStatusQuery(round_id, nonce),
+                    )
+                )
+            except NetworkError:
+                if slot is not None:
+                    record.unresolved.add(slot)
+                raise
+            if not landed:
+                raise
+            accepted = True
         if accepted and slot is not None:
             record.consumed.add(slot)
+            record.unresolved.discard(slot)
         return accepted
 
     def finalize_round(self, round_id: int) -> RoundReport:
-        """Repair unconsumed slots, finalize at the service, emit the report."""
+        """Repair unconsumed slots, finalize at the service, emit the report.
+
+        Refuses (aborts) when any slot is unresolved — exactness cannot be
+        guaranteed if a submission's fate is unknown.  Before repair, the
+        engine's own slot accounting overrides pessimistic per-client
+        outcomes: a client may have died or lost connectivity *after* its
+        contribution was accepted, and its slot being consumed is the
+        ground truth that it counted.
+        """
         record = self.round_record(round_id)
+        if record.unresolved:
+            raise self._abort(
+                record,
+                f"{len(record.unresolved)} submission(s) could not be "
+                "reconciled (accepted-or-not unknown)",
+            )
+        for slot, user_id in record.provisioned.items():
+            if slot in record.consumed and record.outcomes.get(user_id) in (
+                OUTCOME_UNREACHABLE,
+                OUTCOME_SUBMIT_FAILED,
+                OUTCOME_CRASHED,
+            ):
+                record.outcomes[user_id] = OUTCOME_ACCEPTED
         self._start_phase(record, "finalize")
         repairs: list[tuple[int, ...]] = []
-        if record.blinded:
-            for slot in range(record.num_slots):
-                if slot in record.consumed:
-                    continue
-                mask = self.call_with_retry(
-                    record, ENGINE, BLINDER, m.KIND_REVEAL_MASK,
-                    m.RevealMask(round_id, slot),
-                )
-                repairs.append(tuple(int(v) for v in mask))
-        result = self.call_with_retry(
-            record,
-            ENGINE,
-            SERVICE,
-            m.KIND_FINALIZE,
-            m.FinalizeRound(round_id, tuple(repairs)),
-        )
+        try:
+            if record.blinded:
+                for slot in range(record.num_slots):
+                    if slot in record.consumed:
+                        continue
+                    mask = self.call_with_retry(
+                        record, ENGINE, BLINDER, m.KIND_REVEAL_MASK,
+                        m.RevealMask(round_id, slot),
+                    )
+                    repairs.append(tuple(int(v) for v in mask))
+            result = self.call_with_retry(
+                record,
+                ENGINE,
+                SERVICE,
+                m.KIND_FINALIZE,
+                m.FinalizeRound(round_id, tuple(repairs)),
+            )
+        except NetworkError as exc:
+            raise self._abort(record, f"finalize could not complete: {exc}")
         report = self._build_report(record, result, len(repairs))
         self.reports[round_id] = report
         del self._rounds[round_id]
@@ -321,7 +448,51 @@ class RoundEngine:
         """Forget an aborted round's engine-side state."""
         self._rounds.pop(round_id, None)
 
+    def _abort(self, record: _RoundRecord, reason: str) -> RoundAbortedError:
+        """Close the round's books and build the error for an abort.
+
+        The phase window is closed, a *partial* report (``aborted=True``,
+        no aggregate) is recorded under the round id, and the returned
+        :class:`RoundAbortedError` carries that report as ``.report``.
+        The record stays tracked so callers can inspect it before
+        :meth:`abandon_round`.  Callers ``raise self._abort(...)``.
+        """
+        self._close_phase(record)
+        num_contributions = 0
+        rejected: dict[str, int] = {}
+        try:
+            state = self.service.round_state(record.round_id)
+            num_contributions = len(state.accepted)
+            rejected = dict(state.rejected)
+        except (ProtocolError, AttributeError):
+            pass
+        report = self._report_from(
+            record,
+            masks_repaired=0,
+            num_contributions=num_contributions,
+            rejected=rejected,
+            aggregate=None,
+            service_result=None,
+            aborted=True,
+            abort_reason=reason,
+        )
+        self.reports[record.round_id] = report
+        error = RoundAbortedError(f"round {record.round_id}: {reason}")
+        error.report = report
+        return error
+
     # ------------------------------------------------------------ whole round
+
+    def _restart_client(self, record: _RoundRecord, client) -> bool:
+        """Try to bring a crashed client back from its sealed checkpoints."""
+        if not hasattr(client, "restart"):
+            return False
+        try:
+            client.restart()
+        except Exception:
+            return False
+        record.recoveries += 1
+        return True
 
     def run_round(
         self,
@@ -331,7 +502,9 @@ class RoundEngine:
         features: Sequence,
         *,
         dropouts: Iterable[str] = (),
+        collect_dropouts: Iterable[str] = (),
         deadline_ms: float | None = None,
+        phase_deadlines_ms: Mapping[str, float] | None = None,
         claims_by_user: Mapping[str, Mapping] | None = None,
         context_fields: Sequence[str] = (),
         recovery_threshold: float | None = None,
@@ -339,49 +512,99 @@ class RoundEngine:
     ) -> RoundReport:
         """Run one full round: open → provision → collect → finalize.
 
-        ``dropouts`` are participants that go silent after being assigned a
-        slot — the §3 recovery path reveals their masks.  A participant
-        whose provisioning or submission is lost to the network is treated
-        the same way.  Raises :class:`RoundAbortedError` when no
-        contribution is accepted, or when survivors fall below
-        ``recovery_threshold`` (a fraction of participants).
+        ``dropouts`` are participants that go silent before doing anything;
+        ``collect_dropouts`` are nastier — they complete provisioning (a
+        mask is charged to their slot) and then never contribute, which is
+        the exact §3 repair case.  A participant whose provisioning or
+        submission is lost to the network, or whose enclave crashes and
+        cannot be recovered, is treated the same way.
+
+        ``phase_deadlines_ms`` optionally bounds the simulated duration of
+        the ``"provision"`` and ``"collect"`` phases individually (each
+        measured from the phase start); participants reached after a phase
+        deadline are marked ``deadline-missed`` and degrade into dropouts
+        rather than failing the round, down to ``recovery_threshold``.
+
+        Raises :class:`RoundAbortedError` when no contribution is
+        accepted, when survivors fall below ``recovery_threshold`` (a
+        fraction of participants), or when a submission cannot be
+        reconciled — in every case with phases closed and a partial
+        ``aborted=True`` report recorded in :attr:`reports`.
         """
         participants = list(participants)
         silent = set(dropouts)
+        silent_after_provision = set(collect_dropouts)
         threshold = (
             self.recovery_threshold
             if recovery_threshold is None
             else float(recovery_threshold)
         )
+        phase_deadlines = dict(phase_deadlines_ms or {})
         features = tuple(features)
-        self.open_round(round_id, len(participants), len(features), blinded=blind)
+        try:
+            self.open_round(round_id, len(participants), len(features), blinded=blind)
+        except NetworkError as exc:
+            # The round is tracked the moment open_round starts, so a
+            # failed open still aborts cleanly with a partial report.
+            record = self.round_record(round_id)
+            raise self._abort(record, f"round could not be opened: {exc}")
         record = self.round_record(round_id)
         for user_id in participants:
             record.note_participant(user_id)
         if blind:
             self._start_phase(record, "provision")
+            provision_deadline = self._phase_deadline(phase_deadlines, "provision")
             for index, user_id in enumerate(participants):
                 if user_id in silent:
                     record.outcomes[user_id] = OUTCOME_DROPOUT
+                    continue
+                if (
+                    provision_deadline is not None
+                    and self.network.clock.now_ms() > provision_deadline
+                ):
+                    record.outcomes[user_id] = OUTCOME_DEADLINE_MISSED
                     continue
                 try:
                     self.provision_mask(user_id, round_id, index)
                 except NetworkError:
                     record.outcomes[user_id] = OUTCOME_PROVISION_FAILED
+                except EnclaveError:
+                    # Client enclave died mid-provision.  Restart it from
+                    # sealed state and retry the slot once; a second death
+                    # writes the client off for this round.
+                    if self._recover_and_retry_provision(
+                        record, user_id, round_id, index
+                    ):
+                        continue
+                    record.outcomes[user_id] = OUTCOME_CRASHED
         self._start_phase(record, "collect")
         deadline = None if deadline_ms is None else record.opened_at_ms + deadline_ms
+        collect_deadline = self._phase_deadline(phase_deadlines, "collect")
         for user_id in participants:
             if user_id in silent:
                 record.outcomes.setdefault(user_id, OUTCOME_DROPOUT)
                 continue
-            if record.outcomes.get(user_id) == OUTCOME_PROVISION_FAILED:
+            if user_id in silent_after_provision:
+                record.outcomes[user_id] = OUTCOME_DROPOUT
+                continue
+            if record.outcomes.get(user_id) in (
+                OUTCOME_PROVISION_FAILED,
+                OUTCOME_CRASHED,
+                OUTCOME_DEADLINE_MISSED,
+            ):
                 continue
             if deadline is not None and self.network.clock.now_ms() > deadline:
                 record.outcomes[user_id] = OUTCOME_DEADLINE_MISSED
                 continue
+            if (
+                collect_deadline is not None
+                and self.network.clock.now_ms() > collect_deadline
+            ):
+                record.outcomes[user_id] = OUTCOME_DEADLINE_MISSED
+                continue
             claims = (claims_by_user or {}).get(user_id)
             try:
-                self.contribute(
+                outcome = self.contribute(
                     user_id,
                     round_id,
                     values_by_user[user_id],
@@ -392,27 +615,88 @@ class RoundEngine:
                 )
             except NetworkError:
                 record.outcomes[user_id] = OUTCOME_UNREACHABLE
+                continue
+            if outcome == OUTCOME_CRASHED:
+                # One recovery attempt: restart the enclave from sealed
+                # checkpoints and re-issue the contribute command.  If the
+                # checkpoint was refused (rollback) the retry fails closed
+                # inside the enclave and the slot is repaired by reveal.
+                client = self.clients.get(user_id)
+                if client is not None and self._restart_client(record, client):
+                    try:
+                        self.contribute(
+                            user_id,
+                            round_id,
+                            values_by_user[user_id],
+                            features,
+                            blind=blind,
+                            claims=claims,
+                            context_fields=context_fields,
+                        )
+                    except NetworkError:
+                        record.outcomes[user_id] = OUTCOME_UNREACHABLE
+        if record.unresolved:
+            raise self._abort(
+                record,
+                f"{len(record.unresolved)} submission(s) could not be "
+                "reconciled (accepted-or-not unknown)",
+            )
         survivors = [
             u for u in participants if record.outcomes.get(u) == OUTCOME_ACCEPTED
         ]
+        survivors += [
+            u
+            for slot, u in record.provisioned.items()
+            if slot in record.consumed and u not in survivors
+        ]
         if not survivors:
-            raise RoundAbortedError(
-                f"round {round_id}: no contribution was accepted "
-                f"({len(participants)} participants)"
+            raise self._abort(
+                record,
+                f"no contribution was accepted "
+                f"({len(participants)} participants)",
             )
         if threshold and len(survivors) < threshold * len(participants):
-            raise RoundAbortedError(
-                f"round {round_id}: {len(survivors)}/{len(participants)} survivors "
-                f"is below the recovery threshold of {threshold:.0%}"
+            raise self._abort(
+                record,
+                f"{len(survivors)}/{len(participants)} survivors is below "
+                f"the recovery threshold of {threshold:.0%}",
             )
         return self.finalize_round(round_id)
 
+    def _phase_deadline(
+        self, phase_deadlines: Mapping[str, float], phase: str
+    ) -> float | None:
+        budget = phase_deadlines.get(phase)
+        if budget is None:
+            return None
+        return self.network.clock.now_ms() + float(budget)
+
+    def _recover_and_retry_provision(
+        self, record: _RoundRecord, user_id: str, round_id: int, index: int
+    ) -> bool:
+        client = self.clients.get(user_id)
+        if client is None or not self._restart_client(record, client):
+            return False
+        try:
+            self.provision_mask(user_id, round_id, index)
+        except (NetworkError, EnclaveError):
+            return False
+        return True
+
     # --------------------------------------------------------------- reports
 
-    def _build_report(
-        self, record: _RoundRecord, result, masks_repaired: int
+    def _report_from(
+        self,
+        record: _RoundRecord,
+        *,
+        masks_repaired: int,
+        num_contributions: int,
+        rejected: Mapping[str, int],
+        aggregate,
+        service_result,
+        aborted: bool = False,
+        abort_reason: str | None = None,
     ) -> RoundReport:
-        self._close_phase(record)
         cycles: dict[str, int] = {}
         for client_id, before in record.meter_start.items():
             client = record.joined.get(client_id)
@@ -421,6 +705,9 @@ class RoundEngine:
             after = meter_snapshot(client.glimmer.meter)
             for bucket, grown in meter_delta(before, after).items():
                 cycles[bucket] = cycles.get(bucket, 0) + grown
+        faults = 0
+        if self.fault_injector is not None:
+            faults = len(self.fault_injector.fired) - record.faults0
         return RoundReport(
             round_id=record.round_id,
             blinded=record.blinded,
@@ -428,8 +715,8 @@ class RoundEngine:
             outcomes=dict(record.outcomes),
             num_slots=record.num_slots,
             masks_repaired=masks_repaired,
-            num_contributions=result.num_contributions,
-            rejected=dict(result.rejected),
+            num_contributions=num_contributions,
+            rejected=dict(rejected),
             messages_sent=self.network.messages_delivered
             + self.network.messages_dropped
             - record.messages0,
@@ -440,6 +727,23 @@ class RoundEngine:
             ecalls=record.ecalls,
             enclave_cycles=cycles,
             phases=tuple(record.phases),
+            aggregate=aggregate,
+            service_result=service_result,
+            aborted=aborted,
+            abort_reason=abort_reason,
+            client_restarts=record.recoveries,
+            faults_injected=faults,
+        )
+
+    def _build_report(
+        self, record: _RoundRecord, result, masks_repaired: int
+    ) -> RoundReport:
+        self._close_phase(record)
+        return self._report_from(
+            record,
+            masks_repaired=masks_repaired,
+            num_contributions=result.num_contributions,
+            rejected=dict(result.rejected),
             aggregate=result.aggregate,
             service_result=result,
         )

@@ -37,6 +37,7 @@ KIND_CONTRIBUTE = "client/contribute"
 # Clients → provisioners / service ------------------------------------------
 KIND_MASK_REQUEST = "mask/request"
 KIND_SUBMIT = "contribution/submit"
+KIND_QUERY_SUBMISSION = "contribution/status"
 
 
 @dataclass(frozen=True)
@@ -99,6 +100,21 @@ class SubmitContribution:
 
     round_id: int
     contribution: Any
+
+
+@dataclass(frozen=True)
+class SubmissionStatusQuery:
+    """Did a submission with this nonce land?  (Reconciliation, not replay.)
+
+    Sent when every attempt of a submit call failed on the *response* leg:
+    the contribution may or may not have been accepted, and the sender
+    must find out before the round can finalize exactly.  Nonces are
+    unforgeable 128-bit values minted inside the Glimmer, so answering
+    this query leaks nothing an attacker could not already observe.
+    """
+
+    round_id: int
+    nonce: bytes
 
 
 @dataclass(frozen=True)

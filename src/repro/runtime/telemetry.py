@@ -25,6 +25,7 @@ OUTCOME_PROVISION_FAILED = "provision-failed"
 OUTCOME_UNREACHABLE = "unreachable"
 OUTCOME_DEADLINE_MISSED = "deadline-missed"
 OUTCOME_DROPOUT = "dropout"
+OUTCOME_CRASHED = "crashed"
 
 
 @dataclass(frozen=True)
@@ -69,6 +70,10 @@ class RoundReport:
     phases: tuple[PhaseStats, ...]
     aggregate: np.ndarray | None = None
     service_result: Any = None
+    aborted: bool = False
+    abort_reason: str | None = None
+    client_restarts: int = 0
+    faults_injected: int = 0
     _survivors: tuple[str, ...] = field(default=(), repr=False)
 
     # ---------------------------------------------------------- derived views
@@ -89,7 +94,12 @@ class RoundReport:
             uid
             for uid in self.participants
             if self.outcomes.get(uid)
-            in (OUTCOME_DROPOUT, OUTCOME_DEADLINE_MISSED, OUTCOME_UNREACHABLE)
+            in (
+                OUTCOME_DROPOUT,
+                OUTCOME_DEADLINE_MISSED,
+                OUTCOME_UNREACHABLE,
+                OUTCOME_CRASHED,
+            )
         )
 
     @property
@@ -111,10 +121,15 @@ class RoundReport:
     # ------------------------------------------------------------- rendering
 
     def table(self) -> Table:
+        status = "aborted" if self.aborted else (
+            "blinded" if self.blinded else "plain"
+        )
         table = Table(
-            f"round {self.round_id} telemetry ({'blinded' if self.blinded else 'plain'})",
+            f"round {self.round_id} telemetry ({status})",
             ["metric", "value"],
         )
+        if self.aborted:
+            table.add_row("abort reason", self.abort_reason or "")
         table.add_row("participants", len(self.participants))
         table.add_row("accepted", len(self.survivors))
         table.add_row("validation rejections", self.validation_rejections)
@@ -129,6 +144,9 @@ class RoundReport:
         table.add_row("ecalls", self.ecalls)
         table.add_row("enclave transition cycles", self.enclave_transition_cycles)
         table.add_row("enclave total cycles", self.enclave_total_cycles)
+        if self.client_restarts or self.faults_injected:
+            table.add_row("client restarts", self.client_restarts)
+            table.add_row("faults injected", self.faults_injected)
         for phase in self.phases:
             table.add_row(
                 f"phase {phase.name}",
@@ -164,6 +182,10 @@ class RoundReport:
             "enclave_transition_cycles": self.enclave_transition_cycles,
             "phases": [phase.as_dict() for phase in self.phases],
             "aggregate": aggregate,
+            "aborted": self.aborted,
+            "abort_reason": self.abort_reason,
+            "client_restarts": self.client_restarts,
+            "faults_injected": self.faults_injected,
         }
 
 

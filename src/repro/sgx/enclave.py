@@ -30,6 +30,7 @@ from typing import Any, Callable, Mapping
 
 from repro.crypto.drbg import HmacDrbg
 from repro.errors import EnclaveError
+from repro.faults import ACTION_KILL, ACTION_PRESSURE, SITE_ECALL, SITE_EPC_PRESSURE
 from repro.sgx.costs import CycleMeter
 
 
@@ -209,6 +210,10 @@ class Enclave:
     def mrenclave(self) -> bytes:
         return self.image.mrenclave
 
+    @property
+    def alive(self) -> bool:
+        return not self._destroyed
+
     def entry_points(self) -> list[str]:
         return sorted(self._entry_points)
 
@@ -224,6 +229,20 @@ class Enclave:
         if entry is None:
             raise EnclaveError(f"no such ecall: {name!r}")
         cost = self._platform.cost_model
+        injector = getattr(self._platform, "fault_injector", None)
+        if injector is not None:
+            # The untrusted OS can deschedule-and-kill at the boundary: the
+            # entry point never runs, enclave memory is gone, sealed state
+            # and monotonic counters (platform-held) survive.
+            if injector.fire(SITE_ECALL, ecall=name) == ACTION_KILL:
+                self.destroy()
+                raise EnclaveError(
+                    f"enclave killed by the OS entering ecall {name!r} (injected fault)"
+                )
+            if injector.fire(SITE_EPC_PRESSURE, ecall=name) == ACTION_PRESSURE:
+                self.meter.charge(
+                    cost.paging_cost(self.image.memory_bytes), "epc-paging"
+                )
         self.meter.charge(cost.ecall_cycles, "transitions")
         self.meter.charge(
             cost.copy_cost(sum(payload_size(a) for a in args)), "boundary-copies"

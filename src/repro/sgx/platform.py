@@ -73,6 +73,10 @@ class SgxPlatform:
     ) -> None:
         self._rng = HmacDrbg(seed, personalization="sgx-platform")
         self.platform_id = self._rng.generate(16)
+        self.fault_injector = None
+        """When set (see :mod:`repro.faults`), enclaves loaded on this
+        platform consult it at every ecall — the hook by which the chaos
+        suite models an OS that kills enclaves at arbitrary boundaries."""
         self.epc_bytes = epc_bytes
         self.cost_model = cost_model
         self.threat_model = threat_model or ThreatModel()

@@ -1,0 +1,6 @@
+"""Chaos harness: randomized-but-deterministic fault schedules.
+
+Run directly with ``PYTHONPATH=src python -m pytest tests/chaos -q``.
+Set ``CHAOS_SEED`` to pin a single seed (the CI matrix does this);
+otherwise every built-in seed runs.
+"""

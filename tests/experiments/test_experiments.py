@@ -11,7 +11,7 @@ from repro.experiments.registry import EXPERIMENTS, run_experiment
 
 
 def test_registry_lists_all_experiments():
-    assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 18)}
+    assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 19)}
 
 
 def test_registry_unknown_id():
@@ -169,6 +169,7 @@ def test_tables_render_for_every_experiment():
         "e15": dict(num_users=3, flood_sizes=(2,)),
         "e16": dict(num_users=3, epoch_intensities=(0.0, 0.4)),
         "e17": dict(num_users=3, tolerances=(0.05,), frames_per_stream=40),
+        "e18": dict(num_users=3, rounds_per_rate=2, fault_rates=(0.0, 0.1)),
     }
     for experiment_id, kwargs in small_kwargs.items():
         result = run_experiment(experiment_id, **kwargs)
@@ -237,3 +238,19 @@ def test_e17_activity_claims():
     assert honest_acceptance >= 0.9   # real footage corroborates
     assert frames > 0                 # and it all stayed on-device
     assert separation > 0.3           # the service can still learn activity
+
+
+def test_e18_availability_claims():
+    result = run_experiment(
+        "e18", num_users=4, rounds_per_rate=4, fault_rates=(0.0, 0.1)
+    )
+    clean, faulted = result.rows
+    # No faults: every round finalizes exactly, nothing fires or repairs.
+    assert clean[2] == clean[1] and clean[3] == 0
+    assert clean[6] == clean[7] == clean[9] == 0
+    assert clean[5] == 100.0
+    # Under faults: every round is exact-or-abort — the "inexact" column
+    # is the forbidden outcome and must be zero in both conditions.
+    assert faulted[4] == clean[4] == 0
+    assert faulted[2] + faulted[3] == faulted[1]
+    assert faulted[9] > 0  # faults actually fired

@@ -1,0 +1,161 @@
+"""Unit tests for repro.faults: specs, plans, injector determinism."""
+
+import pytest
+
+from repro.crypto.drbg import HmacDrbg
+from repro.faults import (
+    ACTION_CRASH,
+    ACTION_DROP,
+    ACTION_KILL,
+    DEFAULT_ACTIONS,
+    PROBABILISTIC_SITES,
+    SITE_BLINDER,
+    SITE_CLIENT_POST_SIGN,
+    SITE_ECALL,
+    SITE_REQUEST,
+    SITE_RESPONSE,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+)
+
+
+def test_spec_matches_on_all_filters():
+    spec = FaultSpec(
+        site=SITE_CLIENT_POST_SIGN,
+        target="u3",
+        round_id=7,
+        phase="collect",
+        kind="client/contribute",
+    )
+    context = {
+        "client_id": "u3",
+        "round_id": 7,
+        "phase": "collect",
+        "kind": "client/contribute",
+    }
+    assert spec.matches(context)
+    for key, wrong in (
+        ("client_id", "u4"),
+        ("round_id", 8),
+        ("phase", "provision"),
+        ("kind", "other"),
+    ):
+        assert not spec.matches({**context, key: wrong})
+
+
+def test_spec_default_action_comes_from_site():
+    assert FaultSpec(site=SITE_ECALL).resolved_action() == ACTION_KILL
+    assert FaultSpec(site=SITE_ECALL, action=ACTION_DROP).resolved_action() == (
+        ACTION_DROP
+    )
+
+
+def test_scheduled_spec_fires_once_at_nth_hit():
+    plan = FaultPlan(specs=(FaultSpec(site=SITE_BLINDER, at_hit=3),))
+    injector = FaultInjector(plan)
+    assert injector.fire(SITE_BLINDER) is None
+    assert injector.fire(SITE_BLINDER) is None
+    assert injector.fire(SITE_BLINDER) == ACTION_CRASH
+    assert injector.fire(SITE_BLINDER) is None  # spent: never fires again
+    assert len(injector.fired) == 1
+
+
+def test_spec_filters_gate_hits():
+    plan = FaultPlan(specs=(FaultSpec(site=SITE_CLIENT_POST_SIGN, target="u1"),))
+    injector = FaultInjector(plan)
+    assert injector.fire(SITE_CLIENT_POST_SIGN, client_id="u0") is None
+    assert injector.fire(SITE_CLIENT_POST_SIGN, client_id="u1") == ACTION_CRASH
+
+
+def test_rate_zero_site_never_draws_or_fires():
+    plan = FaultPlan(rates={SITE_REQUEST: 1.0})
+    injector = FaultInjector(plan, seed=b"x")
+    # A visit to an unrated site consumes no randomness: the rated site's
+    # outcome is identical with or without interleaved unrated visits.
+    twin = FaultInjector(plan, seed=b"x")
+    for _ in range(20):
+        injector.fire(SITE_RESPONSE)  # rate 0.0 — no draw
+    assert injector.fire(SITE_REQUEST) == ACTION_DROP
+    assert twin.fire(SITE_REQUEST) == ACTION_DROP
+    assert injector.fired_log() == twin.fired_log()
+
+
+def test_same_seed_same_visits_identical_firings():
+    plan = FaultPlan(
+        specs=(FaultSpec(site=SITE_BLINDER, phase="collect"),),
+        rates={SITE_REQUEST: 0.3, SITE_RESPONSE: 0.2},
+    )
+    logs = []
+    for _ in range(2):
+        injector = FaultInjector(plan, seed=b"replay-me")
+        for i in range(50):
+            injector.fire(SITE_REQUEST, kind=f"k{i % 3}")
+            injector.fire(SITE_RESPONSE, kind=f"k{i % 3}")
+            injector.fire(SITE_BLINDER, phase="provision" if i % 2 else "collect")
+        logs.append(injector.fired_log())
+    assert logs[0] == logs[1]
+    assert len(logs[0]) > 1
+
+
+def test_different_seeds_diverge():
+    plan = FaultPlan(rates={SITE_REQUEST: 0.5})
+    a = FaultInjector(plan, seed=b"a")
+    b = FaultInjector(plan, seed=b"b")
+    for _ in range(40):
+        a.fire(SITE_REQUEST)
+        b.fire(SITE_REQUEST)
+    assert a.fired_log() != b.fired_log()
+
+
+def test_fired_fault_serializes():
+    plan = FaultPlan(rates={SITE_REQUEST: 1.0})
+    injector = FaultInjector(plan)
+    injector.fire(SITE_REQUEST, kind="contribution/submit", sender="c")
+    entry = injector.fired[0].as_dict()
+    assert entry["site"] == SITE_REQUEST
+    assert entry["action"] == ACTION_DROP
+    assert entry["context"]["kind"] == "contribution/submit"
+
+
+def test_sample_is_deterministic_per_rng_seed():
+    plans = [
+        FaultPlan.sample(
+            HmacDrbg(b"plan-seed"), 0.1, clients=("u0", "u1"), rounds=(1, 2)
+        )
+        for _ in range(2)
+    ]
+    assert plans[0] == plans[1]
+
+
+def test_sample_rates_scale_with_fault_rate():
+    rng = HmacDrbg(b"scales")
+    plan = FaultPlan.sample(rng, 0.1, clients=("u0",))
+    for site, rate in plan.rates.items():
+        assert site in PROBABILISTIC_SITES
+        assert 0.05 <= rate <= 0.15
+    zero = FaultPlan.sample(HmacDrbg(b"zero"), 0.0, clients=("u0",))
+    assert all(rate == 0.0 for rate in zero.rates.values())
+    assert zero.specs == ()
+
+
+def test_sample_scheduled_specs_target_known_entities():
+    found_client_spec = found_blinder_spec = False
+    for i in range(30):
+        plan = FaultPlan.sample(
+            HmacDrbg(f"sweep-{i}".encode()), 0.2, clients=("u0", "u1"), rounds=(5,)
+        )
+        for spec in plan.specs:
+            if spec.site == SITE_BLINDER:
+                found_blinder_spec = True
+                assert spec.phase in ("provision", "collect", "finalize")
+            else:
+                found_client_spec = True
+                assert spec.target in ("u0", "u1")
+                assert spec.round_id == 5
+    assert found_client_spec and found_blinder_spec
+
+
+def test_default_actions_cover_every_site():
+    for site in PROBABILISTIC_SITES:
+        assert site in DEFAULT_ACTIONS

@@ -204,5 +204,33 @@ def test_adversary_chain_order():
     network.interpose(TamperAdversary(target_kinds={"echo"}))
     network.interpose(spy_after)
     network.call("client", "service", "echo", b"AAAA")
-    assert spy_before.captured_payloads() == [b"AAAA"]
-    assert spy_after.captured_payloads() != [b"AAAA"]
+    # Both legs of the call traverse the chain: the first spy sees the
+    # pristine request plus the (tampered, echoed-back) response; the spy
+    # placed after the tamperer never sees the pristine payload.
+    assert spy_before.captured_payloads("echo") == [b"AAAA"]
+    assert spy_after.captured_payloads("echo") != [b"AAAA"]
+    assert len(spy_before.captured_payloads()) == 2
+
+
+def test_response_leg_visible_to_adversaries():
+    network, _ = make_network()
+    spy = EavesdropAdversary()
+    network.interpose(spy)
+    network.call("client", "service", "echo", b"ping")
+    kinds = [m.kind for m in spy.captured]
+    assert kinds == ["echo", "echo/reply"]
+
+
+def test_response_leg_can_drop():
+    from repro.faults import FaultInjector, FaultPlan, SITE_RESPONSE
+
+    network, log = make_network()
+    network.fault_injector = FaultInjector(
+        FaultPlan(rates={SITE_RESPONSE: 1.0}), seed=b"drop-responses"
+    )
+    with pytest.raises(NetworkError, match="response"):
+        network.call("client", "service", "log", b"x")
+    # The handler DID run — at-least-once delivery, caller just never
+    # learned it.
+    assert log == [b"x"]
+    assert network.messages_dropped == 1
