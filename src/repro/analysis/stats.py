@@ -39,4 +39,7 @@ def percentile(values: Sequence[float], q: float) -> float:
     if low == high:
         return ordered[low]
     frac = rank - low
-    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+    lo, hi = ordered[low], ordered[high]
+    # lo + frac * (hi - lo) is exact when lo == hi (the weighted-sum form
+    # underflows for subnormals); the clamp bounds rounding in between.
+    return min(max(lo + frac * (hi - lo), lo), hi)

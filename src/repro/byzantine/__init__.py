@@ -1,0 +1,82 @@
+"""Byzantine actors, attack plans, and the round harness that drives them.
+
+The crash/omission fault model of :mod:`repro.faults` covers an
+environment that *fails*; this package covers parties that *lie* — a
+blinding service delivering or committing to masks it shouldn't, clients
+replaying, equivocating, flooding, or forging, and an aggregation
+service tampering with its own finalize result.  Everything is
+DRBG-seeded and deterministic, and an :class:`AttackPlan` composes with
+a :class:`~repro.faults.FaultPlan` on the same deployment.
+
+Typical use::
+
+    plan = AttackPlan.sample(rng, clients=user_ids)
+    install_attacks(deployment, plan, rng)
+    result = run_byzantine_round(deployment, round_id, user_ids, plan)
+    assert result.outcome != OUTCOME_UNDETECTED_CORRUPTION
+"""
+
+from repro.byzantine.actors import LyingBlinder, TamperingAggregator
+from repro.byzantine.harness import (
+    OUTCOME_BENIGN_ABORT,
+    OUTCOME_CLEAN,
+    OUTCOME_DETECTED_ABORT,
+    OUTCOME_EXACT,
+    OUTCOME_UNDETECTED_CORRUPTION,
+    ByzantineRoundResult,
+    expected_aggregate,
+    forged_contribution,
+    install_attacks,
+    run_byzantine_round,
+)
+from repro.byzantine.plan import (
+    ALL_ATTACKS,
+    ATTACK_BLINDER_FORGED_CLAIMS,
+    ATTACK_BLINDER_TAMPER_DELIVERY,
+    ATTACK_BLINDER_TAMPER_REVEAL,
+    ATTACK_EQUIVOCATE,
+    ATTACK_FLOOD,
+    ATTACK_FORGE,
+    ATTACK_REPLAY,
+    ATTACK_SERVICE_CORRUPT,
+    ATTACK_SERVICE_DUPLICATE,
+    ATTACK_SERVICE_MISCOUNT,
+    ATTACK_SERVICE_OMIT,
+    BLINDER_ATTACKS,
+    CLIENT_ATTACKS,
+    SERVICE_ATTACKS,
+    AttackPlan,
+    AttackSpec,
+)
+
+__all__ = [
+    "ALL_ATTACKS",
+    "ATTACK_BLINDER_FORGED_CLAIMS",
+    "ATTACK_BLINDER_TAMPER_DELIVERY",
+    "ATTACK_BLINDER_TAMPER_REVEAL",
+    "ATTACK_EQUIVOCATE",
+    "ATTACK_FLOOD",
+    "ATTACK_FORGE",
+    "ATTACK_REPLAY",
+    "ATTACK_SERVICE_CORRUPT",
+    "ATTACK_SERVICE_DUPLICATE",
+    "ATTACK_SERVICE_MISCOUNT",
+    "ATTACK_SERVICE_OMIT",
+    "BLINDER_ATTACKS",
+    "CLIENT_ATTACKS",
+    "SERVICE_ATTACKS",
+    "AttackPlan",
+    "AttackSpec",
+    "ByzantineRoundResult",
+    "LyingBlinder",
+    "TamperingAggregator",
+    "OUTCOME_BENIGN_ABORT",
+    "OUTCOME_CLEAN",
+    "OUTCOME_DETECTED_ABORT",
+    "OUTCOME_EXACT",
+    "OUTCOME_UNDETECTED_CORRUPTION",
+    "expected_aggregate",
+    "forged_contribution",
+    "install_attacks",
+    "run_byzantine_round",
+]

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import argparse
 import ast
+import json
 import sys
 
 from repro.experiments.registry import EXPERIMENTS, run_experiment
@@ -46,6 +47,9 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     targets = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     overrides = _parse_overrides(args.overrides)
+    if args.seed:
+        # An explicit seed=... override still beats the flag.
+        overrides.setdefault("seed", args.seed.encode("utf-8"))
     status = 0
     for experiment_id in targets:
         if experiment_id not in EXPERIMENTS:
@@ -53,12 +57,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
             return 2
         try:
             result = run_experiment(experiment_id, **overrides)
+            table = result.table()
+            rendered = table.to_json(indent=2) if args.json else table.render()
         except Exception as exc:
+            # Rendering failures count too: a consumer of --json output must
+            # never see exit 0 alongside a missing or truncated table.
+            if args.json:
+                print(json.dumps({"experiment": experiment_id, "error": str(exc)}))
             print(f"{experiment_id} failed: {exc}", file=sys.stderr)
             status = 1
             continue
-        table = result.table()
-        print(table.to_json(indent=2) if args.json else table.render())
+        print(rendered)
         print()
     return status
 
@@ -113,6 +122,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--json", action="store_true", help="print tables as JSON"
+    )
+    run_parser.add_argument(
+        "--seed",
+        help="deterministic seed threaded to every runner that accepts one",
     )
     run_parser.set_defaults(func=_cmd_run)
 

@@ -8,7 +8,11 @@ of the true contributions.
 
 Masks arrive encrypted (to a key only the attested Glimmer holds) and are
 single-use: re-using a mask across rounds would let the service difference
-two contributions, so the component destroys each mask after use.
+two contributions, so the component destroys each mask after use, refuses
+to install a mask it has seen before (a lying blinding service replaying
+last round's family is detected right here), and purges all state for a
+round when the engine closes it — a long-lived Glimmer's mask table stays
+bounded by its *open* rounds, not its lifetime.
 """
 
 from __future__ import annotations
@@ -16,8 +20,14 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.crypto.fixedpoint import FixedPointCodec
+from repro.crypto.hashing import hash_items
 from repro.crypto.masking import apply_mask
-from repro.errors import CryptoError
+from repro.errors import CryptoError, MaskVerificationError
+
+#: How many past mask digests the reuse check remembers (FIFO-capped so a
+#: device Glimmer that lives for years keeps O(1) memory, while still
+#: catching the realistic attack: a blinder replaying a *recent* family).
+MASK_DIGEST_HISTORY = 1024
 
 
 class BlindingComponent:
@@ -31,16 +41,46 @@ class BlindingComponent:
     def __init__(self, codec: FixedPointCodec | None = None) -> None:
         self.codec = codec or FixedPointCodec()
         self._masks: dict[tuple[int, int], tuple[int, ...]] = {}
+        self._seen_digests: dict[bytes, tuple[int, int]] = {}
+
+    def _mask_digest(self, mask: Sequence[int]) -> bytes:
+        return hash_items(
+            "blinding-mask-reuse",
+            [b"".join(int(v).to_bytes(8, "big") for v in mask)],
+        )
 
     def install_mask(
         self, round_id: int, party_index: int, mask: Sequence[int]
     ) -> None:
-        """Store a decrypted mask for one (round, party); rejects double install."""
+        """Store a decrypted mask for one (round, party).
+
+        Rejects double install for a slot, and rejects — with
+        :class:`~repro.errors.MaskVerificationError` — any mask whose
+        value this component has seen before under a *different* (round,
+        party): mask reuse lets the blinding service difference two of
+        this client's contributions.
+        """
         key = (round_id, party_index)
         if key in self._masks:
             raise CryptoError(
                 f"mask for round {round_id} party {party_index} already installed"
             )
+        if any(int(v) for v in mask):
+            # The all-zero mask is exempt: a single-party round's sum-zero
+            # family is forced to it, so it legitimately recurs — and it
+            # blinds nothing, so reusing it differences nothing new.
+            digest = self._mask_digest(mask)
+            prior = self._seen_digests.get(digest)
+            if prior is not None and prior != key:
+                raise MaskVerificationError(
+                    f"mask for round {round_id} party {party_index} was already "
+                    f"used in round {prior[0]} (blinding service reused a mask)"
+                )
+            if prior is None:
+                if len(self._seen_digests) >= MASK_DIGEST_HISTORY:
+                    oldest = next(iter(self._seen_digests))
+                    del self._seen_digests[oldest]
+                self._seen_digests[digest] = key
         self._masks[key] = tuple(int(v) for v in mask)
 
     def has_mask(self, round_id: int, party_index: int = 0) -> bool:
@@ -61,12 +101,30 @@ class BlindingComponent:
 
         Only fills empty slots: a mask that is already installed (or was
         consumed since the checkpoint) is left alone, preserving the
-        single-use rule.
+        single-use rule.  Restored masks bypass the reuse check — they are
+        this component's own prior installs coming back from sealed
+        storage, not fresh deliveries.
         """
         for party_index, mask in masks.items():
             key = (round_id, int(party_index))
             if key not in self._masks:
                 self._masks[key] = tuple(int(v) for v in mask)
+
+    def purge_round(self, round_id: int) -> int:
+        """Destroy every mask held for a finalized/aborted round.
+
+        Returns how many masks were dropped.  Without this, a long-lived
+        Glimmer that provisions but never consumes (dropout rounds,
+        aborted rounds) grows ``_masks`` without bound.
+        """
+        stale = [key for key in self._masks if key[0] == round_id]
+        for key in stale:
+            del self._masks[key]
+        return len(stale)
+
+    def open_round_count(self) -> int:
+        """How many (round, party) masks are currently held (test hook)."""
+        return len(self._masks)
 
     def blind(
         self, round_id: int, party_index: int, values: Sequence[float]

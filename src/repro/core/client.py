@@ -29,7 +29,7 @@ from repro.core.signing import SignedContribution
 from repro.core.validation import PrivateContext
 from repro.crypto.drbg import HmacDrbg
 from repro.crypto.schnorr import SchnorrKeyPair
-from repro.errors import EnclaveError
+from repro.errors import CryptoError, EnclaveError, ReproError
 from repro.faults import ACTION_LOSE, SITE_SEAL_LOSS
 from repro.sgx.attestation import AttestationService, report_data_for
 from repro.sgx.enclave import Enclave
@@ -115,9 +115,19 @@ class ClientDevice:
         """
         return self._attested_handshake()
 
-    def install_mask(self, round_id: int, party_index: int, delivery) -> None:
-        """Install a delivered blinding mask for ``round_id``."""
-        self.glimmer.ecall("install_blinding_mask", round_id, party_index, delivery)
+    def install_mask(
+        self, round_id: int, party_index: int, delivery, commitment=None
+    ) -> None:
+        """Install a delivered blinding mask for ``round_id``.
+
+        When ``commitment`` (the slot's engine-vouched
+        :class:`~repro.crypto.commitments.MaskCommitmentRecord`) is given,
+        the Glimmer verifies the delivered mask opens it before
+        installing — see ``install_blinding_mask``.
+        """
+        self.glimmer.ecall(
+            "install_blinding_mask", round_id, party_index, delivery, commitment
+        )
         self._party_index_for_round[round_id] = party_index
 
     def party_index_for(self, round_id: int) -> int | None:
@@ -145,7 +155,11 @@ class ClientDevice:
         delivery = provisioner.provision_mask(
             session_id, dh_public, quote, round_id, party_index
         )
-        self.install_mask(round_id, party_index, delivery)
+        try:
+            record = provisioner.round_commitments(round_id).record_for(party_index)
+        except CryptoError:
+            record = None
+        self.install_mask(round_id, party_index, delivery, record)
 
     # --------------------------------------------------------- contribution
 
@@ -189,6 +203,22 @@ class ClientDevice:
     def discard_checkpoint(self, round_id: int) -> None:
         """Drop a checkpoint once its round no longer needs recovery."""
         self._checkpoints.pop(round_id, None)
+
+    def close_round(self, round_id: int) -> None:
+        """The round is over: purge Glimmer mask state and the checkpoint.
+
+        Best-effort — a crashed client simply has nothing to purge, and
+        a purge failure must never fail the round that already closed.
+        The host-side party-index map survives (it holds no secrets and
+        stays inspectable after the round); only enclave mask state and
+        the sealed checkpoint are reclaimed.
+        """
+        if self.glimmer.alive:
+            try:
+                self.glimmer.ecall("close_round", round_id)
+            except ReproError:
+                pass
+        self.discard_checkpoint(round_id)
 
     def crash(self) -> None:
         """The untrusted OS kills the client process: enclave memory is gone.

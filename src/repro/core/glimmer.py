@@ -34,14 +34,19 @@ from repro.core.encoding import decode_public_key, encode_public_key
 from repro.core.signing import SignedContribution, SigningComponent
 from repro.core.validation import PrivateContext, default_registry
 from repro.crypto.cipher import AuthenticatedCipher, SealedBox
+from repro.crypto.commitments import (
+    MaskCommitmentRecord,
+    decode_mask_payload,
+    verify_opening,
+)
 from repro.crypto.dh import DHKeyPair
 from repro.crypto.hashing import hash_items
 from repro.crypto.schnorr import SchnorrKeyPair, SchnorrPublicKey, SchnorrSignature
 from repro.errors import (
     AuthenticationError,
     ConfigurationError,
-    CryptoError,
     EnclaveError,
+    MaskVerificationError,
     ProtocolError,
     ValidationError,
 )
@@ -237,19 +242,40 @@ class GlimmerProgram(EnclaveProgram):
 
     @ecall
     def install_blinding_mask(
-        self, round_id: int, party_index: int, delivery: KeyDelivery
+        self,
+        round_id: int,
+        party_index: int,
+        delivery: KeyDelivery,
+        commitment: MaskCommitmentRecord | None = None,
     ) -> None:
-        """Accept a (round, party) mask from the blinding service (attested channel)."""
+        """Accept a (round, party) mask from the blinding service.
+
+        The delivery arrives over the attested channel and carries the
+        slot's full commitment opening.  When the caller supplies the
+        engine-vouched :class:`MaskCommitmentRecord` for the slot, the
+        Glimmer verifies the opening before installing — a blinding
+        service that delivers a wrong-length, tampered, or equivocated
+        mask is caught *here*, inside the enclave, and the round aborts
+        with the blinder blamed rather than aggregating garbage.
+        """
         plaintext = self._open_delivery(
             delivery, self._config.blinder_identity, "blinding-mask-provisioning"
         )
-        if len(plaintext) % 8 != 0:
-            raise CryptoError("mask payload has invalid length")
-        mask = [
-            int.from_bytes(plaintext[i : i + 8], "big")
-            for i in range(0, len(plaintext), 8)
-        ]
-        self._blinding.install_mask(round_id, party_index, mask)
+        opening = decode_mask_payload(plaintext)
+        if commitment is not None:
+            if commitment.round_id != round_id:
+                raise MaskVerificationError(
+                    f"commitment record names round {commitment.round_id}, "
+                    f"not {round_id}"
+                )
+            expected_group = self._config.blinder_identity.group.name
+            if commitment.group_name != expected_group:
+                raise MaskVerificationError(
+                    "commitment record uses an unexpected group"
+                )
+            self.api.charge_signature()  # two group exps, priced like a verify
+            verify_opening(commitment, party_index, opening)
+        self._blinding.install_mask(round_id, party_index, opening.mask)
 
     # --------------------------------------------------------- the main path
 
@@ -434,6 +460,16 @@ class GlimmerProgram(EnclaveProgram):
             )
         self._blinding.restore_masks(round_id, masks)
         return round_id
+
+    @ecall
+    def close_round(self, round_id: int) -> int:
+        """Destroy all mask state for a finalized/aborted round.
+
+        Called when the engine closes the round; returns how many
+        unconsumed masks were purged.  Keeps a long-lived Glimmer's mask
+        table bounded by its open rounds.
+        """
+        return self._blinding.purge_round(round_id)
 
     # ----------------------------------------------------------- inspection
 

@@ -25,6 +25,13 @@ from dataclasses import dataclass
 
 from repro.core.glimmer import KeyDelivery, handshake_digest
 from repro.crypto.cipher import AuthenticatedCipher, SealedBox
+from repro.crypto.commitments import (
+    MaskCommitmentSet,
+    MaskOpening,
+    commit_masks,
+    encode_mask_payload,
+    recommit_masks,
+)
 from repro.crypto.dh import DHKeyPair
 from repro.crypto.drbg import HmacDrbg
 from repro.crypto.kdf import hkdf
@@ -178,6 +185,8 @@ class BlinderProvisioner(_ProvisionerBase):
             identity.secret.to_bytes(256, "big"), "blinder-round-sealing"
         )
         self._sealed_rounds: dict[int, bytes] = {}
+        self._commitments: dict[int, MaskCommitmentSet] = {}
+        self._openings: dict[int, tuple[MaskOpening, ...]] = {}
         self.restarts = 0
 
     def _require_blinding(self) -> BlindingService:
@@ -185,9 +194,15 @@ class BlinderProvisioner(_ProvisionerBase):
             raise CryptoError("blinding service is down (crashed, not restarted)")
         return self.blinding
 
-    def _seal_round(self, round_id: int, masks: SumZeroMasks) -> bytes:
+    def _seal_round(
+        self, round_id: int, masks: SumZeroMasks, openings: tuple[MaskOpening, ...]
+    ) -> bytes:
+        opening_rows = tuple(
+            (opening.salt, opening.randomizer) for opening in openings
+        )
         blob = pickle.dumps(
-            (masks.masks, masks.modulus_bits), protocol=pickle.HIGHEST_PROTOCOL
+            (masks.masks, masks.modulus_bits, opening_rows),
+            protocol=pickle.HIGHEST_PROTOCOL,
         )
         cipher = AuthenticatedCipher(self._seal_key)
         nonce = self.rng.generate(16)
@@ -196,35 +211,96 @@ class BlinderProvisioner(_ProvisionerBase):
         )
         return box.to_bytes()
 
-    def _unseal_round(self, round_id: int, sealed: bytes) -> SumZeroMasks:
+    def _unseal_round(
+        self, round_id: int, sealed: bytes
+    ) -> tuple[SumZeroMasks, tuple[MaskOpening, ...]]:
         cipher = AuthenticatedCipher(self._seal_key)
         blob = cipher.decrypt(
             SealedBox.from_bytes(sealed), associated_data=round_id.to_bytes(8, "big")
         )
-        mask_rows, modulus_bits = pickle.loads(blob)
-        return SumZeroMasks(masks=mask_rows, modulus_bits=modulus_bits)
+        mask_rows, modulus_bits, opening_rows = pickle.loads(blob)
+        masks = SumZeroMasks(masks=mask_rows, modulus_bits=modulus_bits)
+        openings = tuple(
+            MaskOpening(mask=tuple(mask), salt=salt, randomizer=randomizer)
+            for mask, (salt, randomizer) in zip(mask_rows, opening_rows)
+        )
+        return masks, openings
 
-    def open_round(self, round_id: int, num_parties: int, length: int) -> None:
+    def open_round(
+        self, round_id: int, num_parties: int, length: int
+    ) -> MaskCommitmentSet:
+        """Sample the round's masks, commit to them, seal, publish the set.
+
+        The returned :class:`MaskCommitmentSet` is the verifiability
+        contract: the engine validates it when the round opens, forwards
+        per-slot records to clients during provisioning, and checks the
+        homomorphic sum-zero property over it at finalize.
+        """
         masks = self._require_blinding().open_round(round_id, num_parties, length)
-        self._sealed_rounds[round_id] = self._seal_round(round_id, masks)
+        commitments, openings = commit_masks(
+            self.identity.group,
+            round_id,
+            masks.masks,
+            masks.modulus_bits,
+            self.rng.fork(f"mask-commitments-{round_id}"),
+        )
+        self._commitments[round_id] = commitments
+        self._openings[round_id] = openings
+        self._sealed_rounds[round_id] = self._seal_round(round_id, masks, openings)
+        return commitments
 
     def has_round(self, round_id: int) -> bool:
         return self.blinding is not None and self.blinding.has_round(round_id)
 
+    def round_commitments(self, round_id: int) -> MaskCommitmentSet:
+        """The published commitment set for an open (or recovered) round."""
+        commitments = self._commitments.get(round_id)
+        if commitments is None:
+            raise CryptoError(f"no mask commitments for round {round_id}")
+        return commitments
+
+    def mask_opening(self, round_id: int, party_index: int) -> MaskOpening:
+        """One slot's full opening (mask, salt, randomizer)."""
+        openings = self._openings.get(round_id)
+        if openings is None:
+            raise CryptoError(f"no mask openings for round {round_id}")
+        if not 0 <= party_index < len(openings):
+            raise CryptoError(
+                f"round {round_id} has no party {party_index}"
+            )
+        return openings[party_index]
+
     def crash(self) -> None:
         """The blinding service process dies; in-memory mask state is gone."""
         self.blinding = None
+        self._commitments.clear()
+        self._openings.clear()
         self.restarts += 1
 
     def restart(self) -> list[int]:
-        """Stand the service back up and recover all sealed rounds."""
+        """Stand the service back up and recover all sealed rounds.
+
+        Commitments are rebuilt *deterministically* from the sealed
+        openings, so the recovered service republishes byte-identical
+        commitment sets — the engine's copies from round open stay valid.
+        """
         self.blinding = BlindingService(
             self.rng.fork(f"blinder-restart-{self.restarts}"), self._codec
         )
         recovered: list[int] = []
         for round_id in sorted(self._sealed_rounds):
-            masks = self._unseal_round(round_id, self._sealed_rounds[round_id])
+            masks, openings = self._unseal_round(
+                round_id, self._sealed_rounds[round_id]
+            )
             self.blinding.restore_round(round_id, masks)
+            self._openings[round_id] = openings
+            self._commitments[round_id] = recommit_masks(
+                self.identity.group,
+                round_id,
+                masks.masks,
+                masks.modulus_bits,
+                openings,
+            )
             recovered.append(round_id)
         return recovered
 
@@ -236,17 +312,24 @@ class BlinderProvisioner(_ProvisionerBase):
         round_id: int,
         party_index: int,
     ) -> KeyDelivery:
-        """Verify the attested handshake and ship the party's round mask."""
-        mask = self._require_blinding().mask_for(round_id, party_index)
-        payload = b"".join(int(v).to_bytes(8, "big") for v in mask)
+        """Verify the attested handshake and ship the party's mask opening."""
+        self._require_blinding().mask_for(round_id, party_index)
+        opening = self.mask_opening(round_id, party_index)
         return self._deliver(
             session_id,
             glimmer_dh_public,
             quote,
-            payload,
+            encode_mask_payload(opening),
             "blinding-mask-provisioning",
         )
 
-    def reveal_dropout_mask(self, round_id: int, party_index: int) -> tuple[int, ...]:
-        """§3 dropout repair: disclose a non-submitting party's mask."""
-        return self._require_blinding().mask_for_dropout(round_id, party_index)
+    def reveal_dropout_mask(self, round_id: int, party_index: int) -> MaskOpening:
+        """§3 dropout repair: disclose a non-submitting party's full opening.
+
+        Returns the opening, not just the mask, so the engine can verify
+        the revealed value against the round commitments before trusting
+        it for repair — a lying blinder cannot corrupt the aggregate by
+        mis-revealing.
+        """
+        self._require_blinding().mask_for_dropout(round_id, party_index)
+        return self.mask_opening(round_id, party_index)

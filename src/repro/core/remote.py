@@ -38,7 +38,7 @@ from repro.core.validation import PrivateContext
 from repro.crypto.cipher import AuthenticatedCipher, SealedBox
 from repro.crypto.dh import DHGroup, DHKeyPair, OAKLEY_GROUP_1
 from repro.crypto.drbg import HmacDrbg
-from repro.errors import AttestationError
+from repro.errors import AttestationError, CryptoError
 from repro.network.transport import Network
 from repro.sgx.attestation import AttestationService, QuotePolicy, report_data_for
 from repro.sgx.measurement import EnclaveImage
@@ -110,9 +110,10 @@ class RemoteGlimmerHost:
         return self.glimmer.ecall("install_signing_key", message.payload)
 
     def _handle_install_mask(self, message):
-        round_id, party_index, delivery = message.payload
+        round_id, party_index, delivery, *rest = message.payload
+        commitment = rest[0] if rest else None
         return self.glimmer.ecall(
-            "install_blinding_mask", round_id, party_index, delivery
+            "install_blinding_mask", round_id, party_index, delivery, commitment
         )
 
     def _handle_contribution(self, message) -> bytes:
@@ -136,8 +137,12 @@ class RemoteGlimmerHost:
         delivery = provisioner.provision_mask(
             offer.session_id, offer.dh_public, offer.quote, round_id, party_index
         )
+        try:
+            record = provisioner.round_commitments(round_id).record_for(party_index)
+        except CryptoError:
+            record = None
         self.glimmer.ecall(
-            "install_blinding_mask", round_id, party_index, delivery
+            "install_blinding_mask", round_id, party_index, delivery, record
         )
 
 

@@ -46,13 +46,22 @@ class RoundState:
 
 @dataclass(frozen=True)
 class RoundResult:
-    """The service's output for a round."""
+    """The service's output for a round.
+
+    ``accepted`` carries the signed contributions that entered the
+    aggregate, so the engine can audit the service's arithmetic: recompute
+    the ring sum, re-verify every signature, and cross-check nonces
+    against its own collection record.  A tampering aggregator that
+    corrupts, omits, or duplicates contributions cannot produce a result
+    that passes that audit.
+    """
 
     round_id: int
     aggregate: np.ndarray
     num_contributions: int
     num_dropouts_repaired: int
     rejected: dict
+    accepted: tuple = ()
 
 
 class CloudService:
@@ -122,6 +131,21 @@ class CloudService:
         state.accepted.append(contribution)
         return True
 
+    def evict_nonce(self, round_id: int, nonce: bytes) -> bool:
+        """Remove an already-accepted contribution (quarantine eviction).
+
+        The nonce stays in ``seen_nonces`` so the evicted contribution
+        cannot be resubmitted; the rejection ledger records the eviction.
+        Returns True if a contribution was actually removed.
+        """
+        state = self.round_state(round_id)
+        for index, contribution in enumerate(state.accepted):
+            if contribution.nonce == nonce:
+                del state.accepted[index]
+                state.reject("evicted-by-quarantine")
+                return True
+        return False
+
     # ---------------------------------------------------------- aggregation
 
     def finalize_blinded_round(
@@ -144,7 +168,10 @@ class CloudService:
         vectors = [list(c.ring_payload) for c in state.accepted]
         total = self._codec.sum_vectors(vectors)
         for mask in dropout_masks:
-            total = apply_mask(total, list(mask), self._codec.modulus_bits)
+            # Commitment-aware blinders reveal MaskOpening objects; the
+            # bare mask words are what repairs the ring sum.
+            words = getattr(mask, "mask", mask)
+            total = apply_mask(total, list(words), self._codec.modulus_bits)
         decoded = self._codec.decode(total)
         count = len(state.accepted)
         return RoundResult(
@@ -153,6 +180,7 @@ class CloudService:
             num_contributions=count,
             num_dropouts_repaired=len(dropout_masks),
             rejected=dict(state.rejected),
+            accepted=tuple(state.accepted),
         )
 
     def finalize_plain_round(self, round_id: int) -> RoundResult:
@@ -171,4 +199,5 @@ class CloudService:
             num_contributions=len(state.accepted),
             num_dropouts_repaired=0,
             rejected=dict(state.rejected),
+            accepted=tuple(state.accepted),
         )

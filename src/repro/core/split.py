@@ -39,12 +39,12 @@ from repro.core.glimmer import (
 from repro.core.signing import SignedContribution, SigningComponent
 from repro.core.validation import PrivateContext, default_registry
 from repro.crypto.cipher import AuthenticatedCipher, SealedBox
+from repro.crypto.commitments import decode_mask_payload
 from repro.crypto.dh import DHKeyPair
 from repro.crypto.schnorr import SchnorrKeyPair
 from repro.errors import (
     AttestationError,
     AuthenticationError,
-    CryptoError,
     ProtocolError,
     ValidationError,
 )
@@ -257,13 +257,8 @@ class BlindingEnclaveProgram(_ComponentProgram):
             SealedBox.from_bytes(delivery.encrypted_payload),
             associated_data=delivery.session_id,
         )
-        if len(plaintext) % 8 != 0:
-            raise CryptoError("mask payload has invalid length")
-        mask = [
-            int.from_bytes(plaintext[i : i + 8], "big")
-            for i in range(0, len(plaintext), 8)
-        ]
-        self._blinding.install_mask(round_id, party_index, mask)
+        opening = decode_mask_payload(plaintext)
+        self._blinding.install_mask(round_id, party_index, opening.mask)
 
     @ecall
     def blind(self, wire: bytes) -> bytes:

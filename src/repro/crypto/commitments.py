@@ -1,0 +1,568 @@
+"""Verifiable blinding: commitments over a round's sum-zero mask family.
+
+§3 assumes the blinding service is *trusted* to hand out masks with
+``Σ_j m_j ≡ 0 (mod 2^64)`` per component.  The paper itself concedes the
+service "could itself be a Glimmer" — i.e. it should not be axiomatically
+trusted.  This module removes the axiom: when the blinding service opens
+a round it also publishes a commitment set that (a) binds every slot's
+mask and (b) lets the engine check the sum-zero property homomorphically
+at finalize, without any single party ever seeing all masks.
+
+Construction
+------------
+
+Work in the Schnorr group ``G`` (prime ``p``, QR subgroup of prime order
+``q``, generator ``h``); ``u`` is a second generator derived by hashing
+into the subgroup, so its discrete log w.r.t. ``h`` is unknown to the
+blinder (simulation-grade Pedersen assumption).
+
+Each 64-bit mask word is split into ``ceil(64 / 16)`` 16-bit limbs, so a
+*limb column* ``(i, l)`` — component ``i``, limb ``l`` — sums over the
+``N`` slots to an integer strictly below ``N·2^16``.  That bound is the
+soundness linchpin: it keeps every column discrepancy smaller than ``q``
+even for the 63-bit test group, so a congruence mod ``q`` implies integer
+equality (a single-scalar-per-word scheme would let a cheating blinder
+shift a column sum by ``q`` undetected).
+
+The blinder publishes, per round:
+
+* per-slot hash commitments ``HC_j = H(round, j, mask_j, salt_j)``;
+* the claimed limb-column sums ``T[i][l]`` (public integers — they reveal
+  only the carry structure of the family, ``O(L·log N)`` bits about an
+  ``N·L·64``-bit secret, and under honest sum-zero they are implied by
+  the carries anyway);
+* a Fiat-Shamir ``root`` binding round shape, every ``HC_j``, and every
+  ``T[i][l]`` — claims are committed *before* the challenge weights
+  ``w[i][l] = H(root, i, l) mod q`` exist, so they cannot be solved for
+  afterwards;
+* per-slot Pedersen points ``C_j = h^{s_j}·u^{r_j}`` with
+  ``s_j = Σ_{i,l} w[i][l]·limb_l(m_{j,i}) mod q``;
+* the randomizer sum ``R = Σ_j r_j mod q``.
+
+Verification splits three ways:
+
+1. **Structural** (engine, at open): recompute ``root``, range-check every
+   ``T[i][l] < N·2^16``, and check per component
+   ``Σ_l 2^{16l}·T[i][l] ≡ 0 (mod 2^64)`` — the sum-zero *claim*.
+2. **Per-slot opening** (each recipient Glimmer at install; the engine at
+   dropout reveal): ``HC_j`` matches the delivered ``(mask, salt)`` and
+   ``C_j = h^{s_j}·u^{r_j}`` for the recomputed ``s_j``.  Every slot is
+   opened by someone, so every ``C_j`` provably commits the mask that was
+   actually delivered.
+3. **Homomorphic sum-zero** (engine, at finalize):
+   ``Π_j C_j ≡ h^{Σ w[i][l]·T[i][l]}·u^R`` — the actual limb-column sums
+   equal the claimed ones except with probability ``≈ L·limbs/q``
+   (Schwartz–Zippel over the Fiat-Shamir weights).
+
+Together: a blinder that delivers a non-sum-zero family, reuses a mask,
+equivocates between parties, or mis-reveals at repair time is *detected*
+and blamed; it can never silently corrupt an aggregate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.crypto.dh import DHGroup, OAKLEY_GROUP_1, TEST_GROUP
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.hashing import hash_bytes, hash_items, hash_to_int
+from repro.errors import ConfigurationError, MaskVerificationError
+
+LIMB_BITS = 16
+SALT_SIZE = 32
+
+_KNOWN_GROUPS = {TEST_GROUP.name: TEST_GROUP, OAKLEY_GROUP_1.name: OAKLEY_GROUP_1}
+
+
+def resolve_group(name: str) -> DHGroup:
+    """Look up a shipped group by wire name (commitment sets carry names)."""
+    group = _KNOWN_GROUPS.get(name)
+    if group is None:
+        raise ConfigurationError(f"unknown commitment group {name!r}")
+    return group
+
+
+def _limbs_per_word(modulus_bits: int) -> int:
+    return (modulus_bits + LIMB_BITS - 1) // LIMB_BITS
+
+
+def _word_limbs(value: int, limbs: int) -> list[int]:
+    mask = (1 << LIMB_BITS) - 1
+    return [(value >> (LIMB_BITS * l)) & mask for l in range(limbs)]
+
+
+def pedersen_generators(group: DHGroup) -> tuple[int, int]:
+    """``(h, u)``: the subgroup generator and a second, dlog-free generator.
+
+    ``u`` is hashed into the group and squared (squaring lands in the QR
+    subgroup), so nobody — the blinder included — knows ``log_h u``.
+    """
+    h = group.subgroup_generator()
+    counter = 0
+    while True:
+        seed = hash_bytes(
+            "pedersen-second-generator",
+            group.name.encode("ascii") + counter.to_bytes(4, "big"),
+        )
+        candidate = pow(
+            2 + hash_to_int("pedersen-u", seed, group.prime - 3), 2, group.prime
+        )
+        if candidate not in (1, group.prime - 1) and candidate != h:
+            return h, candidate
+        counter += 1
+
+
+def hash_commitment(
+    round_id: int, slot: int, mask: Sequence[int], salt: bytes
+) -> bytes:
+    """The binding per-slot commitment ``HC_j``."""
+    return hash_items(
+        "mask-slot-commitment",
+        [
+            round_id.to_bytes(8, "big"),
+            slot.to_bytes(4, "big"),
+            b"".join(int(v).to_bytes(8, "big") for v in mask),
+            salt,
+        ],
+    )
+
+
+@dataclass(frozen=True)
+class MaskOpening:
+    """What a slot's recipient gets: the mask plus its commitment opening.
+
+    Iterating an opening yields the bare mask words, so legacy code that
+    treats a revealed dropout mask as a word sequence keeps working.
+    """
+
+    mask: tuple[int, ...]
+    salt: bytes
+    randomizer: int
+
+    def __iter__(self):
+        return iter(self.mask)
+
+    def __len__(self) -> int:
+        return len(self.mask)
+
+
+@dataclass(frozen=True)
+class MaskCommitmentRecord:
+    """One slot's share of the round commitments, as the engine vouches it.
+
+    This travels inside the engine's ``ProvisionMask`` command, so the
+    client verifies against the commitment set the *engine* validated at
+    open — a blinder cannot tell the engine one story and a client
+    another.
+    """
+
+    round_id: int
+    slot: int
+    num_slots: int
+    vector_length: int
+    modulus_bits: int
+    group_name: str
+    root: bytes
+    hash_commitment: bytes
+    point: int
+
+
+@dataclass(frozen=True)
+class MaskCommitmentSet:
+    """Everything the blinding service publishes when a round opens."""
+
+    round_id: int
+    num_slots: int
+    vector_length: int
+    modulus_bits: int
+    group_name: str
+    hash_commitments: tuple[bytes, ...]
+    points: tuple[int, ...]
+    column_sums: tuple[tuple[int, ...], ...]
+    """``column_sums[i][l]``: claimed integer sum over slots of limb ``l``
+    of component ``i``."""
+    randomizer_sum: int
+
+    # ------------------------------------------------------------ derivation
+
+    def root(self) -> bytes:
+        limbs = _limbs_per_word(self.modulus_bits)
+        items: list[bytes] = [
+            self.round_id.to_bytes(8, "big"),
+            self.num_slots.to_bytes(4, "big"),
+            self.vector_length.to_bytes(4, "big"),
+            self.modulus_bits.to_bytes(2, "big"),
+            self.group_name.encode("ascii"),
+        ]
+        items.extend(self.hash_commitments)
+        for column in self.column_sums:
+            for l in range(limbs):
+                items.append(int(column[l]).to_bytes(8, "big"))
+        return hash_items("mask-commitment-root", items)
+
+    def weights(self, root: bytes | None = None) -> tuple[tuple[int, ...], ...]:
+        """Fiat-Shamir challenge weight per limb column, ``mod q``."""
+        group = resolve_group(self.group_name)
+        q = group.subgroup_order
+        root = self.root() if root is None else root
+        limbs = _limbs_per_word(self.modulus_bits)
+        return tuple(
+            tuple(
+                hash_to_int(
+                    "mask-commitment-weight",
+                    root + i.to_bytes(4, "big") + l.to_bytes(2, "big"),
+                    q,
+                )
+                for l in range(limbs)
+            )
+            for i in range(self.vector_length)
+        )
+
+    def record_for(self, slot: int) -> MaskCommitmentRecord:
+        return MaskCommitmentRecord(
+            round_id=self.round_id,
+            slot=slot,
+            num_slots=self.num_slots,
+            vector_length=self.vector_length,
+            modulus_bits=self.modulus_bits,
+            group_name=self.group_name,
+            root=self.root(),
+            hash_commitment=self.hash_commitments[slot],
+            point=self.points[slot],
+        )
+
+    # ---------------------------------------------------------- verification
+
+    def validate_structure(
+        self,
+        round_id: int | None = None,
+        num_slots: int | None = None,
+        vector_length: int | None = None,
+    ) -> None:
+        """Structural + sum-zero-claim checks (engine, at round open)."""
+        if round_id is not None and self.round_id != round_id:
+            raise MaskVerificationError(
+                f"commitment set names round {self.round_id}, expected {round_id}"
+            )
+        if num_slots is not None and self.num_slots != num_slots:
+            raise MaskVerificationError(
+                f"commitment set has {self.num_slots} slots, expected {num_slots}"
+            )
+        if vector_length is not None and self.vector_length != vector_length:
+            raise MaskVerificationError(
+                f"commitment set is over length {self.vector_length}, "
+                f"expected {vector_length}"
+            )
+        group = resolve_group(self.group_name)
+        limbs = _limbs_per_word(self.modulus_bits)
+        column_cap = self.num_slots * ((1 << LIMB_BITS) - 1)
+        if 2 * (column_cap + 1) >= group.subgroup_order:
+            raise MaskVerificationError(
+                "group order too small for sound limb commitments at this scale"
+            )
+        if len(self.hash_commitments) != self.num_slots or len(self.points) != (
+            self.num_slots
+        ):
+            raise MaskVerificationError("commitment set has the wrong slot count")
+        if len(self.column_sums) != self.vector_length:
+            raise MaskVerificationError("commitment set has the wrong column count")
+        modulus = 1 << self.modulus_bits
+        for i, column in enumerate(self.column_sums):
+            if len(column) != limbs:
+                raise MaskVerificationError(f"component {i} has the wrong limb count")
+            total = 0
+            for l, claimed in enumerate(column):
+                if not 0 <= int(claimed) <= column_cap:
+                    raise MaskVerificationError(
+                        f"claimed column sum out of range at component {i} limb {l}"
+                    )
+                total += int(claimed) << (LIMB_BITS * l)
+            if total % modulus != 0:
+                raise MaskVerificationError(
+                    f"claimed column sums violate sum-zero at component {i}"
+                )
+        if not 0 <= self.randomizer_sum < group.subgroup_order:
+            raise MaskVerificationError("randomizer sum out of range")
+        for slot, point in enumerate(self.points):
+            if not group.is_valid_element(point):
+                raise MaskVerificationError(
+                    f"slot {slot} commitment point is not a valid group element"
+                )
+        for slot, digest in enumerate(self.hash_commitments):
+            if not isinstance(digest, bytes) or len(digest) != 32:
+                raise MaskVerificationError(
+                    f"slot {slot} hash commitment is malformed"
+                )
+
+    def verify_sum_zero(self) -> None:
+        """The homomorphic check: ``Π C_j ≡ h^{Σ w·T} · u^R`` (finalize)."""
+        group = resolve_group(self.group_name)
+        q = group.subgroup_order
+        h, u = pedersen_generators(group)
+        weights = self.weights()
+        target = 0
+        for i, column in enumerate(self.column_sums):
+            for l, claimed in enumerate(column):
+                target = (target + weights[i][l] * int(claimed)) % q
+        product = 1
+        for point in self.points:
+            product = (product * point) % group.prime
+        expected = (
+            group.power(h, target) * group.power(u, self.randomizer_sum)
+        ) % group.prime
+        if product != expected:
+            raise MaskVerificationError(
+                f"round {self.round_id}: mask commitments do not satisfy "
+                "the claimed sum-zero column sums"
+            )
+
+
+def scalar_for_mask(
+    commitments: MaskCommitmentSet,
+    mask: Sequence[int],
+    weights: tuple[tuple[int, ...], ...] | None = None,
+) -> int:
+    """``s_j = Σ_{i,l} w[i][l]·limb_l(mask_i) mod q`` for one slot's mask.
+
+    Pass precomputed ``weights`` when verifying many slots of one round —
+    deriving them costs one hash per limb column.
+    """
+    group = resolve_group(commitments.group_name)
+    q = group.subgroup_order
+    limbs = _limbs_per_word(commitments.modulus_bits)
+    if weights is None:
+        weights = commitments.weights()
+    scalar = 0
+    for i, word in enumerate(mask):
+        for l, limb in enumerate(_word_limbs(int(word), limbs)):
+            if limb:
+                scalar = (scalar + weights[i][l] * limb) % q
+    return scalar
+
+
+def verify_opening(
+    commitments: MaskCommitmentSet | MaskCommitmentRecord,
+    slot: int,
+    opening: MaskOpening,
+    weights: tuple[tuple[int, ...], ...] | None = None,
+) -> None:
+    """Check one slot's delivered mask against the round commitments.
+
+    Works from the full set (engine, at reveal) or from a single-slot
+    record (Glimmer, at install).  Raises
+    :class:`~repro.errors.MaskVerificationError` on any mismatch.
+    """
+    if isinstance(commitments, MaskCommitmentRecord):
+        record = commitments
+        if record.slot != slot:
+            raise MaskVerificationError(
+                f"commitment record is for slot {record.slot}, not {slot}"
+            )
+        expected_hc, point = record.hash_commitment, record.point
+        set_like = record
+    else:
+        if not 0 <= slot < commitments.num_slots:
+            raise MaskVerificationError(f"slot {slot} out of range")
+        expected_hc = commitments.hash_commitments[slot]
+        point = commitments.points[slot]
+        set_like = commitments
+    if len(opening.mask) != set_like.vector_length:
+        raise MaskVerificationError(
+            f"slot {slot}: mask length {len(opening.mask)} does not match "
+            f"the committed vector length {set_like.vector_length}"
+        )
+    modulus = 1 << set_like.modulus_bits
+    if any(not 0 <= int(v) < modulus for v in opening.mask):
+        raise MaskVerificationError(f"slot {slot}: mask word out of ring range")
+    if hash_commitment(
+        set_like.round_id, slot, opening.mask, opening.salt
+    ) != expected_hc:
+        raise MaskVerificationError(
+            f"slot {slot}: delivered mask does not match its hash commitment"
+        )
+    group = resolve_group(set_like.group_name)
+    if not 0 <= opening.randomizer < group.subgroup_order:
+        raise MaskVerificationError(f"slot {slot}: randomizer out of range")
+    h, u = pedersen_generators(group)
+    if isinstance(set_like, MaskCommitmentRecord):
+        scalar = _scalar_from_record(set_like, opening.mask)
+    else:
+        scalar = scalar_for_mask(set_like, opening.mask, weights)
+    expected = (
+        group.power(h, scalar) * group.power(u, opening.randomizer)
+    ) % group.prime
+    if expected != point:
+        raise MaskVerificationError(
+            f"slot {slot}: delivered mask does not match its Pedersen commitment"
+        )
+
+
+def _scalar_from_record(record: MaskCommitmentRecord, mask: Sequence[int]) -> int:
+    group = resolve_group(record.group_name)
+    q = group.subgroup_order
+    limbs = _limbs_per_word(record.modulus_bits)
+    scalar = 0
+    for i, word in enumerate(mask):
+        for l, limb in enumerate(_word_limbs(int(word), limbs)):
+            if limb:
+                weight = hash_to_int(
+                    "mask-commitment-weight",
+                    record.root + i.to_bytes(4, "big") + l.to_bytes(2, "big"),
+                    q,
+                )
+                scalar = (scalar + weight * limb) % q
+    return scalar
+
+
+def commit_masks(
+    group: DHGroup,
+    round_id: int,
+    masks: Sequence[Sequence[int]],
+    modulus_bits: int,
+    rng: HmacDrbg,
+) -> tuple[MaskCommitmentSet, tuple[MaskOpening, ...]]:
+    """Commit a round's mask family; returns the set and per-slot openings.
+
+    The honest-blinder path: the provisioner calls this the moment a
+    round's masks are sampled, publishes the set, and delivers each
+    opening (mask + salt + randomizer) to its slot's recipient.
+    """
+    if not masks:
+        raise ConfigurationError("cannot commit an empty mask family")
+    salts = [rng.generate(SALT_SIZE) for _ in range(len(masks))]
+    randomizers = [rng.randint(group.subgroup_order) for _ in range(len(masks))]
+    return _commit_with(group, round_id, masks, modulus_bits, salts, randomizers)
+
+
+def recommit_masks(
+    group: DHGroup,
+    round_id: int,
+    masks: Sequence[Sequence[int]],
+    modulus_bits: int,
+    openings: Sequence[MaskOpening],
+) -> MaskCommitmentSet:
+    """Rebuild the exact commitment set from durable openings.
+
+    A restarted blinding service must republish byte-identical
+    commitments — the engine already holds the originals from round open —
+    so the sealed round state carries the openings and this function
+    recomputes the set from them deterministically.
+    """
+    salts = [opening.salt for opening in openings]
+    randomizers = [opening.randomizer for opening in openings]
+    commitments, _ = _commit_with(
+        group, round_id, masks, modulus_bits, salts, randomizers
+    )
+    return commitments
+
+
+def _commit_with(
+    group: DHGroup,
+    round_id: int,
+    masks: Sequence[Sequence[int]],
+    modulus_bits: int,
+    salts: Sequence[bytes],
+    randomizers: Sequence[int],
+) -> tuple[MaskCommitmentSet, tuple[MaskOpening, ...]]:
+    num_slots = len(masks)
+    vector_length = len(masks[0])
+    q = group.subgroup_order
+    limbs = _limbs_per_word(modulus_bits)
+    hash_commitments = tuple(
+        hash_commitment(round_id, slot, masks[slot], salts[slot])
+        for slot in range(num_slots)
+    )
+    columns: list[tuple[int, ...]] = []
+    for i in range(vector_length):
+        sums = [0] * limbs
+        for mask in masks:
+            for l, limb in enumerate(_word_limbs(int(mask[i]), limbs)):
+                sums[l] += limb
+        columns.append(tuple(sums))
+    partial = MaskCommitmentSet(
+        round_id=round_id,
+        num_slots=num_slots,
+        vector_length=vector_length,
+        modulus_bits=modulus_bits,
+        group_name=group.name,
+        hash_commitments=hash_commitments,
+        points=(),
+        column_sums=tuple(columns),
+        randomizer_sum=0,
+    )
+    h, u = pedersen_generators(group)
+    weights = partial.weights()
+    points = []
+    for slot in range(num_slots):
+        scalar = scalar_for_mask(partial, masks[slot], weights)
+        points.append(
+            (group.power(h, scalar) * group.power(u, randomizers[slot]))
+            % group.prime
+        )
+    commitments = MaskCommitmentSet(
+        round_id=round_id,
+        num_slots=num_slots,
+        vector_length=vector_length,
+        modulus_bits=modulus_bits,
+        group_name=group.name,
+        hash_commitments=hash_commitments,
+        points=tuple(points),
+        column_sums=tuple(columns),
+        randomizer_sum=sum(randomizers) % q,
+    )
+    openings = tuple(
+        MaskOpening(
+            mask=tuple(int(v) for v in masks[slot]),
+            salt=salts[slot],
+            randomizer=randomizers[slot],
+        )
+        for slot in range(num_slots)
+    )
+    return commitments, openings
+
+
+# Mask delivery wire format --------------------------------------------------
+#
+#   u32 length | length × u64 mask words | 32-byte salt | u16 rlen | r bytes
+#
+# The opening travels *inside* the authenticated provisioning ciphertext;
+# this framing just makes truncation/extension unambiguous.
+
+
+def encode_mask_payload(opening: MaskOpening) -> bytes:
+    r_bytes = opening.randomizer.to_bytes(
+        (opening.randomizer.bit_length() + 7) // 8 or 1, "big"
+    )
+    return b"".join(
+        [
+            len(opening.mask).to_bytes(4, "big"),
+            b"".join(int(v).to_bytes(8, "big") for v in opening.mask),
+            opening.salt,
+            len(r_bytes).to_bytes(2, "big"),
+            r_bytes,
+        ]
+    )
+
+
+def decode_mask_payload(payload: bytes) -> MaskOpening:
+    if len(payload) < 4:
+        raise MaskVerificationError("mask payload truncated")
+    length = int.from_bytes(payload[:4], "big")
+    offset = 4
+    need = 8 * length + SALT_SIZE + 2
+    if len(payload) < offset + need:
+        raise MaskVerificationError("mask payload truncated")
+    mask = tuple(
+        int.from_bytes(payload[offset + 8 * i : offset + 8 * (i + 1)], "big")
+        for i in range(length)
+    )
+    offset += 8 * length
+    salt = payload[offset : offset + SALT_SIZE]
+    offset += SALT_SIZE
+    r_len = int.from_bytes(payload[offset : offset + 2], "big")
+    offset += 2
+    if len(payload) != offset + r_len:
+        raise MaskVerificationError("mask payload has trailing or missing bytes")
+    randomizer = int.from_bytes(payload[offset : offset + r_len], "big")
+    return MaskOpening(mask=mask, salt=salt, randomizer=randomizer)

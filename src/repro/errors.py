@@ -21,8 +21,42 @@ class AuthenticationError(CryptoError):
     """Ciphertext, signature, or MAC verification failed."""
 
 
+class MaskVerificationError(CryptoError):
+    """A blinding mask does not match the provisioner's round commitments.
+
+    Raised by the Glimmer at install time and by the engine at reveal
+    time; the engine converts it into a blamed abort of the round — a
+    lying blinding service is detected, never silently aggregated over.
+    """
+
+
 class ProtocolError(ReproError):
     """A multi-party protocol received a message violating its state machine."""
+
+
+class ProtocolViolation(ProtocolError):
+    """A message that no honest party would send: malformed fields,
+    out-of-phase traffic, equivocation, or a quarantined sender.
+
+    Carries enough structure for the quarantine layer to blame someone:
+    ``offender`` is the endpoint (or party name) that misbehaved, ``kind``
+    is one of the ``VIOLATION_*`` constants in
+    :mod:`repro.runtime.protocol`, and ``round_id`` the round it hit.
+    """
+
+    def __init__(
+        self,
+        detail: str,
+        *,
+        offender: str = "unknown",
+        kind: str = "protocol-violation",
+        round_id: int | None = None,
+    ) -> None:
+        super().__init__(detail)
+        self.detail = detail
+        self.offender = offender
+        self.kind = kind
+        self.round_id = round_id
 
 
 class EnclaveError(ReproError):

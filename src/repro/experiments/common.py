@@ -113,7 +113,14 @@ class Deployment:
         )
         service = CloudService(signing_keypair.public_key, codec)
         network = Network(seed=seed + b":network")
-        engine = RoundEngine(network, service, blinder_provisioner)
+        engine = RoundEngine(
+            network,
+            service,
+            blinder_provisioner,
+            signing_public=signing_keypair.public_key,
+            codec=codec,
+            group=group,
+        )
         deployment = cls(
             rng=rng,
             group=group,

@@ -8,6 +8,7 @@ object; its ``table()`` renders the row set DESIGN.md promises.
 from __future__ import annotations
 
 import importlib
+import inspect
 
 from repro.errors import ConfigurationError
 
@@ -30,14 +31,23 @@ EXPERIMENTS: dict[str, tuple[str, str]] = {
     "e16": ("§1 extension — trending topics through the pipeline", "repro.experiments.e16_trending"),
     "e17": ("§2 extension — in-home activity detection", "repro.experiments.e17_activity"),
     "e18": ("§3 extension — availability under injected faults", "repro.experiments.e18_availability"),
+    "e19": ("§3 extension — Byzantine actors: detect, blame, quarantine", "repro.experiments.e19_byzantine"),
 }
 
 
-def run_experiment(experiment_id: str, **kwargs):
-    """Run one experiment by id with optional parameter overrides."""
+def run_experiment(experiment_id: str, seed: bytes | None = None, **kwargs):
+    """Run one experiment by id with optional parameter overrides.
+
+    ``seed`` is threaded to the runner only when its signature accepts a
+    ``seed`` parameter (and no explicit ``seed=`` override was given), so
+    one ``--seed`` flag can apply across ``run all``.
+    """
     entry = EXPERIMENTS.get(experiment_id)
     if entry is None:
         raise ConfigurationError(f"unknown experiment {experiment_id!r}")
     __, module_name = entry
     module = importlib.import_module(module_name)
+    if seed is not None and "seed" not in kwargs:
+        if "seed" in inspect.signature(module.run).parameters:
+            kwargs["seed"] = seed
     return module.run(**kwargs)

@@ -33,6 +33,7 @@ from repro.errors import (
     EnclaveError,
     NetworkError,
     ProtocolError,
+    ProtocolViolation,
     ValidationError,
 )
 from repro.faults import (
@@ -43,6 +44,7 @@ from repro.faults import (
 )
 from repro.network.message import Message
 from repro.runtime import messages as m
+from repro.runtime.wire import validate_payload
 from repro.runtime.telemetry import (
     OUTCOME_ACCEPTED,
     OUTCOME_CRASHED,
@@ -55,11 +57,29 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.runtime.engine import RoundEngine
 
 
+def _checked(monitor, message: Message) -> None:
+    """Schema-validate one inbound message, logging any violation.
+
+    Wire validation happens before handler logic; a failed check is
+    Byzantine evidence attributed to the sender, recorded with the
+    monitor (when one is attached) and re-raised to reject the call.
+    """
+    try:
+        validate_payload(message.kind, message.sender, message.payload)
+    except ProtocolViolation as exc:
+        if monitor is not None and exc.round_id is not None:
+            monitor.record(
+                exc.round_id, message.sender, exc.kind, str(exc)
+            )
+        raise
+
+
 class ServiceEndpoint:
     """The cloud service as a transport endpoint."""
 
-    def __init__(self, service) -> None:
+    def __init__(self, service, monitor=None) -> None:
         self.service = service
+        self.monitor = monitor
         self._submit_results: dict[bytes, bool] = {}
 
     def handlers(self) -> dict:
@@ -71,6 +91,7 @@ class ServiceEndpoint:
         }
 
     def _handle_open(self, message: Message):
+        _checked(self.monitor, message)
         request: m.OpenServiceRound = message.payload
         if message.attempt > 1:
             try:
@@ -85,6 +106,7 @@ class ServiceEndpoint:
         return True
 
     def _handle_submit(self, message: Message) -> bool:
+        _checked(self.monitor, message)
         request: m.SubmitContribution = message.payload
         nonce = getattr(request.contribution, "nonce", None)
         if (
@@ -98,13 +120,31 @@ class ServiceEndpoint:
             # Fresh replays (attempt == 1) skip this and hit the
             # replayed-nonce check below, as they must.
             return self._submit_results[nonce]
+        if self.monitor is not None and nonce is not None:
+            self.monitor.check_submit(
+                request.round_id,
+                message.sender,
+                request.slot,
+                nonce,
+                retransmit=message.attempt > 1,
+            )
         accepted = self.service.submit(request.round_id, request.contribution)
         if nonce is not None:
             self._submit_results[nonce] = accepted
+        if self.monitor is not None:
+            if accepted:
+                self.monitor.note_accepted(
+                    request.round_id, message.sender, request.slot, nonce
+                )
+            else:
+                self.monitor.note_rejected(
+                    request.round_id, message.sender, "service-rejected"
+                )
         return accepted
 
     def _handle_query_submission(self, message: Message) -> bool:
         """Reconciliation: was this nonce accepted into its round?"""
+        _checked(self.monitor, message)
         request: m.SubmissionStatusQuery = message.payload
         try:
             state = self.service.round_state(request.round_id)
@@ -113,6 +153,7 @@ class ServiceEndpoint:
         return request.nonce in state.seen_nonces
 
     def _handle_finalize(self, message: Message):
+        _checked(self.monitor, message)
         request: m.FinalizeRound = message.payload
         if self.service.round_state(request.round_id).blinded:
             return self.service.finalize_blinded_round(
@@ -124,8 +165,9 @@ class ServiceEndpoint:
 class BlinderEndpoint:
     """The blinding service as a transport endpoint."""
 
-    def __init__(self, provisioner) -> None:
+    def __init__(self, provisioner, monitor=None) -> None:
         self.provisioner = provisioner
+        self.monitor = monitor
 
     def handlers(self) -> dict:
         return {
@@ -135,19 +177,37 @@ class BlinderEndpoint:
         }
 
     def _handle_open(self, message: Message):
+        _checked(self.monitor, message)
         request: m.OpenBlinderRound = message.payload
         if message.attempt > 1 and getattr(self.provisioner, "has_round", None):
             if self.provisioner.has_round(request.round_id):
+                # Re-answer with the same published commitment set, when
+                # the provisioner keeps one (legacy provisioners ack).
+                commitments = getattr(
+                    self.provisioner, "round_commitments", None
+                )
+                if commitments is not None:
+                    try:
+                        return commitments(request.round_id)
+                    except CryptoError:
+                        pass
                 return True
-        self.provisioner.open_round(
+        result = self.provisioner.open_round(
             request.round_id, request.num_parties, request.vector_length
         )
-        return True
+        # Commitment-aware provisioners publish their MaskCommitmentSet;
+        # legacy ones return None and the engine skips verification.
+        return result if result is not None else True
 
     def _handle_mask_request(self, message: Message):
         # Stateless per request: re-answering a retransmitted handshake
         # just re-derives a fresh delivery for the same session.
+        _checked(self.monitor, message)
         request: m.MaskRequest = message.payload
+        if self.monitor is not None:
+            self.monitor.check_active(
+                request.round_id, message.sender, "mask request"
+            )
         return self.provisioner.provision_mask(
             request.session_id,
             request.dh_public,
@@ -157,6 +217,7 @@ class BlinderEndpoint:
         )
 
     def _handle_reveal(self, message: Message):
+        _checked(self.monitor, message)
         request: m.RevealMask = message.payload
         return self.provisioner.reveal_dropout_mask(
             request.round_id, request.party_index
@@ -182,6 +243,7 @@ class ClientEndpoint:
         return {
             m.KIND_PROVISION_MASK: self._handle_provision,
             m.KIND_CONTRIBUTE: self._handle_contribute,
+            m.KIND_CLOSE_ROUND: self._handle_close,
         }
 
     def outcome_for(self, round_id: int) -> tuple[str, str | None] | None:
@@ -200,6 +262,7 @@ class ClientEndpoint:
         )
 
     def _handle_provision(self, message: Message) -> bool:
+        _checked(self.engine.monitor, message)
         request: m.ProvisionMask = message.payload
         record = self.engine.round_record(request.round_id)
         self.engine.note_client_join(record, self.client)
@@ -229,7 +292,17 @@ class ClientEndpoint:
                 party_index=request.party_index,
             ),
         )
-        self.client.install_mask(request.round_id, request.party_index, delivery)
+        if request.commitment is not None:
+            self.client.install_mask(
+                request.round_id,
+                request.party_index,
+                delivery,
+                commitment=request.commitment,
+            )
+        else:
+            self.client.install_mask(
+                request.round_id, request.party_index, delivery
+            )
         record.ecalls += 1  # install_blinding_mask
         if hasattr(self.client, "checkpoint_round"):
             # Seal the freshly installed mask so a later crash in this
@@ -245,6 +318,7 @@ class ClientEndpoint:
         return outcome
 
     def _handle_contribute(self, message: Message) -> tuple[str, str | None]:
+        _checked(self.engine.monitor, message)
         command: m.ContributeCommand = message.payload
         record = self.engine.round_record(command.round_id)
         self.engine.note_client_join(record, self.client)
@@ -301,3 +375,10 @@ class ClientEndpoint:
                 self.client.discard_checkpoint(command.round_id)
             return self._remember(command.round_id, (OUTCOME_ACCEPTED, None))
         return self._remember(command.round_id, (OUTCOME_SERVICE_REJECTED, None))
+
+    def _handle_close(self, message: Message) -> bool:
+        """Round teardown: purge the Glimmer's per-round mask state."""
+        command: m.CloseRound = message.payload
+        if hasattr(self.client, "close_round"):
+            self.client.close_round(command.round_id)
+        return True

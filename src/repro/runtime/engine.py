@@ -40,11 +40,18 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Mapping, Sequence
 
+import numpy as np
+
+from repro.crypto.commitments import MaskOpening, verify_opening
 from repro.crypto.drbg import HmacDrbg
+from repro.crypto.masking import apply_mask
 from repro.errors import (
     EnclaveError,
+    MaskVerificationError,
     NetworkError,
     ProtocolError,
+    ProtocolViolation,
+    ReproError,
     RoundAbortedError,
 )
 from repro.faults import ACTION_CRASH, ACTION_STALL, SITE_BLINDER, SITE_PHASE_STALL
@@ -52,12 +59,25 @@ from repro.network.transport import Network
 from repro.runtime import messages as m
 from repro.runtime.endpoints import BlinderEndpoint, ClientEndpoint, ServiceEndpoint
 from repro.runtime.messages import BLINDER, ENGINE, SERVICE, client_endpoint
+from repro.runtime.protocol import (
+    VIOLATION_AGGREGATE_TAMPERING,
+    VIOLATION_EQUIVOCATION,
+    VIOLATION_FLOODING,
+    VIOLATION_MALFORMED,
+    VIOLATION_MASK_COMMITMENT,
+    VIOLATION_MASK_OPENING,
+    VIOLATION_NON_SUM_ZERO,
+    ProtocolMonitor,
+    Quarantine,
+)
 from repro.runtime.telemetry import (
     OUTCOME_ACCEPTED,
     OUTCOME_CRASHED,
     OUTCOME_DEADLINE_MISSED,
     OUTCOME_DROPOUT,
+    OUTCOME_EVICTED,
     OUTCOME_PROVISION_FAILED,
+    OUTCOME_QUARANTINED,
     OUTCOME_SUBMIT_FAILED,
     OUTCOME_UNREACHABLE,
     PhaseStats,
@@ -84,6 +104,9 @@ class _RoundRecord:
         self.provisioned: dict[int, str] = {}
         self.consumed: set[int] = set()
         self.unresolved: set[int] = set()
+        self.commitments = None  # the blinder's published MaskCommitmentSet
+        self.slot_nonce: dict[int, bytes] = {}  # engine-witnessed accepts
+        self.quarantined_now: list[str] = []
         self.outcomes: dict[str, str] = {}
         self.retries = 0
         self.recoveries = 0
@@ -117,6 +140,10 @@ class RoundEngine:
         recovery_threshold: float = 0.0,
         fault_injector=None,
         seed: bytes = b"round-engine",
+        signing_public=None,
+        codec=None,
+        group=None,
+        quarantine: Quarantine | None = None,
     ) -> None:
         self.network = network
         self.service = service
@@ -126,13 +153,23 @@ class RoundEngine:
         self.max_backoff_ms = float(max_backoff_ms)
         self.recovery_threshold = float(recovery_threshold)
         self.fault_injector = fault_injector
+        self.signing_public = signing_public
+        self.codec = codec
+        self.group = group
+        self.quarantine = quarantine or Quarantine()
+        self.monitor = ProtocolMonitor(self.quarantine)
         self._retry_rng = HmacDrbg(seed, personalization="retry-jitter")
         self.clients: dict[str, Any] = {}
         self.reports: dict[int, RoundReport] = {}
         self._rounds: dict[int, _RoundRecord] = {}
         network.register(ENGINE, {})
-        network.register(SERVICE, ServiceEndpoint(service).handlers())
-        network.register(BLINDER, BlinderEndpoint(blinder_provisioner).handlers())
+        network.register(
+            SERVICE, ServiceEndpoint(service, monitor=self.monitor).handlers()
+        )
+        network.register(
+            BLINDER,
+            BlinderEndpoint(blinder_provisioner, monitor=self.monitor).handlers(),
+        )
 
     # -------------------------------------------------------------- topology
 
@@ -171,8 +208,28 @@ class RoundEngine:
             record.meter_start[client.client_id] = meter_snapshot(client.glimmer.meter)
         record.joined[client.client_id] = client
 
+    def begin_phase(self, round_id: int, name: str) -> None:
+        """Open a named phase window for a manually orchestrated round.
+
+        :meth:`run_round` narrates phases itself; experiment flows that
+        drive provisioning/collection directly (e.g. the Byzantine
+        harness) use this so phase telemetry and the protocol monitor's
+        phase gating stay accurate.
+        """
+        self._start_phase(self.round_record(round_id), name)
+
+    def abort_round(self, round_id: int, reason: str) -> RoundAbortedError:
+        """Close a round's books as aborted; returns the error to raise.
+
+        The partial ``aborted=True`` report is recorded under the round id
+        exactly as :meth:`run_round`'s internal aborts do.  Callers
+        ``raise engine.abort_round(...)``.
+        """
+        return self._abort(self.round_record(round_id), reason)
+
     def _start_phase(self, record: _RoundRecord, name: str) -> None:
         self._close_phase(record)
+        self.monitor.advance(record.round_id, name)
         self._fire_phase_faults(record, name)
         record.window = (
             name,
@@ -274,12 +331,15 @@ class RoundEngine:
         self._rounds[round_id] = record
         self._start_phase(record, "open")
         if blinded:
-            self.call_with_retry(
+            published = self.call_with_retry(
                 record,
                 ENGINE,
                 BLINDER,
                 m.KIND_OPEN_BLINDER,
                 m.OpenBlinderRound(round_id, num_slots, vector_length),
+            )
+            record.commitments = self._vetted_commitments(
+                record, published, num_slots, vector_length
             )
         self.call_with_retry(
             record,
@@ -289,16 +349,54 @@ class RoundEngine:
             m.OpenServiceRound(round_id, num_slots, blinded),
         )
 
+    def _vetted_commitments(
+        self, record: _RoundRecord, published, num_slots: int, vector_length: int
+    ):
+        """Structurally validate the blinder's published commitment set.
+
+        Legacy provisioners ack with ``True``/``None`` and skip the
+        verifiable-blinding path entirely.  A commitment-aware blinder
+        that publishes a malformed or mis-shaped set is blamed and the
+        round aborts before any client is provisioned.
+        """
+        if published is None or not hasattr(published, "validate_structure"):
+            return None
+        try:
+            published.validate_structure(
+                round_id=record.round_id,
+                num_slots=num_slots,
+                vector_length=vector_length,
+            )
+            if (
+                self.group is not None
+                and published.group_name != self.group.name
+            ):
+                raise MaskVerificationError(
+                    f"commitment group {published.group_name!r} does not "
+                    f"match the deployment group {self.group.name!r}"
+                )
+        except MaskVerificationError as exc:
+            self.monitor.record(
+                record.round_id, BLINDER, VIOLATION_MASK_COMMITMENT, str(exc)
+            )
+            raise self._abort(
+                record, f"blinding service published invalid commitments: {exc}"
+            )
+        return published
+
     def provision_mask(self, client_id: str, round_id: int, party_index: int) -> None:
         """Command a client to fetch and install its mask for one slot."""
         record = self.round_record(round_id)
         record.note_participant(client_id)
+        commitment = None
+        if record.commitments is not None:
+            commitment = record.commitments.record_for(party_index)
         self.call_with_retry(
             record,
             ENGINE,
             self._client_name(client_id),
             m.KIND_PROVISION_MASK,
-            m.ProvisionMask(round_id, party_index),
+            m.ProvisionMask(round_id, party_index, commitment),
         )
         record.provisioned[party_index] = client_id
 
@@ -365,9 +463,14 @@ class RoundEngine:
                     sender,
                     SERVICE,
                     m.KIND_SUBMIT,
-                    m.SubmitContribution(round_id, contribution),
+                    m.SubmitContribution(round_id, contribution, slot),
                 )
             )
+        except ProtocolViolation:
+            # The protocol monitor refused the submission (equivocation,
+            # quarantined sender, out-of-phase, malformed).  The violation
+            # is already recorded; to the sender it is simply a rejection.
+            return False
         except NetworkError:
             nonce = getattr(contribution, "nonce", None)
             if nonce is None:
@@ -392,6 +495,9 @@ class RoundEngine:
         if accepted and slot is not None:
             record.consumed.add(slot)
             record.unresolved.discard(slot)
+            nonce = getattr(contribution, "nonce", None)
+            if nonce is not None:
+                record.slot_nonce.setdefault(slot, nonce)
         return accepted
 
     def finalize_round(self, round_id: int) -> RoundReport:
@@ -419,17 +525,32 @@ class RoundEngine:
             ):
                 record.outcomes[user_id] = OUTCOME_ACCEPTED
         self._start_phase(record, "finalize")
+        self._evict_offenders(record)
+        if record.blinded and record.commitments is not None:
+            try:
+                record.commitments.verify_sum_zero()
+            except MaskVerificationError as exc:
+                self.monitor.record(
+                    round_id, BLINDER, VIOLATION_NON_SUM_ZERO, str(exc)
+                )
+                raise self._abort(
+                    record,
+                    f"blinding service's committed masks do not sum to "
+                    f"zero: {exc}",
+                )
         repairs: list[tuple[int, ...]] = []
         try:
             if record.blinded:
                 for slot in range(record.num_slots):
                     if slot in record.consumed:
                         continue
-                    mask = self.call_with_retry(
+                    revealed = self.call_with_retry(
                         record, ENGINE, BLINDER, m.KIND_REVEAL_MASK,
                         m.RevealMask(round_id, slot),
                     )
-                    repairs.append(tuple(int(v) for v in mask))
+                    repairs.append(
+                        self._verified_repair_mask(record, slot, revealed)
+                    )
             result = self.call_with_retry(
                 record,
                 ENGINE,
@@ -439,10 +560,184 @@ class RoundEngine:
             )
         except NetworkError as exc:
             raise self._abort(record, f"finalize could not complete: {exc}")
+        self._audit_result(record, result, repairs)
+        self._close_round_clients(record)
         report = self._build_report(record, result, len(repairs))
         self.reports[round_id] = report
         del self._rounds[round_id]
+        self.monitor.close(round_id)
         return report
+
+    def _verified_repair_mask(
+        self, record: _RoundRecord, slot: int, revealed
+    ) -> tuple[int, ...]:
+        """Check a revealed dropout mask against the round's commitments.
+
+        Commitment-aware provisioners reveal a full
+        :class:`~repro.crypto.commitments.MaskOpening`; the engine verifies
+        it against the slot's published commitment before trusting the
+        mask.  A blinder that reveals a mask other than the one it
+        committed to is blamed and the round aborts — §3 repair never
+        silently folds a forged mask into the aggregate.  Legacy
+        provisioners reveal a bare word sequence, which is used as-is.
+        """
+        if isinstance(revealed, MaskOpening):
+            if record.commitments is not None:
+                try:
+                    verify_opening(record.commitments, slot, revealed)
+                except MaskVerificationError as exc:
+                    self.monitor.record(
+                        record.round_id,
+                        BLINDER,
+                        VIOLATION_MASK_OPENING,
+                        f"dropout reveal for slot {slot}: {exc}",
+                    )
+                    raise self._abort(
+                        record,
+                        f"blinding service revealed a mask for slot {slot} "
+                        f"that does not match its commitment: {exc}",
+                    )
+            return tuple(int(v) for v in revealed.mask)
+        return tuple(int(v) for v in revealed)
+
+    def _evict_offenders(self, record: _RoundRecord) -> None:
+        """Quarantine this round's offenders and evict their contributions.
+
+        Offenders flagged for equivocation, flooding, or malformed traffic
+        are blocked from future rounds, and any contribution of theirs the
+        service already accepted is evicted: the slot's accepted nonce is
+        removed, the slot reverts to unconsumed, and §3 dropout repair
+        reveals its mask — so the finalized aggregate is exact over the
+        honest contributions only.
+        """
+        round_id = record.round_id
+        kinds = (
+            VIOLATION_EQUIVOCATION,
+            VIOLATION_FLOODING,
+            VIOLATION_MALFORMED,
+        )
+        for offender in self.monitor.offenders_for(round_id, kinds):
+            for violation in self.monitor.violations_for(round_id):
+                if violation.offender == offender and violation.kind in kinds:
+                    self.quarantine.block(violation)
+                    break
+            if offender not in record.quarantined_now:
+                record.quarantined_now.append(offender)
+            prefix = "client:"
+            if not offender.startswith(prefix):
+                continue
+            client_id = offender[len(prefix):]
+            evicted = False
+            for slot, user_id in record.provisioned.items():
+                if user_id != client_id or slot not in record.consumed:
+                    continue
+                nonce = record.slot_nonce.get(slot)
+                if nonce is None or not hasattr(self.service, "evict_nonce"):
+                    continue
+                if self.service.evict_nonce(round_id, nonce):
+                    record.consumed.discard(slot)
+                    record.slot_nonce.pop(slot, None)
+                    self.monitor.forget_slot(round_id, slot)
+                    evicted = True
+            if client_id in record.participants:
+                record.outcomes[client_id] = (
+                    OUTCOME_EVICTED if evicted else OUTCOME_QUARANTINED
+                )
+
+    def _audit_result(self, record: _RoundRecord, result, repairs) -> None:
+        """Audit the service's finalize result before trusting it.
+
+        The service returns the contributions it aggregated; the engine
+        re-checks nonce uniqueness, that every contribution it witnessed
+        being accepted is present, the counts, every signature, and —
+        decisive against a tampering aggregator — recomputes the aggregate
+        bit-exactly.  Legacy service results without the audit trail
+        (``accepted`` empty) pass through unchecked.
+        """
+        accepted = getattr(result, "accepted", ())
+        if not accepted:
+            return
+        problems: list[str] = []
+        nonces = [c.nonce for c in accepted]
+        if len(set(nonces)) != len(nonces):
+            problems.append("duplicate nonces in the aggregated set")
+        witnessed = set(record.slot_nonce.values())
+        if not witnessed.issubset(set(nonces)):
+            problems.append(
+                "an engine-witnessed accepted contribution is missing"
+            )
+        if result.num_contributions != len(accepted):
+            problems.append(
+                f"contribution count {result.num_contributions} != "
+                f"{len(accepted)} aggregated"
+            )
+        if result.num_dropouts_repaired != len(repairs):
+            problems.append(
+                f"repair count {result.num_dropouts_repaired} != "
+                f"{len(repairs)} masks handed over"
+            )
+        if self.signing_public is not None:
+            for contribution in accepted:
+                try:
+                    valid = self.signing_public.is_valid(
+                        contribution.signed_bytes(), contribution.signature
+                    )
+                except Exception:
+                    valid = False
+                if not valid:
+                    problems.append("an aggregated contribution is unsigned")
+                    break
+        codec = self.codec or getattr(self.service, "codec", None)
+        if not problems and codec is not None:
+            expected = self._recompute_aggregate(record, accepted, repairs, codec)
+            if expected is not None and not np.array_equal(
+                np.asarray(expected), np.asarray(result.aggregate)
+            ):
+                problems.append("aggregate does not match the recomputation")
+        if problems:
+            detail = "; ".join(problems)
+            self.monitor.record(
+                record.round_id, SERVICE, VIOLATION_AGGREGATE_TAMPERING, detail
+            )
+            raise self._abort(
+                record, f"service finalize result failed the audit: {detail}"
+            )
+
+    def _recompute_aggregate(self, record: _RoundRecord, accepted, repairs, codec):
+        try:
+            if record.blinded:
+                vectors = [list(c.ring_payload) for c in accepted]
+                total = codec.sum_vectors(vectors)
+                for mask in repairs:
+                    total = apply_mask(total, list(mask), codec.modulus_bits)
+                return codec.decode(total) / len(accepted)
+            stacked = np.stack(
+                [np.asarray(c.plain_payload, dtype=float) for c in accepted]
+            )
+            return stacked.mean(axis=0)
+        except Exception:
+            return None
+
+    def _close_round_clients(self, record: _RoundRecord) -> None:
+        """Best-effort teardown: tell provisioned clients to purge the round.
+
+        A lost close message only delays the purge (the client's own
+        lifecycle hooks still bound mask growth); it never affects the
+        already-finalized aggregate, so there is no retry."""
+        notified: set[str] = set()
+        for user_id in record.provisioned.values():
+            if user_id in notified or user_id not in self.clients:
+                continue
+            notified.add(user_id)
+            try:
+                self.network.call(
+                    ENGINE,
+                    client_endpoint(user_id),
+                    m.KIND_CLOSE_ROUND,
+                    m.CloseRound(record.round_id),
+                )
+            except (NetworkError, ReproError):
+                pass
 
     def abandon_round(self, round_id: int) -> None:
         """Forget an aborted round's engine-side state."""
@@ -477,6 +772,7 @@ class RoundEngine:
             abort_reason=reason,
         )
         self.reports[record.round_id] = report
+        self.monitor.close(record.round_id)
         error = RoundAbortedError(f"round {record.round_id}: {reason}")
         error.report = report
         return error
@@ -551,10 +847,21 @@ class RoundEngine:
         record = self.round_record(round_id)
         for user_id in participants:
             record.note_participant(user_id)
+        quarantined = {
+            user_id
+            for user_id in participants
+            if self.quarantine.is_blocked(client_endpoint(user_id))
+        }
+        for user_id in quarantined:
+            # Known offenders sit the round out entirely: no mask slot is
+            # charged to them and no command reaches them.
+            record.outcomes[user_id] = OUTCOME_QUARANTINED
         if blind:
             self._start_phase(record, "provision")
             provision_deadline = self._phase_deadline(phase_deadlines, "provision")
             for index, user_id in enumerate(participants):
+                if user_id in quarantined:
+                    continue
                 if user_id in silent:
                     record.outcomes[user_id] = OUTCOME_DROPOUT
                     continue
@@ -566,6 +873,18 @@ class RoundEngine:
                     continue
                 try:
                     self.provision_mask(user_id, round_id, index)
+                except MaskVerificationError as exc:
+                    # The client's Glimmer refused a delivered mask that
+                    # fails its published commitment: the blinding service
+                    # is lying, and no aggregate this round can be trusted.
+                    self.monitor.record(
+                        round_id, BLINDER, VIOLATION_MASK_OPENING, str(exc)
+                    )
+                    raise self._abort(
+                        record,
+                        f"blinding service delivered a mask that fails its "
+                        f"commitment: {exc}",
+                    )
                 except NetworkError:
                     record.outcomes[user_id] = OUTCOME_PROVISION_FAILED
                 except EnclaveError:
@@ -581,6 +900,8 @@ class RoundEngine:
         deadline = None if deadline_ms is None else record.opened_at_ms + deadline_ms
         collect_deadline = self._phase_deadline(phase_deadlines, "collect")
         for user_id in participants:
+            if user_id in quarantined:
+                continue
             if user_id in silent:
                 record.outcomes.setdefault(user_id, OUTCOME_DROPOUT)
                 continue
@@ -733,6 +1054,8 @@ class RoundEngine:
             abort_reason=abort_reason,
             client_restarts=record.recoveries,
             faults_injected=faults,
+            violations=self.monitor.violations_for(record.round_id),
+            quarantined=tuple(record.quarantined_now),
         )
 
     def _build_report(

@@ -33,6 +33,7 @@ KIND_REVEAL_MASK = "mask/reveal-dropout"
 # Engine → clients ----------------------------------------------------------
 KIND_PROVISION_MASK = "client/provision-mask"
 KIND_CONTRIBUTE = "client/contribute"
+KIND_CLOSE_ROUND = "client/close-round"
 
 # Clients → provisioners / service ------------------------------------------
 KIND_MASK_REQUEST = "mask/request"
@@ -60,10 +61,19 @@ class OpenServiceRound:
 
 @dataclass(frozen=True)
 class ProvisionMask:
-    """Command a client to fetch its round mask from the blinding service."""
+    """Command a client to fetch its round mask from the blinding service.
+
+    ``commitment`` is the slot's engine-vouched
+    :class:`~repro.crypto.commitments.MaskCommitmentRecord`: the engine
+    validated the published commitment set when the round opened, so
+    shipping the per-slot record here stops the blinding service from
+    equivocating — delivering the engine one mask family and the clients
+    another.
+    """
 
     round_id: int
     party_index: int
+    commitment: Any = None
 
 
 @dataclass(frozen=True)
@@ -95,11 +105,14 @@ class SubmitContribution:
 
     ``round_id`` names the round the *sender* targets; the service checks
     it against the signed ``contribution.round_id``, which is how
-    cross-round replay is caught.
+    cross-round replay is caught.  ``slot`` names the mask slot the sender
+    claims to consume — the protocol monitor uses it to catch
+    equivocation (two different signed values for one slot).
     """
 
     round_id: int
     contribution: Any
+    slot: int | None = None
 
 
 @dataclass(frozen=True)
@@ -131,3 +144,11 @@ class FinalizeRound:
 
     round_id: int
     dropout_masks: tuple = field(default=())
+
+
+@dataclass(frozen=True)
+class CloseRound:
+    """Tell a client the round is over: purge Glimmer mask state."""
+
+    round_id: int
+

@@ -26,6 +26,8 @@ OUTCOME_UNREACHABLE = "unreachable"
 OUTCOME_DEADLINE_MISSED = "deadline-missed"
 OUTCOME_DROPOUT = "dropout"
 OUTCOME_CRASHED = "crashed"
+OUTCOME_EVICTED = "evicted"
+OUTCOME_QUARANTINED = "quarantined"
 
 
 @dataclass(frozen=True)
@@ -74,6 +76,10 @@ class RoundReport:
     abort_reason: str | None = None
     client_restarts: int = 0
     faults_injected: int = 0
+    violations: tuple = ()
+    """:class:`~repro.runtime.protocol.ViolationRecord` entries observed."""
+    quarantined: tuple[str, ...] = ()
+    """Senders newly quarantined while this round ran."""
     _survivors: tuple[str, ...] = field(default=(), repr=False)
 
     # ---------------------------------------------------------- derived views
@@ -147,6 +153,10 @@ class RoundReport:
         if self.client_restarts or self.faults_injected:
             table.add_row("client restarts", self.client_restarts)
             table.add_row("faults injected", self.faults_injected)
+        if self.violations:
+            table.add_row("protocol violations", len(self.violations))
+        if self.quarantined:
+            table.add_row("quarantined", ", ".join(self.quarantined))
         for phase in self.phases:
             table.add_row(
                 f"phase {phase.name}",
@@ -186,7 +196,60 @@ class RoundReport:
             "abort_reason": self.abort_reason,
             "client_restarts": self.client_restarts,
             "faults_injected": self.faults_injected,
+            "violations": [
+                violation.as_dict() for violation in self.violations
+            ],
+            "quarantined": list(self.quarantined),
         }
+
+    def to_dict(self) -> dict[str, Any]:
+        """Alias for :meth:`as_dict` (the JSON-facing name)."""
+        return self.as_dict()
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RoundReport":
+        """Rebuild a report from its :meth:`to_dict` form.
+
+        Derived fields (``survivors``, ``dropouts``, the cycle totals)
+        are recomputed, not restored; the ``aggregate`` comes back as a
+        numpy array; ``service_result`` does not round-trip (it holds a
+        live object).
+        """
+        from repro.runtime.protocol import ViolationRecord
+
+        aggregate = data.get("aggregate")
+        return cls(
+            round_id=int(data["round_id"]),
+            blinded=bool(data["blinded"]),
+            participants=tuple(data["participants"]),
+            outcomes=dict(data["outcomes"]),
+            num_slots=int(data["num_slots"]),
+            masks_repaired=int(data["masks_repaired"]),
+            num_contributions=int(data["num_contributions"]),
+            rejected={k: int(v) for k, v in data["rejected"].items()},
+            messages_sent=int(data["messages_sent"]),
+            messages_dropped=int(data["messages_dropped"]),
+            retries=int(data["retries"]),
+            bytes_on_wire=int(data["bytes_on_wire"]),
+            latency_ms=float(data["latency_ms"]),
+            ecalls=int(data["ecalls"]),
+            enclave_cycles={
+                k: int(v) for k, v in data["enclave_cycles"].items()
+            },
+            phases=tuple(
+                PhaseStats(**phase) for phase in data.get("phases", ())
+            ),
+            aggregate=None if aggregate is None else np.asarray(aggregate),
+            aborted=bool(data.get("aborted", False)),
+            abort_reason=data.get("abort_reason"),
+            client_restarts=int(data.get("client_restarts", 0)),
+            faults_injected=int(data.get("faults_injected", 0)),
+            violations=tuple(
+                ViolationRecord.from_dict(violation)
+                for violation in data.get("violations", ())
+            ),
+            quarantined=tuple(data.get("quarantined", ())),
+        )
 
 
 def meter_snapshot(meter) -> dict[str, int]:

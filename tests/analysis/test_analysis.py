@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.analysis.privacy import LeakageReport, bits_of_vector, leakage_for_channel
+from repro.analysis.privacy import bits_of_vector, leakage_for_channel
 from repro.analysis.reporting import Table
 from repro.analysis.stats import mean, percentile, stddev
 from repro.errors import ConfigurationError
@@ -40,6 +40,12 @@ def test_percentile_validations():
         percentile([], 50)
     with pytest.raises(ConfigurationError):
         percentile([1.0], 101)
+
+
+def test_percentile_subnormal_endpoints_stay_in_bounds():
+    # The weighted-sum interpolation underflowed both products to 0.0 here.
+    tiny = 5e-324
+    assert percentile([tiny, tiny], 50) == tiny
 
 
 def test_percentile_order_independent():

@@ -1,0 +1,90 @@
+"""Attack-plan sampling: deterministic, bounded, and well-typed."""
+
+from repro.byzantine import (
+    ALL_ATTACKS,
+    ATTACK_BLINDER_FORGED_CLAIMS,
+    ATTACK_EQUIVOCATE,
+    ATTACK_REPLAY,
+    ATTACK_SERVICE_CORRUPT,
+    BLINDER_ATTACKS,
+    CLIENT_ATTACKS,
+    SERVICE_ATTACKS,
+    AttackPlan,
+    AttackSpec,
+)
+from repro.crypto.drbg import HmacDrbg
+
+CLIENTS = tuple(f"user-{i:04d}" for i in range(5))
+
+
+def _sample(seed: bytes, index: int = 0, **kwargs) -> AttackPlan:
+    rng = HmacDrbg(seed, personalization=f"plan-{index}")
+    return AttackPlan.sample(rng, clients=CLIENTS, **kwargs)
+
+
+def test_attack_pools_partition_the_kind_space():
+    assert set(ALL_ATTACKS) == (
+        set(CLIENT_ATTACKS) | set(BLINDER_ATTACKS) | set(SERVICE_ATTACKS)
+    )
+    assert len(ALL_ATTACKS) == len(set(ALL_ATTACKS))
+
+
+def test_same_seed_samples_identical_plans():
+    for index in range(20):
+        assert _sample(b"det", index) == _sample(b"det", index)
+
+
+def test_distinct_seeds_sample_different_plans():
+    first = [_sample(b"seed-a", index) for index in range(20)]
+    second = [_sample(b"seed-b", index) for index in range(20)]
+    assert first != second
+
+
+def test_sampled_plans_are_well_formed():
+    for index in range(50):
+        plan = _sample(b"shape", index, rounds=(index + 1,))
+        client_targets = [
+            spec.target for spec in plan.specs if spec.kind in CLIENT_ATTACKS
+        ]
+        assert len(client_targets) == len(set(client_targets)) <= 2
+        assert sum(1 for s in plan.specs if s.kind in BLINDER_ATTACKS) <= 1
+        assert sum(1 for s in plan.specs if s.kind in SERVICE_ATTACKS) <= 1
+        for spec in plan.specs:
+            assert spec.kind in ALL_ATTACKS
+            assert spec.round_id == index + 1
+            if spec.kind in CLIENT_ATTACKS:
+                assert spec.target in CLIENTS
+
+
+def test_sampling_covers_the_whole_attack_space():
+    kinds: set[str] = set()
+    for index in range(300):
+        kinds.update(spec.kind for spec in _sample(b"coverage", index).specs)
+    assert kinds == set(ALL_ATTACKS)
+
+
+def test_spec_applies_respects_round_pinning():
+    everywhere = AttackSpec(kind=ATTACK_REPLAY, target="u")
+    pinned = AttackSpec(kind=ATTACK_REPLAY, target="u", round_id=3)
+    assert everywhere.applies(1) and everywhere.applies(538)
+    assert pinned.applies(3)
+    assert not pinned.applies(4)
+
+
+def test_plan_accessors_filter_by_role_target_and_round():
+    plan = AttackPlan(
+        specs=(
+            AttackSpec(ATTACK_EQUIVOCATE, target="alice", round_id=2),
+            AttackSpec(ATTACK_BLINDER_FORGED_CLAIMS, round_id=1),
+            AttackSpec(ATTACK_SERVICE_CORRUPT),
+        )
+    )
+    assert not plan.is_benign
+    assert plan.client_attack(2, "alice").kind == ATTACK_EQUIVOCATE
+    assert plan.client_attack(1, "alice") is None
+    assert plan.client_attack(2, "bob") is None
+    assert plan.blinder_attack(1) is not None
+    assert plan.blinder_attack(2) is None
+    assert plan.blinder_attack() is not None
+    assert plan.service_attack(7).kind == ATTACK_SERVICE_CORRUPT
+    assert AttackPlan().is_benign

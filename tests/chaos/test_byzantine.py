@@ -1,0 +1,150 @@
+"""Byzantine chaos: sampled attacker mixes, exact-or-blamed-abort, replayable.
+
+The crash/omission counterpart lives in ``test_chaos.py``; this suite
+samples ``SCHEDULES_PER_SEED`` attacker mixes per chaos seed (clients
+that replay, equivocate, flood, or forge; a blinding service that lies;
+an aggregator that tampers) and drives each through a full round on one
+shared deployment.  Between schedules the operator pardons the
+quarantined offenders — re-arming the quarantine path for the next mix —
+so every sampled round must end in exactly one of two ways:
+
+* a **bit-exact finalize** over precisely the honest contributions that
+  stayed accepted, or
+* a **detected abort** whose telemetry names at least one offender.
+
+``undetected-corruption`` — a finalized-but-wrong aggregate — fails the
+suite on sight, and the same seed must replay the identical violation
+sequence on a fresh deployment.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.byzantine import (
+    OUTCOME_CLEAN,
+    OUTCOME_DETECTED_ABORT,
+    OUTCOME_EXACT,
+    OUTCOME_UNDETECTED_CORRUPTION,
+    AttackPlan,
+    install_attacks,
+    run_byzantine_round,
+)
+from repro.crypto.drbg import HmacDrbg
+from repro.experiments.common import Deployment
+
+SCHEDULES_PER_SEED = 50
+NUM_USERS = 4
+
+DEFAULT_SEEDS = ("byz-a", "byz-b", "byz-c")
+SEEDS = (
+    (os.environ["CHAOS_SEED"],) if os.environ.get("CHAOS_SEED") else DEFAULT_SEEDS
+)
+
+
+def _build(seed: str) -> Deployment:
+    return Deployment.build(
+        num_users=NUM_USERS,
+        seed=b"byz-chaos:" + seed.encode(),
+        sentences_per_user=12,
+    )
+
+
+def _plan(seed: str, index: int, user_ids) -> AttackPlan:
+    return AttackPlan.sample(
+        HmacDrbg(seed.encode(), personalization=f"byz-plan-{index}"),
+        clients=user_ids,
+        rounds=(index + 1,),
+        label=f"{seed}#{index}",
+    )
+
+
+def _run_schedule(deployment, seed: str, index: int, user_ids):
+    """One sampled mix through one round; returns a comparable trace."""
+    plan = _plan(seed, index, user_ids)
+    install_attacks(
+        deployment,
+        plan,
+        HmacDrbg(f"{seed}:{index}".encode(), personalization="byz-install"),
+    )
+    result = run_byzantine_round(deployment, index + 1, user_ids, plan)
+    assert result.outcome != OUTCOME_UNDETECTED_CORRUPTION, (
+        f"{plan.label}: round {index + 1} finalized a corrupted aggregate"
+    )
+    assert result.outcome in (
+        OUTCOME_CLEAN,
+        OUTCOME_EXACT,
+        OUTCOME_DETECTED_ABORT,
+    ), f"{plan.label}: unexpected outcome {result.outcome}"
+    if result.aborted:
+        assert result.offenders, (
+            f"{plan.label}: aborted without naming an offender in telemetry"
+        )
+    aggregate = (
+        None
+        if result.report.aggregate is None
+        else tuple(float(v) for v in result.report.aggregate)
+    )
+    trace = (
+        result.outcome,
+        result.offenders,
+        tuple((v.offender, v.kind) for v in result.report.violations),
+        aggregate,
+    )
+    # Operator pardon between schedules: re-arms quarantine for the next mix.
+    quarantine = deployment.engine.quarantine
+    for name in quarantine.blocked():
+        quarantine.pardon(name)
+    return plan, trace
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_sampled_attacker_mixes_are_exact_or_blamed_abort(seed):
+    deployment = _build(seed)
+    user_ids = [user.user_id for user in deployment.corpus.users]
+    outcomes = {OUTCOME_CLEAN: 0, OUTCOME_EXACT: 0, OUTCOME_DETECTED_ABORT: 0}
+    for index in range(SCHEDULES_PER_SEED):
+        _, trace = _run_schedule(deployment, seed, index, user_ids)
+        outcomes[trace[0]] += 1
+    assert sum(outcomes.values()) == SCHEDULES_PER_SEED
+    # The sweep is only meaningful if attacks bite in both directions:
+    # some mixes must finalize exactly *despite* attackers, some must
+    # force blamed aborts, and benign mixes must stay clean.
+    assert outcomes[OUTCOME_EXACT] > 0
+    assert outcomes[OUTCOME_DETECTED_ABORT] > 0
+    assert outcomes[OUTCOME_CLEAN] > 0
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_same_seed_replays_identical_violation_sequence(seed):
+    replays = []
+    for _ in range(2):
+        deployment = _build(seed)
+        user_ids = [user.user_id for user in deployment.corpus.users]
+        specs = []
+        traces = []
+        for index in range(10):
+            plan, trace = _run_schedule(deployment, seed, index, user_ids)
+            specs.append((plan.label, plan.specs))
+            traces.append(trace)
+        replays.append((specs, traces))
+    assert replays[0][0] == replays[1][0], "attacker mixes must replay exactly"
+    assert replays[0][1] == replays[1][1], (
+        "outcomes, violation sequences, and aggregates must replay exactly"
+    )
+
+
+def test_distinct_seeds_sample_distinct_attacks():
+    """Sanity: the attacker-mix space is actually being sampled."""
+    traces = []
+    for seed in ("byz-a", "byz-b"):
+        deployment = _build(seed)
+        user_ids = [user.user_id for user in deployment.corpus.users]
+        fired = []
+        for index in range(6):
+            plan, trace = _run_schedule(deployment, seed, index, user_ids)
+            fired.append((plan.specs, trace[:3]))
+        traces.append(tuple(fired))
+    assert traces[0] != traces[1]

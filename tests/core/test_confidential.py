@@ -5,7 +5,6 @@ import pytest
 from repro.core.auditor import RuntimeAuditor
 from repro.core.confidential import (
     BotDetectionService,
-    ConfidentialGlimmerProgram,
     ExfiltratingGlimmerProgram,
     MalformedOutputGlimmerProgram,
     build_confidential_image,
@@ -26,7 +25,7 @@ from repro.errors import (
 )
 from repro.sgx.attestation import AttestationService, report_data_for
 from repro.sgx.measurement import VendorKey
-from repro.sgx.platform import SgxPlatform, ThreatModel
+from repro.sgx.platform import SgxPlatform
 from repro.workloads.botnet import BotnetWorkload, DetectorWeights
 
 

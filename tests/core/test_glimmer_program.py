@@ -1,13 +1,10 @@
 """Tests for the Glimmer enclave program: provisioning, processing, properties."""
 
-import numpy as np
 import pytest
 
 from repro.core.glimmer import (
     GlimmerConfig,
     KeyDelivery,
-    ProcessRequest,
-    build_glimmer_image,
     features_digest,
 )
 from repro.crypto.masking import remove_mask

@@ -8,7 +8,7 @@ from repro.errors import AttestationError, AuthenticationError
 from repro.experiments.common import Deployment, GLIMMER_NAME
 from repro.network.clock import LAN_LATENCY
 from repro.network.transport import Network
-from repro.network.adversary import EavesdropAdversary, TamperAdversary
+from repro.network.adversary import EavesdropAdversary
 
 
 @pytest.fixture

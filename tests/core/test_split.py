@@ -1,6 +1,5 @@
 """Tests for the decomposed (three-enclave) Glimmer."""
 
-import numpy as np
 import pytest
 
 from repro.core.glimmer import GlimmerConfig, ProcessRequest, features_digest

@@ -1,0 +1,145 @@
+"""Verifiable blinding: commitments open, bind, and catch forged claims."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.byzantine.actors import _forge_commitments
+from repro.crypto.commitments import (
+    MaskOpening,
+    commit_masks,
+    decode_mask_payload,
+    encode_mask_payload,
+    recommit_masks,
+    resolve_group,
+    verify_opening,
+)
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.masking import SumZeroMasks
+from repro.errors import ConfigurationError, MaskVerificationError
+
+GROUP = resolve_group("oakley-group-1")
+NUM_SLOTS = 3
+LENGTH = 4
+MODULUS_BITS = 64
+
+
+def _family(seed: bytes = b"commit-test") -> SumZeroMasks:
+    return SumZeroMasks.sample(
+        NUM_SLOTS, LENGTH, HmacDrbg(seed, personalization="family"), MODULUS_BITS
+    )
+
+
+def _commit(seed: bytes = b"commit-test"):
+    family = _family(seed)
+    commitments, openings = commit_masks(
+        GROUP, 1, family.masks, MODULUS_BITS, HmacDrbg(seed, personalization="c")
+    )
+    return family, commitments, openings
+
+
+def test_honest_commitments_validate_open_and_sum_to_zero():
+    family, commitments, openings = _commit()
+    commitments.validate_structure(
+        round_id=1, num_slots=NUM_SLOTS, vector_length=LENGTH
+    )
+    for slot, opening in enumerate(openings):
+        assert opening.mask == family.masks[slot]
+        verify_opening(commitments, slot, opening)
+        verify_opening(commitments.record_for(slot), slot, opening)
+    commitments.verify_sum_zero()
+
+
+def test_tampered_mask_fails_its_opening():
+    _, commitments, openings = _commit()
+    opening = openings[0]
+    tampered = dataclasses.replace(
+        opening, mask=(opening.mask[0] ^ 1,) + opening.mask[1:]
+    )
+    with pytest.raises(MaskVerificationError):
+        verify_opening(commitments, 0, tampered)
+    with pytest.raises(MaskVerificationError):
+        verify_opening(commitments.record_for(0), 0, tampered)
+
+
+def test_wrong_salt_or_randomizer_fails_its_opening():
+    _, commitments, openings = _commit()
+    opening = openings[0]
+    with pytest.raises(MaskVerificationError):
+        verify_opening(
+            commitments, 0, dataclasses.replace(opening, salt=b"\x00" * 32)
+        )
+    with pytest.raises(MaskVerificationError):
+        verify_opening(
+            commitments,
+            0,
+            dataclasses.replace(opening, randomizer=opening.randomizer + 1),
+        )
+
+
+def test_opening_against_the_wrong_slot_fails():
+    _, commitments, openings = _commit()
+    with pytest.raises(MaskVerificationError):
+        verify_opening(commitments, 1, openings[0])
+
+
+def test_non_sum_zero_claims_fail_structure_validation():
+    _, commitments, _ = _commit()
+    column = commitments.column_sums[0]
+    broken = dataclasses.replace(
+        commitments,
+        column_sums=((column[0] + 1,) + column[1:],)
+        + commitments.column_sums[1:],
+    )
+    with pytest.raises(MaskVerificationError):
+        broken.validate_structure()
+
+
+def test_forged_claims_pass_slot_checks_but_fail_the_homomorphic_check():
+    """The deepest property: a commitment set that is internally consistent
+    per-slot, over a family that is NOT sum-zero, must still be caught —
+    and only the homomorphic finalize check can catch it."""
+    family, honest, _ = _commit()
+    masks = [list(mask) for mask in family.masks]
+    masks[0][0] = (masks[0][0] + 538) % (1 << MODULUS_BITS)
+    corrupt = SumZeroMasks(
+        masks=tuple(tuple(m) for m in masks), modulus_bits=MODULUS_BITS
+    )
+    assert not corrupt.verify_sum_zero()
+    rng = HmacDrbg(b"forge", personalization="forge")
+    salts = [rng.generate(32) for _ in range(NUM_SLOTS)]
+    randomizers = [rng.randint(GROUP.subgroup_order) for _ in range(NUM_SLOTS)]
+    forged = _forge_commitments(GROUP, honest, corrupt.masks, salts, randomizers)
+    forged.validate_structure(round_id=1, num_slots=NUM_SLOTS)
+    for slot in range(NUM_SLOTS):
+        verify_opening(
+            forged,
+            slot,
+            MaskOpening(
+                mask=corrupt.masks[slot],
+                salt=salts[slot],
+                randomizer=randomizers[slot],
+            ),
+        )
+    with pytest.raises(MaskVerificationError):
+        forged.verify_sum_zero()
+
+
+def test_recommit_reproduces_the_exact_set():
+    family, commitments, openings = _commit()
+    rebuilt = recommit_masks(GROUP, 1, family.masks, MODULUS_BITS, openings)
+    assert rebuilt == commitments
+    assert rebuilt.root() == commitments.root()
+
+
+def test_mask_payload_round_trips():
+    _, _, openings = _commit()
+    for opening in openings:
+        assert decode_mask_payload(encode_mask_payload(opening)) == opening
+
+
+def test_empty_family_is_rejected():
+    with pytest.raises(ConfigurationError):
+        commit_masks(GROUP, 1, [], MODULUS_BITS, HmacDrbg(b"x"))

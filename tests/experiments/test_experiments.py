@@ -11,7 +11,7 @@ from repro.experiments.registry import EXPERIMENTS, run_experiment
 
 
 def test_registry_lists_all_experiments():
-    assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 19)}
+    assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 20)}
 
 
 def test_registry_unknown_id():
@@ -170,6 +170,7 @@ def test_tables_render_for_every_experiment():
         "e16": dict(num_users=3, epoch_intensities=(0.0, 0.4)),
         "e17": dict(num_users=3, tolerances=(0.05,), frames_per_stream=40),
         "e18": dict(num_users=3, rounds_per_rate=2, fault_rates=(0.0, 0.1)),
+        "e19": dict(num_users=3, rounds_per_mix=1),
     }
     for experiment_id, kwargs in small_kwargs.items():
         result = run_experiment(experiment_id, **kwargs)
@@ -254,3 +255,27 @@ def test_e18_availability_claims():
     assert faulted[4] == clean[4] == 0
     assert faulted[2] + faulted[3] == faulted[1]
     assert faulted[9] > 0  # faults actually fired
+
+
+def test_e19_byzantine_claims():
+    result = run_experiment("e19", num_users=4, rounds_per_mix=2)
+    # The headline claim: no attacker mix ever corrupts a finalized round.
+    assert result.undetected_total == 0
+    rows = {r[0]: r for r in result.rows}
+    honest = rows["honest baseline"]
+    assert honest[2] == honest[1]  # every honest round finalizes exactly
+    assert honest[6] == 0 and honest[7] == "—"
+    # A cheating blinder or aggregator can only end in a blamed abort.
+    for label in (
+        "lying blinder: non-sum-zero",
+        "tampering aggregator: corrupt",
+    ):
+        row = rows[label]
+        assert row[3] == row[1], label  # all rounds: detected aborts
+        assert row[5] == 0, label       # none finalized corrupt
+        assert row[7] != "—", label     # with an offender named
+    # A misbehaving client is named, evicted, and the rounds stay exact.
+    for label in ("equivocating client", "flooding client"):
+        row = rows[label]
+        assert row[2] == row[1], label
+        assert row[6] > 0 and "user-" in row[7], label

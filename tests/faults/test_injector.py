@@ -1,7 +1,5 @@
 """Unit tests for repro.faults: specs, plans, injector determinism."""
 
-import pytest
-
 from repro.crypto.drbg import HmacDrbg
 from repro.faults import (
     ACTION_CRASH,

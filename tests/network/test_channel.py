@@ -7,7 +7,6 @@ from repro.crypto.drbg import HmacDrbg
 from repro.errors import AuthenticationError, ProtocolError
 from repro.network.channel import (
     HandshakeOffer,
-    SecureChannel,
     checked_offer,
     establish_channel,
     fresh_keypair,

@@ -4,7 +4,7 @@ import pytest
 
 from repro.crypto.drbg import HmacDrbg
 from repro.errors import EnclaveError, SealingError
-from repro.sgx import EnclaveImage, SgxPlatform, VendorKey
+from repro.sgx import EnclaveImage, SgxPlatform
 from repro.sgx.counters import CounterStore, MonotonicCounter
 from repro.sgx.enclave import EnclaveIdentity
 from repro.sgx.sealing import SealingManager

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cli import _parse_overrides, build_parser, main
-from repro.experiments.registry import EXPERIMENTS
+from repro.experiments.registry import EXPERIMENTS, run_experiment
 
 
 def test_list_command(capsys):
@@ -38,6 +38,48 @@ def test_run_failure_reports_and_returns_nonzero(capsys):
     assert main(["run", "e9", "no_such_parameter=1"]) == 1
     err = capsys.readouterr().err
     assert "e9 failed:" in err
+
+
+def test_run_json_failure_emits_json_error_and_nonzero(capsys):
+    import json
+
+    assert main(["run", "e9", "no_such_parameter=1", "--json"]) == 1
+    captured = capsys.readouterr()
+    payload = json.loads(captured.out)
+    assert payload["experiment"] == "e9"
+    assert payload["error"]
+    assert "e9 failed:" in captured.err
+
+
+def test_run_seed_flag_threads_to_runner(capsys):
+    assert main(["run", "e9", "budgets=(1,)", "--seed", "alternate"]) == 0
+    out = capsys.readouterr().out
+    assert "covert-channel capacity" in out
+
+
+def test_run_experiment_seed_lands_identically_via_kwargs_or_flag():
+    # The --seed flag routes through overrides; both spellings must agree.
+    explicit = run_experiment("e9", **{"seed": b"alternate", "budgets": (1,)})
+    flagged = run_experiment("e9", seed=b"alternate", budgets=(1,))
+    assert explicit.table().rows == flagged.table().rows
+
+
+def test_run_experiment_threads_seed_only_when_accepted(monkeypatch):
+    import sys
+    import types
+
+    captured = {}
+    accepts = types.ModuleType("fake_exp_accepts")
+    accepts.run = lambda seed=b"default": captured.setdefault("seed", seed)
+    rejects = types.ModuleType("fake_exp_rejects")
+    rejects.run = lambda: captured.setdefault("no_seed", True)
+    monkeypatch.setitem(sys.modules, "fake_exp_accepts", accepts)
+    monkeypatch.setitem(sys.modules, "fake_exp_rejects", rejects)
+    monkeypatch.setitem(EXPERIMENTS, "e-acc", ("fake", "fake_exp_accepts"))
+    monkeypatch.setitem(EXPERIMENTS, "e-rej", ("fake", "fake_exp_rejects"))
+    run_experiment("e-acc", seed=b"alternate")
+    run_experiment("e-rej", seed=b"alternate")  # must not TypeError
+    assert captured == {"seed": b"alternate", "no_seed": True}
 
 
 def test_demo_command(capsys):
