@@ -120,3 +120,45 @@ def test_bench_secagg_full_round(benchmark):
         return server.aggregate(responses)
 
     benchmark.pedantic(full_round, rounds=3, iterations=1, warmup_rounds=0)
+
+
+def test_bench_kernel_table(benchmark):
+    """Regenerates the EXPERIMENTS.md kernel-microbenchmark table.
+
+    Runs every vectorized kernel against its frozen scalar baseline
+    (``repro.perf.reference``) at 256/4096/65536 elements and prints the
+    scalar-vs-vectorized ops/s table (visible with ``-s``; also attached
+    to ``benchmark.extra_info``).  ``repro bench`` measures the same
+    metrics with longer timings for the committed BENCH_*.json snapshot.
+    """
+    from repro.perf.bench import _MICRO_BENCHES
+
+    sizes = (256, 4096, 65536)
+    min_time = 0.05  # short timings: the table's shape, not its precision
+
+    def run_all():
+        rows = []
+        for name, bench_fn in _MICRO_BENCHES.items():
+            for length in sizes:
+                fast, slow = bench_fn(length, min_time)
+                rows.append(
+                    (
+                        f"{name}/n{length}",
+                        fast["ops_per_sec"],
+                        slow["ops_per_sec"],
+                        fast["ops_per_sec"] / slow["ops_per_sec"],
+                    )
+                )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1, warmup_rounds=0)
+    lines = [
+        "| kernel | vectorized ops/s | scalar ops/s | speedup |",
+        "|---|---|---|---|",
+    ]
+    for key, fast_ops, slow_ops, speedup in rows:
+        lines.append(f"| {key} | {fast_ops:.1f} | {slow_ops:.1f} | {speedup:.1f}x |")
+    table = "\n".join(lines)
+    benchmark.extra_info["table"] = table
+    print()
+    print(table)

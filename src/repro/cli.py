@@ -12,6 +12,16 @@ Experiment parameter overrides are passed as ``key=value`` pairs and parsed
 with :func:`ast.literal_eval`, e.g.::
 
     python -m repro run e4 num_users=12 "magnitudes=(538.0,)"
+
+The benchmark-regression harness lives under ``bench``::
+
+    python -m repro bench                    # full run, compare vs newest BENCH_*.json
+    python -m repro bench --quick            # CI smoke: small sizes, short timings
+    python -m repro bench --json             # machine-readable comparison
+    python -m repro bench --threshold 0.1    # fail if any metric loses >10%
+
+``bench`` exits 1 when any tracked metric regresses beyond the threshold
+against the baseline snapshot.
 """
 
 from __future__ import annotations
@@ -20,6 +30,7 @@ import argparse
 import ast
 import json
 import sys
+from pathlib import Path
 
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 
@@ -104,6 +115,22 @@ def _cmd_demo(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf import bench
+
+    if not 0.0 < args.threshold < 1.0:
+        print("--threshold must be in (0, 1)", file=sys.stderr)
+        return 2
+    return bench.main(
+        out_dir=Path(args.out_dir),
+        quick=args.quick,
+        baseline=Path(args.baseline) if args.baseline else None,
+        threshold=args.threshold,
+        as_json=args.json,
+        write=not args.no_write,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -132,6 +159,33 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("demo", help="run the quickstart narrative").set_defaults(
         func=_cmd_demo
     )
+
+    bench_parser = sub.add_parser(
+        "bench", help="run kernel/round benchmarks and compare to the baseline"
+    )
+    bench_parser.add_argument(
+        "--quick", action="store_true", help="small sizes and short timings (CI smoke)"
+    )
+    bench_parser.add_argument(
+        "--out-dir", default=".", help="directory for BENCH_<date>.json (default: cwd)"
+    )
+    bench_parser.add_argument(
+        "--baseline",
+        help="explicit baseline snapshot (default: newest BENCH_*.json in --out-dir)",
+    )
+    bench_parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="fractional regression that fails the run (default 0.25)",
+    )
+    bench_parser.add_argument(
+        "--json", action="store_true", help="machine-readable comparison output"
+    )
+    bench_parser.add_argument(
+        "--no-write", action="store_true", help="measure and compare without writing"
+    )
+    bench_parser.set_defaults(func=_cmd_bench)
     return parser
 
 

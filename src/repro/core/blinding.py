@@ -23,6 +23,7 @@ from repro.crypto.fixedpoint import FixedPointCodec
 from repro.crypto.hashing import hash_items
 from repro.crypto.masking import apply_mask
 from repro.errors import CryptoError, MaskVerificationError
+from repro.perf import kernels
 
 #: How many past mask digests the reuse check remembers (FIFO-capped so a
 #: device Glimmer that lives for years keeps O(1) memory, while still
@@ -45,8 +46,7 @@ class BlindingComponent:
 
     def _mask_digest(self, mask: Sequence[int]) -> bytes:
         return hash_items(
-            "blinding-mask-reuse",
-            [b"".join(int(v).to_bytes(8, "big") for v in mask)],
+            "blinding-mask-reuse", [kernels.be_words_to_bytes(mask)]
         )
 
     def install_mask(

@@ -14,6 +14,7 @@ from typing import Sequence
 from repro.crypto.dh import DHGroup, OAKLEY_GROUP_1, TEST_GROUP
 from repro.crypto.schnorr import SchnorrPublicKey
 from repro.errors import ConfigurationError
+from repro.perf import kernels
 
 _GROUPS = {group.name: group for group in (OAKLEY_GROUP_1, TEST_GROUP)}
 
@@ -35,10 +36,8 @@ def decode_float_vector(blob: bytes) -> list[float]:
 
 def encode_ring_vector(values: Sequence[int]) -> bytes:
     """Unsigned 64-bit ring elements, big-endian, length-prefixed."""
-    out = bytearray(len(values).to_bytes(4, "big"))
-    for value in values:
-        out += (int(value) % (1 << 64)).to_bytes(8, "big")
-    return bytes(out)
+    words = kernels.as_ring(values)  # reduces out-of-range values mod 2^64
+    return len(words).to_bytes(4, "big") + kernels.be_words_to_bytes(words)
 
 
 def decode_ring_vector(blob: bytes) -> list[int]:
@@ -48,9 +47,7 @@ def decode_ring_vector(blob: bytes) -> list[int]:
     expected = 4 + 8 * count
     if len(blob) != expected:
         raise ConfigurationError("ring vector blob has wrong length")
-    return [
-        int.from_bytes(blob[4 + 8 * i : 12 + 8 * i], "big") for i in range(count)
-    ]
+    return list(kernels.bytes_to_be_words(blob[4:]))
 
 
 def encode_public_key(key: SchnorrPublicKey) -> bytes:

@@ -64,10 +64,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 from repro.crypto.dh import DHGroup, OAKLEY_GROUP_1, TEST_GROUP
 from repro.crypto.drbg import HmacDrbg
 from repro.crypto.hashing import hash_bytes, hash_items, hash_to_int
 from repro.errors import ConfigurationError, MaskVerificationError
+from repro.perf import kernels
 
 LIMB_BITS = 16
 SALT_SIZE = 32
@@ -116,13 +119,18 @@ def pedersen_generators(group: DHGroup) -> tuple[int, int]:
 def hash_commitment(
     round_id: int, slot: int, mask: Sequence[int], salt: bytes
 ) -> bytes:
-    """The binding per-slot commitment ``HC_j``."""
+    """The binding per-slot commitment ``HC_j``.
+
+    The mask words are serialized as one contiguous big-endian buffer
+    (:func:`repro.perf.kernels.be_words_to_bytes`), so hashing makes a
+    single pass instead of joining ``length`` 8-byte fragments.
+    """
     return hash_items(
         "mask-slot-commitment",
         [
             round_id.to_bytes(8, "big"),
             slot.to_bytes(4, "big"),
-            b"".join(int(v).to_bytes(8, "big") for v in mask),
+            kernels.be_words_to_bytes(mask),
             salt,
         ],
     )
@@ -267,21 +275,10 @@ class MaskCommitmentSet:
             raise MaskVerificationError("commitment set has the wrong slot count")
         if len(self.column_sums) != self.vector_length:
             raise MaskVerificationError("commitment set has the wrong column count")
-        modulus = 1 << self.modulus_bits
         for i, column in enumerate(self.column_sums):
             if len(column) != limbs:
                 raise MaskVerificationError(f"component {i} has the wrong limb count")
-            total = 0
-            for l, claimed in enumerate(column):
-                if not 0 <= int(claimed) <= column_cap:
-                    raise MaskVerificationError(
-                        f"claimed column sum out of range at component {i} limb {l}"
-                    )
-                total += int(claimed) << (LIMB_BITS * l)
-            if total % modulus != 0:
-                raise MaskVerificationError(
-                    f"claimed column sums violate sum-zero at component {i}"
-                )
+        self._audit_column_sums(limbs, column_cap)
         if not 0 <= self.randomizer_sum < group.subgroup_order:
             raise MaskVerificationError("randomizer sum out of range")
         for slot, point in enumerate(self.points):
@@ -294,6 +291,43 @@ class MaskCommitmentSet:
                 raise MaskVerificationError(
                     f"slot {slot} hash commitment is malformed"
                 )
+
+    def _audit_column_sums(self, limbs: int, column_cap: int) -> None:
+        """Vectorized sum-zero audit over the claimed limb-column sums.
+
+        Range-checks every ``T[i][l]`` and verifies per component
+        ``Σ_l 2^{16l}·T[i][l] ≡ 0 (mod 2^modulus_bits)``.  The weighted
+        totals are accumulated in ``uint64`` — wraparound is exact modulo
+        ``2^64``, and ``2^modulus_bits`` divides ``2^64``, so the reduced
+        result matches the arbitrary-precision scalar check bit for bit.
+        Claims numpy cannot even represent (negative, or ≥ 2^64) are by
+        construction out of range, so the fallback rejects them directly.
+        """
+        try:
+            claimed = np.asarray(self.column_sums, dtype=np.uint64)
+        except (OverflowError, TypeError, ValueError):
+            for i, column in enumerate(self.column_sums):
+                for l, value in enumerate(column):
+                    if not 0 <= int(value) <= column_cap:
+                        raise MaskVerificationError(
+                            "claimed column sum out of range at "
+                            f"component {i} limb {l}"
+                        )
+            raise MaskVerificationError("claimed column sums are malformed")
+        in_range = claimed <= np.uint64(column_cap)
+        if not in_range.all():
+            i, l = (int(v) for v in np.argwhere(~in_range)[0])
+            raise MaskVerificationError(
+                f"claimed column sum out of range at component {i} limb {l}"
+            )
+        shifts = (np.uint64(LIMB_BITS) * np.arange(limbs, dtype=np.uint64))
+        totals = (claimed << shifts).sum(axis=1, dtype=np.uint64)
+        violations = kernels.ring_reduce(totals, self.modulus_bits)
+        if violations.any():
+            i = int(np.flatnonzero(violations)[0])
+            raise MaskVerificationError(
+                f"claimed column sums violate sum-zero at component {i}"
+            )
 
     def verify_sum_zero(self) -> None:
         """The homomorphic check: ``Π C_j ≡ h^{Σ w·T} · u^R`` (finalize)."""
@@ -473,13 +507,22 @@ def _commit_with(
         hash_commitment(round_id, slot, masks[slot], salts[slot])
         for slot in range(num_slots)
     )
-    columns: list[tuple[int, ...]] = []
-    for i in range(vector_length):
-        sums = [0] * limbs
-        for mask in masks:
-            for l, limb in enumerate(_word_limbs(int(mask[i]), limbs)):
-                sums[l] += limb
-        columns.append(tuple(sums))
+    # Limb-column sums in one pass per limb: shift/mask the whole
+    # slots × length matrix and sum down the slot axis.  Each column sum
+    # is < num_slots · 2^16, far inside uint64, so the accumulation is
+    # exact — bit-identical to the per-word scalar loop.
+    matrix = kernels.as_ring_rows(masks)
+    limb_mask = np.uint64((1 << LIMB_BITS) - 1)
+    limb_sums = [
+        ((matrix >> np.uint64(LIMB_BITS * l)) & limb_mask).sum(
+            axis=0, dtype=np.uint64
+        )
+        for l in range(limbs)
+    ]
+    columns = [
+        tuple(int(limb_sums[l][i]) for l in range(limbs))
+        for i in range(vector_length)
+    ]
     partial = MaskCommitmentSet(
         round_id=round_id,
         num_slots=num_slots,
@@ -537,7 +580,7 @@ def encode_mask_payload(opening: MaskOpening) -> bytes:
     return b"".join(
         [
             len(opening.mask).to_bytes(4, "big"),
-            b"".join(int(v).to_bytes(8, "big") for v in opening.mask),
+            kernels.be_words_to_bytes(opening.mask),
             opening.salt,
             len(r_bytes).to_bytes(2, "big"),
             r_bytes,
@@ -553,10 +596,7 @@ def decode_mask_payload(payload: bytes) -> MaskOpening:
     need = 8 * length + SALT_SIZE + 2
     if len(payload) < offset + need:
         raise MaskVerificationError("mask payload truncated")
-    mask = tuple(
-        int.from_bytes(payload[offset + 8 * i : offset + 8 * (i + 1)], "big")
-        for i in range(length)
-    )
+    mask = kernels.bytes_to_be_words(payload[offset : offset + 8 * length])
     offset += 8 * length
     salt = payload[offset : offset + SALT_SIZE]
     offset += SALT_SIZE

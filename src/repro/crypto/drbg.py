@@ -12,6 +12,8 @@ import hashlib
 import hmac
 import math
 
+import numpy as np
+
 _DIGEST = hashlib.sha256
 _OUTLEN = 32
 
@@ -64,11 +66,60 @@ class HmacDrbg:
         self.reseed_counter += 1
         return bytes(out[:num_bytes])
 
+    def generate_block(self, num_bytes: int) -> bytes:
+        """Bulk form of :meth:`generate`: same byte stream, one keyed pass.
+
+        Emits exactly the bytes :meth:`generate` would for the same state
+        (pinned by golden-value tests), but reuses a single keyed HMAC
+        object across the ``num_bytes / 32`` output blocks instead of
+        re-running the key schedule per block — the difference between
+        per-element and memory-bandwidth mask expansion.
+        """
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        keyed = hmac.new(self._key, digestmod=_DIGEST)
+        value = self._value
+        blocks: list[bytes] = []
+        produced = 0
+        while produced < num_bytes:
+            block = keyed.copy()
+            block.update(value)
+            value = block.digest()
+            blocks.append(value)
+            produced += _OUTLEN
+        self._value = value
+        self._update()
+        self.reseed_counter += 1
+        return b"".join(blocks)[:num_bytes]
+
+    def uint64_vector(self, length: int) -> np.ndarray:
+        """``length`` uniform 64-bit ring words as a ``np.uint64`` array.
+
+        One HMAC stream pass: the words are the big-endian parse of
+        ``generate_block(8 * length)``, so a scalar caller doing
+        ``int.from_bytes`` over the same stream reproduces them exactly
+        (the parity contract the mask kernels rely on).
+        """
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        data = self.generate_block(8 * length)
+        return np.frombuffer(data, dtype=">u8").astype(np.uint64)
+
     def randint(self, upper: int) -> int:
-        """Uniform integer in ``[0, upper)`` via rejection sampling."""
+        """Uniform integer in ``[0, upper)`` via rejection sampling.
+
+        ``nbits`` is the bit length of ``upper - 1``: for a power-of-two
+        ``upper`` the masked candidate is always in range, so exactly one
+        ``generate`` call is consumed — no rejection loop (tested as the
+        no-rejection fast path; :meth:`uniform` and 64-bit ring sampling
+        depend on it).  For any other ``upper`` the bit lengths of
+        ``upper`` and ``upper - 1`` coincide, the candidate is rejected
+        with probability below one half, and the loop retries — unbiased
+        by construction, identical stream to the historical behavior.
+        """
         if upper <= 0:
             raise ValueError("upper must be positive")
-        nbits = upper.bit_length()
+        nbits = (upper - 1).bit_length()
         nbytes = (nbits + 7) // 8
         mask = (1 << nbits) - 1
         while True:
@@ -83,7 +134,13 @@ class HmacDrbg:
         return lower + self.randint(upper - lower)
 
     def uniform(self) -> float:
-        """Uniform float in ``[0, 1)`` with 53 bits of precision."""
+        """Uniform float in ``[0, 1)`` with 53 bits of precision.
+
+        ``2^53`` is a power of two, so :meth:`randint` takes its
+        no-rejection fast path: every call consumes exactly one 7-byte
+        generate, and the result is an exact dyadic rational ``k / 2^53``
+        — there is no modulo bias to correct for.
+        """
         return self.randint(1 << 53) / float(1 << 53)
 
     def gauss(self, mean: float = 0.0, sigma: float = 1.0) -> float:

@@ -20,10 +20,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 from repro.crypto.cipher import AuthenticatedCipher, SealedBox
 from repro.crypto.drbg import HmacDrbg
 from repro.crypto.fixedpoint import FixedPointCodec
 from repro.errors import ConfigurationError, CryptoError
+from repro.perf import kernels
 
 
 @dataclass(frozen=True)
@@ -42,20 +45,36 @@ class SumZeroMasks:
         The first N-1 masks are uniform; the last is the ring negation of
         their sum, which makes the family jointly uniform subject to the
         sum-zero constraint.
+
+        For the 64-bit ring each mask is one bulk DRBG expansion
+        (:meth:`~repro.crypto.drbg.HmacDrbg.uint64_vector`) and the
+        running sum is numpy ring arithmetic — bit-exact against the
+        scalar reference (:func:`repro.perf.reference.sample_sum_zero_scalar`).
+        Narrower rings keep the per-element rejection sampler, since a
+        masked 64-bit word is not uniform mod a non-power-of-two slice.
         """
         if num_parties < 1:
             raise ConfigurationError("need at least one party")
         if length < 1:
             raise ConfigurationError("mask length must be positive")
+        if modulus_bits == 64:
+            running = np.zeros(length, dtype=np.uint64)
+            masks: list[tuple[int, ...]] = []
+            for _ in range(num_parties - 1):
+                row = rng.uint64_vector(length)
+                running += row
+                masks.append(tuple(row.tolist()))
+            masks.append(tuple(kernels.ring_neg(running).tolist()))
+            return cls(masks=tuple(masks), modulus_bits=modulus_bits)
         modulus = 1 << modulus_bits
-        masks: list[tuple[int, ...]] = []
-        running = [0] * length
+        masks = []
+        running_list = [0] * length
         for _ in range(num_parties - 1):
             mask = tuple(rng.randint(modulus) for _ in range(length))
             for i, value in enumerate(mask):
-                running[i] = (running[i] + value) % modulus
+                running_list[i] = (running_list[i] + value) % modulus
             masks.append(mask)
-        masks.append(tuple((-total) % modulus for total in running))
+        masks.append(tuple((-total) % modulus for total in running_list))
         return cls(masks=tuple(masks), modulus_bits=modulus_bits)
 
     def mask_for(self, party_index: int) -> tuple[int, ...]:
@@ -63,13 +82,8 @@ class SumZeroMasks:
 
     def verify_sum_zero(self) -> bool:
         """Sanity invariant used by tests and the blinding service's self-check."""
-        modulus = 1 << self.modulus_bits
-        length = len(self.masks[0])
-        totals = [0] * length
-        for mask in self.masks:
-            for i, value in enumerate(mask):
-                totals[i] = (totals[i] + value) % modulus
-        return all(total == 0 for total in totals)
+        totals = kernels.ring_sum_rows(self.masks, self.modulus_bits)
+        return not totals.any()
 
 
 def apply_mask(
@@ -78,8 +92,7 @@ def apply_mask(
     """Blind an encoded contribution: ``y_i = x_i + p_i`` in the ring."""
     if len(encoded) != len(mask):
         raise ConfigurationError("mask length does not match vector length")
-    modulus = 1 << modulus_bits
-    return [(x + p) % modulus for x, p in zip(encoded, mask)]
+    return kernels.ring_add(encoded, mask, modulus_bits).tolist()
 
 
 def remove_mask(
@@ -88,8 +101,7 @@ def remove_mask(
     """Inverse of :func:`apply_mask` (used for dropout repair and tests)."""
     if len(blinded) != len(mask):
         raise ConfigurationError("mask length does not match vector length")
-    modulus = 1 << modulus_bits
-    return [(y - p) % modulus for y, p in zip(blinded, mask)]
+    return kernels.ring_sub(blinded, mask, modulus_bits).tolist()
 
 
 @dataclass(frozen=True)
@@ -169,7 +181,7 @@ class BlindingService:
         if masks is None:
             raise CryptoError(f"round {round_id} not opened")
         mask = masks.mask_for(party_index)
-        payload = b"".join(value.to_bytes(8, "big") for value in mask)
+        payload = kernels.be_words_to_bytes(mask)
         cipher = AuthenticatedCipher(client_key)
         nonce = self._rng.generate(16)
         associated = round_id.to_bytes(8, "big") + party_index.to_bytes(4, "big")
@@ -189,9 +201,7 @@ class BlindingService:
         payload = cipher.decrypt(encrypted.box, associated_data=associated)
         if len(payload) % 8 != 0:
             raise CryptoError("mask payload has invalid length")
-        return tuple(
-            int.from_bytes(payload[i : i + 8], "big") for i in range(0, len(payload), 8)
-        )
+        return kernels.bytes_to_be_words(payload)
 
     def mask_for(self, round_id: int, party_index: int) -> tuple[int, ...]:
         """The raw mask for one party in one round (provisioning-side view)."""

@@ -25,6 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+import numpy as np
+
 from repro.crypto.cipher import AuthenticatedCipher, SealedBox
 from repro.crypto.dh import DHGroup, DHKeyPair, OAKLEY_GROUP_1
 from repro.crypto.drbg import HmacDrbg
@@ -32,14 +34,25 @@ from repro.crypto.fixedpoint import FixedPointCodec
 from repro.crypto.kdf import hkdf
 from repro.crypto.shamir import ShamirShare, recover_secret, split_secret
 from repro.errors import CryptoError, ProtocolError
+from repro.perf import kernels
 
 _SEED_SIZE = 16
 
 
-def _expand_mask(seed: bytes, label: str, length: int, modulus: int) -> list[int]:
-    """PRG-expand a seed into a ring vector."""
+def _expand_mask(seed: bytes, label: str, length: int, modulus: int) -> np.ndarray:
+    """PRG-expand a seed into a ``np.uint64`` ring vector.
+
+    The 64-bit ring (every codec this library ships) takes the bulk DRBG
+    path: one HMAC stream pass parsed as big-endian words.  Other moduli
+    keep per-element rejection sampling, since truncating a 64-bit word
+    is only uniform modulo powers of two.
+    """
     rng = HmacDrbg(seed, personalization="secagg-mask:" + label)
-    return [rng.randint(modulus) for _ in range(length)]
+    if modulus == 1 << 64:
+        return rng.uint64_vector(length)
+    return np.asarray(
+        [rng.randint(modulus) for _ in range(length)], dtype=np.uint64
+    )
 
 
 def _keypair_from_seed(seed: bytes, group: DHGroup) -> DHKeyPair:
@@ -195,21 +208,21 @@ class SecureAggregationClient:
         if self._sent_masked_input:
             raise ProtocolError("masked_input already sent")
         modulus = self._codec.modulus()
+        modulus_bits = self._codec.modulus_bits
         length = len(encoded)
-        result = [int(v) % modulus for v in encoded]
-        selfmask = _expand_mask(self._selfmask_seed, "self", length, modulus)
-        for i, value in enumerate(selfmask):
-            result[i] = (result[i] + value) % modulus
+        result = kernels.as_ring(encoded, modulus_bits)
+        result = result + _expand_mask(self._selfmask_seed, "self", length, modulus)
         for peer_id, peer in self._roster.items():
             if peer_id == self.client_id:
                 continue
             seed = self._pairwise_key(peer, "pairwise-mask")
             mask = _expand_mask(seed, "pair", length, modulus)
-            sign = 1 if self.client_id < peer_id else -1
-            for i, value in enumerate(mask):
-                result[i] = (result[i] + sign * value) % modulus
+            if self.client_id < peer_id:
+                result = result + mask
+            else:
+                result = result - mask
         self._sent_masked_input = True
-        return result
+        return kernels.ring_reduce(result, modulus_bits).tolist()
 
     # ---------------------------------------------------------------- round 3
 
@@ -262,7 +275,7 @@ class SecureAggregationServer:
         self._group = group
         self._roster: dict[int, KeyBundle] = {}
         self._threshold = 0
-        self._masked: dict[int, list[int]] = {}
+        self._masked: dict[int, np.ndarray] = {}
         self._length = 0
 
     @property
@@ -300,7 +313,11 @@ class SecureAggregationServer:
             self._length = len(masked)
         elif len(masked) != self._length:
             raise ProtocolError("masked input length mismatch")
-        self._masked[client_id] = [int(v) for v in masked]
+        # Ingest into a ring array once, at submission time: the round-3
+        # unmask is then pure column-wise numpy over a contiguous matrix.
+        self._masked[client_id] = kernels.as_ring(
+            masked, self._codec.modulus_bits
+        )
 
     def survivor_sets(self) -> tuple[set[int], set[int]]:
         """Who submitted (survivors) vs. who dropped after key sharing."""
@@ -321,17 +338,15 @@ class SecureAggregationServer:
         if len(survivors) < self._threshold:
             raise ProtocolError("too few survivors to meet the recovery threshold")
         modulus = self._codec.modulus()
-        total = [0] * self._length
-        for vector in self._masked.values():
-            for i, value in enumerate(vector):
-                total[i] = (total[i] + value) % modulus
+        modulus_bits = self._codec.modulus_bits
+        total = kernels.ring_sum_rows(
+            np.stack(list(self._masked.values())), modulus_bits
+        )
 
         # Remove survivors' self-masks.
         for peer_id in sorted(survivors):
             seed = self._reconstruct(responses, peer_id, minimum=self._threshold)
-            selfmask = _expand_mask(seed, "self", self._length, modulus)
-            for i, value in enumerate(selfmask):
-                total[i] = (total[i] - value) % modulus
+            total = total - _expand_mask(seed, "self", self._length, modulus)
 
         # Cancel dangling pairwise masks between dropped clients and survivors.
         for dropped_id in sorted(dropped):
@@ -344,10 +359,11 @@ class SecureAggregationServer:
                 pair_seed = hkdf(shared, f"secagg:pairwise-mask:{low}:{high}")
                 mask = _expand_mask(pair_seed, "pair", self._length, modulus)
                 # The survivor applied sign(survivor, dropped); subtract that.
-                sign = 1 if survivor_id < dropped_id else -1
-                for i, value in enumerate(mask):
-                    total[i] = (total[i] - sign * value) % modulus
-        return total
+                if survivor_id < dropped_id:
+                    total = total - mask
+                else:
+                    total = total + mask
+        return kernels.ring_reduce(total, modulus_bits).tolist()
 
     def aggregate(
         self, responses: Mapping[int, Mapping[int, ShamirShare]]
@@ -384,7 +400,15 @@ def _encode_shares(seed_share: ShamirShare, mask_share: ShamirShare) -> bytes:
 def _decode_shares(payload: bytes) -> tuple[ShamirShare, ShamirShare]:
     if len(payload) != 160:
         raise CryptoError("malformed share payload")
-    values = [int.from_bytes(payload[i : i + 40], "big") for i in range(0, 160, 40)]
+    # Four 320-bit big-endian values, parsed as a 4x5 matrix of 64-bit
+    # limbs in one frombuffer pass and recombined most-significant first.
+    limbs = np.frombuffer(payload, dtype=">u8").reshape(4, 5)
+    values = []
+    for row in limbs.tolist():
+        value = 0
+        for limb in row:
+            value = (value << 64) | limb
+        values.append(value)
     return (
         ShamirShare(x=values[0], y=values[1]),
         ShamirShare(x=values[2], y=values[3]),

@@ -1,0 +1,51 @@
+"""Vectorized kernel layer and the benchmark-regression harness.
+
+The §3 secure-aggregation pipeline is arithmetic over ``Z_{2^64}`` vectors
+plus bulk pseudorandomness — exactly the shapes numpy executes at memory
+bandwidth while pure Python pays interpreter overhead per element.  This
+package concentrates the fast paths:
+
+* :mod:`repro.perf.kernels` — ring arithmetic and big-endian word
+  serialization as ``np.uint64`` array operations, bit-exact against the
+  scalar definitions;
+* :mod:`repro.perf.reference` — the scalar definitions themselves, kept
+  importable so parity tests and benchmarks can always compare the two
+  implementations on the same inputs;
+* :mod:`repro.perf.bench` — the ``repro bench`` harness: runs micro and
+  experiment benchmarks, emits ``BENCH_<date>.json`` snapshots, and
+  compares against a previous snapshot with a regression threshold.
+
+Determinism contract
+--------------------
+
+Every fast path must produce *bit-identical* results to its scalar
+reference under the same DRBG seed.  The chaos and Byzantine suites rely
+on exact same-seed replay; a kernel that is "close enough" in floating
+point or consumes the DRBG stream differently is a correctness bug here,
+not an optimization.  ``tests/perf/test_parity.py`` enforces the contract
+with seeded sweeps over degenerate and large lengths.
+"""
+
+from repro.perf.kernels import (
+    as_ring,
+    as_ring_rows,
+    be_words_to_bytes,
+    bytes_to_be_words,
+    ring_add,
+    ring_neg,
+    ring_sub,
+    ring_sum_rows,
+    ring_words,
+)
+
+__all__ = [
+    "as_ring",
+    "as_ring_rows",
+    "be_words_to_bytes",
+    "bytes_to_be_words",
+    "ring_add",
+    "ring_neg",
+    "ring_sub",
+    "ring_sum_rows",
+    "ring_words",
+]

@@ -1,0 +1,431 @@
+"""Microbenchmarks and the persistent benchmark-regression harness.
+
+``repro bench`` measures the vectorized kernels against the pre-kernel
+scalar implementations (:mod:`repro.perf.reference`), times a few
+end-to-end experiment rounds, and writes a ``BENCH_<date>.json`` snapshot.
+When a previous snapshot exists, the harness compares against it and exits
+non-zero if any tracked metric regressed beyond the threshold.
+
+Machine-to-machine variance is normalized away with a *calibration score*:
+a fixed pure-Python + hashlib workload timed alongside the benchmarks.
+Comparisons use ``ops_per_sec / calibration_ops_per_sec``, so a snapshot
+from a fast laptop and one from a throttled CI runner remain comparable —
+the ratio only moves when the *code* gets slower relative to the machine.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import hashlib
+import json
+import math
+import time
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.fixedpoint import FixedPointCodec
+from repro.crypto.masking import SumZeroMasks
+from repro.perf import kernels, reference
+
+SCHEMA_VERSION = 1
+
+#: Tracked metric → regression comparison applies to its normalized score.
+DEFAULT_THRESHOLD = 0.25
+
+_FULL_SIZES = (256, 4096, 65536)
+_QUICK_SIZES = (256, 4096)
+_NUM_PARTIES = 4
+_SUM_ROWS = 8
+
+
+# ------------------------------------------------------------------ timing
+
+
+def _timeit(fn: Callable[[], object], min_time: float = 0.2, batches: int = 5) -> dict:
+    """Time ``fn`` over several batches and keep the *fastest* per-call time.
+
+    Best-of-batches (the ``timeit`` convention) is robust where averaging
+    is not: scheduler preemption and turbo throttling only ever make a
+    batch slower, so the minimum tracks the code's actual cost and keeps
+    cross-snapshot ratios stable enough for a regression threshold.
+    """
+    fn()  # warm-up: imports, allocator, first-call caches
+    target = min_time / batches
+    reps = 1
+    while True:
+        start = time.perf_counter()
+        for _ in range(reps):
+            fn()
+        elapsed = time.perf_counter() - start
+        if elapsed >= target or reps >= 1 << 16:
+            break
+        scale = target / max(elapsed, 1e-9)
+        reps = min(max(reps * 2, int(reps * scale) + 1), 1 << 16)
+    best = elapsed / reps
+    for _ in range(batches - 1):
+        start = time.perf_counter()
+        for _ in range(reps):
+            fn()
+        best = min(best, (time.perf_counter() - start) / reps)
+    return {
+        "ops_per_sec": 1.0 / best if best > 0 else math.inf,
+        "wall_ms": best * 1000.0,
+        "reps": reps,
+    }
+
+
+def calibration_score(min_time: float = 0.2) -> float:
+    """Ops/s of a fixed pure-Python + hashlib workload (machine yardstick)."""
+
+    def op() -> None:
+        digest = hashlib.sha256()
+        acc = 1
+        for _ in range(64):
+            digest.update(b"repro-bench-calibration")
+            acc = (acc * 1103515245 + 12345) % (1 << 31)
+        int.from_bytes(digest.digest(), "big")
+
+    return _timeit(op, min_time=min_time)["ops_per_sec"]
+
+
+# ------------------------------------------------------------- micro benches
+
+
+def _bench_mask_sampling(length: int, min_time: float) -> tuple[dict, dict]:
+    rng = HmacDrbg(b"bench-masks")
+
+    def vectorized() -> None:
+        SumZeroMasks.sample(_NUM_PARTIES, length, rng.fork("v"))
+
+    def legacy() -> None:
+        reference.sample_sum_zero_legacy(_NUM_PARTIES, length, rng.fork("s"))
+
+    return _timeit(vectorized, min_time), _timeit(legacy, min_time)
+
+
+def _bench_blinded_sum(length: int, min_time: float) -> tuple[dict, dict]:
+    rng = HmacDrbg(b"bench-sums")
+    rows = [rng.uint64_vector(length) for _ in range(_SUM_ROWS)]
+    matrix = np.stack(rows)
+    lists = [row.tolist() for row in rows]
+
+    def vectorized() -> None:
+        kernels.ring_sum_rows(matrix)
+
+    def legacy() -> None:
+        reference.sum_vectors_legacy(lists)
+
+    return _timeit(vectorized, min_time), _timeit(legacy, min_time)
+
+
+def _bench_drbg_expand(length: int, min_time: float) -> tuple[dict, dict]:
+    rng = HmacDrbg(b"bench-drbg")
+
+    def vectorized() -> None:
+        rng.fork("v").uint64_vector(length)
+
+    def legacy() -> None:
+        reference.uint64_vector_scalar(rng.fork("s"), length)
+
+    return _timeit(vectorized, min_time), _timeit(legacy, min_time)
+
+
+def _bench_codec_encode(length: int, min_time: float) -> tuple[dict, dict]:
+    codec = FixedPointCodec()
+    values = [math.sin(i / 7.0) for i in range(length)]
+
+    def vectorized() -> None:
+        codec.encode(values)
+
+    def legacy() -> None:
+        reference.encode_scalar(codec, values)
+
+    return _timeit(vectorized, min_time), _timeit(legacy, min_time)
+
+
+def _bench_codec_decode(length: int, min_time: float) -> tuple[dict, dict]:
+    codec = FixedPointCodec()
+    encoded = codec.encode([math.sin(i / 7.0) for i in range(length)])
+
+    def vectorized() -> None:
+        codec.decode(encoded)
+
+    def legacy() -> None:
+        reference.decode_scalar(codec, encoded)
+
+    return _timeit(vectorized, min_time), _timeit(legacy, min_time)
+
+
+def _bench_ring_ingest(length: int, min_time: float) -> tuple[dict, dict]:
+    """The wire-boundary conversion the service pays once per submission."""
+    rng = HmacDrbg(b"bench-ingest")
+    words = rng.uint64_vector(length).tolist()
+
+    def vectorized() -> None:
+        kernels.as_ring(words)
+
+    def legacy() -> None:
+        [int(v) % (1 << 64) for v in words]
+
+    return _timeit(vectorized, min_time), _timeit(legacy, min_time)
+
+
+def _bench_serialization(length: int, min_time: float) -> tuple[dict, dict]:
+    rng = HmacDrbg(b"bench-serial")
+    words = rng.uint64_vector(length).tolist()
+    payload = kernels.be_words_to_bytes(words)
+
+    def vectorized() -> None:
+        kernels.bytes_to_be_words(kernels.be_words_to_bytes(words))
+
+    def legacy() -> None:
+        reference.bytes_to_words_scalar(reference.words_to_bytes_scalar(words))
+
+    assert kernels.bytes_to_be_words(payload) == tuple(words)
+    return _timeit(vectorized, min_time), _timeit(legacy, min_time)
+
+
+_MICRO_BENCHES: dict[str, Callable[[int, float], tuple[dict, dict]]] = {
+    "mask_sampling": _bench_mask_sampling,
+    "blinded_sum": _bench_blinded_sum,
+    "drbg_expand": _bench_drbg_expand,
+    "codec_encode": _bench_codec_encode,
+    "codec_decode": _bench_codec_decode,
+    "ring_ingest": _bench_ring_ingest,
+    "serialization": _bench_serialization,
+}
+
+
+# -------------------------------------------------------- experiment benches
+
+
+def _experiment_round_bench(num_users: int, rounds: int) -> dict:
+    """Wall time and clients/s of honest blinded rounds over the bus."""
+    from repro.experiments.common import Deployment
+
+    deployment = Deployment.build(num_users=num_users, seed=b"bench-rounds")
+    start = time.perf_counter()
+    for round_id in range(1, rounds + 1):
+        deployment.honest_round(round_id)
+    wall = time.perf_counter() - start
+    served = num_users * rounds
+    return {
+        "num_users": num_users,
+        "rounds": rounds,
+        "wall_s": wall,
+        "clients_per_sec": served / wall if wall > 0 else math.inf,
+    }
+
+
+def _experiment_benches(quick: bool) -> dict[str, dict]:
+    # Keys carry the workload shape so a quick snapshot never compares a
+    # 4-client round against a full snapshot's 8-client round.
+    if quick:
+        return {"round_pipeline/u4x1": _experiment_round_bench(4, 1)}
+    return {
+        "round_pipeline/u8x2": _experiment_round_bench(8, 2),
+        "round_pipeline/u16x1": _experiment_round_bench(16, 1),
+    }
+
+
+# ----------------------------------------------------------------- snapshots
+
+
+def run_benchmarks(quick: bool = False) -> dict:
+    """Run every bench; returns the snapshot document (not yet written)."""
+    min_time = 0.1 if quick else 0.25
+    sizes = _QUICK_SIZES if quick else _FULL_SIZES
+    calibration = calibration_score(min_time=min_time)
+    results: dict[str, dict] = {}
+    speedups: dict[str, float] = {}
+    for name, bench in _MICRO_BENCHES.items():
+        for length in sizes:
+            fast, slow = bench(length, min_time)
+            key = f"{name}/n{length}"
+            speedup = fast["ops_per_sec"] / slow["ops_per_sec"]
+            results[key] = {
+                "ops_per_sec": fast["ops_per_sec"],
+                "wall_ms": fast["wall_ms"],
+                "normalized": fast["ops_per_sec"] / calibration,
+                "scalar_ops_per_sec": slow["ops_per_sec"],
+                "scalar_wall_ms": slow["wall_ms"],
+                "speedup": speedup,
+            }
+            speedups[key] = speedup
+    experiments = _experiment_benches(quick)
+    for entry in experiments.values():
+        entry["normalized"] = entry["clients_per_sec"] / calibration
+    return {
+        "schema": SCHEMA_VERSION,
+        "date": _dt.date.today().isoformat(),
+        "quick": quick,
+        "calibration_ops_per_sec": calibration,
+        "results": results,
+        "speedups": speedups,
+        "experiments": experiments,
+    }
+
+
+def snapshot_path(directory: Path, date: str | None = None) -> Path:
+    date = date or _dt.date.today().isoformat()
+    return directory / f"BENCH_{date}.json"
+
+
+def find_baseline(directory: Path) -> Path | None:
+    """The newest committed ``BENCH_*.json`` (dates sort lexicographically).
+
+    A same-date snapshot is a valid baseline: comparison happens against
+    the file's *committed* contents before the new snapshot overwrites it.
+    """
+    candidates = sorted(directory.glob("BENCH_*.json"))
+    return candidates[-1] if candidates else None
+
+
+def compare_snapshots(
+    current: dict, baseline: dict, threshold: float = DEFAULT_THRESHOLD
+) -> dict:
+    """Compare self-normalized scores; metrics below ``1 - threshold`` regress.
+
+    Micro benches are compared by **speedup** (vectorized ops/s over the
+    frozen scalar reference, measured back-to-back in the same run).  The
+    scalar reference never changes, so it is a per-metric machine probe
+    with the same CPU/memory profile as the kernel it calibrates — a
+    shared or throttled runner shifts both sides equally and the ratio
+    holds, while an actual fast-path regression collapses it.  A separate
+    wall-clock calibration score is recorded for context but deliberately
+    not gated on: run-level machine drift makes it a noisy yardstick.
+
+    Experiment rounds have no scalar twin; their calibration-normalized
+    clients/s is compared instead.  Only metrics present in *both*
+    snapshots are compared (a renamed or new bench is reported as
+    unmatched, never as a failure).
+    """
+    comparisons: list[dict] = []
+    regressions: list[dict] = []
+    floor = 1.0 - threshold
+
+    def check(metric: str, now: float, then: float) -> None:
+        ratio = now / then if then > 0 else math.inf
+        entry = {
+            "metric": metric,
+            "current": now,
+            "baseline": then,
+            "ratio": ratio,
+            "regressed": ratio < floor,
+        }
+        comparisons.append(entry)
+        if entry["regressed"]:
+            regressions.append(entry)
+
+    for key, result in current.get("results", {}).items():
+        base = baseline.get("results", {}).get(key)
+        if base is not None:
+            check(key, result["speedup"], base["speedup"])
+    for key, result in current.get("experiments", {}).items():
+        base = baseline.get("experiments", {}).get(key)
+        if base is not None:
+            check(f"experiments/{key}", result["normalized"], base["normalized"])
+    unmatched = sorted(
+        set(current.get("results", {})) ^ set(baseline.get("results", {}))
+    )
+    return {
+        "threshold": threshold,
+        "comparisons": comparisons,
+        "regressions": regressions,
+        "unmatched": unmatched,
+        "ok": not regressions,
+    }
+
+
+def write_snapshot(snapshot: dict, path: Path) -> None:
+    path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+
+
+# ----------------------------------------------------------------- reporting
+
+
+def render_report(snapshot: dict, comparison: dict | None) -> str:
+    lines = [
+        f"repro bench — {snapshot['date']}"
+        + (" (quick)" if snapshot.get("quick") else ""),
+        f"calibration: {snapshot['calibration_ops_per_sec']:.0f} ops/s",
+        "",
+        f"{'benchmark':<24} {'vectorized':>14} {'scalar':>14} {'speedup':>9}",
+    ]
+    for key, result in sorted(snapshot["results"].items()):
+        lines.append(
+            f"{key:<24} {result['ops_per_sec']:>11.1f}/s "
+            f"{result['scalar_ops_per_sec']:>11.1f}/s "
+            f"{result['speedup']:>8.1f}x"
+        )
+    lines.append("")
+    for key, entry in sorted(snapshot["experiments"].items()):
+        lines.append(
+            f"{key}: {entry['num_users']} clients x {entry['rounds']} rounds "
+            f"in {entry['wall_s']:.2f}s ({entry['clients_per_sec']:.1f} clients/s)"
+        )
+    if comparison is not None:
+        lines.append("")
+        if comparison["ok"]:
+            lines.append(
+                f"vs baseline: OK — no metric below "
+                f"{(1 - comparison['threshold']) * 100:.0f}% of baseline"
+            )
+        else:
+            lines.append("vs baseline: REGRESSIONS")
+            for entry in comparison["regressions"]:
+                lines.append(
+                    f"  {entry['metric']}: {entry['ratio'] * 100:.0f}% "
+                    f"of baseline (threshold "
+                    f"{(1 - comparison['threshold']) * 100:.0f}%)"
+                )
+    return "\n".join(lines)
+
+
+def main(
+    out_dir: Path,
+    quick: bool = False,
+    baseline: Path | None = None,
+    threshold: float = DEFAULT_THRESHOLD,
+    as_json: bool = False,
+    write: bool = True,
+) -> int:
+    """The ``repro bench`` entry point; returns the process exit code."""
+    snapshot = run_benchmarks(quick=quick)
+    path = snapshot_path(out_dir, snapshot["date"])
+    if baseline is None:
+        baseline = find_baseline(out_dir)
+    comparison = None
+    if baseline is not None:
+        try:
+            baseline_doc = json.loads(Path(baseline).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"cannot read baseline {baseline}: {exc}")
+            return 2
+        comparison = compare_snapshots(snapshot, baseline_doc, threshold)
+    if write:
+        write_snapshot(snapshot, path)
+    if as_json:
+        print(
+            json.dumps(
+                {
+                    "snapshot": str(path) if write else None,
+                    "baseline": str(baseline) if baseline else None,
+                    "date": snapshot["date"],
+                    "speedups": snapshot["speedups"],
+                    "comparison": comparison,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(render_report(snapshot, comparison))
+        if write:
+            print(f"\nsnapshot written to {path}")
+    if comparison is not None and not comparison["ok"]:
+        return 1
+    return 0

@@ -1,0 +1,155 @@
+"""Numpy ring-arithmetic and serialization kernels.
+
+All §3 blinding math happens in ``Z_{2^modulus_bits}`` with
+``modulus_bits <= 64``.  Native ``np.uint64`` arithmetic wraps modulo
+``2^64``, and because ``2^modulus_bits`` divides ``2^64`` a final bitmask
+reduces any wrapped result to the correct smaller ring — so every kernel
+here is bit-exact against the ``(x op y) % modulus`` scalar definition,
+including multi-term sums whose intermediate totals overflow 64 bits.
+
+Inputs arrive from the wire as Python-int sequences; :func:`as_ring`
+converts once at the boundary (falling back to an explicit ``% modulus``
+pass for out-of-range values, matching scalar semantics) so downstream
+phases can run O(1) array operations instead of O(length) interpreter
+loops.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+U64 = np.uint64
+#: Big-endian unsigned 64-bit word — the wire order of every ring vector.
+BE_U64 = np.dtype(">u8")
+
+_FULL_MASK = U64(0xFFFFFFFFFFFFFFFF)
+
+
+def ring_bitmask(modulus_bits: int) -> np.uint64:
+    """The ``2^modulus_bits - 1`` mask as a ``np.uint64`` scalar."""
+    if not 1 <= modulus_bits <= 64:
+        raise ValueError("modulus_bits must be in [1, 64]")
+    if modulus_bits == 64:
+        return _FULL_MASK
+    return U64((1 << modulus_bits) - 1)
+
+
+def ring_reduce(arr: np.ndarray, modulus_bits: int) -> np.ndarray:
+    """Reduce a ``np.uint64`` array into ``[0, 2^modulus_bits)``."""
+    if modulus_bits == 64:
+        return arr
+    return arr & ring_bitmask(modulus_bits)
+
+
+_reduce = ring_reduce
+
+
+def as_ring(values: Sequence[int] | np.ndarray, modulus_bits: int = 64) -> np.ndarray:
+    """A 1-D ``np.uint64`` ring vector from any integer sequence.
+
+    Values already in ``[0, 2^64)`` convert directly; anything outside
+    (negative or arbitrarily large Python ints) takes a scalar ``%``
+    fallback so the result always equals ``[int(v) % modulus for v in
+    values]``.
+    """
+    if isinstance(values, np.ndarray) and values.dtype == U64:
+        return _reduce(values, modulus_bits)
+    try:
+        arr = np.asarray(values, dtype=U64)
+    except (OverflowError, TypeError, ValueError):
+        modulus = 1 << modulus_bits
+        arr = np.asarray([int(v) % modulus for v in values], dtype=U64)
+    return _reduce(arr, modulus_bits)
+
+
+def as_ring_rows(
+    rows: Sequence[Sequence[int]] | np.ndarray, modulus_bits: int = 64
+) -> np.ndarray:
+    """A 2-D ``np.uint64`` matrix (one ring vector per row)."""
+    if isinstance(rows, np.ndarray) and rows.dtype == U64 and rows.ndim == 2:
+        return _reduce(rows, modulus_bits)
+    try:
+        arr = np.asarray(rows, dtype=U64)
+        if arr.ndim != 2:
+            raise ValueError("rows do not form a matrix")
+    except (OverflowError, TypeError, ValueError):
+        modulus = 1 << modulus_bits
+        arr = np.asarray(
+            [[int(v) % modulus for v in row] for row in rows], dtype=U64
+        )
+    return _reduce(arr, modulus_bits)
+
+
+def ring_add(
+    left: np.ndarray | Sequence[int],
+    right: np.ndarray | Sequence[int],
+    modulus_bits: int = 64,
+) -> np.ndarray:
+    """Component-wise ``(a + b) mod 2^modulus_bits``."""
+    return _reduce(
+        as_ring(left, modulus_bits) + as_ring(right, modulus_bits), modulus_bits
+    )
+
+
+def ring_sub(
+    left: np.ndarray | Sequence[int],
+    right: np.ndarray | Sequence[int],
+    modulus_bits: int = 64,
+) -> np.ndarray:
+    """Component-wise ``(a - b) mod 2^modulus_bits``."""
+    return _reduce(
+        as_ring(left, modulus_bits) - as_ring(right, modulus_bits), modulus_bits
+    )
+
+
+def ring_neg(
+    values: np.ndarray | Sequence[int], modulus_bits: int = 64
+) -> np.ndarray:
+    """Component-wise ``(-a) mod 2^modulus_bits``."""
+    return _reduce(U64(0) - as_ring(values, modulus_bits), modulus_bits)
+
+
+def ring_sum_rows(
+    rows: np.ndarray | Sequence[Sequence[int]], modulus_bits: int = 64
+) -> np.ndarray:
+    """Column-wise ring sum of a matrix of ring vectors.
+
+    ``uint64`` accumulation wraps mod ``2^64``; reducing the wrapped total
+    by the ring bitmask yields exactly ``sum(column) % 2^modulus_bits``.
+    """
+    matrix = as_ring_rows(rows, modulus_bits)
+    return _reduce(matrix.sum(axis=0, dtype=U64), modulus_bits)
+
+
+def ring_words(arr: np.ndarray | Sequence[int]) -> list[int]:
+    """Back to a list of Python ints (the legacy in-memory representation)."""
+    if isinstance(arr, np.ndarray):
+        return arr.tolist()
+    return [int(v) for v in arr]
+
+
+# ------------------------------------------------------------- serialization
+
+
+def be_words_to_bytes(words: Sequence[int] | np.ndarray) -> bytes:
+    """``b"".join(int(v).to_bytes(8, "big") for v in words)``, in one pass.
+
+    Out-of-range words fall back to the scalar join so the same
+    ``OverflowError`` surfaces for values outside ``[0, 2^64)``.
+    """
+    try:
+        arr = np.asarray(words, dtype=U64)
+    except (OverflowError, TypeError, ValueError):
+        return b"".join(int(v).to_bytes(8, "big") for v in words)
+    return arr.astype(BE_U64, copy=False).tobytes()
+
+
+def bytes_to_be_words(payload: bytes) -> tuple[int, ...]:
+    """Inverse of :func:`be_words_to_bytes`; returns Python ints.
+
+    ``payload`` length must be a multiple of 8 — callers validate framing
+    before parsing, exactly as the scalar loops did.
+    """
+    return tuple(np.frombuffer(payload, dtype=BE_U64).tolist())

@@ -1,0 +1,140 @@
+"""Scalar reference implementations for the vectorized kernels.
+
+Two distinct families live here, and the distinction matters:
+
+* ``*_scalar`` functions are the **parity references**: the same
+  algorithm as the numpy fast path, written as plain Python loops.  The
+  parity suite (``tests/perf/test_parity.py``) asserts bit-identical
+  outputs between each fast path and its ``_scalar`` twin on the same
+  inputs / same DRBG state.
+
+* ``*_legacy`` functions preserve the **pre-kernel implementations**
+  (per-element ``randint`` sampling, per-element ring loops) exactly as
+  the seed revision shipped them.  They are *not* stream-compatible with
+  the bulk DRBG expansion — they exist so ``repro bench`` measures the
+  speedup against what the code actually used to do, not against a straw
+  man.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.crypto.drbg import HmacDrbg
+
+# ------------------------------------------------------------------ parity
+
+
+def uint64_vector_scalar(rng: HmacDrbg, length: int) -> list[int]:
+    """Scalar twin of :meth:`HmacDrbg.uint64_vector`: same stream, int loop."""
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    data = rng.generate(8 * length)
+    return [
+        int.from_bytes(data[8 * i : 8 * (i + 1)], "big") for i in range(length)
+    ]
+
+
+def sample_sum_zero_scalar(
+    num_parties: int, length: int, rng: HmacDrbg, modulus_bits: int = 64
+) -> list[tuple[int, ...]]:
+    """Scalar twin of the bulk :meth:`SumZeroMasks.sample` (64-bit path).
+
+    First ``N - 1`` masks are big-endian parses of one ``generate`` call
+    each; the last is the ring negation of their running sum.
+    """
+    modulus = 1 << modulus_bits
+    masks: list[tuple[int, ...]] = []
+    running = [0] * length
+    for _ in range(num_parties - 1):
+        if modulus_bits == 64:
+            mask = tuple(uint64_vector_scalar(rng, length))
+        else:
+            mask = tuple(rng.randint(modulus) for _ in range(length))
+        for i, value in enumerate(mask):
+            running[i] = (running[i] + value) % modulus
+        masks.append(mask)
+    masks.append(tuple((-total) % modulus for total in running))
+    return masks
+
+
+def expand_mask_scalar(
+    seed: bytes, label: str, length: int, modulus: int
+) -> list[int]:
+    """Scalar twin of secagg's bulk ``_expand_mask`` (64-bit ring)."""
+    rng = HmacDrbg(seed, personalization="secagg-mask:" + label)
+    if modulus == 1 << 64:
+        return uint64_vector_scalar(rng, length)
+    return [rng.randint(modulus) for _ in range(length)]
+
+
+def apply_mask_scalar(
+    encoded: Sequence[int], mask: Sequence[int], modulus_bits: int = 64
+) -> list[int]:
+    modulus = 1 << modulus_bits
+    return [(int(x) + int(p)) % modulus for x, p in zip(encoded, mask)]
+
+
+def remove_mask_scalar(
+    blinded: Sequence[int], mask: Sequence[int], modulus_bits: int = 64
+) -> list[int]:
+    modulus = 1 << modulus_bits
+    return [(int(y) - int(p)) % modulus for y, p in zip(blinded, mask)]
+
+
+def sum_vectors_scalar(
+    vectors: Sequence[Sequence[int]], modulus_bits: int = 64
+) -> list[int]:
+    modulus = 1 << modulus_bits
+    total = [0] * len(vectors[0])
+    for vector in vectors:
+        for i, value in enumerate(vector):
+            total[i] = (total[i] + int(value)) % modulus
+    return total
+
+
+def encode_scalar(codec, values: Sequence[float]) -> list[int]:
+    """Scalar fixed-point encode: per-value ``round(v * scale) % modulus``."""
+    return [codec.encode_value(float(v)) for v in values]
+
+
+def decode_scalar(codec, encoded: Sequence[int]) -> list[float]:
+    """Scalar fixed-point decode (list form; callers wrap in np.array)."""
+    return [codec.decode_value(int(e)) for e in encoded]
+
+
+def words_to_bytes_scalar(words: Sequence[int]) -> bytes:
+    return b"".join(int(v).to_bytes(8, "big") for v in words)
+
+
+def bytes_to_words_scalar(payload: bytes) -> tuple[int, ...]:
+    return tuple(
+        int.from_bytes(payload[i : i + 8], "big")
+        for i in range(0, len(payload), 8)
+    )
+
+
+# ------------------------------------------------------------------- legacy
+
+
+def sample_sum_zero_legacy(
+    num_parties: int, length: int, rng: HmacDrbg, modulus_bits: int = 64
+) -> list[tuple[int, ...]]:
+    """The seed revision's per-element mask sampler (benchmark baseline)."""
+    modulus = 1 << modulus_bits
+    masks: list[tuple[int, ...]] = []
+    running = [0] * length
+    for _ in range(num_parties - 1):
+        mask = tuple(rng.randint(modulus) for _ in range(length))
+        for i, value in enumerate(mask):
+            running[i] = (running[i] + value) % modulus
+        masks.append(mask)
+    masks.append(tuple((-total) % modulus for total in running))
+    return masks
+
+
+def sum_vectors_legacy(
+    vectors: Sequence[Sequence[int]], modulus_bits: int = 64
+) -> list[int]:
+    """The seed revision's blinded-sum loop (benchmark baseline)."""
+    return sum_vectors_scalar(vectors, modulus_bits)

@@ -44,7 +44,7 @@ import numpy as np
 
 from repro.crypto.commitments import MaskOpening, verify_opening
 from repro.crypto.drbg import HmacDrbg
-from repro.crypto.masking import apply_mask
+from repro.perf import kernels
 from repro.errors import (
     EnclaveError,
     MaskVerificationError,
@@ -706,10 +706,16 @@ class RoundEngine:
     def _recompute_aggregate(self, record: _RoundRecord, accepted, repairs, codec):
         try:
             if record.blinded:
-                vectors = [list(c.ring_payload) for c in accepted]
-                total = codec.sum_vectors(vectors)
-                for mask in repairs:
-                    total = apply_mask(total, list(mask), codec.modulus_bits)
+                total = kernels.ring_sum_rows(
+                    [c.ring_payload for c in accepted], codec.modulus_bits
+                )
+                if repairs:
+                    # Repairs commute in the ring, so one summed repair
+                    # vector applied once equals applying each in turn.
+                    repair = kernels.ring_sum_rows(
+                        [list(mask) for mask in repairs], codec.modulus_bits
+                    )
+                    total = kernels.ring_add(total, repair, codec.modulus_bits)
                 return codec.decode(total) / len(accepted)
             stacked = np.stack(
                 [np.asarray(c.plain_payload, dtype=float) for c in accepted]

@@ -136,3 +136,119 @@ def test_randint_distribution_covers_support():
     rng = HmacDrbg(b"dist")
     seen = {rng.randint(4) for _ in range(300)}
     assert seen == {0, 1, 2, 3}
+
+
+# ------------------------------------------------------- bulk expansion
+
+
+def test_generate_block_golden_stream():
+    """Pin the exact byte stream so the bulk path can never drift."""
+    rng = HmacDrbg(b"golden-block", personalization="pin")
+    assert rng.generate_block(48).hex() == (
+        "9949a697a1dd335007cebed7ae1444ce0c874ef568e8377b0e29e72c71739675"
+        "ab43d0b3c5fcc3fb426b51928000bb7f"
+    )
+    # The state advanced exactly as generate() would have.
+    assert rng.generate(16).hex() == "c75973578e2a7cfb3cec298aa34ea22f"
+
+
+@pytest.mark.parametrize("n", [0, 1, 31, 32, 33, 64, 1000])
+def test_generate_block_matches_generate(n):
+    a = HmacDrbg(b"block-parity")
+    b = HmacDrbg(b"block-parity")
+    assert a.generate_block(n) == b.generate(n)
+    # And the post-call states agree too.
+    assert a.generate(32) == b.generate(32)
+
+
+def test_generate_block_negative_raises():
+    with pytest.raises(ValueError):
+        HmacDrbg(b"seed").generate_block(-1)
+
+
+def test_uint64_vector_golden_words():
+    words = HmacDrbg(b"golden-words").uint64_vector(4)
+    assert words.tolist() == [
+        1391146611485684116,
+        4493946822647620243,
+        10707631592188488736,
+        8354422961555399113,
+    ]
+
+
+@pytest.mark.parametrize("length", [0, 1, 7, 4096])
+def test_uint64_vector_matches_scalar_parse(length):
+    from repro.perf.reference import uint64_vector_scalar
+
+    fast = HmacDrbg(b"u64-parity").uint64_vector(length)
+    slow = uint64_vector_scalar(HmacDrbg(b"u64-parity"), length)
+    assert fast.tolist() == slow
+
+
+def test_uint64_vector_negative_raises():
+    with pytest.raises(ValueError):
+        HmacDrbg(b"seed").uint64_vector(-1)
+
+
+# ------------------------------------------------- randint fast/slow paths
+
+
+@pytest.mark.parametrize("bits", [1, 8, 53, 63, 64])
+def test_randint_power_of_two_never_rejects(bits):
+    """Each pow2 draw consumes exactly one generate call (no rejection).
+
+    ``reseed_counter`` increments once per generate, so a draw that
+    entered the rejection loop would advance it by more than one.
+    """
+    rng = HmacDrbg(b"pow2")
+    for _ in range(50):
+        before = rng.reseed_counter
+        value = rng.randint(1 << bits)
+        assert 0 <= value < (1 << bits)
+        assert rng.reseed_counter == before + 1
+
+
+def test_randint_power_of_two_is_masked_single_draw():
+    """The pow2 value is the masked big-endian parse of one draw."""
+    rng = HmacDrbg(b"pow2-value")
+    clone = HmacDrbg(b"pow2-value")
+    for bits in (8, 53, 64):
+        value = rng.randint(1 << bits)
+        nbytes = (bits + 7) // 8
+        expected = int.from_bytes(clone.generate(nbytes), "big") & ((1 << bits) - 1)
+        assert value == expected
+
+
+def test_randint_non_power_of_two_stream_unchanged():
+    """Regression: non-pow2 moduli keep the historical rejection stream.
+
+    ``(upper - 1).bit_length() == upper.bit_length()`` whenever ``upper``
+    is not a power of two, so the draws must match the pre-fast-path
+    algorithm byte for byte.
+    """
+
+    def historical_randint(rng, upper):
+        nbits = upper.bit_length()
+        nbytes = (nbits + 7) // 8
+        mask = (1 << nbits) - 1
+        while True:
+            candidate = int.from_bytes(rng.generate(nbytes), "big") & mask
+            if candidate < upper:
+                return candidate
+
+    new = HmacDrbg(b"non-pow2")
+    old = HmacDrbg(b"non-pow2")
+    for upper in (3, 5, 7, 100, 12345, (1 << 61) - 1):
+        for _ in range(20):
+            assert new.randint(upper) == historical_randint(old, upper)
+
+
+def test_randint_non_power_of_two_still_rejects():
+    """The rejection loop is alive: some draw must consume extra bytes."""
+    rng = HmacDrbg(b"reject")
+    rejected = 0
+    for _ in range(200):
+        before = rng.reseed_counter
+        rng.randint(5)  # 3-bit candidates, rejected with probability 3/8
+        rejected += rng.reseed_counter - before - 1
+    assert rejected > 0

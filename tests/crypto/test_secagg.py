@@ -215,3 +215,40 @@ def test_larger_cohort_with_dropouts_exact():
         sum(xs[i][j] for i in range(8) if i not in (3, 6)) for j in range(3)
     ]
     assert total == pytest.approx(expect)
+
+
+def test_share_payload_round_trips_320_bit_values():
+    """_encode_shares/_decode_shares over the full 40-byte value range.
+
+    The decoder parses the payload as a 4x5 matrix of big-endian 64-bit
+    limbs in one frombuffer pass; boundary values (0, 2^320 - 1, a prime
+    just below 2^255, and a value with only high limbs set) exercise every
+    limb position.
+    """
+    from repro.crypto.secagg import _decode_shares, _encode_shares
+    from repro.crypto.shamir import FIELD_PRIME, ShamirShare
+
+    cases = [
+        (ShamirShare(x=1, y=0), ShamirShare(x=2, y=(1 << 320) - 1)),
+        (
+            ShamirShare(x=FIELD_PRIME - 1, y=FIELD_PRIME - 2),
+            ShamirShare(x=(1 << 319), y=(1 << 64) - 1),
+        ),
+        (ShamirShare(x=0, y=0), ShamirShare(x=0, y=0)),
+    ]
+    for seed_share, mask_share in cases:
+        payload = _encode_shares(seed_share, mask_share)
+        assert len(payload) == 160
+        decoded_seed, decoded_mask = _decode_shares(payload)
+        assert decoded_seed == seed_share
+        assert decoded_mask == mask_share
+
+
+def test_decode_shares_rejects_malformed_payload():
+    from repro.crypto.secagg import _decode_shares
+    from repro.errors import CryptoError
+
+    with pytest.raises(CryptoError):
+        _decode_shares(b"\x00" * 159)
+    with pytest.raises(CryptoError):
+        _decode_shares(b"")

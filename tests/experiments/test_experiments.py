@@ -37,7 +37,10 @@ def test_e2_federated_claims():
 
 
 def test_e3_secure_agg_claims():
-    result = run_experiment("e3", num_users=8, dropout_rates=(0.0, 0.25))
+    # 12 users (the experiment default): per-user inversion guesses on
+    # uniformly blinded vectors are coin flips, and smaller cohorts leave
+    # the accuracy threshold one lucky streak away from flaking.
+    result = run_experiment("e3", num_users=12, dropout_rates=(0.0, 0.25))
     for scheme, users, rate, error, blinded_acc, plain_acc in result.rows:
         assert error < 1e-3  # exact sums, even under dropout
         assert blinded_acc <= 0.75  # inversion collapses toward chance
@@ -57,7 +60,9 @@ def test_e4_poisoning_claims():
 
 
 def test_e5_pipeline_claims():
-    result = run_experiment("e5", num_users=6)
+    # 10 users: same rationale as E3 — wire-capture inversion guesses are
+    # coin flips, and tiny cohorts make the threshold a dice roll.
+    result = run_experiment("e5", num_users=10)
     assert all(blocked for __, blocked, __ in result.attack_rows)
     assert result.aggregate_error < 1e-3
     assert result.inversion_on_wire <= 0.75

@@ -97,13 +97,15 @@ def test_same_seed_same_visits_identical_firings():
 
 
 def test_different_seeds_diverge():
+    # Compare the per-visit firing pattern, not fired_log(): log entries
+    # carry no visit index, so two logs compare equal whenever the same
+    # *number* of faults fired — a coincidence different seeds can hit.
     plan = FaultPlan(rates={SITE_REQUEST: 0.5})
     a = FaultInjector(plan, seed=b"a")
     b = FaultInjector(plan, seed=b"b")
-    for _ in range(40):
-        a.fire(SITE_REQUEST)
-        b.fire(SITE_REQUEST)
-    assert a.fired_log() != b.fired_log()
+    pattern_a = [a.fire(SITE_REQUEST) is not None for _ in range(40)]
+    pattern_b = [b.fire(SITE_REQUEST) is not None for _ in range(40)]
+    assert pattern_a != pattern_b
 
 
 def test_fired_fault_serializes():

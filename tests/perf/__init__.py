@@ -1,0 +1,1 @@
+"""Parity and harness tests for the vectorized kernel layer."""

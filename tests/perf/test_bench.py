@@ -1,0 +1,243 @@
+"""Tests for the benchmark-regression harness (snapshots, comparison, CLI)."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.perf import bench
+
+
+def _snapshot(speedups=None, experiments=None, date="2026-08-06"):
+    speedups = speedups or {}
+    experiments = experiments or {}
+    return {
+        "schema": bench.SCHEMA_VERSION,
+        "date": date,
+        "quick": True,
+        "calibration_ops_per_sec": 1000.0,
+        "results": {
+            key: {
+                "ops_per_sec": value * 100.0,
+                "wall_ms": 1.0,
+                "normalized": value * 0.1,
+                "scalar_ops_per_sec": 100.0,
+                "scalar_wall_ms": 10.0,
+                "speedup": value,
+            }
+            for key, value in speedups.items()
+        },
+        "speedups": dict(speedups),
+        "experiments": {
+            key: {
+                "num_users": 4,
+                "rounds": 1,
+                "wall_s": 1.0,
+                "clients_per_sec": value * 1000.0,
+                "normalized": value,
+            }
+            for key, value in experiments.items()
+        },
+    }
+
+
+# ------------------------------------------------------------- comparison
+
+
+def test_compare_ok_when_within_threshold():
+    current = _snapshot({"k/n256": 9.0}, {"round_pipeline/u4x1": 0.95})
+    baseline = _snapshot({"k/n256": 10.0}, {"round_pipeline/u4x1": 1.0})
+    comparison = bench.compare_snapshots(current, baseline, threshold=0.25)
+    assert comparison["ok"]
+    assert comparison["regressions"] == []
+    assert {c["metric"] for c in comparison["comparisons"]} == {
+        "k/n256",
+        "experiments/round_pipeline/u4x1",
+    }
+
+
+def test_compare_flags_speedup_regression():
+    current = _snapshot({"k/n256": 5.0})
+    baseline = _snapshot({"k/n256": 10.0})
+    comparison = bench.compare_snapshots(current, baseline, threshold=0.25)
+    assert not comparison["ok"]
+    (regression,) = comparison["regressions"]
+    assert regression["metric"] == "k/n256"
+    assert regression["ratio"] == pytest.approx(0.5)
+
+
+def test_compare_flags_experiment_regression():
+    current = _snapshot({}, {"round_pipeline/u4x1": 0.5})
+    baseline = _snapshot({}, {"round_pipeline/u4x1": 1.0})
+    comparison = bench.compare_snapshots(current, baseline, threshold=0.25)
+    assert not comparison["ok"]
+    assert comparison["regressions"][0]["metric"] == (
+        "experiments/round_pipeline/u4x1"
+    )
+
+
+def test_compare_skips_unmatched_metrics():
+    """Renamed/new benches are reported, never failed."""
+    current = _snapshot({"new/n256": 0.001})
+    baseline = _snapshot({"old/n256": 100.0})
+    comparison = bench.compare_snapshots(current, baseline, threshold=0.25)
+    assert comparison["ok"]
+    assert comparison["comparisons"] == []
+    assert comparison["unmatched"] == ["new/n256", "old/n256"]
+
+
+def test_compare_exact_threshold_boundary():
+    # ratio == 1 - threshold is NOT a regression (strict inequality).
+    current = _snapshot({"k/n256": 7.5})
+    baseline = _snapshot({"k/n256": 10.0})
+    assert bench.compare_snapshots(current, baseline, threshold=0.25)["ok"]
+
+
+def test_compare_zero_baseline_never_divides():
+    current = _snapshot({"k/n256": 1.0})
+    baseline = _snapshot({"k/n256": 0.0})
+    comparison = bench.compare_snapshots(current, baseline, threshold=0.25)
+    assert comparison["ok"]
+    assert comparison["comparisons"][0]["ratio"] == math.inf
+
+
+# --------------------------------------------------------------- snapshots
+
+
+def test_snapshot_path_and_find_baseline(tmp_path):
+    assert bench.find_baseline(tmp_path) is None
+    old = bench.snapshot_path(tmp_path, "2026-01-01")
+    new = bench.snapshot_path(tmp_path, "2026-08-06")
+    bench.write_snapshot(_snapshot(date="2026-01-01"), old)
+    bench.write_snapshot(_snapshot(date="2026-08-06"), new)
+    assert new.name == "BENCH_2026-08-06.json"
+    assert bench.find_baseline(tmp_path) == new
+    assert json.loads(new.read_text())["date"] == "2026-08-06"
+
+
+# ----------------------------------------------------------- main/exit codes
+
+
+@pytest.fixture
+def fake_run(monkeypatch):
+    snapshot = _snapshot({"k/n256": 10.0}, {"round_pipeline/u4x1": 1.0})
+    monkeypatch.setattr(bench, "run_benchmarks", lambda quick=False: snapshot)
+    return snapshot
+
+
+def test_main_first_run_writes_snapshot_and_exits_zero(tmp_path, fake_run, capsys):
+    assert bench.main(out_dir=tmp_path) == 0
+    path = bench.snapshot_path(tmp_path, fake_run["date"])
+    assert path.exists()
+    assert "repro bench" in capsys.readouterr().out
+
+
+def test_main_exits_one_on_regression(tmp_path, fake_run, capsys):
+    baseline = _snapshot({"k/n256": 100.0}, {"round_pipeline/u4x1": 1.0})
+    bench.write_snapshot(baseline, bench.snapshot_path(tmp_path, "2026-01-01"))
+    assert bench.main(out_dir=tmp_path) == 1
+    assert "REGRESSIONS" in capsys.readouterr().out
+
+
+def test_main_exits_two_on_unreadable_baseline(tmp_path, fake_run, capsys):
+    bad = tmp_path / "BENCH_2026-01-01.json"
+    bad.write_text("{not json")
+    assert bench.main(out_dir=tmp_path) == 2
+    assert "cannot read baseline" in capsys.readouterr().out
+
+
+def test_main_json_output_shape(tmp_path, fake_run, capsys):
+    baseline = _snapshot({"k/n256": 10.0}, {"round_pipeline/u4x1": 1.0})
+    bench.write_snapshot(baseline, bench.snapshot_path(tmp_path, "2026-01-01"))
+    assert bench.main(out_dir=tmp_path, as_json=True, write=False) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["snapshot"] is None  # --no-write
+    assert payload["baseline"].endswith("BENCH_2026-01-01.json")
+    assert payload["speedups"] == {"k/n256": 10.0}
+    assert payload["comparison"]["ok"] is True
+
+
+def test_main_no_write_leaves_directory_untouched(tmp_path, fake_run):
+    assert bench.main(out_dir=tmp_path, write=False) == 0
+    assert list(tmp_path.glob("BENCH_*.json")) == []
+
+
+def test_main_explicit_baseline_beats_discovery(tmp_path, fake_run):
+    regressing = _snapshot({"k/n256": 100.0})
+    elsewhere = tmp_path / "other" / "BENCH_2025-12-31.json"
+    elsewhere.parent.mkdir()
+    bench.write_snapshot(regressing, elsewhere)
+    assert bench.main(out_dir=tmp_path, baseline=elsewhere, write=False) == 1
+
+
+# ------------------------------------------------------------------ timing
+
+
+def test_timeit_smoke():
+    stats = bench._timeit(lambda: sum(range(50)), min_time=0.01, batches=2)
+    assert stats["ops_per_sec"] > 0
+    assert stats["wall_ms"] >= 0
+    assert stats["reps"] >= 1
+
+
+def test_calibration_score_positive():
+    assert bench.calibration_score(min_time=0.01) > 0
+
+
+def test_run_benchmarks_quick_shape():
+    snapshot = bench.run_benchmarks(quick=True)
+    assert snapshot["quick"] is True
+    for name in bench._MICRO_BENCHES:
+        for size in (256, 4096):
+            key = f"{name}/n{size}"
+            assert key in snapshot["results"]
+            assert snapshot["speedups"][key] == snapshot["results"][key]["speedup"]
+    assert "round_pipeline/u4x1" in snapshot["experiments"]
+
+
+# --------------------------------------------------------------------- CLI
+
+
+def test_cli_bench_threshold_validation(capsys):
+    from repro.cli import main as cli_main
+
+    assert cli_main(["bench", "--threshold", "1.5"]) == 2
+    assert "--threshold" in capsys.readouterr().err
+
+
+def test_cli_bench_wires_arguments(tmp_path, monkeypatch):
+    from repro import cli
+    from repro.perf import bench as bench_mod
+
+    captured = {}
+
+    def fake_main(**kwargs):
+        captured.update(kwargs)
+        return 0
+
+    monkeypatch.setattr(bench_mod, "main", fake_main)
+    assert (
+        cli.main(
+            [
+                "bench",
+                "--quick",
+                "--out-dir",
+                str(tmp_path),
+                "--threshold",
+                "0.1",
+                "--json",
+                "--no-write",
+            ]
+        )
+        == 0
+    )
+    assert captured == {
+        "out_dir": tmp_path,
+        "quick": True,
+        "baseline": None,
+        "threshold": 0.1,
+        "as_json": True,
+        "write": False,
+    }

@@ -108,8 +108,10 @@ def test_transport_drops_are_retried_and_round_stays_exact(deployment):
     truth = np.mean(np.stack([vectors[u] for u in survivors]), axis=0)
     assert float(np.max(np.abs(report.aggregate - truth))) < 1e-3
     assert report.messages_dropped > 0
+    # Dropped *retried* calls each show up as a retry; best-effort sends
+    # (round-close notifications) are dropped without retry by design, so
+    # no fixed ordering between the two counters is guaranteed.
     assert report.retries > 0
-    assert report.retries >= report.messages_dropped
     assert report.survivors == tuple(survivors)
 
 
