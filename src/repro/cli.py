@@ -19,6 +19,7 @@ The benchmark-regression harness lives under ``bench``::
     python -m repro bench --quick            # CI smoke: small sizes, short timings
     python -m repro bench --json             # machine-readable comparison
     python -m repro bench --threshold 0.1    # fail if any metric loses >10%
+    python -m repro bench --workers 2        # also time the parallel pipeline
 
 ``bench`` exits 1 when any tracked metric regresses beyond the threshold
 against the baseline snapshot.
@@ -121,6 +122,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if not 0.0 < args.threshold < 1.0:
         print("--threshold must be in (0, 1)", file=sys.stderr)
         return 2
+    if args.workers < 0:
+        print("--workers must be >= 0", file=sys.stderr)
+        return 2
     return bench.main(
         out_dir=Path(args.out_dir),
         quick=args.quick,
@@ -128,6 +132,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         threshold=args.threshold,
         as_json=args.json,
         write=not args.no_write,
+        workers=args.workers,
     )
 
 
@@ -184,6 +189,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_parser.add_argument(
         "--no-write", action="store_true", help="measure and compare without writing"
+    )
+    bench_parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="also time the parallel round pipeline with this many worker "
+        "processes and record its speedup vs serial (default 0: serial only)",
     )
     bench_parser.set_defaults(func=_cmd_bench)
     return parser

@@ -82,6 +82,12 @@ class CloudService:
         self._signing_public = signing_public
         self._codec = codec or FixedPointCodec()
         self._rounds: dict[int, RoundState] = {}
+        self.aggregation_reducer = None
+        """Optional ``callable(matrix, modulus_bits) -> row`` replacing the
+        flat :func:`repro.perf.kernels.ring_sum_rows` at finalize.  The
+        scale layer installs a sharded reducer here; any replacement must
+        be bit-exact against the flat sum (ring addition is associative,
+        so any partition-and-merge strategy is)."""
 
     @property
     def codec(self) -> FixedPointCodec:
@@ -113,6 +119,28 @@ class CloudService:
         Input Integrity property shows up as "everything unsigned, forged,
         replayed, or tampered lands in ``rejected``".
         """
+        return self._admit(round_id, contribution, check_signature=True)
+
+    def submit_verified(
+        self, round_id: int, contribution: SignedContribution
+    ) -> bool:
+        """Admit a contribution whose signature the caller already verified.
+
+        The scale layer's worker pool checks each Glimmer signature in the
+        worker process; re-checking it here would serialize the exact
+        exponentiations the pool just parallelized.  Every other admission
+        rule — round consistency, payload kind, nonce freshness, payload
+        well-formedness — is enforced identically to :meth:`submit`, and
+        rejections land in the same ledger.  Callers must have run
+        ``signing_public.is_valid(contribution.signed_bytes(), ...)``
+        themselves; handing this method an unverified contribution forfeits
+        Input Integrity.
+        """
+        return self._admit(round_id, contribution, check_signature=False)
+
+    def _admit(
+        self, round_id: int, contribution: SignedContribution, check_signature: bool
+    ) -> bool:
         state = self.round_state(round_id)
         if not isinstance(contribution, SignedContribution):
             state.reject("not-a-signed-contribution")
@@ -131,7 +159,9 @@ class CloudService:
         except Exception:
             state.reject("malformed-payload")
             return False
-        if not self._signing_public.is_valid(digest, contribution.signature):
+        if check_signature and not self._signing_public.is_valid(
+            digest, contribution.signature
+        ):
             state.reject("invalid-signature")
             return False
         state.seen_nonces.add(contribution.nonce)
@@ -183,7 +213,8 @@ class CloudService:
         for row in state.ring_rows:
             if len(row) != length:
                 raise ConfigurationError("vector length mismatch")
-        total = kernels.ring_sum_rows(np.stack(state.ring_rows), modulus_bits)
+        reducer = self.aggregation_reducer or kernels.ring_sum_rows
+        total = reducer(np.stack(state.ring_rows), modulus_bits)
         if dropout_masks:
             # Commitment-aware blinders reveal MaskOpening objects; the
             # bare mask words are what repairs the ring sum.  Ring addition
@@ -197,7 +228,7 @@ class CloudService:
                         "mask length does not match vector length"
                     )
                 repair_rows.append(kernels.as_ring(list(words), modulus_bits))
-            repair = kernels.ring_sum_rows(np.stack(repair_rows), modulus_bits)
+            repair = reducer(np.stack(repair_rows), modulus_bits)
             total = kernels.ring_add(total, repair, modulus_bits)
         decoded = self._codec.decode(total)
         count = len(state.accepted)

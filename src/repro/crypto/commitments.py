@@ -62,6 +62,7 @@ and blamed; it can never silently corrupt an aggregate.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Sequence
 
 import numpy as np
@@ -95,11 +96,13 @@ def _word_limbs(value: int, limbs: int) -> list[int]:
     return [(value >> (LIMB_BITS * l)) & mask for l in range(limbs)]
 
 
+@lru_cache(maxsize=None)
 def pedersen_generators(group: DHGroup) -> tuple[int, int]:
     """``(h, u)``: the subgroup generator and a second, dlog-free generator.
 
     ``u`` is hashed into the group and squared (squaring lands in the QR
     subgroup), so nobody — the blinder included — knows ``log_h u``.
+    Pure in the (hashable, frozen) group, so the derivation is cached.
     """
     h = group.subgroup_generator()
     counter = 0
@@ -195,6 +198,15 @@ class MaskCommitmentSet:
     # ------------------------------------------------------------ derivation
 
     def root(self) -> bytes:
+        """Fiat-Shamir root binding the whole set.
+
+        The set is frozen, so the digest is computed once and memoized on
+        the instance (``record_for`` calls this per slot — without the
+        memo a full round's provisioning is quadratic in the slot count).
+        """
+        cached = self.__dict__.get("_root_memo")
+        if cached is not None:
+            return cached
         limbs = _limbs_per_word(self.modulus_bits)
         items: list[bytes] = [
             self.round_id.to_bytes(8, "big"),
@@ -207,24 +219,17 @@ class MaskCommitmentSet:
         for column in self.column_sums:
             for l in range(limbs):
                 items.append(int(column[l]).to_bytes(8, "big"))
-        return hash_items("mask-commitment-root", items)
+        root = hash_items("mask-commitment-root", items)
+        object.__setattr__(self, "_root_memo", root)
+        return root
 
     def weights(self, root: bytes | None = None) -> tuple[tuple[int, ...], ...]:
         """Fiat-Shamir challenge weight per limb column, ``mod q``."""
-        group = resolve_group(self.group_name)
-        q = group.subgroup_order
-        root = self.root() if root is None else root
-        limbs = _limbs_per_word(self.modulus_bits)
-        return tuple(
-            tuple(
-                hash_to_int(
-                    "mask-commitment-weight",
-                    root + i.to_bytes(4, "big") + l.to_bytes(2, "big"),
-                    q,
-                )
-                for l in range(limbs)
-            )
-            for i in range(self.vector_length)
+        return challenge_weights(
+            self.root() if root is None else root,
+            self.group_name,
+            self.vector_length,
+            self.modulus_bits,
         )
 
     def record_for(self, slot: int) -> MaskCommitmentRecord:
@@ -329,8 +334,15 @@ class MaskCommitmentSet:
                 f"claimed column sums violate sum-zero at component {i}"
             )
 
-    def verify_sum_zero(self) -> None:
-        """The homomorphic check: ``Π C_j ≡ h^{Σ w·T} · u^R`` (finalize)."""
+    def verify_sum_zero(self, point_product: int | None = None) -> None:
+        """The homomorphic check: ``Π C_j ≡ h^{Σ w·T} · u^R`` (finalize).
+
+        ``point_product`` optionally supplies ``Π_j C_j mod p`` computed
+        elsewhere — the sharded aggregation tree folds each cohort's
+        partial product and merges them at the root (modular
+        multiplication is associative, so the merged product is the same
+        integer the serial loop computes).
+        """
         group = resolve_group(self.group_name)
         q = group.subgroup_order
         h, u = pedersen_generators(group)
@@ -339,9 +351,12 @@ class MaskCommitmentSet:
         for i, column in enumerate(self.column_sums):
             for l, claimed in enumerate(column):
                 target = (target + weights[i][l] * int(claimed)) % q
-        product = 1
-        for point in self.points:
-            product = (product * point) % group.prime
+        if point_product is None:
+            product = 1
+            for point in self.points:
+                product = (product * point) % group.prime
+        else:
+            product = int(point_product) % group.prime
         expected = (
             group.power(h, target) * group.power(u, self.randomizer_sum)
         ) % group.prime
@@ -350,6 +365,33 @@ class MaskCommitmentSet:
                 f"round {self.round_id}: mask commitments do not satisfy "
                 "the claimed sum-zero column sums"
             )
+
+
+@lru_cache(maxsize=8)
+def challenge_weights(
+    root: bytes, group_name: str, vector_length: int, modulus_bits: int
+) -> tuple[tuple[int, ...], ...]:
+    """The ``w[i][l] = H(root, i, l) mod q`` table for one commitment root.
+
+    Pure in its arguments, so the table is derived once per round and
+    shared by every consumer — the set-level :meth:`MaskCommitmentSet.weights`,
+    the per-slot record path Glimmers verify against at install, and the
+    engine's dropout-repair sweep.  Deriving it costs one hash per limb
+    column (``vector_length × limbs``), which used to be repeated per slot.
+    """
+    q = resolve_group(group_name).subgroup_order
+    limbs = _limbs_per_word(modulus_bits)
+    return tuple(
+        tuple(
+            hash_to_int(
+                "mask-commitment-weight",
+                root + i.to_bytes(4, "big") + l.to_bytes(2, "big"),
+                q,
+            )
+            for l in range(limbs)
+        )
+        for i in range(vector_length)
+    )
 
 
 def scalar_for_mask(
@@ -436,16 +478,14 @@ def _scalar_from_record(record: MaskCommitmentRecord, mask: Sequence[int]) -> in
     group = resolve_group(record.group_name)
     q = group.subgroup_order
     limbs = _limbs_per_word(record.modulus_bits)
+    weights = challenge_weights(
+        record.root, record.group_name, record.vector_length, record.modulus_bits
+    )
     scalar = 0
     for i, word in enumerate(mask):
         for l, limb in enumerate(_word_limbs(int(word), limbs)):
             if limb:
-                weight = hash_to_int(
-                    "mask-commitment-weight",
-                    record.root + i.to_bytes(4, "big") + l.to_bytes(2, "big"),
-                    q,
-                )
-                scalar = (scalar + weight * limb) % q
+                scalar = (scalar + weights[i][l] * limb) % q
     return scalar
 
 
@@ -511,14 +551,7 @@ def _commit_with(
     # slots × length matrix and sum down the slot axis.  Each column sum
     # is < num_slots · 2^16, far inside uint64, so the accumulation is
     # exact — bit-identical to the per-word scalar loop.
-    matrix = kernels.as_ring_rows(masks)
-    limb_mask = np.uint64((1 << LIMB_BITS) - 1)
-    limb_sums = [
-        ((matrix >> np.uint64(LIMB_BITS * l)) & limb_mask).sum(
-            axis=0, dtype=np.uint64
-        )
-        for l in range(limbs)
-    ]
+    limb_sums = kernels.limb_column_sums(masks, limbs, LIMB_BITS)
     columns = [
         tuple(int(limb_sums[l][i]) for l in range(limbs))
         for i in range(vector_length)

@@ -270,13 +270,22 @@ class SecureAggregationServer:
     messages the server sees.
     """
 
-    def __init__(self, codec: FixedPointCodec | None = None, group: DHGroup = OAKLEY_GROUP_1) -> None:
+    def __init__(
+        self,
+        codec: FixedPointCodec | None = None,
+        group: DHGroup = OAKLEY_GROUP_1,
+        reducer=None,
+    ) -> None:
         self._codec = codec or FixedPointCodec()
         self._group = group
         self._roster: dict[int, KeyBundle] = {}
         self._threshold = 0
         self._masked: dict[int, np.ndarray] = {}
         self._length = 0
+        self._reducer = reducer or kernels.ring_sum_rows
+        """``callable(matrix, modulus_bits) -> row`` summing the masked
+        matrix; replaceable with a sharded reducer (any partition-and-merge
+        over ring addition is bit-exact against the flat sum)."""
 
     @property
     def codec(self) -> FixedPointCodec:
@@ -339,7 +348,7 @@ class SecureAggregationServer:
             raise ProtocolError("too few survivors to meet the recovery threshold")
         modulus = self._codec.modulus()
         modulus_bits = self._codec.modulus_bits
-        total = kernels.ring_sum_rows(
+        total = self._reducer(
             np.stack(list(self._masked.values())), modulus_bits
         )
 

@@ -79,6 +79,7 @@ class Deployment:
         max_features: int | None = None,
         provision_clients: bool = True,
         dp_sigma: float = 0.0,
+        parallelism=None,
     ) -> "Deployment":
         """Stand up the whole cast and (optionally) provision every client."""
         rng = HmacDrbg(seed, personalization="deployment")
@@ -120,6 +121,7 @@ class Deployment:
             signing_public=signing_keypair.public_key,
             codec=codec,
             group=group,
+            parallelism=parallelism,
         )
         deployment = cls(
             rng=rng,

@@ -16,6 +16,7 @@ the ratio only moves when the *code* gets slower relative to the machine.
 from __future__ import annotations
 
 import datetime as _dt
+import gc
 import hashlib
 import json
 import math
@@ -202,40 +203,87 @@ _MICRO_BENCHES: dict[str, Callable[[int, float], tuple[dict, dict]]] = {
 # -------------------------------------------------------- experiment benches
 
 
-def _experiment_round_bench(num_users: int, rounds: int) -> dict:
-    """Wall time and clients/s of honest blinded rounds over the bus."""
+def _experiment_round_bench(
+    num_users: int, rounds: int, workers: int = 0, shards: int = 1
+) -> dict:
+    """Wall time and clients/s of honest blinded rounds over the bus.
+
+    Training runs *before* the clock starts (the metric is the round
+    pipeline, not the trainer), and so does worker-pool warm-up — a cold
+    ``ProcessPoolExecutor`` pays process startup inside the first round,
+    which would skew every parallel-vs-serial comparison.
+    """
     from repro.experiments.common import Deployment
 
-    deployment = Deployment.build(num_users=num_users, seed=b"bench-rounds")
+    parallelism = None
+    if workers:
+        from repro.scale import ScaleConfig
+
+        parallelism = ScaleConfig(workers=workers, shards=shards)
+    deployment = Deployment.build(
+        num_users=num_users, seed=b"bench-rounds", parallelism=parallelism
+    )
+    deployment.local_vectors()
+    if workers:
+        # Forked workers inherit the parent heap copy-on-write; collecting
+        # garbage left by earlier experiments first keeps the page-copy tax
+        # out of the timed rounds (it showed up as ~30% on u1000).
+        gc.collect()
+    deployment.engine.warm_scale_pool()
     start = time.perf_counter()
     for round_id in range(1, rounds + 1):
         deployment.honest_round(round_id)
     wall = time.perf_counter() - start
+    deployment.engine.close_scale_pool()
     served = num_users * rounds
     return {
         "num_users": num_users,
         "rounds": rounds,
+        "workers": workers,
         "wall_s": wall,
         "clients_per_sec": served / wall if wall > 0 else math.inf,
     }
 
 
-def _experiment_benches(quick: bool) -> dict[str, dict]:
+def _experiment_benches(quick: bool, workers: int = 0) -> dict[str, dict]:
     # Keys carry the workload shape so a quick snapshot never compares a
-    # 4-client round against a full snapshot's 8-client round.
+    # 4-client round against a full snapshot's 8-client round.  Parallel
+    # entries append ``wN`` and ride next to their serial twin, so the
+    # snapshot itself documents the parallel-vs-serial speedup.
     if quick:
-        return {"round_pipeline/u4x1": _experiment_round_bench(4, 1)}
-    return {
+        benches = {"round_pipeline/u4x1": _experiment_round_bench(4, 1)}
+        if workers:
+            benches[f"round_pipeline/u4x1w{workers}"] = _experiment_round_bench(
+                4, 1, workers=workers, shards=2
+            )
+        return benches
+    benches = {
         "round_pipeline/u8x2": _experiment_round_bench(8, 2),
         "round_pipeline/u16x1": _experiment_round_bench(16, 1),
+        "round_pipeline/u1000x1": _experiment_round_bench(1000, 1),
     }
+    if workers:
+        # Each parallel run rides directly after its serial twin so the
+        # speedup pair is measured under the same allocator/heap state.
+        benches[f"round_pipeline/u1000x1w{workers}"] = _experiment_round_bench(
+            1000, 1, workers=workers, shards=8
+        )
+        benches["round_pipeline/u4096x1"] = _experiment_round_bench(4096, 1)
+        benches[f"round_pipeline/u4096x1w{workers}"] = _experiment_round_bench(
+            4096, 1, workers=workers, shards=8
+        )
+    return benches
 
 
 # ----------------------------------------------------------------- snapshots
 
 
-def run_benchmarks(quick: bool = False) -> dict:
-    """Run every bench; returns the snapshot document (not yet written)."""
+def run_benchmarks(quick: bool = False, workers: int = 0) -> dict:
+    """Run every bench; returns the snapshot document (not yet written).
+
+    ``workers > 0`` additionally times the parallel round pipeline next
+    to its serial twin and records the measured speedup.
+    """
     min_time = 0.1 if quick else 0.25
     sizes = _QUICK_SIZES if quick else _FULL_SIZES
     calibration = calibration_score(min_time=min_time)
@@ -255,13 +303,21 @@ def run_benchmarks(quick: bool = False) -> dict:
                 "speedup": speedup,
             }
             speedups[key] = speedup
-    experiments = _experiment_benches(quick)
+    experiments = _experiment_benches(quick, workers)
     for entry in experiments.values():
         entry["normalized"] = entry["clients_per_sec"] / calibration
+    for key, entry in experiments.items():
+        if entry.get("workers"):
+            serial = experiments.get(key[: key.rindex("w")])
+            if serial is not None:
+                entry["speedup_vs_serial"] = (
+                    entry["clients_per_sec"] / serial["clients_per_sec"]
+                )
     return {
         "schema": SCHEMA_VERSION,
         "date": _dt.date.today().isoformat(),
         "quick": quick,
+        "workers": workers,
         "calibration_ops_per_sec": calibration,
         "results": results,
         "speedups": speedups,
@@ -363,10 +419,15 @@ def render_report(snapshot: dict, comparison: dict | None) -> str:
         )
     lines.append("")
     for key, entry in sorted(snapshot["experiments"].items()):
-        lines.append(
+        line = (
             f"{key}: {entry['num_users']} clients x {entry['rounds']} rounds "
             f"in {entry['wall_s']:.2f}s ({entry['clients_per_sec']:.1f} clients/s)"
         )
+        if entry.get("workers"):
+            line += f" [workers={entry['workers']}]"
+        if "speedup_vs_serial" in entry:
+            line += f" — {entry['speedup_vs_serial']:.2f}x vs serial"
+        lines.append(line)
     if comparison is not None:
         lines.append("")
         if comparison["ok"]:
@@ -392,9 +453,10 @@ def main(
     threshold: float = DEFAULT_THRESHOLD,
     as_json: bool = False,
     write: bool = True,
+    workers: int = 0,
 ) -> int:
     """The ``repro bench`` entry point; returns the process exit code."""
-    snapshot = run_benchmarks(quick=quick)
+    snapshot = run_benchmarks(quick=quick, workers=workers)
     path = snapshot_path(out_dir, snapshot["date"])
     if baseline is None:
         baseline = find_baseline(out_dir)

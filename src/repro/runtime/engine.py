@@ -144,6 +144,7 @@ class RoundEngine:
         codec=None,
         group=None,
         quarantine: Quarantine | None = None,
+        parallelism=None,
     ) -> None:
         self.network = network
         self.service = service
@@ -157,6 +158,14 @@ class RoundEngine:
         self.codec = codec
         self.group = group
         self.quarantine = quarantine or Quarantine()
+        self.parallelism = parallelism
+        """Optional :class:`repro.scale.ScaleConfig`.  When set with
+        ``workers > 0``, eligible rounds (see
+        :func:`repro.scale.rounds.parallel_eligible`) run their provision
+        and collect phases on a process pool with sharded aggregation;
+        everything else — and ``workers == 0`` — takes the serial bus
+        path below, unchanged."""
+        self._scale_pool = None
         self.monitor = ProtocolMonitor(self.quarantine)
         self._retry_rng = HmacDrbg(seed, personalization="retry-jitter")
         self.clients: dict[str, Any] = {}
@@ -193,6 +202,33 @@ class RoundEngine:
         if client_id not in self.clients:
             raise ProtocolError(f"client {client_id!r} is not registered on the bus")
         return client_endpoint(client_id)
+
+    # ----------------------------------------------------------- scale pool
+
+    def scale_pool(self):
+        """The engine's worker pool, created (or resized) on demand."""
+        if self.parallelism is None or not self.parallelism.enabled:
+            raise ProtocolError("engine has no parallelism configured")
+        pool = self._scale_pool
+        if pool is None or pool.workers != self.parallelism.workers:
+            if pool is not None:
+                pool.close()
+            from repro.scale.pool import WorkerPool
+
+            pool = WorkerPool(self.parallelism.workers)
+            self._scale_pool = pool
+        return pool
+
+    def warm_scale_pool(self) -> None:
+        """Start every worker process now, outside any timed window."""
+        if self.parallelism is not None and self.parallelism.enabled:
+            self.scale_pool().warm()
+
+    def close_scale_pool(self) -> None:
+        """Shut down the worker pool (idempotent; a new round re-creates it)."""
+        if self._scale_pool is not None:
+            self._scale_pool.close()
+            self._scale_pool = None
 
     # ------------------------------------------------------------ bookkeeping
 
@@ -528,7 +564,9 @@ class RoundEngine:
         self._evict_offenders(record)
         if record.blinded and record.commitments is not None:
             try:
-                record.commitments.verify_sum_zero()
+                record.commitments.verify_sum_zero(
+                    self._scale_point_product(record)
+                )
             except MaskVerificationError as exc:
                 self.monitor.record(
                     round_id, BLINDER, VIOLATION_NON_SUM_ZERO, str(exc)
@@ -567,6 +605,26 @@ class RoundEngine:
         del self._rounds[round_id]
         self.monitor.close(round_id)
         return report
+
+    def _scale_point_product(self, record: _RoundRecord):
+        """Merged per-shard partial products for the sum-zero audit.
+
+        ``None`` (the serial flat product) unless the round ran the scale
+        path, which leaves its shard plan on the record.  Modular
+        multiplication is associative, so the merged product equals the
+        flat one — this only changes *where* the multiplies happen.
+        """
+        plan = getattr(record, "scale_plan", None)
+        if plan is None or record.commitments is None:
+            return None
+        from repro.crypto.commitments import resolve_group
+        from repro.scale import shard as scale_shard
+
+        prime = resolve_group(record.commitments.group_name).prime
+        partials = scale_shard.partial_point_products(
+            record.commitments.points, plan, prime
+        )
+        return scale_shard.merge_point_partials(partials, prime)
 
     def _verified_repair_mask(
         self, record: _RoundRecord, slot: int, revealed
@@ -676,7 +734,12 @@ class RoundEngine:
                 f"repair count {result.num_dropouts_repaired} != "
                 f"{len(repairs)} masks handed over"
             )
-        if self.signing_public is not None:
+        if self.signing_public is not None and not getattr(
+            record, "preverified", False
+        ):
+            # Scale-path rounds verified every accepted signature exactly
+            # once already (worker pre-verification or service admission);
+            # re-walking them here would serialize what the pool spread out.
             for contribution in accepted:
                 try:
                     valid = self.signing_public.is_valid(
@@ -843,6 +906,29 @@ class RoundEngine:
         )
         phase_deadlines = dict(phase_deadlines_ms or {})
         features = tuple(features)
+        if self.parallelism is not None and self.parallelism.enabled:
+            from repro.scale import rounds as scale_rounds
+
+            if scale_rounds.parallel_eligible(
+                self,
+                participants=participants,
+                blind=blind,
+                deadline_ms=deadline_ms,
+                phase_deadlines_ms=phase_deadlines,
+                claims_by_user=claims_by_user,
+                context_fields=context_fields,
+            ):
+                return scale_rounds.run_parallel_round(
+                    self,
+                    self.parallelism,
+                    round_id,
+                    participants,
+                    values_by_user,
+                    features,
+                    dropouts=silent,
+                    collect_dropouts=silent_after_provision,
+                    recovery_threshold=threshold,
+                )
         try:
             self.open_round(round_id, len(participants), len(features), blinded=blind)
         except NetworkError as exc:

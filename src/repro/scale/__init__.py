@@ -1,0 +1,33 @@
+"""Multi-core scale-out for the round pipeline.
+
+The ROADMAP north-star is population-scale aggregation, but the serial
+RoundEngine runs every client handshake, mask delivery, enclave
+contribution, and signature check on one core.  This package splits the
+pipeline the way a production deployment would (see DESIGN.md §10):
+
+* :mod:`repro.scale.config` — the ``ScaleConfig(workers, shards,
+  chunk_size)`` knob the engine accepts; ``workers=0`` keeps today's
+  serial bus path.
+* :mod:`repro.scale.shard` — deterministic hash-partitioning of
+  participants into cohort shards, plus the partial ring-sum /
+  limb-column / sum-zero reducers whose root merges are bit-exact
+  against the flat serial computations.
+* :mod:`repro.scale.pool` — the picklable per-client worker task and the
+  ``ProcessPoolExecutor`` wrapper that runs it.
+* :mod:`repro.scale.rounds` — the parallel round driver: eligibility
+  gating (anything faulty, adversarial, or non-standard falls back to
+  the serial path, so chaos and Byzantine replays are untouched), RNG
+  pre-draws that pin the provisioner's DRBG stream to the serial order,
+  and the slot-ordered merge that makes worker scheduling unobservable.
+
+Determinism contract: with the same seed, a parallel round produces the
+same masks, blinded vectors, aggregate, commitment digests, outcomes,
+and enclave cycle counts as the serial round, for any ``workers >= 1``
+and any ``shards >= 1``.  Only transport telemetry (message/byte/latency
+counters) differs, because worker dispatch replaces simulated wire hops.
+"""
+
+from repro.scale.config import ScaleConfig
+from repro.scale.shard import ShardedRingReducer, shard_of, plan_shards
+
+__all__ = ["ScaleConfig", "ShardedRingReducer", "shard_of", "plan_shards"]

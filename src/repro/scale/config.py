@@ -1,0 +1,42 @@
+"""The engine-facing parallelism knob."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ScaleConfig:
+    """How a :class:`~repro.runtime.engine.RoundEngine` parallelizes rounds.
+
+    workers:
+        Process-pool size for per-client work.  ``0`` disables the scale
+        layer entirely — the engine runs today's serial bus path.
+    shards:
+        How many cohort shards participants are hash-partitioned into.
+        Shards group worker dispatch and the partial aggregation/audit
+        reducers; any value >= 1 yields bit-identical results (the merges
+        are associative), so this is purely a topology/throughput choice.
+    chunk_size:
+        How many clients ride in one worker task.  Larger chunks amortize
+        pickling (objects shared between clients are serialized once per
+        chunk); smaller chunks spread a shard across more workers.
+    """
+
+    workers: int = 0
+    shards: int = 1
+    chunk_size: int = 32
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ConfigurationError("workers must be >= 0")
+        if self.shards < 1:
+            raise ConfigurationError("shards must be >= 1")
+        if self.chunk_size < 1:
+            raise ConfigurationError("chunk_size must be >= 1")
+
+    @property
+    def enabled(self) -> bool:
+        return self.workers > 0

@@ -1,0 +1,237 @@
+"""The process-pool client worker layer.
+
+One worker task carries a *chunk* of clients through the per-client hot
+path — attested handshake, mask delivery rebuild, mask install, sealed
+checkpoint, Glimmer contribution, and the contribution-signature check —
+entirely inside a worker process.  Everything that must stay globally
+ordered (the blinding service's DRBG draws, the protocol monitor, the
+service's admission ledger) stays in the parent: the parent pre-draws
+each slot's ephemeral DH keypair and delivery nonce in serial slot order
+and ships them in the task, so a worker rebuilds *exactly* the
+:class:`~repro.core.glimmer.KeyDelivery` the serial
+:meth:`~repro.core.provisioning.BlinderProvisioner.provision_mask` would
+have produced, byte for byte.  The mutated client (enclave state, cycle
+meter, session counter) rides back in the result and is transplanted
+over the parent's instance, so downstream rounds and telemetry cannot
+tell which process did the work.
+
+Quote signatures are *not* verified here — the worker returns the quote
+and the parent screens it (:meth:`repro.sgx.attestation.AttestationService
+.screen` plus the DH-binding check).  Contribution signatures *are*
+verified here, once, so the parent can admit via
+``CloudService.submit_verified`` without re-serializing the very
+exponentiations this pool exists to spread out.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.core.glimmer import KeyDelivery, handshake_digest
+from repro.crypto.cipher import AuthenticatedCipher
+from repro.crypto.commitments import encode_mask_payload
+from repro.crypto.dh import DHKeyPair
+from repro.errors import (
+    ConfigurationError,
+    CryptoError,
+    EnclaveError,
+    MaskVerificationError,
+    ProtocolError,
+    ValidationError,
+)
+from repro.runtime.telemetry import OUTCOME_CRASHED, OUTCOME_VALIDATION_REJECTED
+
+#: The handshake context label for mask provisioning — must match what
+#: ``BlinderProvisioner.provision_mask`` passes to ``_deliver``.
+PROVISION_CONTEXT = "blinding-mask-provisioning"
+
+
+@dataclass(frozen=True)
+class WorkerContext:
+    """Round-constant state shared by every task in a chunk.
+
+    ``identity`` is the blinding service's handshake-signing keypair.
+    Shipping it to a worker does not widen the trust boundary: workers
+    are forks of the very process that owns the provisioner, and the
+    signature they produce is the one the provisioner itself would have
+    produced for the parent-drawn ``(keypair, nonce)``.
+    """
+
+    round_id: int
+    identity: Any  # SchnorrKeyPair (blinder handshake identity)
+    signing_public: Any  # SchnorrPublicKey for contribution pre-verification
+    features: tuple
+
+
+@dataclass(frozen=True)
+class ClientTask:
+    """One client's slice of the round, fully self-contained."""
+
+    slot: int
+    user_id: str
+    client: Any  # the ClientDevice, pickled with its enclave state
+    values: tuple | None  # None: provision only (a collect dropout)
+    dh_secret: int  # parent-drawn ephemeral DH exponent (serial order)
+    dh_public: int
+    nonce: bytes  # parent-drawn delivery nonce (serial order)
+    opening: Any  # this slot's MaskOpening
+    commitment: Any  # the engine-vouched MaskCommitmentRecord
+
+
+@dataclass
+class ClientResult:
+    """What comes back: the mutated client plus everything to merge."""
+
+    slot: int
+    user_id: str
+    client: Any
+    quote: Any
+    glimmer_dh_public: int
+    provision_ecalls: int = 1
+    mask_error: str | None = None
+    outcome: str | None = None
+    detail: str | None = None
+    signed: Any = None
+    signature_ok: bool = False
+    contribute_ecalls: int = 0
+
+
+def _run_client(context: WorkerContext, task: ClientTask) -> ClientResult:
+    """The serial per-client path, verbatim, minus the simulated wire."""
+    client = task.client
+    session_id, glimmer_dh_public, quote = client.handshake_request()
+    result = ClientResult(
+        slot=task.slot,
+        user_id=task.user_id,
+        client=client,
+        quote=quote,
+        glimmer_dh_public=glimmer_dh_public,
+    )
+    # Rebuild the provisioner's delivery with the parent's pre-drawn
+    # keypair and nonce — the same digest, signature, derived key, and
+    # sealed box _deliver() computes, with the quote check deferred to
+    # the parent's screen pass.
+    keypair = DHKeyPair(
+        group=context.identity.group,
+        secret=task.dh_secret,
+        public=task.dh_public,
+    )
+    digest = handshake_digest(
+        PROVISION_CONTEXT, session_id, glimmer_dh_public, keypair.public
+    )
+    signature = context.identity.sign(digest)
+    key = keypair.derive_key(glimmer_dh_public, PROVISION_CONTEXT)
+    box = AuthenticatedCipher(key).encrypt(
+        task.nonce, encode_mask_payload(task.opening), associated_data=session_id
+    )
+    delivery = KeyDelivery(
+        session_id=session_id,
+        peer_dh_public=keypair.public,
+        handshake_signature=signature,
+        encrypted_payload=box.to_bytes(),
+    )
+    try:
+        client.install_mask(
+            context.round_id, task.slot, delivery, commitment=task.commitment
+        )
+    except MaskVerificationError as exc:
+        result.mask_error = str(exc)
+        return result
+    result.provision_ecalls = 2
+    if hasattr(client, "checkpoint_round"):
+        client.checkpoint_round(context.round_id)
+    if task.values is None:
+        return result
+    result.contribute_ecalls = 1  # charged even on rejection, as serial does
+    try:
+        signed = client.contribute(
+            context.round_id,
+            list(task.values),
+            list(context.features),
+            blind=True,
+            claims={},
+            context_fields=(),
+        )
+    except ValidationError as exc:
+        result.outcome = OUTCOME_VALIDATION_REJECTED
+        result.detail = str(exc)
+        return result
+    except (EnclaveError, CryptoError, ProtocolError) as exc:
+        result.outcome = OUTCOME_CRASHED
+        result.detail = str(exc)
+        return result
+    result.signed = signed
+    if context.signing_public is not None:
+        try:
+            result.signature_ok = bool(
+                context.signing_public.is_valid(
+                    signed.signed_bytes(), signed.signature
+                )
+            )
+        except Exception:
+            result.signature_ok = False
+    return result
+
+
+def run_client_chunk(
+    context: WorkerContext, tasks: Sequence[ClientTask]
+) -> list[ClientResult]:
+    """Worker entry point: run every task in a chunk, in order."""
+    return [_run_client(context, task) for task in tasks]
+
+
+def _warm_probe(index: int) -> int:
+    """A no-op task that forces a worker process to exist and import us."""
+    return index
+
+
+class WorkerPool:
+    """A ``ProcessPoolExecutor`` sized and warmed for round dispatch.
+
+    Prefers the ``fork`` start method (workers inherit the loaded modules
+    and cost ~nothing to start); falls back to the platform default where
+    fork is unavailable.  :meth:`warm` exists because a cold pool pays
+    process startup inside the first timed batch — benchmarks call it
+    before the clock starts.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ConfigurationError("worker pool needs workers >= 1")
+        self.workers = int(workers)
+        if "fork" in multiprocessing.get_all_start_methods():
+            mp_context = multiprocessing.get_context("fork")
+        else:  # pragma: no cover - platform without fork
+            mp_context = multiprocessing.get_context()
+        self._executor = ProcessPoolExecutor(
+            max_workers=self.workers, mp_context=mp_context
+        )
+        self._warmed = False
+
+    def warm(self) -> None:
+        """Spin up every worker before timing-sensitive work begins."""
+        if not self._warmed:
+            list(self._executor.map(_warm_probe, range(self.workers * 2)))
+            self._warmed = True
+
+    def map_chunks(
+        self, context: WorkerContext, chunks: Sequence[Sequence[ClientTask]]
+    ) -> list[list[ClientResult]]:
+        """Run chunks through :func:`run_client_chunk`; results in chunk order.
+
+        Submission order is chunk order and results are gathered in the
+        same order, so worker scheduling never reorders anything the
+        caller observes.
+        """
+        self._warmed = True  # any real dispatch warms the pool as a side effect
+        futures = [
+            self._executor.submit(run_client_chunk, context, list(chunk))
+            for chunk in chunks
+        ]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=True)

@@ -1,0 +1,347 @@
+"""The parallel round driver: dispatch, slot-ordered merge, sharded finalize.
+
+:func:`run_parallel_round` is :meth:`RoundEngine.run_round` with the
+provision and collect phases fanned out over the engine's worker pool.
+The contract is bit-exactness: everything order-sensitive runs in the
+parent, in serial slot order —
+
+* the blinding service's DRBG draws (ephemeral DH keypair + delivery
+  nonce per slot) happen *before* dispatch, pinning the provisioner's
+  random stream to exactly what the serial path consumes;
+* quote screening, protocol-monitor bookkeeping, service admission, and
+  outcome recording happen *after* dispatch, in a merge that walks slots
+  in ascending order regardless of which worker finished first;
+* finalize runs the engine's own :meth:`finalize_round`, with the
+  service's flat ring sum swapped for a :class:`ShardedRingReducer` and
+  the sum-zero audit fed the merged per-shard partial point products —
+  both associative folds, so the aggregate and the audit verdict are the
+  same integers the serial path computes.
+
+Eligibility is deliberately narrow (:func:`parallel_eligible`): any
+fault injector, network adversary, deadline, claim, plaintext round, or
+subclassed participant silently falls back to the serial bus path.  That
+is what makes chaos and Byzantine replays trivially parity-safe — under
+those conditions the parallel engine *is* the serial engine.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.client import ClientDevice
+from repro.core.provisioning import BlinderProvisioner
+from repro.core.service import CloudService
+from repro.crypto.dh import DHKeyPair
+from repro.errors import (
+    AttestationError,
+    NetworkError,
+    ProtocolViolation,
+)
+from repro.runtime.messages import BLINDER, client_endpoint
+from repro.runtime.protocol import VIOLATION_MASK_OPENING
+from repro.runtime.telemetry import (
+    OUTCOME_ACCEPTED,
+    OUTCOME_CRASHED,
+    OUTCOME_DROPOUT,
+    OUTCOME_QUARANTINED,
+    OUTCOME_SERVICE_REJECTED,
+    OUTCOME_UNREACHABLE,
+    RoundReport,
+)
+from repro.scale.config import ScaleConfig
+from repro.scale.pool import ClientTask, WorkerContext
+from repro.scale.shard import ShardedRingReducer, plan_shards, shard_of
+from repro.sgx.attestation import QuotePolicy, report_data_for
+
+
+def parallel_eligible(
+    engine,
+    *,
+    participants: Sequence[str],
+    blind: bool,
+    deadline_ms,
+    phase_deadlines_ms,
+    claims_by_user,
+    context_fields: Sequence[str],
+) -> bool:
+    """Can this round take the parallel path and stay bit-exact?
+
+    Anything that makes outcomes depend on fine-grained event
+    interleaving — injected faults, adversarial middleboxes, simulated
+    deadlines — or that runs code the worker task does not model —
+    claims, private-context ocalls, plaintext rounds, subclassed
+    parties — disqualifies the round.  Ineligible rounds run the serial
+    path unchanged, so the answer here is a pure routing choice, never a
+    behavioral one.
+    """
+    if not blind:
+        return False
+    if deadline_ms is not None or phase_deadlines_ms:
+        return False
+    if claims_by_user:
+        return False
+    if tuple(context_fields):
+        return False
+    if engine.fault_injector is not None:
+        return False
+    network = engine.network
+    if getattr(network, "fault_injector", None) is not None:
+        return False
+    if getattr(network, "_adversaries", ()):
+        return False
+    if type(engine.service) is not CloudService:
+        return False
+    if type(engine.blinder_provisioner) is not BlinderProvisioner:
+        return False
+    for user_id in participants:
+        client = engine.clients.get(user_id)
+        if client is None or type(client) is not ClientDevice:
+            return False
+        if getattr(client.platform, "fault_injector", None) is not None:
+            return False
+    return True
+
+
+def _transplant(live, worked) -> None:
+    """Adopt the worker-mutated client state into the parent's instance.
+
+    The parent's object identity is load-bearing — bus endpoints, the
+    engine's client registry, and the round record's ``joined`` map all
+    hold references to it — so the worker's copy never replaces it; its
+    ``__dict__`` does.
+    """
+    if live is worked:
+        return
+    state = dict(worked.__dict__)
+    live.__dict__.clear()
+    live.__dict__.update(state)
+
+
+def run_parallel_round(
+    engine,
+    config: ScaleConfig,
+    round_id: int,
+    participants: Iterable[str],
+    values_by_user: Mapping[str, Sequence[float]],
+    features: Sequence,
+    *,
+    dropouts: Iterable[str] = (),
+    collect_dropouts: Iterable[str] = (),
+    recovery_threshold: float = 0.0,
+) -> RoundReport:
+    """One full round with worker-pool provision/collect and sharded finalize.
+
+    Mirrors :meth:`RoundEngine.run_round` decision for decision; see the
+    module docstring for where the order-sensitive work stays serial.
+    """
+    participants = list(participants)
+    silent = set(dropouts)
+    silent_after_provision = set(collect_dropouts)
+    threshold = float(recovery_threshold)
+    features = tuple(features)
+    try:
+        engine.open_round(round_id, len(participants), len(features), blinded=True)
+    except NetworkError as exc:
+        record = engine.round_record(round_id)
+        raise engine._abort(record, f"round could not be opened: {exc}")
+    record = engine.round_record(round_id)
+    for user_id in participants:
+        record.note_participant(user_id)
+    quarantined = {
+        user_id
+        for user_id in participants
+        if engine.quarantine.is_blocked(client_endpoint(user_id))
+    }
+    for user_id in quarantined:
+        record.outcomes[user_id] = OUTCOME_QUARANTINED
+
+    provisioner = engine.blinder_provisioner
+    service = engine.service
+
+    # ------------------------------------------------ provision: pre-draw
+    engine._start_phase(record, "provision")
+    tasks: list[ClientTask] = []
+    for index, user_id in enumerate(participants):
+        if user_id in quarantined:
+            continue
+        if user_id in silent:
+            record.outcomes[user_id] = OUTCOME_DROPOUT
+            continue
+        client = engine.clients[user_id]
+        engine.note_client_join(record, client)
+        # The serial _deliver draws exactly (DH keypair, 16-byte nonce)
+        # per provisioned slot, in slot order.  Draw them here so the
+        # provisioner's DRBG stream is byte-identical either way.
+        keypair = DHKeyPair.generate(provisioner.identity.group, provisioner.rng)
+        nonce = provisioner.rng.generate(16)
+        opening = provisioner.mask_opening(round_id, index)
+        commitment = (
+            record.commitments.record_for(index)
+            if record.commitments is not None
+            else None
+        )
+        contribute = user_id not in silent_after_provision
+        tasks.append(
+            ClientTask(
+                slot=index,
+                user_id=user_id,
+                client=client,
+                values=(
+                    tuple(float(v) for v in values_by_user[user_id])
+                    if contribute
+                    else None
+                ),
+                dh_secret=keypair.secret,
+                dh_public=keypair.public,
+                nonce=nonce,
+                opening=opening,
+                commitment=commitment,
+            )
+        )
+
+    # ------------------------------------------------------- dispatch
+    shard_groups: list[list[ClientTask]] = [[] for _ in range(config.shards)]
+    for task in tasks:
+        shard_groups[shard_of(round_id, task.user_id, config.shards)].append(task)
+    chunks: list[list[ClientTask]] = []
+    for group in shard_groups:
+        for start in range(0, len(group), config.chunk_size):
+            chunks.append(group[start : start + config.chunk_size])
+    context = WorkerContext(
+        round_id=round_id,
+        identity=provisioner.identity,
+        signing_public=engine.signing_public,
+        features=features,
+    )
+    results = {}
+    if chunks:
+        for chunk in engine.scale_pool().map_chunks(context, chunks):
+            for result in chunk:
+                results[result.slot] = result
+
+    # -------------------------------------------- provision: merge (slot order)
+    policy = QuotePolicy(
+        expected_mrenclave=provisioner.registry.approved_measurement(
+            provisioner.glimmer_name
+        )
+    )
+    for task in tasks:
+        result = results[task.slot]
+        live = engine.clients[task.user_id]
+        _transplant(live, result.client)
+        record.joined[task.user_id] = live
+        # The quote was minted inside our own worker fork; screen() keeps
+        # every structural/policy/revocation check and skips only the
+        # platform-signature exponentiations (see AttestationService.screen).
+        screened = provisioner.attestation.screen(result.quote, policy)
+        binding = report_data_for(result.glimmer_dh_public.to_bytes(256, "big"))
+        if screened.report_data != binding:
+            raise AttestationError(
+                "quote does not bind the presented DH handshake value"
+            )
+        record.ecalls += result.provision_ecalls
+        if result.mask_error is not None:
+            engine.monitor.record(
+                round_id, BLINDER, VIOLATION_MASK_OPENING, result.mask_error
+            )
+            raise engine._abort(
+                record,
+                f"blinding service delivered a mask that fails its "
+                f"commitment: {result.mask_error}",
+            )
+        record.provisioned[task.slot] = task.user_id
+
+    # ---------------------------------------------- collect: merge (slot order)
+    engine._start_phase(record, "collect")
+    monitor = engine.monitor
+    for index, user_id in enumerate(participants):
+        if user_id in quarantined:
+            continue
+        if user_id in silent:
+            record.outcomes.setdefault(user_id, OUTCOME_DROPOUT)
+            continue
+        if user_id in silent_after_provision:
+            record.outcomes[user_id] = OUTCOME_DROPOUT
+            continue
+        result = results[index]
+        record.ecalls += result.contribute_ecalls
+        if result.outcome == OUTCOME_CRASHED:
+            # Same one-shot recovery as the serial path: restart from
+            # sealed checkpoints and re-issue contribute over the bus.
+            record.outcomes[user_id] = OUTCOME_CRASHED
+            live = engine.clients[user_id]
+            if engine._restart_client(record, live):
+                try:
+                    engine.contribute(
+                        user_id,
+                        round_id,
+                        values_by_user[user_id],
+                        features,
+                        blind=True,
+                        claims=None,
+                        context_fields=(),
+                    )
+                except NetworkError:
+                    record.outcomes[user_id] = OUTCOME_UNREACHABLE
+            continue
+        if result.outcome is not None:  # validation-rejected in the worker
+            record.outcomes[user_id] = result.outcome
+            continue
+        signed = result.signed
+        sender = client_endpoint(user_id)
+        try:
+            monitor.check_submit(
+                round_id, sender, index, signed.nonce, retransmit=False
+            )
+        except ProtocolViolation:
+            # Recorded by the monitor; to the sender it is a rejection,
+            # exactly as submit_signed treats it.
+            record.outcomes[user_id] = OUTCOME_SERVICE_REJECTED
+            continue
+        if result.signature_ok:
+            accepted = service.submit_verified(round_id, signed)
+        else:
+            accepted = service.submit(round_id, signed)
+        if accepted:
+            monitor.note_accepted(round_id, sender, index, signed.nonce)
+            record.consumed.add(index)
+            record.slot_nonce.setdefault(index, signed.nonce)
+            live = engine.clients[user_id]
+            if hasattr(live, "discard_checkpoint"):
+                live.discard_checkpoint(round_id)
+            record.outcomes[user_id] = OUTCOME_ACCEPTED
+        else:
+            monitor.note_rejected(round_id, sender, "service-rejected")
+            record.outcomes[user_id] = OUTCOME_SERVICE_REJECTED
+
+    # --------------------------------------------------- survivors + finalize
+    survivors = [
+        u for u in participants if record.outcomes.get(u) == OUTCOME_ACCEPTED
+    ]
+    survivors += [
+        u
+        for slot, u in record.provisioned.items()
+        if slot in record.consumed and u not in survivors
+    ]
+    if not survivors:
+        raise engine._abort(
+            record,
+            f"no contribution was accepted ({len(participants)} participants)",
+        )
+    if threshold and len(survivors) < threshold * len(participants):
+        raise engine._abort(
+            record,
+            f"{len(survivors)}/{len(participants)} survivors is below "
+            f"the recovery threshold of {threshold:.0%}",
+        )
+    # Every accepted contribution's signature was verified exactly once —
+    # in a worker (submit_verified) or by the service (submit) — so the
+    # finalize audit may skip re-verifying them serially.
+    record.preverified = True
+    record.scale_plan = plan_shards(round_id, participants, config.shards)
+    previous_reducer = service.aggregation_reducer
+    service.aggregation_reducer = ShardedRingReducer(config.shards)
+    try:
+        return engine.finalize_round(round_id)
+    finally:
+        service.aggregation_reducer = previous_reducer

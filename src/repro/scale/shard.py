@@ -1,0 +1,165 @@
+"""Deterministic cohort sharding and bit-exact partial reducers.
+
+Participants are hash-partitioned into ``K`` cohort shards with sha256
+(never Python's seeded ``hash``), so the assignment is stable across
+processes, interpreters, and ``PYTHONHASHSEED`` values.  Each shard
+computes *partials* — a partial ring sum over its stacked rows, partial
+limb-column sums, a partial product of its Pedersen commitment points —
+and a root reducer merges them.  Every merge is an associative,
+commutative fold (``uint64`` addition mod ``2^64``, integer addition,
+modular multiplication), so the merged result is the *same integer* the
+flat serial computation produces: sharding is a topology choice, never a
+numerical one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Sequence
+
+import numpy as np
+
+from repro.perf import kernels
+
+
+def shard_of(round_id: int, user_id: str, num_shards: int) -> int:
+    """Which cohort shard ``(round_id, user_id)`` lands in.
+
+    sha256-based so the partition is reproducible everywhere; keyed by
+    round so a user's shard rotates round to round (no hot cohort).
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    if num_shards == 1:
+        return 0
+    digest = hashlib.sha256(
+        b"glimmer-shard:"
+        + int(round_id).to_bytes(8, "big", signed=False)
+        + user_id.encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big") % num_shards
+
+
+def plan_shards(
+    round_id: int, user_ids: Sequence[str], num_shards: int
+) -> tuple[tuple[int, ...], ...]:
+    """Group participant *positions* (slot indices) by shard.
+
+    Returns ``num_shards`` tuples; shard ``s`` holds the slot indices of
+    the users hashed into it, in slot order.  Shards may be empty (for
+    example when ``num_shards`` exceeds the cohort size).
+    """
+    groups: list[list[int]] = [[] for _ in range(num_shards)]
+    for slot, user_id in enumerate(user_ids):
+        groups[shard_of(round_id, user_id, num_shards)].append(slot)
+    return tuple(tuple(group) for group in groups)
+
+
+# ----------------------------------------------------------- ring partials
+
+
+def partial_ring_sums(
+    matrix: np.ndarray, groups: Sequence[Sequence[int]], modulus_bits: int
+) -> np.ndarray:
+    """One partial ring sum per row group (empty groups sum to zero)."""
+    rows = kernels.as_ring_rows(matrix, modulus_bits)
+    partials = np.zeros((len(groups), rows.shape[1]), dtype=kernels.U64)
+    for index, group in enumerate(groups):
+        if group:
+            partials[index] = kernels.ring_sum_rows(
+                rows[np.asarray(group, dtype=np.intp)], modulus_bits
+            )
+    return partials
+
+
+def merge_ring_partials(partials: np.ndarray, modulus_bits: int) -> np.ndarray:
+    """Root reduce: ring-sum the per-shard partial rows."""
+    return kernels.ring_sum_rows(partials, modulus_bits)
+
+
+class ShardedRingReducer:
+    """A ``callable(matrix, modulus_bits) -> row`` that sums via shard partials.
+
+    Drop-in for :func:`repro.perf.kernels.ring_sum_rows` anywhere a
+    blinded matrix (contributions or dropout-repair masks) is folded:
+    rows are partitioned into ``num_shards`` contiguous blocks, each
+    block ring-sums to a partial, and the partials ring-sum to the total.
+    ``uint64`` addition wraps mod ``2^64`` and ``2^modulus_bits`` divides
+    ``2^64``, so the two-level fold is bit-identical to the flat sum for
+    every partition.
+    """
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self.num_shards = num_shards
+
+    def __call__(self, matrix: np.ndarray, modulus_bits: int = 64) -> np.ndarray:
+        rows = kernels.as_ring_rows(matrix, modulus_bits)
+        if rows.shape[0] <= 1 or self.num_shards == 1:
+            return kernels.ring_sum_rows(rows, modulus_bits)
+        blocks = np.array_split(rows, min(self.num_shards, rows.shape[0]))
+        partials = np.stack(
+            [kernels.ring_sum_rows(block, modulus_bits) for block in blocks]
+        )
+        return merge_ring_partials(partials, modulus_bits)
+
+
+# ------------------------------------------------------ limb-column partials
+
+
+def partial_limb_column_sums(
+    matrix: np.ndarray,
+    groups: Sequence[Sequence[int]],
+    num_limbs: int,
+    limb_bits: int = 16,
+) -> list[np.ndarray]:
+    """Per-shard partial limb-column sums (empty shards contribute zeros)."""
+    rows = kernels.as_ring_rows(matrix)
+    partials = []
+    for group in groups:
+        if group:
+            partials.append(
+                kernels.limb_column_sums(
+                    rows[np.asarray(group, dtype=np.intp)], num_limbs, limb_bits
+                )
+            )
+        else:
+            partials.append(
+                np.zeros((num_limbs, rows.shape[1]), dtype=kernels.U64)
+            )
+    return partials
+
+
+def merge_limb_partials(partials: Sequence[np.ndarray]) -> np.ndarray:
+    """Root reduce: integer-sum the per-shard limb-column partials.
+
+    Each partial entry is bounded by ``rows_in_shard · 2^limb_bits`` and
+    the merged entry by ``total_rows · 2^limb_bits`` — far inside
+    ``uint64`` for every supported cohort size, so the sum is exact.
+    """
+    return np.sum(np.stack(list(partials)), axis=0, dtype=kernels.U64)
+
+
+# ------------------------------------------------------- sum-zero partials
+
+
+def partial_point_products(
+    points: Sequence[int], groups: Sequence[Sequence[int]], prime: int
+) -> tuple[int, ...]:
+    """Per-shard partial products of Pedersen commitment points mod ``p``."""
+    partials = []
+    for group in groups:
+        product = 1
+        for slot in group:
+            product = (product * int(points[slot])) % prime
+        partials.append(product)
+    return tuple(partials)
+
+
+def merge_point_partials(partials: Sequence[int], prime: int) -> int:
+    """Root reduce: multiply the per-shard partial products mod ``p``."""
+    product = 1
+    for partial in partials:
+        product = (product * int(partial)) % prime
+    return product

@@ -228,6 +228,28 @@ class AttestationService:
             public.verify(quote.signed_digest(), quote.signature)
         except Exception as exc:
             raise AttestationError("quote signature invalid") from exc
+        return self._check_policy(quote, policy)
+
+    def screen(self, quote: Quote, policy: QuotePolicy | None = None) -> AttestationResult:
+        """:meth:`verify` minus the platform-signature check.
+
+        For quotes the verifier *itself* observed being minted — the scale
+        layer's worker pool runs the client handshake and the blinder
+        delivery inside one trust domain, so checking the Schnorr signature
+        the same process just produced proves nothing.  Everything a remote
+        signature would vouch for is still enforced: the platform must be
+        provisioned and unrevoked, and the quote body must satisfy the
+        policy (measurement, signer, debug flag, version).  Never use this
+        on a quote that crossed an untrusted boundary.
+        """
+        policy = policy or QuotePolicy()
+        if quote.platform_id not in self._platforms:
+            raise AttestationError("quote from an unknown (unprovisioned) platform")
+        if quote.platform_id in self._revoked:
+            raise AttestationError("quote from a revoked platform")
+        return self._check_policy(quote, policy)
+
+    def _check_policy(self, quote: Quote, policy: QuotePolicy) -> AttestationResult:
         if quote.debug and not policy.allow_debug:
             raise AttestationError("debug enclaves are not trusted")
         if policy.expected_mrenclave is not None and quote.mrenclave != policy.expected_mrenclave:

@@ -123,7 +123,9 @@ def test_snapshot_path_and_find_baseline(tmp_path):
 @pytest.fixture
 def fake_run(monkeypatch):
     snapshot = _snapshot({"k/n256": 10.0}, {"round_pipeline/u4x1": 1.0})
-    monkeypatch.setattr(bench, "run_benchmarks", lambda quick=False: snapshot)
+    monkeypatch.setattr(
+        bench, "run_benchmarks", lambda quick=False, workers=0: snapshot
+    )
     return snapshot
 
 
@@ -240,4 +242,5 @@ def test_cli_bench_wires_arguments(tmp_path, monkeypatch):
         "threshold": 0.1,
         "as_json": True,
         "write": False,
+        "workers": 0,
     }

@@ -1,0 +1,129 @@
+"""Same-seed determinism: the parallel pipeline is a pure topology choice.
+
+A deployment built from one seed must produce byte-identical rounds no
+matter how many worker processes or aggregation shards it is split
+across.  The sweep compares each (workers, shards) point against a
+single serial baseline on the raw material — per-slot mask openings,
+the blinded ring vectors that were actually accepted, the commitment
+Merkle root, and the decoded aggregate — not just on summary numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import Deployment
+from repro.scale import ScaleConfig
+
+SEED = b"scale-determinism"
+NUM_USERS = 6
+
+
+def _run_round(workers, shards, round_id=1):
+    parallelism = (
+        ScaleConfig(workers=workers, shards=shards, chunk_size=2) if workers else None
+    )
+    deployment = Deployment.build(
+        num_users=NUM_USERS, seed=SEED, parallelism=parallelism
+    )
+    users = [u.user_id for u in deployment.corpus.users]
+    vectors = deployment.local_vectors()
+    try:
+        report = deployment.engine.run_round(
+            round_id, users, vectors, deployment.features.bigrams
+        )
+    finally:
+        deployment.engine.close_scale_pool()
+    return deployment, report
+
+
+def _fingerprint(deployment, report, round_id=1):
+    provisioner = deployment.engine.blinder_provisioner
+    commitments = provisioner.round_commitments(round_id)
+    return {
+        "aggregate": report.aggregate.tobytes(),
+        "blinded": [c.ring_payload for c in report.service_result.accepted],
+        "nonces": [c.nonce for c in report.service_result.accepted],
+        "root": commitments.root(),
+        "hash_commitments": commitments.hash_commitments,
+        "masks": [
+            provisioner.mask_opening(round_id, slot).mask
+            for slot in range(len(report.participants))
+        ],
+        "outcomes": report.outcomes,
+        "ecalls": report.ecalls,
+    }
+
+
+@pytest.fixture(scope="module")
+def serial_fingerprint():
+    deployment, report = _run_round(workers=0, shards=1)
+    return _fingerprint(deployment, report)
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+@pytest.mark.parametrize("shards", [1, 3, 8])
+def test_parallel_round_is_byte_identical_to_serial(
+    workers, shards, serial_fingerprint
+):
+    deployment, report = _run_round(workers=workers, shards=shards)
+    assert _fingerprint(deployment, report) == serial_fingerprint
+
+
+def test_parallel_is_self_deterministic_across_repeat_builds():
+    first = _fingerprint(*_run_round(workers=2, shards=3))
+    second = _fingerprint(*_run_round(workers=2, shards=3))
+    assert first == second
+
+
+def test_multi_round_drbg_state_stays_in_lockstep():
+    """Round 2 draws from DRBG state advanced by round 1 on both paths."""
+
+    def two_rounds(workers, shards):
+        parallelism = (
+            ScaleConfig(workers=workers, shards=shards, chunk_size=3)
+            if workers
+            else None
+        )
+        deployment = Deployment.build(
+            num_users=NUM_USERS, seed=SEED, parallelism=parallelism
+        )
+        users = [u.user_id for u in deployment.corpus.users]
+        vectors = deployment.local_vectors()
+        try:
+            reports = [
+                deployment.engine.run_round(
+                    round_id, users, vectors, deployment.features.bigrams
+                )
+                for round_id in (1, 2)
+            ]
+        finally:
+            deployment.engine.close_scale_pool()
+        return [
+            _fingerprint(deployment, report, round_id)
+            for round_id, report in zip((1, 2), reports)
+        ]
+
+    serial = two_rounds(workers=0, shards=1)
+    parallel = two_rounds(workers=2, shards=3)
+    assert parallel == serial
+
+
+def test_serial_fallback_when_parallelism_disabled():
+    """workers=0 in the config means the serial path, not an error."""
+    deployment = Deployment.build(
+        num_users=4, seed=SEED, parallelism=ScaleConfig(workers=0)
+    )
+    users = [u.user_id for u in deployment.corpus.users]
+    vectors = deployment.local_vectors()
+    report = deployment.engine.run_round(
+        1, users, vectors, deployment.features.bigrams
+    )
+    assert report.aggregate is not None
+    twin = Deployment.build(num_users=4, seed=SEED)
+    twin_report = twin.engine.run_round(
+        1, users, twin.local_vectors(), twin.features.bigrams
+    )
+    assert np.array_equal(report.aggregate, twin_report.aggregate)
+    assert report.messages_sent == twin_report.messages_sent

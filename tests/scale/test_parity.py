@@ -1,0 +1,195 @@
+"""Serial-vs-parallel parity: the scale path must be bit-exact.
+
+Every comparison here is zero-tolerance: aggregates compared with
+``np.array_equal`` (no tolerance), outcome maps, ecall counts, enclave
+cycle meters, rejection ledgers, and the accepted contributions' actual
+ring payloads and nonces.  Fallback tests assert *full* report equality
+— including transport telemetry — because an ineligible round must take
+the serial path itself, not a lookalike.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crypto.drbg import HmacDrbg
+from repro.errors import RoundAbortedError
+from repro.experiments.common import Deployment
+from repro.faults import FaultInjector, FaultPlan
+from repro.scale import ScaleConfig
+
+
+def _build(workers=0, shards=1, chunk_size=32, num_users=8, seed=b"scale-parity"):
+    parallelism = (
+        ScaleConfig(workers=workers, shards=shards, chunk_size=chunk_size)
+        if workers
+        else None
+    )
+    return Deployment.build(num_users=num_users, seed=seed, parallelism=parallelism)
+
+
+def _run(deployment, round_id=1, **round_kwargs):
+    users = [u.user_id for u in deployment.corpus.users]
+    vectors = deployment.local_vectors()
+    try:
+        return deployment.engine.run_round(
+            round_id, users, vectors, deployment.features.bigrams, **round_kwargs
+        )
+    finally:
+        deployment.engine.close_scale_pool()
+
+
+def _assert_bit_exact(serial, parallel):
+    assert np.array_equal(serial.aggregate, parallel.aggregate)
+    assert serial.outcomes == parallel.outcomes
+    assert serial.ecalls == parallel.ecalls
+    assert serial.enclave_cycles == parallel.enclave_cycles
+    assert serial.masks_repaired == parallel.masks_repaired
+    assert serial.num_contributions == parallel.num_contributions
+    assert serial.rejected == parallel.rejected
+    assert serial.quarantined == parallel.quarantined
+    assert serial.violations == parallel.violations
+    s_accepted = serial.service_result.accepted
+    p_accepted = parallel.service_result.accepted
+    assert [c.nonce for c in s_accepted] == [c.nonce for c in p_accepted]
+    assert [c.ring_payload for c in s_accepted] == [
+        c.ring_payload for c in p_accepted
+    ]
+    assert [c.signature for c in s_accepted] == [c.signature for c in p_accepted]
+
+
+def _assert_identical_reports(serial, parallel):
+    """Fallback parity: the whole report, transport telemetry included."""
+    _assert_bit_exact(serial, parallel)
+    assert serial.messages_sent == parallel.messages_sent
+    assert serial.messages_dropped == parallel.messages_dropped
+    assert serial.bytes_on_wire == parallel.bytes_on_wire
+    assert serial.latency_ms == parallel.latency_ms
+    assert serial.retries == parallel.retries
+    assert serial.phases == parallel.phases
+    assert serial.faults_injected == parallel.faults_injected
+
+
+def test_honest_round_parity():
+    serial = _run(_build())
+    parallel = _run(_build(workers=2, shards=3))
+    _assert_bit_exact(serial, parallel)
+    # The parallel path actually engaged: client traffic left the bus.
+    assert parallel.messages_sent < serial.messages_sent
+
+
+def test_dropout_parity():
+    users = [u.user_id for u in _build().corpus.users]
+    kwargs = dict(dropouts=(users[1],), collect_dropouts=(users[4], users[6]))
+    serial = _run(_build(), **kwargs)
+    parallel = _run(_build(workers=2, shards=3), **kwargs)
+    _assert_bit_exact(serial, parallel)
+    assert parallel.masks_repaired == 3
+
+
+@pytest.mark.parametrize(
+    ("workers", "shards", "chunk_size"),
+    [
+        (2, 1, 32),  # every collect-dropout lands in the single shard
+        (2, 32, 4),  # far more shards than participants (most shards empty)
+        (1, 4, 1),  # one-task chunks: every shard splits into size-1 chunks
+        (2, 8, 1),  # both boundaries at once
+    ],
+)
+def test_shard_boundary_dropout_repair(workers, shards, chunk_size):
+    users = [u.user_id for u in _build().corpus.users]
+    half_out = tuple(users[::2])  # heavy repair load across shard boundaries
+    serial = _run(_build(), collect_dropouts=half_out)
+    parallel = _run(
+        _build(workers=workers, shards=shards, chunk_size=chunk_size),
+        collect_dropouts=half_out,
+    )
+    _assert_bit_exact(serial, parallel)
+    assert parallel.masks_repaired == len(half_out)
+
+
+def test_abort_parity_when_no_survivors():
+    users = [u.user_id for u in _build().corpus.users]
+    everyone = tuple(users)
+    with pytest.raises(RoundAbortedError) as serial_err:
+        _run(_build(), collect_dropouts=everyone)
+    with pytest.raises(RoundAbortedError) as parallel_err:
+        _run(_build(workers=2, shards=3), collect_dropouts=everyone)
+    assert str(serial_err.value) == str(parallel_err.value)
+    assert (
+        serial_err.value.report.abort_reason
+        == parallel_err.value.report.abort_reason
+    )
+    assert serial_err.value.report.outcomes == parallel_err.value.report.outcomes
+
+
+def test_byzantine_round_falls_back_to_serial():
+    """A malicious participant disqualifies the round; reports are identical."""
+
+    def build_with_attacker(workers=0, shards=1):
+        parallelism = (
+            ScaleConfig(workers=workers, shards=shards) if workers else None
+        )
+        deployment = Deployment.build(
+            num_users=8,
+            seed=b"scale-parity",
+            parallelism=parallelism,
+            provision_clients=False,
+        )
+        attacker_id = deployment.corpus.users[2].user_id
+        for user in deployment.corpus.users:
+            deployment.make_client(user.user_id, malicious=user.user_id == attacker_id)
+        return deployment
+
+    serial = _run(build_with_attacker())
+    parallel = _run(build_with_attacker(workers=2, shards=3))
+    _assert_identical_reports(serial, parallel)
+
+
+def test_chaos_round_falls_back_to_serial():
+    """Any fault injector disqualifies the round; reports are identical."""
+
+    def run_with_faults(deployment):
+        users = [u.user_id for u in deployment.corpus.users]
+        plan = FaultPlan.sample(
+            HmacDrbg(b"scale-chaos", personalization="plan"),
+            0.1,
+            clients=users,
+            rounds=(1,),
+            label="scale-chaos",
+        )
+        deployment.enable_faults(FaultInjector(plan, seed=b"scale-chaos"))
+        try:
+            return _run(deployment, recovery_threshold=0.25)
+        except RoundAbortedError as err:
+            return err.report
+
+    serial = run_with_faults(_build())
+    parallel = run_with_faults(_build(workers=2, shards=3))
+    if serial.aggregate is None:
+        assert parallel.aggregate is None
+        assert serial.abort_reason == parallel.abort_reason
+        assert serial.outcomes == parallel.outcomes
+    else:
+        _assert_identical_reports(serial, parallel)
+
+
+def test_quarantined_participant_parity():
+    """A quarantined offender sits out identically on both paths."""
+
+    def run_with_quarantine(deployment):
+        from repro.runtime.messages import client_endpoint
+        from repro.runtime.protocol import VIOLATION_FLOODING
+
+        target = deployment.corpus.users[3].user_id
+        deployment.engine.monitor.record(0, client_endpoint(target), VIOLATION_FLOODING, "test")
+        for violation in deployment.engine.monitor.violations_for(0):
+            deployment.engine.quarantine.block(violation)
+        return _run(deployment)
+
+    serial = run_with_quarantine(_build())
+    parallel = run_with_quarantine(_build(workers=2, shards=2))
+    _assert_bit_exact(serial, parallel)
+    quarantined_user = serial.participants[3]
+    assert serial.outcomes[quarantined_user] == "quarantined"
