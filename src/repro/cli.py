@@ -23,6 +23,19 @@ The benchmark-regression harness lives under ``bench``::
 
 ``bench`` exits 1 when any tracked metric regresses beyond the threshold
 against the baseline snapshot.
+
+The long-lived service runs under ``serve``/``submit``::
+
+    python -m repro submit --state-dir ./state --tenant a --user user-0000
+    python -m repro serve --state-dir ./state --tenants a,b --rounds 2
+    python -m repro serve --state-dir ./state --tenants a,b --resume
+
+``submit`` enqueues into the durable submission queue (admission control
+applies: a full queue exits 3); ``serve`` drains queued submissions
+through concurrent async rounds, one per tenant at a time, and ``--resume``
+first finishes any round a previous process left open in the journal.
+Both commands default to the ``disk`` backend so separate invocations
+share state through ``--state-dir``.
 """
 
 from __future__ import annotations
@@ -136,6 +149,103 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
 
 
+def _service_for(args: argparse.Namespace):
+    """Build (or recover) a GlimmerService over the chosen backend."""
+    from repro.service import GlimmerService, build_backend
+
+    backend = build_backend(args.backend, args.state_dir)
+    if backend.get("service", "config") is not None:
+        service = GlimmerService.recover(backend)
+    else:
+        service = GlimmerService(
+            backend,
+            base_seed=args.seed.encode("utf-8"),
+            num_users=args.users,
+            queue_capacity=args.queue_capacity,
+            overflow=args.overflow,
+        )
+    return service
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    with _service_for(args) as service:
+        for name in [t for t in args.tenants.split(",") if t]:
+            if name not in service.tenants:
+                service.add_tenant(name)
+        if args.resume:
+            for report in service.resume_sync():
+                print(
+                    f"resumed round {report.round_id}: "
+                    f"{report.num_contributions} contributions"
+                )
+        for _ in range(args.rounds):
+            reports = service.run_pending_sync(limit=args.batch)
+            if not reports:
+                print("no pending submissions; queue drained")
+                break
+            for report in reports:
+                print(
+                    f"round {report.round_id}: "
+                    f"{report.num_contributions} contributions, "
+                    f"{report.masks_repaired} repaired, "
+                    f"{report.latency_ms:.1f} ms simulated"
+                )
+        for name, runtime in sorted(service.tenants.items()):
+            print(f"tenant {name}: queue depth {runtime.queue.depth()}")
+        print(f"audit chain verified: {service.audit.verify_chain()} entries")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.errors import AdmissionError, ConfigurationError
+
+    with _service_for(args) as service:
+        if args.tenant not in service.tenants:
+            service.add_tenant(args.tenant)
+        try:
+            if args.values:
+                values = [float(v) for v in args.values.split(",")]
+                submission_id = service.submit(args.tenant, args.user, values)
+            else:
+                submission_id = service.submit_honest(args.tenant, args.user)
+        except AdmissionError as exc:
+            print(f"rejected: {exc}", file=sys.stderr)
+            return 3
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        state = service.tenant(args.tenant).queue.state_of(submission_id)
+        print(f"admitted {submission_id} ({state})")
+    return 0
+
+
+def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--state-dir", default="./glimmer-state",
+        help="service state directory (default ./glimmer-state)",
+    )
+    parser.add_argument(
+        "--backend", default="disk", choices=("memory", "disk", "sqlite"),
+        help="storage backend (default disk; memory forgets on exit)",
+    )
+    parser.add_argument(
+        "--seed", default="glimmer-service",
+        help="base seed for tenant deployments (first run only)",
+    )
+    parser.add_argument(
+        "--users", type=int, default=6,
+        help="clients per tenant deployment (first run only)",
+    )
+    parser.add_argument(
+        "--queue-capacity", type=int, default=16,
+        help="submission queue bound per tenant (first run only)",
+    )
+    parser.add_argument(
+        "--overflow", default="reject", choices=("reject", "defer"),
+        help="admission policy past the queue bound (first run only)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -198,6 +308,43 @@ def build_parser() -> argparse.ArgumentParser:
         "processes and record its speedup vs serial (default 0: serial only)",
     )
     bench_parser.set_defaults(func=_cmd_bench)
+
+    serve_parser = sub.add_parser(
+        "serve", help="drain queued submissions through concurrent async rounds"
+    )
+    _add_service_arguments(serve_parser)
+    serve_parser.add_argument(
+        "--tenants", default="tenant-a",
+        help="comma-separated tenant names to ensure exist (default tenant-a)",
+    )
+    serve_parser.add_argument(
+        "--rounds", type=int, default=1,
+        help="how many rounds-per-tenant sweeps to run (default 1)",
+    )
+    serve_parser.add_argument(
+        "--batch", type=int, default=None,
+        help="max submissions per round (default: all pending, one per user)",
+    )
+    serve_parser.add_argument(
+        "--resume", action="store_true",
+        help="first finish rounds a previous process left open in the journal",
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    submit_parser = sub.add_parser(
+        "submit", help="enqueue one client submission into the durable queue"
+    )
+    _add_service_arguments(submit_parser)
+    submit_parser.add_argument("--tenant", default="tenant-a")
+    submit_parser.add_argument(
+        "--user", required=True, help="client id, e.g. user-0000"
+    )
+    submit_parser.add_argument(
+        "--values",
+        help="comma-separated contribution values "
+        "(default: the user's honestly trained vector)",
+    )
+    submit_parser.set_defaults(func=_cmd_submit)
     return parser
 
 

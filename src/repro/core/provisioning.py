@@ -249,6 +249,21 @@ class BlinderProvisioner(_ProvisionerBase):
         self._sealed_rounds[round_id] = self._seal_round(round_id, masks, openings)
         return commitments
 
+    def attach_sealed_store(self, store) -> None:
+        """Swap the sealed-round holder for a persistent mapping.
+
+        ``store`` is any ``MutableMapping[int, bytes]`` (in practice a
+        :class:`repro.service.storage.SealedBlobMap`); blobs already
+        sealed in memory are migrated into it, and blobs already in the
+        store — a previous process's rounds — become recoverable by
+        :meth:`restart`.  The blobs are ciphertext under the identity-
+        derived seal key either way, so moving them to external storage
+        widens availability, never the trust boundary.
+        """
+        for round_id, blob in self._sealed_rounds.items():
+            store[round_id] = blob
+        self._sealed_rounds = store
+
     def has_round(self, round_id: int) -> bool:
         return self.blinding is not None and self.blinding.has_round(round_id)
 

@@ -89,3 +89,12 @@ class RoundAbortedError(ProtocolError):
 
 class ConfigurationError(ReproError):
     """An object was constructed or used with inconsistent parameters."""
+
+
+class AdmissionError(ReproError):
+    """The service's submission queue refused an enqueue (backpressure).
+
+    Raised when the durable queue is at capacity and the overflow policy
+    is ``reject``, or when even the deferred buffer is full under
+    ``defer``.  Carries no client data — admission control is load
+    shedding, not a protocol verdict."""

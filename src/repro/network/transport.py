@@ -89,6 +89,12 @@ class Network:
         self.messages_delivered = 0
         self.messages_dropped = 0
         self.bytes_delivered = 0
+        self.replies_delivered = 0
+        """Responses that survived the adversary chain.  Kept separate
+        from ``messages_delivered`` on purpose: request-traffic meters
+        stay comparable across experiments (the documented contract),
+        while the reply leg is still auditable — a dropped reply shows
+        up in ``messages_dropped`` and *only* there."""
 
     # ------------------------------------------------------------- topology
 
@@ -223,6 +229,7 @@ class Network:
                 f"response to {kind!r} from {receiver!r} was dropped "
                 "(the handler may have run)"
             )
+        self.replies_delivered += 1
         self.clock.advance(
             self._latency_for(receiver, sender, payload_size(processed.payload))
         )

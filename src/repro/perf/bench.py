@@ -203,15 +203,38 @@ _MICRO_BENCHES: dict[str, Callable[[int, float], tuple[dict, dict]]] = {
 # -------------------------------------------------------- experiment benches
 
 
+def _peak_rss_kb() -> int | None:
+    """This process's lifetime peak RSS in KiB (None where unavailable).
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalized
+    here so snapshots compare across platforms.
+    """
+    try:
+        import resource
+        import sys
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS units
+        peak //= 1024
+    return int(peak)
+
+
 def _experiment_round_bench(
     num_users: int, rounds: int, workers: int = 0, shards: int = 1
 ) -> dict:
-    """Wall time and clients/s of honest blinded rounds over the bus.
+    """Wall time, clients/s, and peak RSS of honest rounds over the bus.
 
     Training runs *before* the clock starts (the metric is the round
     pipeline, not the trainer), and so does worker-pool warm-up — a cold
     ``ProcessPoolExecutor`` pays process startup inside the first round,
     which would skew every parallel-vs-serial comparison.
+
+    ``peak_rss_kb`` is the process-lifetime high-water mark sampled after
+    the rounds complete.  It is monotonic across a bench run (earlier
+    entries can only report lower-or-equal peaks), so treat it as "memory
+    needed to get this far", not a per-entry footprint; it is recorded
+    for snapshot archaeology and deliberately not regression-gated.
     """
     from repro.experiments.common import Deployment
 
@@ -229,12 +252,12 @@ def _experiment_round_bench(
         # garbage left by earlier experiments first keeps the page-copy tax
         # out of the timed rounds (it showed up as ~30% on u1000).
         gc.collect()
-    deployment.engine.warm_scale_pool()
-    start = time.perf_counter()
-    for round_id in range(1, rounds + 1):
-        deployment.honest_round(round_id)
-    wall = time.perf_counter() - start
-    deployment.engine.close_scale_pool()
+    with deployment.engine as engine:
+        engine.warm_scale_pool()
+        start = time.perf_counter()
+        for round_id in range(1, rounds + 1):
+            deployment.honest_round(round_id)
+        wall = time.perf_counter() - start
     served = num_users * rounds
     return {
         "num_users": num_users,
@@ -242,6 +265,7 @@ def _experiment_round_bench(
         "workers": workers,
         "wall_s": wall,
         "clients_per_sec": served / wall if wall > 0 else math.inf,
+        "peak_rss_kb": _peak_rss_kb(),
     }
 
 
@@ -322,6 +346,7 @@ def run_benchmarks(quick: bool = False, workers: int = 0) -> dict:
         "results": results,
         "speedups": speedups,
         "experiments": experiments,
+        "peak_rss_kb": _peak_rss_kb(),
     }
 
 
@@ -427,6 +452,8 @@ def render_report(snapshot: dict, comparison: dict | None) -> str:
             line += f" [workers={entry['workers']}]"
         if "speedup_vs_serial" in entry:
             line += f" — {entry['speedup_vs_serial']:.2f}x vs serial"
+        if entry.get("peak_rss_kb"):
+            line += f" (peak RSS {entry['peak_rss_kb'] / 1024:.0f} MiB)"
         lines.append(line)
     if comparison is not None:
         lines.append("")

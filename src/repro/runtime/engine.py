@@ -203,6 +203,21 @@ class RoundEngine:
             raise ProtocolError(f"client {client_id!r} is not registered on the bus")
         return client_endpoint(client_id)
 
+    # ------------------------------------------------------------- lifecycle
+
+    def __enter__(self) -> "RoundEngine":
+        """Use the engine as a context manager; closes the scale pool on exit.
+
+        The fork-based worker pool holds real OS processes; a caller that
+        forgets :meth:`close_scale_pool` used to leak them until
+        interpreter exit.  ``with RoundEngine(...) as engine:`` (or
+        ``with deployment.engine:``) scopes the pool to the block.
+        """
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close_scale_pool()
+
     # ----------------------------------------------------------- scale pool
 
     def scale_pool(self):
@@ -809,8 +824,18 @@ class RoundEngine:
                 pass
 
     def abandon_round(self, round_id: int) -> None:
-        """Forget an aborted round's engine-side state."""
-        self._rounds.pop(round_id, None)
+        """Forget an aborted round's engine-side state.
+
+        Safe mid-phase (an open phase window is closed first, so the
+        record never leaks a dangling window) and idempotent: abandoning
+        a round that was already abandoned — or never tracked — is a
+        no-op.  Monitor state for the round is closed if it was still
+        live, so a monitor entry cannot outlive its round record.
+        """
+        record = self._rounds.pop(round_id, None)
+        if record is not None:
+            self._close_phase(record)
+            self.monitor.close(round_id)
 
     def _abort(self, record: _RoundRecord, reason: str) -> RoundAbortedError:
         """Close the round's books and build the error for an abort.
@@ -896,6 +921,56 @@ class RoundEngine:
         reconciled — in every case with phases closed and a partial
         ``aborted=True`` report recorded in :attr:`reports`.
         """
+        stages = self.round_stages(
+            round_id,
+            participants,
+            values_by_user,
+            features,
+            dropouts=dropouts,
+            collect_dropouts=collect_dropouts,
+            deadline_ms=deadline_ms,
+            phase_deadlines_ms=phase_deadlines_ms,
+            claims_by_user=claims_by_user,
+            context_fields=context_fields,
+            recovery_threshold=recovery_threshold,
+            blind=blind,
+        )
+        while True:
+            try:
+                next(stages)
+            except StopIteration as stop:
+                return stop.value
+
+    def round_stages(
+        self,
+        round_id: int,
+        participants: Iterable[str],
+        values_by_user: Mapping[str, Sequence[float]],
+        features: Sequence,
+        *,
+        dropouts: Iterable[str] = (),
+        collect_dropouts: Iterable[str] = (),
+        deadline_ms: float | None = None,
+        phase_deadlines_ms: Mapping[str, float] | None = None,
+        claims_by_user: Mapping[str, Mapping] | None = None,
+        context_fields: Sequence[str] = (),
+        recovery_threshold: float | None = None,
+        blind: bool = True,
+    ):
+        """One round as a resumable generator of phase-labelled stages.
+
+        This is :meth:`run_round`'s body, reshaped so a scheduler can own
+        the pacing: each ``yield`` marks a point where the round can be
+        suspended — after open, after every provisioned or collected
+        participant, and before finalize — and the yielded string names
+        the phase being worked.  Draining the generator to completion
+        performs *exactly* the serial round (``run_round`` is literally
+        that loop), so interleaving multiple rounds' generators changes
+        scheduling only, never per-round results.  The final
+        :class:`RoundReport` is the generator's return value
+        (``StopIteration.value``); aborts raise through ``next()``
+        unchanged.
+        """
         participants = list(participants)
         silent = set(dropouts)
         silent_after_provision = set(collect_dropouts)
@@ -936,6 +1011,7 @@ class RoundEngine:
             # failed open still aborts cleanly with a partial report.
             record = self.round_record(round_id)
             raise self._abort(record, f"round could not be opened: {exc}")
+        yield "open"
         record = self.round_record(round_id)
         for user_id in participants:
             record.note_participant(user_id)
@@ -952,6 +1028,7 @@ class RoundEngine:
             self._start_phase(record, "provision")
             provision_deadline = self._phase_deadline(phase_deadlines, "provision")
             for index, user_id in enumerate(participants):
+                yield "provision"
                 if user_id in quarantined:
                     continue
                 if user_id in silent:
@@ -992,6 +1069,7 @@ class RoundEngine:
         deadline = None if deadline_ms is None else record.opened_at_ms + deadline_ms
         collect_deadline = self._phase_deadline(phase_deadlines, "collect")
         for user_id in participants:
+            yield "collect"
             if user_id in quarantined:
                 continue
             if user_id in silent:
@@ -1074,6 +1152,7 @@ class RoundEngine:
                 f"{len(survivors)}/{len(participants)} survivors is below "
                 f"the recovery threshold of {threshold:.0%}",
             )
+        yield "finalize"
         return self.finalize_round(round_id)
 
     def _phase_deadline(

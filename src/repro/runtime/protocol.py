@@ -185,8 +185,15 @@ class ProtocolMonitor:
             monitor.phase = phase
 
     def close(self, round_id: int) -> tuple[ViolationRecord, ...]:
-        """Finalize bookkeeping for a round; returns its violations."""
+        """Finalize bookkeeping for a round; returns its violations.
+
+        Idempotent: closing a round that is already closed returns (and
+        preserves) the violations recorded at the first close rather
+        than overwriting them with an empty tuple.
+        """
         monitor = self._rounds.pop(round_id, None)
+        if monitor is None and round_id in self._closed:
+            return self._closed[round_id]
         violations = tuple(monitor.violations) if monitor is not None else ()
         self._closed[round_id] = violations
         while len(self._closed) > CLOSED_ROUND_RETENTION:

@@ -26,6 +26,7 @@ exponentiations this pool exists to spread out.
 from __future__ import annotations
 
 import multiprocessing
+import weakref
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Sequence
@@ -209,6 +210,15 @@ class WorkerPool:
         self._executor = ProcessPoolExecutor(
             max_workers=self.workers, mp_context=mp_context
         )
+        # Safety net for callers that drop the pool without close(): the
+        # finalizer shuts the executor down when the pool is collected
+        # (or at interpreter exit), so forgotten pools cannot leak their
+        # forked worker processes.  close() calls the same finalizer, so
+        # explicit and garbage-collected teardown share one idempotent
+        # path.
+        self._finalizer = weakref.finalize(
+            self, _shutdown_executor, self._executor
+        )
         self._warmed = False
 
     def warm(self) -> None:
@@ -234,4 +244,8 @@ class WorkerPool:
         return [future.result() for future in futures]
 
     def close(self) -> None:
-        self._executor.shutdown(wait=True)
+        self._finalizer()
+
+
+def _shutdown_executor(executor: ProcessPoolExecutor) -> None:
+    executor.shutdown(wait=True)

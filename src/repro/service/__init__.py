@@ -1,0 +1,69 @@
+"""The long-lived Glimmer service: async rounds over durable state.
+
+The :mod:`repro.runtime` engine runs one round at a time, in memory, to
+completion.  This package wraps it in a service shape:
+
+* :mod:`repro.service.storage` — a pluggable persistence interface
+  (in-memory, on-disk JSON, SQLite) behind one :class:`StorageBackend`;
+* :mod:`repro.service.audit` — a hash-chained, append-only audit log of
+  every trust-relevant event;
+* :mod:`repro.service.journal` — the round journal that makes a crash
+  mid-round recoverable without double-counting anything;
+* :mod:`repro.service.queue` — the durable submission queue with
+  admission control (bounded depth, reject-or-defer overflow);
+* :mod:`repro.service.async_engine` — the asyncio driver that interleaves
+  many rounds' :meth:`~repro.runtime.engine.RoundEngine.round_stages`
+  generators on one event loop, bit-exact per round;
+* :mod:`repro.service.service` — :class:`GlimmerService`, the multi-tenant
+  composition: several cloud services sharing one blinding provisioner,
+  continuous intake, overlapping rounds, crash recovery.
+
+The synchronous engine remains the bit-exact reference; everything here
+reuses its phase logic verbatim and only changes *when* it runs.
+"""
+
+from repro.service.async_engine import AsyncRoundEngine, install_async_drive
+from repro.service.audit import AuditLog
+from repro.service.journal import RoundJournal
+from repro.service.queue import (
+    OVERFLOW_DEFER,
+    OVERFLOW_REJECT,
+    STATE_APPLIED,
+    STATE_ASSIGNED,
+    STATE_DEFERRED,
+    STATE_PENDING,
+    STATE_REJECTED,
+    SubmissionQueue,
+)
+from repro.service.service import GlimmerService, TenantRuntime
+from repro.service.storage import (
+    DiskBackend,
+    MemoryBackend,
+    SealedBlobMap,
+    SQLiteBackend,
+    StorageBackend,
+    build_backend,
+)
+
+__all__ = [
+    "AsyncRoundEngine",
+    "AuditLog",
+    "DiskBackend",
+    "GlimmerService",
+    "MemoryBackend",
+    "OVERFLOW_DEFER",
+    "OVERFLOW_REJECT",
+    "RoundJournal",
+    "SQLiteBackend",
+    "STATE_APPLIED",
+    "STATE_ASSIGNED",
+    "STATE_DEFERRED",
+    "STATE_PENDING",
+    "STATE_REJECTED",
+    "SealedBlobMap",
+    "StorageBackend",
+    "SubmissionQueue",
+    "TenantRuntime",
+    "build_backend",
+    "install_async_drive",
+]

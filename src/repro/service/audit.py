@@ -1,0 +1,98 @@
+"""Hash-chained audit log of trust-relevant service events.
+
+Every event the service records — admissions, deferrals, rejections,
+round opens, finalizations, aborts, blinder restarts, quarantines — lands
+here as one append-only entry carrying the SHA-256 of its predecessor.
+Truncating, reordering, or editing any prefix breaks every later link,
+so :meth:`AuditLog.verify_chain` detects tampering with O(n) hashing and
+zero trust in the storage backend.
+
+This is the service-level counterpart of the paper's vetting story: the
+*protocol* guarantees come from attestation and signatures, but an
+operator still wants an inspectable record of what the service did with
+whose data and when.  Entries never contain contribution values — only
+ids, counts, and outcomes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+from repro.service.storage import StorageBackend, encode_value
+
+GENESIS = "0" * 64
+
+
+def _entry_digest(prev: str, body: dict) -> str:
+    canonical = json.dumps(
+        encode_value(body), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256((prev + canonical).encode("utf-8")).hexdigest()
+
+
+class AuditLog:
+    """Append-only, hash-chained event log over a storage backend."""
+
+    def __init__(self, backend: StorageBackend, log: str = "audit") -> None:
+        self._backend = backend
+        self._log = log
+        entries = backend.read_log(log)
+        self._head = entries[-1]["digest"] if entries else GENESIS
+        self._length = len(entries)
+
+    def record(self, event: str, **fields: Any) -> dict:
+        """Append one event; returns the stored entry (with its digest)."""
+        body = {"seq": self._length, "event": event}
+        for key in sorted(fields):
+            value = fields[key]
+            if value is not None:
+                body[key] = value
+        digest = _entry_digest(self._head, body)
+        entry = dict(body)
+        entry["prev"] = self._head
+        entry["digest"] = digest
+        self._backend.append(self._log, entry)
+        self._head = digest
+        self._length += 1
+        return entry
+
+    def entries(self) -> list[dict]:
+        return self._backend.read_log(self._log)
+
+    def trail(
+        self,
+        round_id: int | None = None,
+        tenant: str | None = None,
+        event: str | None = None,
+    ) -> list[dict]:
+        """Entries filtered by round id, tenant, and/or event kind."""
+        selected = []
+        for entry in self.entries():
+            if round_id is not None and entry.get("round_id") != round_id:
+                continue
+            if tenant is not None and entry.get("tenant") != tenant:
+                continue
+            if event is not None and entry.get("event") != event:
+                continue
+            selected.append(entry)
+        return selected
+
+    def verify_chain(self) -> int:
+        """Re-hash the whole chain; returns its length, raises on tampering."""
+        prev = GENESIS
+        for index, entry in enumerate(self.entries()):
+            body = {
+                key: value
+                for key, value in entry.items()
+                if key not in ("prev", "digest")
+            }
+            if entry.get("prev") != prev:
+                raise ValueError(f"audit entry {index}: broken chain link")
+            if entry.get("digest") != _entry_digest(prev, body):
+                raise ValueError(f"audit entry {index}: digest mismatch")
+            if body.get("seq") != index:
+                raise ValueError(f"audit entry {index}: sequence gap")
+            prev = entry["digest"]
+        return self._length

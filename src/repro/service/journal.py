@@ -1,0 +1,121 @@
+"""The round journal: crash-recoverable round lifecycle records.
+
+A round's life in the journal is two entries: ``round_opened`` (written
+*before* the first protocol message, naming the tenant, the participants,
+and exactly which queued submissions the round consumed) and a closing
+``round_finalized`` or ``round_aborted``.  A crash leaves at most one
+opened-but-unclosed round per concurrent task; :meth:`RoundJournal
+.unfinished` surfaces those so a restarted service can re-run each one —
+under the *same* global round id, over the *same* submission set — and
+then close it.  Because the closing entry is written *before* the queue
+marks its submissions applied, a crash in the gap re-runs an
+already-finalized round (idempotent: same inputs, same aggregate) rather
+than ever losing or double-counting a submission.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.service.storage import StorageBackend
+
+LOG = "round-journal"
+
+STATUS_OPENED = "opened"
+STATUS_FINALIZED = "finalized"
+STATUS_ABORTED = "aborted"
+
+
+class RoundJournal:
+    """Append-only round lifecycle journal over a storage backend."""
+
+    def __init__(self, backend: StorageBackend, log: str = LOG) -> None:
+        self._backend = backend
+        self._log = log
+
+    def round_opened(
+        self,
+        round_id: int,
+        tenant: str,
+        participants: Sequence[str],
+        submission_ids: Sequence[str],
+        values_by_user: dict[str, Sequence[float]] | None = None,
+    ) -> None:
+        """Record a round's inputs before any protocol message is sent.
+
+        ``values_by_user`` is included so recovery can replay the round
+        even if the queue's copy of a submission were lost — the journal
+        is the authoritative statement of what the round aggregates.
+        """
+        entry: dict[str, Any] = {
+            "status": STATUS_OPENED,
+            "round_id": int(round_id),
+            "tenant": tenant,
+            "participants": list(participants),
+            "submission_ids": list(submission_ids),
+        }
+        if values_by_user is not None:
+            entry["values_by_user"] = {
+                user: [float(v) for v in values]
+                for user, values in values_by_user.items()
+            }
+        self._backend.append(self._log, entry)
+
+    def round_finalized(
+        self, round_id: int, aggregate: Sequence[float] | None = None
+    ) -> None:
+        entry: dict[str, Any] = {
+            "status": STATUS_FINALIZED,
+            "round_id": int(round_id),
+        }
+        if aggregate is not None:
+            entry["aggregate"] = [float(v) for v in aggregate]
+        self._backend.append(self._log, entry)
+
+    def round_aborted(self, round_id: int, reason: str) -> None:
+        self._backend.append(
+            self._log,
+            {
+                "status": STATUS_ABORTED,
+                "round_id": int(round_id),
+                "reason": str(reason),
+            },
+        )
+
+    # -------------------------------------------------------------- queries
+
+    def entries(self) -> list[dict]:
+        return self._backend.read_log(self._log)
+
+    def status_of(self, round_id: int) -> str | None:
+        """The latest journaled status for a round (None if never opened)."""
+        status = None
+        for entry in self.entries():
+            if entry.get("round_id") == int(round_id):
+                status = entry.get("status")
+        return status
+
+    def opened_entry(self, round_id: int) -> dict | None:
+        for entry in self.entries():
+            if (
+                entry.get("round_id") == int(round_id)
+                and entry.get("status") == STATUS_OPENED
+            ):
+                return entry
+        return None
+
+    def unfinished(self) -> list[dict]:
+        """Opened entries whose rounds were never finalized or aborted.
+
+        Returned in open order — replaying them in order preserves the
+        original round-id sequence.
+        """
+        opened: dict[int, dict] = {}
+        closed: set[int] = set()
+        for entry in self.entries():
+            round_id = int(entry.get("round_id", -1))
+            if entry.get("status") == STATUS_OPENED:
+                opened.setdefault(round_id, entry)
+            elif entry.get("status") in (STATUS_FINALIZED, STATUS_ABORTED):
+                closed.add(round_id)
+        return [entry for rid, entry in opened.items() if rid not in closed]

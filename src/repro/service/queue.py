@@ -1,0 +1,227 @@
+"""The durable submission queue: admission control and backpressure.
+
+Clients do not talk to rounds; they talk to this queue.  Each tenant has
+one, bounded at ``capacity`` live submissions.  Past the bound the
+overflow policy decides:
+
+* ``reject`` — :class:`~repro.errors.AdmissionError` immediately; the
+  client is told to back off;
+* ``defer`` — the submission parks in a secondary buffer (bounded by
+  ``defer_capacity``) and is promoted to pending as round assignment
+  drains the main queue; only a full deferred buffer rejects.
+
+Every submission is persisted the moment it is admitted and walks a
+one-way state machine::
+
+    pending -> assigned -> applied
+       ^          |
+       |          v  (round aborted)
+       +------ pending            deferred -> pending (promotion)
+                                  any      -> rejected (terminal)
+
+State transitions are individually persisted, which is what makes the
+queue the double-submission guard: recovery re-runs a crashed round over
+exactly the submissions ``assigned`` to its round id, and an ``applied``
+submission can never re-enter a round.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.errors import AdmissionError, ConfigurationError
+from repro.service.storage import StorageBackend
+
+STATE_PENDING = "pending"
+STATE_DEFERRED = "deferred"
+STATE_ASSIGNED = "assigned"
+STATE_APPLIED = "applied"
+STATE_REJECTED = "rejected"
+
+OVERFLOW_REJECT = "reject"
+OVERFLOW_DEFER = "defer"
+
+#: States that count against ``capacity`` (live, not yet resolved).
+_LIVE_STATES = (STATE_PENDING, STATE_ASSIGNED)
+
+
+class SubmissionQueue:
+    """One tenant's durable, bounded intake queue."""
+
+    def __init__(
+        self,
+        backend: StorageBackend,
+        tenant: str,
+        *,
+        capacity: int = 64,
+        overflow: str = OVERFLOW_REJECT,
+        defer_capacity: int | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ConfigurationError("queue capacity must be >= 1")
+        if overflow not in (OVERFLOW_REJECT, OVERFLOW_DEFER):
+            raise ConfigurationError(f"unknown overflow policy {overflow!r}")
+        self._backend = backend
+        self.tenant = tenant
+        self.capacity = int(capacity)
+        self.overflow = overflow
+        self.defer_capacity = (
+            int(defer_capacity) if defer_capacity is not None else self.capacity
+        )
+        self._space = f"queue/{tenant}"
+        self._meta_space = f"queue-meta/{tenant}"
+
+    # ------------------------------------------------------------- internals
+
+    def _next_id(self) -> str:
+        counter = int(self._backend.get(self._meta_space, "next", 0))
+        self._backend.put(self._meta_space, "next", counter + 1)
+        return f"{self.tenant}-s{counter:06d}"
+
+    def _entry(self, submission_id: str) -> dict:
+        entry = self._backend.get(self._space, submission_id)
+        if entry is None:
+            raise ConfigurationError(
+                f"unknown submission {submission_id!r} for tenant {self.tenant!r}"
+            )
+        return entry
+
+    def _store(self, entry: dict) -> None:
+        self._backend.put(self._space, entry["submission_id"], entry)
+
+    def _all(self) -> list[dict]:
+        return [entry for _, entry in self._backend.items(self._space)]
+
+    def count(self, *states: str) -> int:
+        wanted = states or _LIVE_STATES
+        return sum(1 for entry in self._all() if entry["state"] in wanted)
+
+    # -------------------------------------------------------------- admission
+
+    def submit(self, user_id: str, values: Sequence[float]) -> str:
+        """Admit one submission; returns its id or raises AdmissionError."""
+        live = self.count(*_LIVE_STATES)
+        state = STATE_PENDING
+        if live >= self.capacity:
+            if self.overflow == OVERFLOW_REJECT:
+                raise AdmissionError(
+                    f"tenant {self.tenant!r} queue is full "
+                    f"({live}/{self.capacity}); retry later"
+                )
+            if self.count(STATE_DEFERRED) >= self.defer_capacity:
+                raise AdmissionError(
+                    f"tenant {self.tenant!r} deferred buffer is full "
+                    f"({self.defer_capacity}); retry later"
+                )
+            state = STATE_DEFERRED
+        submission_id = self._next_id()
+        self._store(
+            {
+                "submission_id": submission_id,
+                "tenant": self.tenant,
+                "user_id": str(user_id),
+                "values": [float(v) for v in values],
+                "state": state,
+                "round_id": None,
+            }
+        )
+        return submission_id
+
+    def promote_deferred(self) -> list[str]:
+        """Move deferred submissions into pending as capacity frees up."""
+        promoted: list[str] = []
+        live = self.count(*_LIVE_STATES)
+        for entry in self._all():
+            if entry["state"] != STATE_DEFERRED:
+                continue
+            if live >= self.capacity:
+                break
+            entry["state"] = STATE_PENDING
+            self._store(entry)
+            promoted.append(entry["submission_id"])
+            live += 1
+        return promoted
+
+    # ------------------------------------------------------------ assignment
+
+    def take(self, limit: int | None = None) -> list[dict]:
+        """Pending submissions in admission order, at most one per user.
+
+        A round has one mask slot per participant, so two queued
+        submissions from the same user cannot share a round; the second
+        stays pending for the next one.
+        """
+        self.promote_deferred()
+        taken: list[dict] = []
+        users: set[str] = set()
+        for entry in self._all():
+            if entry["state"] != STATE_PENDING:
+                continue
+            if entry["user_id"] in users:
+                continue
+            taken.append(dict(entry))
+            users.add(entry["user_id"])
+            if limit is not None and len(taken) >= limit:
+                break
+        return taken
+
+    def mark_assigned(self, submission_ids: Sequence[str], round_id: int) -> None:
+        for submission_id in submission_ids:
+            entry = self._entry(submission_id)
+            entry["state"] = STATE_ASSIGNED
+            entry["round_id"] = int(round_id)
+            self._store(entry)
+
+    def mark_applied(self, submission_ids: Sequence[str]) -> None:
+        for submission_id in submission_ids:
+            entry = self._entry(submission_id)
+            entry["state"] = STATE_APPLIED
+            self._store(entry)
+
+    def mark_rejected(self, submission_ids: Sequence[str], reason: str) -> None:
+        for submission_id in submission_ids:
+            entry = self._entry(submission_id)
+            entry["state"] = STATE_REJECTED
+            entry["reason"] = str(reason)
+            self._store(entry)
+
+    def assigned(self) -> list[dict]:
+        """Every submission currently assigned to some round."""
+        return [
+            dict(entry)
+            for entry in self._all()
+            if entry["state"] == STATE_ASSIGNED
+        ]
+
+    def assigned_to(self, round_id: int) -> list[dict]:
+        """Submissions assigned to one round (crash-recovery input set)."""
+        return [
+            dict(entry)
+            for entry in self._all()
+            if entry["state"] == STATE_ASSIGNED
+            and entry.get("round_id") == int(round_id)
+        ]
+
+    def requeue_round(self, round_id: int) -> list[str]:
+        """Return an aborted round's submissions to pending."""
+        requeued: list[str] = []
+        for entry in self._all():
+            if (
+                entry["state"] == STATE_ASSIGNED
+                and entry.get("round_id") == int(round_id)
+            ):
+                entry["state"] = STATE_PENDING
+                entry["round_id"] = None
+                self._store(entry)
+                requeued.append(entry["submission_id"])
+        return requeued
+
+    def state_of(self, submission_id: str) -> str:
+        return self._entry(submission_id)["state"]
+
+    def depth(self) -> dict[str, int]:
+        """Queue depth by state (for telemetry and the CLI)."""
+        depths: dict[str, int] = {}
+        for entry in self._all():
+            depths[entry["state"]] = depths.get(entry["state"], 0) + 1
+        return depths

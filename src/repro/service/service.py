@@ -1,0 +1,390 @@
+"""GlimmerService: multi-tenant, durable, continuously-accepting rounds.
+
+The paper's deployment story is one vetted Glimmer serving *many* cloud
+services: vetting amortizes across every service that adopts the same
+published binary, and the blinding service is a single shared trusted
+party.  :class:`GlimmerService` realizes that shape:
+
+* **tenants** — each tenant is a full :class:`~repro.experiments.common
+  .Deployment` (its own cloud service, transport, engine, client fleet)
+  built from the *same* base seed, so every tenant's trust universe —
+  attestation keys, vendor key, Glimmer image measurement, vetting
+  registry, blinder identity — is byte-identical.  That identity is what
+  lets one :class:`~repro.core.provisioning.BlinderProvisioner` (the
+  first tenant's, with its sealed rounds moved to persistent storage)
+  serve every tenant: a tenant client's quote verifies against the shared
+  blinder's registry because both were derived from the same seed.
+* **global round ids** — the service allocates round ids from a persisted
+  counter, so rounds on the shared blinder never collide across tenants.
+* **durable intake** — submissions enter per-tenant
+  :class:`~repro.service.queue.SubmissionQueue`s with admission control;
+  rounds consume queued batches, and every lifecycle step is journaled
+  (:class:`~repro.service.journal.RoundJournal`) and audited
+  (:class:`~repro.service.audit.AuditLog`).
+* **recovery** — a service rebuilt over the same backend
+  (``GlimmerService.recover``) reconstructs its tenants deterministically
+  from the persisted configs, finishes the bookkeeping of any round that
+  crashed after its finalize record, and re-runs — under the original
+  round id, over the original submission set — any round that crashed
+  mid-flight.  The replayed aggregate is bit-exact (a mean over the same
+  values; the sum-zero masks cancel whichever family the fresh blinder
+  samples), and the queue's state machine guarantees no submission is
+  ever counted twice.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Sequence
+
+from repro.errors import AdmissionError, ConfigurationError, RoundAbortedError
+from repro.experiments.common import Deployment
+from repro.runtime.endpoints import BlinderEndpoint
+from repro.runtime.messages import BLINDER
+from repro.runtime.telemetry import RoundReport
+from repro.service.async_engine import AsyncRoundEngine
+from repro.service.audit import AuditLog
+from repro.service.journal import RoundJournal
+from repro.service.queue import OVERFLOW_REJECT, SubmissionQueue
+from repro.service.storage import SealedBlobMap, StorageBackend
+
+_SERVICE_SPACE = "service"
+_TENANT_SPACE = "tenants"
+
+
+class TenantRuntime:
+    """One tenant's deployment plus its service-side plumbing."""
+
+    def __init__(
+        self,
+        name: str,
+        deployment: Deployment,
+        queue: SubmissionQueue,
+    ) -> None:
+        self.name = name
+        self.deployment = deployment
+        self.queue = queue
+        self.driver = AsyncRoundEngine(deployment.engine)
+
+    @property
+    def engine(self):
+        return self.deployment.engine
+
+    def close(self) -> None:
+        self.deployment.engine.close_scale_pool()
+
+
+class GlimmerService:
+    """The long-lived service over a storage backend; see module docstring."""
+
+    def __init__(
+        self,
+        backend: StorageBackend,
+        *,
+        base_seed: bytes = b"glimmer-service",
+        num_users: int = 6,
+        sentences_per_user: int = 6,
+        max_features: int | None = 12,
+        queue_capacity: int = 16,
+        overflow: str = OVERFLOW_REJECT,
+        defer_capacity: int | None = None,
+    ) -> None:
+        self.backend = backend
+        self.audit = AuditLog(backend)
+        self.journal = RoundJournal(backend)
+        self.tenants: dict[str, TenantRuntime] = {}
+        self.reports: dict[int, RoundReport] = {}
+        self._shared_blinder = None
+        config = backend.get(_SERVICE_SPACE, "config")
+        if config is None:
+            config = {
+                "base_seed": bytes(base_seed),
+                "num_users": int(num_users),
+                "sentences_per_user": int(sentences_per_user),
+                "max_features": max_features,
+                "queue_capacity": int(queue_capacity),
+                "overflow": overflow,
+                "defer_capacity": defer_capacity,
+            }
+            backend.put(_SERVICE_SPACE, "config", config)
+            self.audit.record("service-created", backend=backend.kind)
+        self.config = config
+
+    # ------------------------------------------------------------- tenants
+
+    def _build_deployment(self) -> Deployment:
+        # Every tenant builds from the same seed on purpose: identical
+        # trust anchors are the precondition for sharing one blinder.
+        return Deployment.build(
+            num_users=int(self.config["num_users"]),
+            seed=bytes(self.config["base_seed"]),
+            sentences_per_user=int(self.config["sentences_per_user"]),
+            max_features=self.config["max_features"],
+        )
+
+    def _share_blinder(self, runtime: TenantRuntime) -> None:
+        """Point a tenant's engine and bus at the shared blinder."""
+        engine = runtime.deployment.engine
+        if self._shared_blinder is None:
+            self._shared_blinder = runtime.deployment.blinder_provisioner
+            self._shared_blinder.attach_sealed_store(
+                SealedBlobMap(self.backend, "sealed/blinder")
+            )
+            return
+        engine.blinder_provisioner = self._shared_blinder
+        runtime.deployment.blinder_provisioner = self._shared_blinder
+        endpoint = BlinderEndpoint(self._shared_blinder, monitor=engine.monitor)
+        for kind, handler in endpoint.handlers().items():
+            runtime.deployment.network.add_handler(BLINDER, kind, handler)
+
+    def add_tenant(self, name: str) -> TenantRuntime:
+        """Stand up a tenant (persisted, so recovery rebuilds it)."""
+        if name in self.tenants:
+            raise ConfigurationError(f"tenant {name!r} already exists")
+        index = len(self.backend.keys(_TENANT_SPACE))
+        self.backend.put(_TENANT_SPACE, f"{index:04d}", {"name": name})
+        runtime = self._attach_tenant(name)
+        self.audit.record("tenant-added", tenant=name)
+        return runtime
+
+    def _attach_tenant(self, name: str) -> TenantRuntime:
+        deployment = self._build_deployment()
+        queue = SubmissionQueue(
+            self.backend,
+            name,
+            capacity=int(self.config["queue_capacity"]),
+            overflow=self.config["overflow"],
+            defer_capacity=self.config["defer_capacity"],
+        )
+        runtime = TenantRuntime(name, deployment, queue)
+        self._share_blinder(runtime)
+        self.tenants[name] = runtime
+        return runtime
+
+    def tenant(self, name: str) -> TenantRuntime:
+        runtime = self.tenants.get(name)
+        if runtime is None:
+            raise ConfigurationError(f"no tenant named {name!r}")
+        return runtime
+
+    @property
+    def shared_blinder(self):
+        return self._shared_blinder
+
+    # ------------------------------------------------------------ lifecycle
+
+    def __enter__(self) -> "GlimmerService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        for runtime in self.tenants.values():
+            runtime.close()
+        self.backend.flush()
+
+    # -------------------------------------------------------------- intake
+
+    def submit(self, tenant: str, user_id: str, values: Sequence[float]) -> str:
+        """Admit one client submission into a tenant's durable queue."""
+        runtime = self.tenant(tenant)
+        if user_id not in runtime.deployment.clients:
+            raise ConfigurationError(
+                f"tenant {tenant!r} has no client {user_id!r}"
+            )
+        try:
+            submission_id = runtime.queue.submit(user_id, values)
+        except AdmissionError as exc:
+            self.audit.record(
+                "submission-rejected", tenant=tenant, user=user_id,
+                reason=str(exc),
+            )
+            raise
+        state = runtime.queue.state_of(submission_id)
+        self.audit.record(
+            "submission-admitted",
+            tenant=tenant,
+            user=user_id,
+            submission=submission_id,
+            state=state,
+        )
+        return submission_id
+
+    def submit_honest(self, tenant: str, user_id: str) -> str:
+        """Enqueue the user's honestly-trained contribution vector."""
+        runtime = self.tenant(tenant)
+        vector = runtime.deployment.local_vectors([user_id])[user_id]
+        return self.submit(tenant, user_id, [float(v) for v in vector])
+
+    # -------------------------------------------------------------- rounds
+
+    def _allocate_round_id(self) -> int:
+        next_id = int(self.backend.get(_SERVICE_SPACE, "next-round", 1))
+        self.backend.put(_SERVICE_SPACE, "next-round", next_id + 1)
+        return next_id
+
+    async def run_round(
+        self, tenant: str, *, limit: int | None = None
+    ) -> RoundReport | None:
+        """Drain one batch from a tenant's queue through one async round.
+
+        Returns ``None`` when the queue has nothing pending.  The round
+        is journaled before the first protocol message and closed in the
+        journal before the queue marks its submissions applied, so a
+        crash at any point is recoverable without double-counting.
+        """
+        runtime = self.tenant(tenant)
+        batch = runtime.queue.take(limit)
+        if not batch:
+            return None
+        round_id = self._allocate_round_id()
+        participants = [entry["user_id"] for entry in batch]
+        submission_ids = [entry["submission_id"] for entry in batch]
+        values_by_user = {
+            entry["user_id"]: list(entry["values"]) for entry in batch
+        }
+        self.journal.round_opened(
+            round_id, tenant, participants, submission_ids, values_by_user
+        )
+        runtime.queue.mark_assigned(submission_ids, round_id)
+        self.audit.record(
+            "round-opened",
+            tenant=tenant,
+            round_id=round_id,
+            participants=len(participants),
+            submissions=submission_ids,
+        )
+        return await self._drive_round(
+            runtime, round_id, participants, values_by_user, submission_ids
+        )
+
+    async def _drive_round(
+        self,
+        runtime: TenantRuntime,
+        round_id: int,
+        participants: list[str],
+        values_by_user: dict[str, list[float]],
+        submission_ids: list[str],
+    ) -> RoundReport:
+        try:
+            report = await runtime.driver.run_round(
+                round_id,
+                participants,
+                values_by_user,
+                runtime.deployment.features.bigrams,
+            )
+        except RoundAbortedError as exc:
+            self.journal.round_aborted(round_id, str(exc))
+            requeued = runtime.queue.requeue_round(round_id)
+            self.audit.record(
+                "round-aborted",
+                tenant=runtime.name,
+                round_id=round_id,
+                reason=str(exc),
+                requeued=requeued,
+            )
+            runtime.engine.abandon_round(round_id)
+            raise
+        self.journal.round_finalized(
+            round_id, [float(v) for v in report.aggregate]
+        )
+        runtime.queue.mark_applied(submission_ids)
+        self.audit.record(
+            "round-finalized",
+            tenant=runtime.name,
+            round_id=round_id,
+            contributions=report.num_contributions,
+            repaired=report.masks_repaired,
+        )
+        self.reports[round_id] = report
+        return report
+
+    async def run_pending(self, *, limit: int | None = None) -> list[RoundReport]:
+        """One concurrent round per tenant with pending work.
+
+        Rounds interleave stage-by-stage on the event loop — this is the
+        overlap path.  Aborted rounds surface in the audit log and
+        journal but do not fail the batch.
+        """
+
+        async def _one(name: str) -> RoundReport | None:
+            try:
+                return await self.run_round(name, limit=limit)
+            except RoundAbortedError:
+                return None
+
+        results = await asyncio.gather(
+            *(_one(name) for name in self.tenants)
+        )
+        return [report for report in results if report is not None]
+
+    def run_pending_sync(self, *, limit: int | None = None) -> list[RoundReport]:
+        return asyncio.run(self.run_pending(limit=limit))
+
+    # ------------------------------------------------------------- recovery
+
+    @classmethod
+    def recover(cls, backend: StorageBackend) -> "GlimmerService":
+        """Rebuild a service over an existing backend's persisted state."""
+        config = backend.get(_SERVICE_SPACE, "config")
+        if config is None:
+            raise ConfigurationError(
+                "backend holds no service config; nothing to recover"
+            )
+        service = cls(backend)
+        for key in backend.keys(_TENANT_SPACE):
+            record = backend.get(_TENANT_SPACE, key)
+            service._attach_tenant(record["name"])
+        service.audit.record(
+            "service-recovered",
+            tenants=sorted(service.tenants),
+            unfinished=[e["round_id"] for e in service.journal.unfinished()],
+        )
+        return service
+
+    async def resume(self) -> list[RoundReport]:
+        """Finish every round the previous process left open.
+
+        Two cases, both driven by persisted state only:
+
+        * journal says *finalized* but some of the round's submissions
+          are still ``assigned`` (crash between the journal write and the
+          queue update): complete the bookkeeping, no re-run;
+        * journal says *opened* with no close: re-run the round under its
+          original id over its journaled submission set, then close it.
+        """
+        completed: list[RoundReport] = []
+        for runtime in self.tenants.values():
+            for entry in runtime.queue.assigned():
+                if entry["round_id"] is None:
+                    continue
+                if self.journal.status_of(entry["round_id"]) == "finalized":
+                    runtime.queue.mark_applied([entry["submission_id"]])
+                    self.audit.record(
+                        "submission-settled",
+                        tenant=runtime.name,
+                        round_id=entry["round_id"],
+                        submission=entry["submission_id"],
+                    )
+        for entry in self.journal.unfinished():
+            tenant = entry["tenant"]
+            runtime = self.tenant(tenant)
+            round_id = int(entry["round_id"])
+            participants = list(entry["participants"])
+            submission_ids = list(entry["submission_ids"])
+            values_by_user = {
+                user: list(values)
+                for user, values in entry.get("values_by_user", {}).items()
+            }
+            self.audit.record(
+                "round-replayed", tenant=tenant, round_id=round_id
+            )
+            report = await self._drive_round(
+                runtime, round_id, participants, values_by_user, submission_ids
+            )
+            completed.append(report)
+        return completed
+
+    def resume_sync(self) -> list[RoundReport]:
+        return asyncio.run(self.resume())

@@ -234,3 +234,74 @@ def test_response_leg_can_drop():
     # learned it.
     assert log == [b"x"]
     assert network.messages_dropped == 1
+
+
+def test_reply_drop_counts_as_drop_not_delivery():
+    """At-least-once accounting: a dropped ``<kind>/reply`` is a drop.
+
+    The request leg was delivered (the handler ran), so
+    ``messages_delivered`` reflects exactly one request — the lost reply
+    must increment ``messages_dropped`` and ``messages_dropped`` only,
+    never ``messages_delivered``/``bytes_delivered``/``replies_delivered``.
+    """
+    network, _ = make_network()
+    network.interpose(DropAdversary(drop_kinds={"echo/reply"}))
+    with pytest.raises(NetworkError, match="response"):
+        network.call("client", "service", "echo", b"ping")
+    assert network.messages_delivered == 1  # the request only
+    assert network.messages_dropped == 1  # the reply
+    assert network.replies_delivered == 0
+    request_bytes = network.bytes_delivered
+    # An undropped call meters its request bytes and its reply separately.
+    network.clear_adversaries()
+    network.call("client", "service", "echo", b"ping")
+    assert network.messages_delivered == 2
+    assert network.messages_dropped == 1
+    assert network.replies_delivered == 1
+    assert network.bytes_delivered == 2 * request_bytes
+
+
+def test_retry_after_reply_drop_reaches_handler_with_attempt_gt_1():
+    """Handlers must see ``attempt > 1`` on retransmissions.
+
+    A reply-drop retry is the idempotency-critical case: the handler
+    already ran, and only the incremented attempt number lets it answer
+    from its result cache instead of double-executing.
+    """
+    network = Network(seed=b"retry-net")
+    attempts_seen = []
+
+    def handler(message):
+        attempts_seen.append(message.attempt)
+        return "ok"
+
+    network.register("service", {"do": handler})
+    network.register("client", {})
+
+    class DropFirstReply:
+        dropped = 0
+
+        def process(self, message):
+            if message.kind == "do/reply" and self.dropped == 0:
+                self.dropped += 1
+                return None
+            return message
+
+    network.interpose(DropFirstReply())
+    # The engine's call_with_retry contract, inlined: increment attempt
+    # on every retransmission.
+    result = None
+    for attempt in (1, 2):
+        try:
+            result = network.call("client", "service", "do", b"x", attempt=attempt)
+            break
+        except NetworkError:
+            continue
+    assert result == "ok"
+    assert attempts_seen == [1, 2], (
+        "the handler ran twice (at-least-once) and the retry must carry "
+        "attempt=2 so idempotency caches engage"
+    )
+    assert network.messages_delivered == 2
+    assert network.messages_dropped == 1
+    assert network.replies_delivered == 1

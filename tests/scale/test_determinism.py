@@ -29,12 +29,10 @@ def _run_round(workers, shards, round_id=1):
     )
     users = [u.user_id for u in deployment.corpus.users]
     vectors = deployment.local_vectors()
-    try:
-        report = deployment.engine.run_round(
+    with deployment.engine as engine:
+        report = engine.run_round(
             round_id, users, vectors, deployment.features.bigrams
         )
-    finally:
-        deployment.engine.close_scale_pool()
     return deployment, report
 
 
@@ -91,15 +89,13 @@ def test_multi_round_drbg_state_stays_in_lockstep():
         )
         users = [u.user_id for u in deployment.corpus.users]
         vectors = deployment.local_vectors()
-        try:
+        with deployment.engine as engine:
             reports = [
-                deployment.engine.run_round(
+                engine.run_round(
                     round_id, users, vectors, deployment.features.bigrams
                 )
                 for round_id in (1, 2)
             ]
-        finally:
-            deployment.engine.close_scale_pool()
         return [
             _fingerprint(deployment, report, round_id)
             for round_id, report in zip((1, 2), reports)

@@ -32,12 +32,10 @@ def _build(workers=0, shards=1, chunk_size=32, num_users=8, seed=b"scale-parity"
 def _run(deployment, round_id=1, **round_kwargs):
     users = [u.user_id for u in deployment.corpus.users]
     vectors = deployment.local_vectors()
-    try:
-        return deployment.engine.run_round(
+    with deployment.engine as engine:
+        return engine.run_round(
             round_id, users, vectors, deployment.features.bigrams, **round_kwargs
         )
-    finally:
-        deployment.engine.close_scale_pool()
 
 
 def _assert_bit_exact(serial, parallel):

@@ -1,0 +1,52 @@
+"""Shared fixtures: the storage-backend matrix.
+
+``SERVICE_BACKEND`` (CI matrix) narrows the parametrization to one
+backend kind; unset, every test runs against all three.  The
+``backend_factory`` fixture returns a zero-arg callable building a
+backend over the *same* persisted state each call — calling it twice
+models a process restart (for ``memory`` the same instance is returned,
+which models restart-with-surviving-store and lets the durability logic
+run in the matrix's cheapest leg).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.service.storage import build_backend
+
+ALL_KINDS = ("memory", "disk", "sqlite")
+KINDS = (
+    (os.environ["SERVICE_BACKEND"],)
+    if os.environ.get("SERVICE_BACKEND")
+    else ALL_KINDS
+)
+
+
+@pytest.fixture(params=KINDS)
+def backend_kind(request):
+    return request.param
+
+
+@pytest.fixture
+def backend_factory(backend_kind, tmp_path):
+    if backend_kind == "memory":
+        shared = build_backend("memory")
+
+        def factory():
+            return shared
+
+    else:
+        state = tmp_path / "state"
+
+        def factory():
+            return build_backend(backend_kind, str(state))
+
+    return factory
+
+
+@pytest.fixture
+def backend(backend_factory):
+    return backend_factory()

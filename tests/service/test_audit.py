@@ -1,0 +1,70 @@
+"""Audit-log chaining: append-only, filterable, tamper-evident."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service.audit import AuditLog
+from repro.service.storage import DiskBackend
+
+
+def test_record_and_trail_filters(backend):
+    audit = AuditLog(backend)
+    audit.record("round-opened", tenant="a", round_id=1)
+    audit.record("round-opened", tenant="b", round_id=2)
+    audit.record("round-finalized", tenant="a", round_id=1)
+    assert len(audit.trail(round_id=1)) == 2
+    assert len(audit.trail(tenant="b")) == 1
+    assert len(audit.trail(event="round-finalized")) == 1
+    assert audit.trail(round_id=1, event="round-opened")[0]["tenant"] == "a"
+
+
+def test_chain_survives_reopen(backend_factory):
+    first = AuditLog(backend_factory())
+    first.record("e1", n=1)
+    first.record("e2", n=2)
+    second = AuditLog(backend_factory())
+    second.record("e3", n=3)
+    assert second.verify_chain() == 3
+    entries = second.entries()
+    assert [e["seq"] for e in entries] == [0, 1, 2]
+    assert entries[1]["prev"] == entries[0]["digest"]
+    assert entries[2]["prev"] == entries[1]["digest"]
+
+
+def test_none_fields_are_dropped(backend):
+    audit = AuditLog(backend)
+    entry = audit.record("event", keep=1, drop=None)
+    assert "drop" not in entry
+    audit.verify_chain()
+
+
+def test_tampering_breaks_the_chain(tmp_path):
+    state = tmp_path / "state"
+    audit = AuditLog(DiskBackend(str(state)))
+    audit.record("round-finalized", round_id=1, contributions=4)
+    audit.record("round-finalized", round_id=2, contributions=4)
+    log_file = next(state.glob("log-audit.jsonl"))
+    lines = log_file.read_text().splitlines()
+    doctored = json.loads(lines[0])
+    doctored["contributions"] = 3  # rewrite history
+    lines[0] = json.dumps(doctored)
+    log_file.write_text("\n".join(lines) + "\n")
+    with pytest.raises(ValueError, match="digest mismatch"):
+        AuditLog(DiskBackend(str(state))).verify_chain()
+
+
+def test_truncation_breaks_the_chain(tmp_path):
+    state = tmp_path / "state"
+    audit = AuditLog(DiskBackend(str(state)))
+    audit.record("e1")
+    audit.record("e2")
+    audit.record("e3")
+    log_file = next(state.glob("log-audit.jsonl"))
+    lines = log_file.read_text().splitlines()
+    # Drop the middle entry: every later link is now wrong.
+    log_file.write_text("\n".join([lines[0], lines[2]]) + "\n")
+    with pytest.raises(ValueError):
+        AuditLog(DiskBackend(str(state))).verify_chain()

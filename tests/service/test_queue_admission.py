@@ -1,0 +1,117 @@
+"""Submission-queue admission control, backpressure, and state machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AdmissionError, ConfigurationError
+from repro.service.queue import (
+    OVERFLOW_DEFER,
+    STATE_APPLIED,
+    STATE_ASSIGNED,
+    STATE_DEFERRED,
+    STATE_PENDING,
+    SubmissionQueue,
+)
+
+
+def _queue(backend, **kwargs):
+    kwargs.setdefault("capacity", 3)
+    return SubmissionQueue(backend, "tenant-a", **kwargs)
+
+
+def test_reject_policy_bounds_the_queue(backend):
+    queue = _queue(backend)
+    for i in range(3):
+        queue.submit(f"user-{i}", [0.1])
+    with pytest.raises(AdmissionError, match="full"):
+        queue.submit("user-3", [0.1])
+    assert queue.depth() == {STATE_PENDING: 3}
+
+
+def test_defer_policy_parks_overflow(backend):
+    queue = _queue(backend, overflow=OVERFLOW_DEFER, defer_capacity=2)
+    for i in range(3):
+        queue.submit(f"user-{i}", [0.1])
+    deferred_id = queue.submit("user-3", [0.1])
+    assert queue.state_of(deferred_id) == STATE_DEFERRED
+    queue.submit("user-4", [0.1])
+    with pytest.raises(AdmissionError, match="deferred buffer"):
+        queue.submit("user-5", [0.1])
+
+
+def test_deferred_promotes_as_capacity_frees(backend):
+    queue = _queue(backend, overflow=OVERFLOW_DEFER)
+    ids = [queue.submit(f"user-{i}", [0.1]) for i in range(3)]
+    deferred_id = queue.submit("user-9", [0.9])
+    batch = queue.take()  # deferred submission cannot be in this batch
+    assert deferred_id not in [e["submission_id"] for e in batch]
+    queue.mark_assigned([e["submission_id"] for e in batch], 1)
+    queue.mark_applied(ids)
+    promoted_batch = queue.take()
+    assert [e["submission_id"] for e in promoted_batch] == [deferred_id]
+    assert queue.state_of(deferred_id) == STATE_PENDING
+
+
+def test_take_is_admission_ordered_and_one_per_user(backend):
+    queue = _queue(backend, capacity=10)
+    first = queue.submit("user-0", [0.1])
+    second = queue.submit("user-1", [0.2])
+    duplicate = queue.submit("user-0", [0.3])
+    batch = queue.take()
+    assert [e["submission_id"] for e in batch] == [first, second]
+    # The duplicate waits for the next round.
+    queue.mark_assigned([first, second], 1)
+    queue.mark_applied([first, second])
+    assert [e["submission_id"] for e in queue.take()] == [duplicate]
+
+
+def test_state_machine_assigned_applied(backend):
+    queue = _queue(backend)
+    sid = queue.submit("user-0", [0.5])
+    queue.mark_assigned([sid], 7)
+    assert queue.state_of(sid) == STATE_ASSIGNED
+    assert [e["submission_id"] for e in queue.assigned_to(7)] == [sid]
+    assert queue.take() == []  # assigned is not pending
+    queue.mark_applied([sid])
+    assert queue.state_of(sid) == STATE_APPLIED
+    assert queue.assigned_to(7) == []
+
+
+def test_requeue_returns_aborted_round_to_pending(backend):
+    queue = _queue(backend)
+    sid = queue.submit("user-0", [0.5])
+    queue.mark_assigned([sid], 7)
+    assert queue.requeue_round(7) == [sid]
+    assert queue.state_of(sid) == STATE_PENDING
+    assert queue.requeue_round(7) == []
+
+
+def test_applied_counts_leave_capacity(backend):
+    queue = _queue(backend)
+    ids = [queue.submit(f"user-{i}", [0.1]) for i in range(3)]
+    queue.mark_assigned(ids, 1)
+    queue.mark_applied(ids)
+    # Resolved submissions free their capacity slots.
+    queue.submit("user-9", [0.9])
+
+
+def test_queue_state_survives_reopen(backend_factory):
+    first = _queue(backend_factory())
+    sid = first.submit("user-0", [0.25, 0.75])
+    first.mark_assigned([sid], 3)
+    second = _queue(backend_factory())
+    assert second.state_of(sid) == STATE_ASSIGNED
+    entry = second.assigned_to(3)[0]
+    assert entry["values"] == [0.25, 0.75]
+    assert entry["user_id"] == "user-0"
+
+
+def test_unknown_submission_and_bad_config(backend):
+    queue = _queue(backend)
+    with pytest.raises(ConfigurationError):
+        queue.state_of("nope")
+    with pytest.raises(ConfigurationError):
+        SubmissionQueue(backend, "t", capacity=0)
+    with pytest.raises(ConfigurationError):
+        SubmissionQueue(backend, "t", overflow="explode")
