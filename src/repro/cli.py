@@ -36,6 +36,19 @@ through concurrent async rounds, one per tenant at a time, and ``--resume``
 first finishes any round a previous process left open in the journal.
 Both commands default to the ``disk`` backend so separate invocations
 share state through ``--state-dir``.
+
+Robustness tooling::
+
+    python -m repro serve --state-dir ./state --chaos-seed demo-1
+    python -m repro audit-verify --state-dir ./state
+    python -m repro audit-verify --state-dir ./state --repair
+
+``serve --chaos-seed`` drains the queue under a deterministic storage
+fault plan with hard kill-points, restarting the service from persisted
+state after every incident — a command-line miniature of the chaos
+suite's exact-or-recovered harness.  ``audit-verify`` exits 1 on any
+tamper/truncation of the hash-chained audit log and, with ``--repair``,
+quarantines the broken history and re-anchors the chain.
 """
 
 from __future__ import annotations
@@ -146,6 +159,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         as_json=args.json,
         write=not args.no_write,
         workers=args.workers,
+        chaos=args.chaos,
     )
 
 
@@ -167,7 +181,85 @@ def _service_for(args: argparse.Namespace):
     return service
 
 
+def _cmd_serve_chaos(args: argparse.Namespace) -> int:
+    """Self-healing serve: faulty storage + kill-points, restart on death."""
+    from repro.crypto.drbg import HmacDrbg
+    from repro.errors import (
+        ConfigurationError,
+        ServiceKilledError,
+        StorageError,
+    )
+    from repro.faults import (
+        FaultInjector,
+        FaultyStorageBackend,
+        sample_service_plan,
+    )
+    from repro.service import GlimmerService, build_backend
+
+    seed = args.chaos_seed.encode("utf-8")
+    plan = sample_service_plan(
+        HmacDrbg(seed, personalization="service-plan"),
+        args.fault_rate,
+        label=args.chaos_seed,
+    )
+    injector = FaultInjector(plan, seed=seed)
+    tenants = [t for t in args.tenants.split(",") if t]
+    restarts = 0
+    while True:
+        backend = FaultyStorageBackend(
+            build_backend(args.backend, args.state_dir), injector
+        )
+        try:
+            try:
+                service = GlimmerService.recover(backend)
+            except ConfigurationError:
+                service = GlimmerService(
+                    backend,
+                    base_seed=args.seed.encode("utf-8"),
+                    num_users=args.users,
+                    queue_capacity=args.queue_capacity,
+                    overflow=args.overflow,
+                )
+            service.attach_chaos(injector)
+            for name in tenants:
+                if name not in service.tenants:
+                    service.add_tenant(name)
+            for report in service.resume_sync():
+                print(
+                    f"recovered round {report.round_id}: "
+                    f"{report.num_contributions} contributions"
+                )
+            for _ in range(args.rounds):
+                reports = service.run_pending_sync(limit=args.batch)
+                if not reports:
+                    break
+                for report in reports:
+                    print(
+                        f"round {report.round_id}: "
+                        f"{report.num_contributions} contributions"
+                    )
+            repair = service.audit.verify_and_repair()
+            print(
+                f"chaos schedule {plan.label!r}: {restarts} restart(s), "
+                f"{len(injector.fired_log())} fault(s) fired, audit "
+                + ("repaired" if repair["repaired"] else "intact")
+            )
+            service.close()
+            return 0
+        except (ServiceKilledError, StorageError) as exc:
+            restarts += 1
+            print(
+                f"incident: {type(exc).__name__}: {exc} -- "
+                f"restarting from persisted state ({restarts})"
+            )
+            if restarts > args.max_restarts:
+                print("giving up: max restarts exceeded", file=sys.stderr)
+                return 1
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.chaos_seed:
+        return _cmd_serve_chaos(args)
     with _service_for(args) as service:
         for name in [t for t in args.tenants.split(",") if t]:
             if name not in service.tenants:
@@ -216,6 +308,33 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             return 2
         state = service.tenant(args.tenant).queue.state_of(submission_id)
         print(f"admitted {submission_id} ({state})")
+    return 0
+
+
+def _cmd_audit_verify(args: argparse.Namespace) -> int:
+    from repro.service import AuditLog, build_backend
+
+    audit = AuditLog(build_backend(args.backend, args.state_dir))
+    if args.repair:
+        report = audit.verify_and_repair()
+        if report["repaired"]:
+            print(
+                f"repaired: break at entry {report['break_index']}, "
+                f"{report['quarantined']} entries quarantined, "
+                f"{report['truncated_by']} lost from the tail"
+            )
+        if report["ok"]:
+            print(f"audit chain verified: {audit.verify_chain()} entries")
+            return 0
+        print("audit chain unrepairable", file=sys.stderr)
+        return 1
+    try:
+        count = audit.verify_chain()
+    except ValueError as exc:
+        print(f"audit chain broken: {exc}", file=sys.stderr)
+        print("run 'repro audit-verify --repair' to quarantine and re-anchor")
+        return 1
+    print(f"audit chain verified: {count} entries")
     return 0
 
 
@@ -307,6 +426,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="also time the parallel round pipeline with this many worker "
         "processes and record its speedup vs serial (default 0: serial only)",
     )
+    bench_parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="also run chaos schedules and record recovery telemetry in a "
+        "non-gated 'robustness' snapshot section",
+    )
     bench_parser.set_defaults(func=_cmd_bench)
 
     serve_parser = sub.add_parser(
@@ -329,6 +454,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", action="store_true",
         help="first finish rounds a previous process left open in the journal",
     )
+    serve_parser.add_argument(
+        "--chaos-seed",
+        help="run the self-healing loop under a DRBG-scheduled fault plan "
+        "seeded by this string (storage faults + kill-points; the service "
+        "restarts from persisted state after every incident)",
+    )
+    serve_parser.add_argument(
+        "--fault-rate", type=float, default=0.1,
+        help="fault density for --chaos-seed schedules (default 0.1)",
+    )
+    serve_parser.add_argument(
+        "--max-restarts", type=int, default=25,
+        help="give up after this many chaos restarts (default 25)",
+    )
     serve_parser.set_defaults(func=_cmd_serve)
 
     submit_parser = sub.add_parser(
@@ -345,6 +484,25 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: the user's honestly trained vector)",
     )
     submit_parser.set_defaults(func=_cmd_submit)
+
+    audit_parser = sub.add_parser(
+        "audit-verify",
+        help="verify the service audit chain; exits 1 on any break",
+    )
+    audit_parser.add_argument(
+        "--state-dir", default="./glimmer-state",
+        help="service state directory (default ./glimmer-state)",
+    )
+    audit_parser.add_argument(
+        "--backend", default="disk", choices=("memory", "disk", "sqlite"),
+        help="storage backend holding the audit log (default disk)",
+    )
+    audit_parser.add_argument(
+        "--repair", action="store_true",
+        help="quarantine broken history under an explicit repair record "
+        "and re-anchor the chain; exits 0 once the chain verifies again",
+    )
+    audit_parser.set_defaults(func=_cmd_audit_verify)
     return parser
 
 

@@ -98,3 +98,33 @@ class AdmissionError(ReproError):
     is ``reject``, or when even the deferred buffer is full under
     ``defer``.  Carries no client data — admission control is load
     shedding, not a protocol verdict."""
+
+
+class StorageError(ReproError):
+    """Base class for storage-backend failures in the service layer."""
+
+
+class StorageFaultError(StorageError):
+    """One storage operation failed (transient: an I/O error, a torn write).
+
+    This is the *retryable* storage failure: the resilience layer backs
+    off and re-issues the operation.  The chaos harness injects it at the
+    ``storage.*`` fault sites; a real deployment would map ``OSError`` /
+    ``sqlite3.OperationalError`` onto it at the backend boundary."""
+
+
+class StorageUnavailableError(StorageError):
+    """Storage is down for real: retries exhausted or the circuit is open.
+
+    Raised fail-fast by an open :class:`~repro.service.resilience
+    .CircuitBreaker` so callers stop hammering a dead backend, and by the
+    retry layer once its attempt budget is spent.  The service reacts by
+    quarantining the affected tenant (bulkhead), never by blocking."""
+
+
+class ServiceKilledError(ReproError):
+    """The chaos schedule hard-killed the service process at this point.
+
+    Only ever raised when a fault injector is attached to the service's
+    kill points; the harness catches it, drops the in-memory service, and
+    restarts from persisted state — the crash itself is the test."""

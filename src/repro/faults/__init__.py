@@ -9,6 +9,15 @@ failure modes into named **fault sites** threaded through the stack
 engine phase boundaries) so the chaos suite can prove the runtime's
 exact-or-abort guarantee under adversarial failure timing.
 
+The same treatment extends *below* the protocol into the hosting layer:
+``storage.*`` sites (I/O errors, torn writes, silent corruption, writes
+lost after their ack) injected through
+:class:`~repro.faults.storage.FaultyStorageBackend`, per-subsystem sites
+for queue admission and journal/audit appends, and ``service.kill`` hard
+kill-points at service lifecycle stages
+(:mod:`repro.faults.service_plan`) — so the service chaos suite can prove
+the *service's* exact-or-recovered guarantee across restarts.
+
 Everything is DRBG-seeded: a :class:`FaultPlan` plus a seed fully
 determines which faults fire and when, so any failing schedule replays
 bit-for-bit.  Components that host a fault site call
@@ -32,49 +41,83 @@ or sample a random-but-reproducible schedule::
 
 from repro.faults.plan import (
     ACTION_CRASH,
+    ACTION_CORRUPT,
     ACTION_DROP,
+    ACTION_IO_ERROR,
     ACTION_KILL,
     ACTION_LOSE,
+    ACTION_LOST_AFTER_ACK,
     ACTION_PRESSURE,
     ACTION_STALL,
+    ACTION_TORN_WRITE,
     DEFAULT_ACTIONS,
     PROBABILISTIC_SITES,
+    SITE_AUDIT_APPEND,
     SITE_BLINDER,
     SITE_CLIENT_POST_SIGN,
     SITE_CLIENT_PRE_SIGN,
     SITE_CLIENT_PROVISION,
     SITE_ECALL,
     SITE_EPC_PRESSURE,
+    SITE_JOURNAL_APPEND,
     SITE_PHASE_STALL,
+    SITE_QUEUE_ADMIT,
     SITE_REQUEST,
     SITE_RESPONSE,
     SITE_SEAL_LOSS,
+    SITE_SERVICE_KILL,
+    SITE_STORAGE_APPEND,
+    SITE_STORAGE_FLUSH,
+    SITE_STORAGE_PUT,
     FaultPlan,
     FaultSpec,
 )
 from repro.faults.injector import FaultInjector, FiredFault
+from repro.faults.service_plan import (
+    KILL_STAGES,
+    STORAGE_SITES,
+    sample_service_plan,
+)
+from repro.faults.storage import FaultyStorageBackend, corrupt_value, is_torn
 
 __all__ = [
     "ACTION_CRASH",
+    "ACTION_CORRUPT",
     "ACTION_DROP",
+    "ACTION_IO_ERROR",
     "ACTION_KILL",
     "ACTION_LOSE",
+    "ACTION_LOST_AFTER_ACK",
     "ACTION_PRESSURE",
     "ACTION_STALL",
+    "ACTION_TORN_WRITE",
     "DEFAULT_ACTIONS",
+    "KILL_STAGES",
     "PROBABILISTIC_SITES",
+    "SITE_AUDIT_APPEND",
     "SITE_BLINDER",
     "SITE_CLIENT_POST_SIGN",
     "SITE_CLIENT_PRE_SIGN",
     "SITE_CLIENT_PROVISION",
     "SITE_ECALL",
     "SITE_EPC_PRESSURE",
+    "SITE_JOURNAL_APPEND",
     "SITE_PHASE_STALL",
+    "SITE_QUEUE_ADMIT",
     "SITE_REQUEST",
     "SITE_RESPONSE",
     "SITE_SEAL_LOSS",
+    "SITE_SERVICE_KILL",
+    "SITE_STORAGE_APPEND",
+    "SITE_STORAGE_FLUSH",
+    "SITE_STORAGE_PUT",
+    "STORAGE_SITES",
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",
+    "FaultyStorageBackend",
     "FiredFault",
+    "corrupt_value",
+    "is_torn",
+    "sample_service_plan",
 ]

@@ -48,6 +48,33 @@ SITE_BLINDER = "blinder.lifecycle"
 SITE_PHASE_STALL = "engine.phase"
 """A phase opens late (models scheduler stalls; exercises phase deadlines)."""
 
+SITE_STORAGE_PUT = "storage.put"
+"""A key/value write to the service's storage backend misbehaves."""
+
+SITE_STORAGE_APPEND = "storage.append"
+"""An append to one of the backend's append-only logs misbehaves."""
+
+SITE_STORAGE_FLUSH = "storage.flush"
+"""A backend flush/commit fails (dirty state may or may not be durable)."""
+
+SITE_QUEUE_ADMIT = "queue.admit"
+"""A write into a tenant's durable submission-queue space misbehaves."""
+
+SITE_JOURNAL_APPEND = "journal.append"
+"""A round-journal append misbehaves (the crash-recovery record itself)."""
+
+SITE_AUDIT_APPEND = "audit.append"
+"""An audit-log append misbehaves (chain breaks are detectable by design)."""
+
+SITE_SERVICE_KILL = "service.kill"
+"""The whole service process dies at a lifecycle stage boundary.
+
+The ``phase`` filter of a spec selects the stage (``post-submit``,
+``post-take``, ``post-journal-open``, ``post-assign``, ``post-drive``,
+``post-finalize-journal``, ``post-apply``); the service raises
+:class:`~repro.errors.ServiceKilledError` there and the harness restarts
+it from persisted state."""
+
 # Fault actions -------------------------------------------------------------
 ACTION_DROP = "drop"
 ACTION_KILL = "kill"
@@ -55,6 +82,10 @@ ACTION_CRASH = "crash"
 ACTION_LOSE = "lose"
 ACTION_PRESSURE = "pressure"
 ACTION_STALL = "stall"
+ACTION_IO_ERROR = "io-error"
+ACTION_TORN_WRITE = "torn-write"
+ACTION_CORRUPT = "corrupt"
+ACTION_LOST_AFTER_ACK = "lost-after-ack"
 
 DEFAULT_ACTIONS: Mapping[str, str] = {
     SITE_REQUEST: ACTION_DROP,
@@ -67,6 +98,13 @@ DEFAULT_ACTIONS: Mapping[str, str] = {
     SITE_CLIENT_POST_SIGN: ACTION_CRASH,
     SITE_BLINDER: ACTION_CRASH,
     SITE_PHASE_STALL: ACTION_STALL,
+    SITE_STORAGE_PUT: ACTION_IO_ERROR,
+    SITE_STORAGE_APPEND: ACTION_IO_ERROR,
+    SITE_STORAGE_FLUSH: ACTION_IO_ERROR,
+    SITE_QUEUE_ADMIT: ACTION_IO_ERROR,
+    SITE_JOURNAL_APPEND: ACTION_IO_ERROR,
+    SITE_AUDIT_APPEND: ACTION_IO_ERROR,
+    SITE_SERVICE_KILL: ACTION_KILL,
 }
 
 PROBABILISTIC_SITES: tuple[str, ...] = (

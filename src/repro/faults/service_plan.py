@@ -1,0 +1,136 @@
+"""Sampled fault schedules for the service layer (storage + kill points).
+
+The round-level :meth:`FaultPlan.sample` stresses the *protocol* —
+transport drops, enclave kills, client crashes.  This module samples the
+complementary plan for the *hosting* layer: what the service's disk,
+database, and process lifecycle do to it.  A service plan mixes
+
+* background **io-error rates** on the generic storage sites (every
+  write may transiently fail, so the retry/backoff and circuit-breaker
+  paths get continuous exercise),
+* a few **scheduled write pathologies** — a torn space write, a
+  journal append lost after its ack, a corrupted or dropped audit entry
+  — each aimed at one subsystem via its specific site, and
+* at most one **hard kill** per schedule, at a sampled service lifecycle
+  stage (:data:`KILL_STAGES`) on a sampled visit, which is how
+  "kill the process between the finalize record and the queue update"
+  becomes a replayable schedule entry.
+
+Like every plan, a service plan is plain data: pair it with a seed in a
+:class:`~repro.faults.injector.FaultInjector` and the whole chaos run —
+including where the process dies and what the disk lies about — replays
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.crypto.drbg import HmacDrbg
+from repro.faults.plan import (
+    ACTION_CORRUPT,
+    ACTION_LOST_AFTER_ACK,
+    ACTION_TORN_WRITE,
+    FaultPlan,
+    FaultSpec,
+    SITE_AUDIT_APPEND,
+    SITE_JOURNAL_APPEND,
+    SITE_QUEUE_ADMIT,
+    SITE_SERVICE_KILL,
+    SITE_STORAGE_APPEND,
+    SITE_STORAGE_PUT,
+)
+
+#: Generic storage sites that take background io-error pressure.
+STORAGE_SITES: tuple[str, ...] = (
+    SITE_STORAGE_PUT,
+    SITE_STORAGE_APPEND,
+)
+
+#: Service lifecycle stages where a kill spec may fire.  Each one is a
+#: distinct persisted-state shape for recovery to untangle:
+#:
+#: * ``post-submit`` — submission acked, nothing else happened yet;
+#: * ``post-take`` — batch drawn, round id not yet allocated;
+#: * ``post-journal-open`` — round journaled, queue not yet assigned;
+#: * ``post-assign`` — journaled and assigned, protocol never ran;
+#: * ``post-drive`` — protocol finished, finalize record not yet written;
+#: * ``post-finalize-journal`` — finalized in the journal, queue still
+#:   says assigned (the settle-without-replay gap);
+#: * ``post-apply`` — everything durable, only the audit trail pending.
+KILL_STAGES: tuple[str, ...] = (
+    "post-submit",
+    "post-take",
+    "post-journal-open",
+    "post-assign",
+    "post-drive",
+    "post-finalize-journal",
+    "post-apply",
+)
+
+#: What a sampled schedule may do to the audit log.  ``corrupt`` is only
+#: ever aimed here: the hash chain is the one subsystem built to *detect*
+#: silent corruption, so that is where the pathology must land.
+_AUDIT_ACTIONS = (ACTION_CORRUPT, ACTION_LOST_AFTER_ACK, ACTION_TORN_WRITE)
+
+
+def sample_service_plan(
+    rng: HmacDrbg,
+    fault_rate: float,
+    *,
+    kill_stages: Sequence[str] = KILL_STAGES,
+    label: str = "",
+) -> FaultPlan:
+    """Draw one random-but-reproducible service-layer fault schedule.
+
+    ``fault_rate`` scales both the background io-error pressure and the
+    odds that each scheduled pathology appears, so low-rate schedules are
+    mostly-quiet single-incident runs while high-rate ones stack a kill
+    on top of lying storage.
+    """
+    rates: dict[str, float] = {}
+    for site in STORAGE_SITES:
+        if rng.uniform() < 0.5:
+            rates[site] = fault_rate * (0.5 + rng.uniform())
+    specs: list[FaultSpec] = []
+    if rng.uniform() < 0.7:
+        specs.append(
+            FaultSpec(
+                site=SITE_SERVICE_KILL,
+                phase=rng.choice(list(kill_stages)),
+                at_hit=1 + rng.randint(6),
+            )
+        )
+    if rng.uniform() < min(1.0, 5.0 * fault_rate):
+        specs.append(
+            FaultSpec(
+                site=SITE_JOURNAL_APPEND,
+                action=ACTION_LOST_AFTER_ACK,
+                at_hit=1 + rng.randint(3),
+            )
+        )
+    if rng.uniform() < min(1.0, 5.0 * fault_rate):
+        specs.append(
+            FaultSpec(
+                site=SITE_AUDIT_APPEND,
+                action=rng.choice(list(_AUDIT_ACTIONS)),
+                at_hit=1 + rng.randint(10),
+            )
+        )
+    if rng.uniform() < min(1.0, 4.0 * fault_rate):
+        specs.append(
+            FaultSpec(
+                site=SITE_QUEUE_ADMIT,
+                action=ACTION_LOST_AFTER_ACK,
+                at_hit=1 + rng.randint(5),
+            )
+        )
+    if rng.uniform() < min(1.0, 4.0 * fault_rate):
+        specs.append(
+            FaultSpec(
+                site=SITE_STORAGE_PUT,
+                action=ACTION_TORN_WRITE,
+                at_hit=1 + rng.randint(8),
+            )
+        )
+    return FaultPlan(specs=tuple(specs), rates=rates, label=label)

@@ -1,0 +1,173 @@
+"""Deterministic storage misbehavior: the FaultyStorageBackend wrapper.
+
+The service's durability story rests on its storage backend honoring an
+acknowledged write.  Real disks and databases break that promise in a
+handful of canonical ways, each of which this wrapper reproduces on
+schedule at the ``storage.*`` fault sites:
+
+* **io-error** — the operation raises and nothing was written.  This is
+  the transient failure the retry/backoff layer exists for.
+* **torn-write** — a recognizable garbage record lands in storage *and*
+  the operation raises: the caller retries (and usually succeeds), but
+  the torn record stays behind for recovery code to step over.
+* **corrupt** — the write is acknowledged but what hit storage is not
+  what was written (bit rot, a buggy firmware cache).  Detectable only
+  by integrity machinery above the backend — the audit log's hash chain.
+* **lost-after-ack** — the write is acknowledged and simply never
+  happens (a volatile write cache that lost power).  The caller moves on
+  believing the record durable; recovery must reconcile the gap.
+
+The wrapper composes with every concrete backend (memory, disk, sqlite)
+because it only speaks the :class:`~repro.service.storage.StorageBackend`
+interface.  Reads and deletes pass through unfaulted: the chaos model is
+an adversarial *write path*, and keeping reads reliable is what makes
+same-seed schedules replay deterministically.
+
+Site mapping: every mutation visits its generic site (``storage.put``,
+``storage.append``, ``storage.flush``); writes into well-known service
+namespaces additionally visit a specific site first (``queue.admit`` for
+``queue/*`` spaces, ``journal.append`` / ``audit.append`` for the round
+journal and audit logs), so a plan can aim a scheduled pathology at
+exactly one subsystem without background noise on the others.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import StorageFaultError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    ACTION_CORRUPT,
+    ACTION_IO_ERROR,
+    ACTION_LOST_AFTER_ACK,
+    ACTION_TORN_WRITE,
+    SITE_AUDIT_APPEND,
+    SITE_JOURNAL_APPEND,
+    SITE_QUEUE_ADMIT,
+    SITE_STORAGE_APPEND,
+    SITE_STORAGE_FLUSH,
+    SITE_STORAGE_PUT,
+)
+
+TORN_MARKER = "__torn__"
+CORRUPT_MARKER = "__corrupt__"
+
+#: Log names that get their own specific fault site.
+_SPECIFIC_LOG_SITES = {
+    "round-journal": SITE_JOURNAL_APPEND,
+    "audit": SITE_AUDIT_APPEND,
+}
+
+
+def corrupt_value(value: Any) -> Any:
+    """What a silently-corrupting write leaves behind.
+
+    Dict records keep their shape but gain a marker field and lose the
+    integrity of one value (an audit entry's digest is flipped when
+    present, which is exactly the corruption the hash chain must catch);
+    everything else is wrapped so the original bytes are gone.
+    """
+    if isinstance(value, dict):
+        doctored = dict(value)
+        doctored[CORRUPT_MARKER] = True
+        if isinstance(doctored.get("digest"), str):
+            doctored["digest"] = doctored["digest"][::-1]
+        return doctored
+    return {CORRUPT_MARKER: True, "was": repr(value)}
+
+
+def is_torn(entry: Any) -> bool:
+    """True for the garbage record a torn write leaves behind."""
+    return isinstance(entry, dict) and entry.get(TORN_MARKER) is True
+
+
+class FaultyStorageBackend:
+    """Wrap any backend; misbehave on writes per the injector's schedule.
+
+    Duck-typed rather than subclassing
+    :class:`repro.service.storage.StorageBackend` — the faults package
+    must stay importable from the bottom of the stack (the enclave layer
+    uses its sites), so it cannot pull the service package in at import
+    time.
+    """
+
+    def __init__(self, inner, injector: FaultInjector) -> None:
+        self.inner = inner
+        self.injector = injector
+        self.kind = inner.kind
+
+    # ------------------------------------------------------------- plumbing
+
+    def _fire(self, generic: str, specific: str | None, **context) -> str | None:
+        # The specific site wins so a scheduled spec on e.g. the audit log
+        # cannot be shadowed by a background rate on the generic site.
+        if specific is not None:
+            action = self.injector.fire(specific, **context)
+            if action is not None:
+                return action
+        return self.injector.fire(generic, **context)
+
+    # ------------------------------------------------------------ mutations
+
+    def put(self, space: str, key: str, value: Any) -> None:
+        specific = SITE_QUEUE_ADMIT if space.startswith("queue/") else None
+        action = self._fire(
+            SITE_STORAGE_PUT, specific, kind=space, key=str(key)
+        )
+        if action == ACTION_IO_ERROR:
+            raise StorageFaultError(
+                f"injected I/O error: put {space}/{key}"
+            )
+        if action == ACTION_TORN_WRITE:
+            self.inner.put(space, key, {TORN_MARKER: True})
+            raise StorageFaultError(
+                f"injected torn write: put {space}/{key}"
+            )
+        if action == ACTION_LOST_AFTER_ACK:
+            return  # acknowledged; never durable
+        if action == ACTION_CORRUPT:
+            self.inner.put(space, key, corrupt_value(value))
+            return  # acknowledged; silently wrong
+        self.inner.put(space, key, value)
+
+    def append(self, log: str, entry: dict) -> int:
+        action = self._fire(
+            SITE_STORAGE_APPEND, _SPECIFIC_LOG_SITES.get(log), kind=log
+        )
+        if action == ACTION_IO_ERROR:
+            raise StorageFaultError(f"injected I/O error: append {log}")
+        if action == ACTION_TORN_WRITE:
+            self.inner.append(log, {TORN_MARKER: True})
+            raise StorageFaultError(f"injected torn write: append {log}")
+        if action == ACTION_LOST_AFTER_ACK:
+            # The sequence number the writer believes it got.
+            return len(self.inner.read_log(log))
+        if action == ACTION_CORRUPT:
+            return self.inner.append(log, corrupt_value(dict(entry)))
+        return self.inner.append(log, entry)
+
+    def flush(self) -> None:
+        if self._fire(SITE_STORAGE_FLUSH, None, kind="flush") == ACTION_IO_ERROR:
+            raise StorageFaultError("injected I/O error: flush")
+        self.inner.flush()
+
+    # ----------------------------------------------------- reliable reads
+
+    def get(self, space: str, key: str, default: Any = None) -> Any:
+        return self.inner.get(space, key, default)
+
+    def keys(self, space: str) -> list[str]:
+        return self.inner.keys(space)
+
+    def delete(self, space: str, key: str) -> bool:
+        return self.inner.delete(space, key)
+
+    def read_log(self, log: str) -> list[dict]:
+        return self.inner.read_log(log)
+
+    def items(self, space: str) -> list[tuple[str, Any]]:
+        return self.inner.items(space)
+
+    def close(self) -> None:
+        self.inner.close()

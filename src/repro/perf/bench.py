@@ -299,10 +299,61 @@ def _experiment_benches(quick: bool, workers: int = 0) -> dict[str, dict]:
     return benches
 
 
+def _chaos_bench(quick: bool = False) -> dict:
+    """Self-healing telemetry over a handful of chaos schedules.
+
+    Runs :func:`~repro.service.chaos.run_service_schedule` against
+    in-memory storage and aggregates its recovery counters.  The numbers
+    land in the snapshot's ``robustness`` section, which
+    :func:`compare_snapshots` deliberately never walks: recovery wall
+    time depends on the sampled fault schedule and the machine, so the
+    row is tracked as an observable, not gated as a regression metric.
+    """
+    from repro.service.chaos import run_service_schedule
+    from repro.service.storage import MemoryBackend
+
+    schedules = 4 if quick else 10
+    fault_rate = 0.1
+    totals = {
+        "rounds_finalized": 0,
+        "rounds_recovered": 0,
+        "rounds_settled": 0,
+        "rounds_aborted": 0,
+        "restarts": 0,
+        "kills": 0,
+        "audit_repairs": 0,
+    }
+    recovery_seconds = []
+    for index in range(schedules):
+        backend = MemoryBackend()
+        report = run_service_schedule(
+            lambda: backend, seed=b"bench-chaos-3", index=index,
+            fault_rate=fault_rate,
+        )
+        for key in totals:
+            totals[key] += report[key]
+        if report["restarts"]:
+            recovery_seconds.append(
+                report["recovery_time"] / report["restarts"]
+            )
+    totals.update(
+        schedules=schedules,
+        fault_rate=fault_rate,
+        mean_recovery_s=(
+            sum(recovery_seconds) / len(recovery_seconds)
+            if recovery_seconds
+            else 0.0
+        ),
+    )
+    return totals
+
+
 # ----------------------------------------------------------------- snapshots
 
 
-def run_benchmarks(quick: bool = False, workers: int = 0) -> dict:
+def run_benchmarks(
+    quick: bool = False, workers: int = 0, chaos: bool = False
+) -> dict:
     """Run every bench; returns the snapshot document (not yet written).
 
     ``workers > 0`` additionally times the parallel round pipeline next
@@ -337,7 +388,7 @@ def run_benchmarks(quick: bool = False, workers: int = 0) -> dict:
                 entry["speedup_vs_serial"] = (
                     entry["clients_per_sec"] / serial["clients_per_sec"]
                 )
-    return {
+    snapshot = {
         "schema": SCHEMA_VERSION,
         "date": _dt.date.today().isoformat(),
         "quick": quick,
@@ -348,6 +399,9 @@ def run_benchmarks(quick: bool = False, workers: int = 0) -> dict:
         "experiments": experiments,
         "peak_rss_kb": _peak_rss_kb(),
     }
+    if chaos:
+        snapshot["robustness"] = _chaos_bench(quick)
+    return snapshot
 
 
 def snapshot_path(directory: Path, date: str | None = None) -> Path:
@@ -455,6 +509,21 @@ def render_report(snapshot: dict, comparison: dict | None) -> str:
         if entry.get("peak_rss_kb"):
             line += f" (peak RSS {entry['peak_rss_kb'] / 1024:.0f} MiB)"
         lines.append(line)
+    robustness = snapshot.get("robustness")
+    if robustness:
+        lines.append("")
+        lines.append(
+            f"robustness (not gated): {robustness['schedules']} chaos "
+            f"schedules at fault rate {robustness['fault_rate']} — "
+            f"{robustness['rounds_finalized']} rounds finalized, "
+            f"{robustness['rounds_recovered']} recovered, "
+            f"{robustness['rounds_settled']} settled, "
+            f"{robustness['rounds_aborted']} aborted; "
+            f"{robustness['restarts']} restarts "
+            f"({robustness['kills']} kills), "
+            f"{robustness['audit_repairs']} audit repairs, "
+            f"mean recovery {robustness['mean_recovery_s'] * 1000:.1f} ms"
+        )
     if comparison is not None:
         lines.append("")
         if comparison["ok"]:
@@ -481,9 +550,10 @@ def main(
     as_json: bool = False,
     write: bool = True,
     workers: int = 0,
+    chaos: bool = False,
 ) -> int:
     """The ``repro bench`` entry point; returns the process exit code."""
-    snapshot = run_benchmarks(quick=quick, workers=workers)
+    snapshot = run_benchmarks(quick=quick, workers=workers, chaos=chaos)
     path = snapshot_path(out_dir, snapshot["date"])
     if baseline is None:
         baseline = find_baseline(out_dir)
@@ -505,6 +575,7 @@ def main(
                     "baseline": str(baseline) if baseline else None,
                     "date": snapshot["date"],
                     "speedups": snapshot["speedups"],
+                    "robustness": snapshot.get("robustness"),
                     "comparison": comparison,
                 },
                 indent=2,

@@ -14,16 +14,22 @@ completion.  This package wraps it in a service shape:
 * :mod:`repro.service.async_engine` — the asyncio driver that interleaves
   many rounds' :meth:`~repro.runtime.engine.RoundEngine.round_stages`
   generators on one event loop, bit-exact per round;
+* :mod:`repro.service.resilience` — the armor between the service and its
+  storage: capped-jittered retries, a per-backend circuit breaker, and
+  fail-fast :class:`~repro.errors.StorageUnavailableError` conversion;
 * :mod:`repro.service.service` — :class:`GlimmerService`, the multi-tenant
   composition: several cloud services sharing one blinding provisioner,
-  continuous intake, overlapping rounds, crash recovery.
+  continuous intake, overlapping rounds, crash recovery, per-tenant
+  bulkheads, a round watchdog, and chaos kill-points;
+* :mod:`repro.service.chaos` — the kill-and-restart self-healing harness
+  driving all of the above under scheduled storage faults.
 
 The synchronous engine remains the bit-exact reference; everything here
 reuses its phase logic verbatim and only changes *when* it runs.
 """
 
 from repro.service.async_engine import AsyncRoundEngine, install_async_drive
-from repro.service.audit import AuditLog
+from repro.service.audit import EVENT_REPAIR, AuditLog
 from repro.service.journal import RoundJournal
 from repro.service.queue import (
     OVERFLOW_DEFER,
@@ -34,6 +40,11 @@ from repro.service.queue import (
     STATE_PENDING,
     STATE_REJECTED,
     SubmissionQueue,
+)
+from repro.service.resilience import (
+    CircuitBreaker,
+    ResilientStorageBackend,
+    RetryPolicy,
 )
 from repro.service.service import GlimmerService, TenantRuntime
 from repro.service.storage import (
@@ -48,11 +59,15 @@ from repro.service.storage import (
 __all__ = [
     "AsyncRoundEngine",
     "AuditLog",
+    "CircuitBreaker",
     "DiskBackend",
+    "EVENT_REPAIR",
     "GlimmerService",
     "MemoryBackend",
     "OVERFLOW_DEFER",
     "OVERFLOW_REJECT",
+    "ResilientStorageBackend",
+    "RetryPolicy",
     "RoundJournal",
     "SQLiteBackend",
     "STATE_APPLIED",

@@ -7,6 +7,23 @@ Truncating, reordering, or editing any prefix breaks every later link,
 so :meth:`AuditLog.verify_chain` detects tampering with O(n) hashing and
 zero trust in the storage backend.
 
+Two additions make the chain *self-healing* rather than merely
+tamper-evident:
+
+* **the anchor** — alongside every append, the log writes its expected
+  length and head digest into a separate key/value space
+  (``audit-meta``).  A chain whose every link verifies can still have
+  been truncated from the tail; the anchor turns silent tail-loss into a
+  detectable break.
+* **repair records** — :meth:`AuditLog.verify_and_repair` finds the
+  first broken link, quarantines everything from the break onward (the
+  entries stay readable but are no longer trusted), and appends an
+  explicit ``audit-repaired`` record that names the break index, hashes
+  the quarantined region, and re-anchors the chain on the last good
+  digest.  Verification understands repair records: a repaired chain
+  verifies end-to-end, and the repair itself is part of the permanent
+  record — an operator can always see that (and where) history was lost.
+
 This is the service-level counterpart of the paper's vetting story: the
 *protocol* guarantees come from attestation and signatures, but an
 operator still wants an inspectable record of what the service did with
@@ -24,12 +41,26 @@ from repro.service.storage import StorageBackend, encode_value
 
 GENESIS = "0" * 64
 
+EVENT_REPAIR = "audit-repaired"
+
+_ANCHOR_SPACE = "audit-meta"
+
+
+def _canonical(body: Any) -> str:
+    return json.dumps(encode_value(body), sort_keys=True, separators=(",", ":"))
+
 
 def _entry_digest(prev: str, body: dict) -> str:
-    canonical = json.dumps(
-        encode_value(body), sort_keys=True, separators=(",", ":")
-    )
-    return hashlib.sha256((prev + canonical).encode("utf-8")).hexdigest()
+    return hashlib.sha256((prev + _canonical(body)).encode("utf-8")).hexdigest()
+
+
+def _region_digest(entries: list[dict]) -> str:
+    """One digest over a quarantined run of (untrusted) raw entries."""
+    return hashlib.sha256(_canonical(entries).encode("utf-8")).hexdigest()
+
+
+def _body_of(entry: dict) -> dict:
+    return {k: v for k, v in entry.items() if k not in ("prev", "digest")}
 
 
 class AuditLog:
@@ -39,8 +70,25 @@ class AuditLog:
         self._backend = backend
         self._log = log
         entries = backend.read_log(log)
-        self._head = entries[-1]["digest"] if entries else GENESIS
         self._length = len(entries)
+        # The newest entry carrying a digest is the working head; a torn
+        # tail record (no digest at all) must not brick the log — it is
+        # verify_and_repair's job to quarantine it, not __init__'s to die.
+        self._head = GENESIS
+        for entry in reversed(entries):
+            digest = entry.get("digest") if isinstance(entry, dict) else None
+            if isinstance(digest, str):
+                self._head = digest
+                break
+
+    # ------------------------------------------------------------- recording
+
+    def _anchor(self) -> None:
+        self._backend.put(
+            _ANCHOR_SPACE,
+            self._log,
+            {"length": self._length, "head": self._head},
+        )
 
     def record(self, event: str, **fields: Any) -> dict:
         """Append one event; returns the stored entry (with its digest)."""
@@ -56,6 +104,7 @@ class AuditLog:
         self._backend.append(self._log, entry)
         self._head = digest
         self._length += 1
+        self._anchor()
         return entry
 
     def entries(self) -> list[dict]:
@@ -79,20 +128,200 @@ class AuditLog:
             selected.append(entry)
         return selected
 
-    def verify_chain(self) -> int:
-        """Re-hash the whole chain; returns its length, raises on tampering."""
+    # ----------------------------------------------------------- verification
+
+    def _find_repair(
+        self, entries: list[dict], break_index: int, prev: str
+    ) -> int | None:
+        """Index of a valid repair record re-anchoring a break, if any."""
+        for j in range(break_index + 1, len(entries)):
+            candidate = entries[j]
+            if not isinstance(candidate, dict):
+                continue
+            if candidate.get("event") != EVENT_REPAIR:
+                continue
+            body = _body_of(candidate)
+            if candidate.get("prev") != prev:
+                continue
+            if body.get("break_index") != break_index:
+                continue
+            if candidate.get("digest") != _entry_digest(prev, body):
+                continue
+            if body.get("region_digest") != _region_digest(
+                entries[break_index:j]
+            ):
+                continue
+            return j
+        return None
+
+    def _survey(self) -> dict:
+        """Walk the whole chain once; never raises.
+
+        Returns a state dict: ``ok`` (chain trustworthy end-to-end),
+        ``verified`` (entries whose digests check out, repair records
+        included), ``quarantined`` (entries sitting under a repair
+        record), ``breaks`` (unrepaired break, as ``(index, reason)``, at
+        most one — walking past an unrepaired break proves nothing),
+        ``truncated_by`` (entries the anchor says are missing from the
+        tail), and ``head``/``prefix_head`` for the repair path.
+        """
+        entries = self.entries()
+        anchor = self._backend.get(_ANCHOR_SPACE, self._log)
         prev = GENESIS
-        for index, entry in enumerate(self.entries()):
-            body = {
-                key: value
-                for key, value in entry.items()
-                if key not in ("prev", "digest")
+        index = 0
+        verified = 0
+        quarantined = 0
+        breaks: list[tuple[int, str]] = []
+        while index < len(entries):
+            entry = entries[index]
+            body = _body_of(entry) if isinstance(entry, dict) else {}
+            if (
+                isinstance(entry, dict)
+                and entry.get("prev") == prev
+                and entry.get("digest") == _entry_digest(prev, body)
+            ):
+                prev = entry["digest"]
+                verified += 1
+                index += 1
+                continue
+            reason = (
+                "broken chain link"
+                if not isinstance(entry, dict) or entry.get("prev") != prev
+                else "digest mismatch"
+            )
+            repair_at = self._find_repair(entries, index, prev)
+            if repair_at is None:
+                breaks.append((index, reason))
+                break
+            quarantined += repair_at - index
+            prev = entries[repair_at]["digest"]
+            verified += 1  # the repair record itself is a trusted entry
+            index = repair_at + 1
+        truncated_by = 0
+        anchored_head_mismatch = False
+        if not breaks and isinstance(anchor, dict):
+            expected_length = int(anchor.get("length", 0))
+            if len(entries) < expected_length:
+                truncated_by = expected_length - len(entries)
+            elif (
+                len(entries) == expected_length
+                and entries
+                and anchor.get("head") not in (None, prev)
+            ):
+                anchored_head_mismatch = True
+        return {
+            "ok": not breaks and not truncated_by and not anchored_head_mismatch,
+            "entries": len(entries),
+            "verified": verified,
+            "quarantined": quarantined,
+            "breaks": breaks,
+            "truncated_by": truncated_by,
+            "anchored_head_mismatch": anchored_head_mismatch,
+            "prefix_head": prev,
+        }
+
+    def verify_chain(self) -> int:
+        """Verify the whole chain; returns the trusted entry count.
+
+        Raises :class:`ValueError` on any unrepaired break, on anchored
+        tail truncation, and on a wholesale chain rewrite (every digest
+        internally consistent but the head disagreeing with the anchor).
+        A chain carrying valid repair records verifies: the quarantined
+        regions are untrusted by construction, and the repair records
+        vouching for them are part of the chain.
+        """
+        state = self._survey()
+        if state["breaks"]:
+            index, reason = state["breaks"][0]
+            raise ValueError(f"audit entry {index}: {reason}")
+        if state["truncated_by"]:
+            raise ValueError(
+                f"audit log truncated: anchor expects "
+                f"{state['truncated_by']} more entries"
+            )
+        if state["anchored_head_mismatch"]:
+            raise ValueError("audit head disagrees with its anchor")
+        return state["verified"]
+
+    # ---------------------------------------------------------------- repair
+
+    def verify_and_repair(self) -> dict:
+        """Detect chain breaks/truncation; re-anchor with a repair record.
+
+        Returns a report::
+
+            {"ok": bool,          # chain verifies *now* (possibly post-repair)
+             "repaired": bool,    # a repair record was appended by this call
+             "break_index": int | None,
+             "quarantined": int,  # entries newly quarantined by this repair
+             "truncated_by": int} # missing tail entries noted by this repair
+
+        Idempotent: a healthy (or already-repaired) chain returns
+        ``ok=True, repaired=False`` and appends nothing.
+        """
+        state = self._survey()
+        if state["ok"]:
+            # Trust the surveyed head going forward — after recovery the
+            # in-memory head may legitimately trail the persisted chain.
+            self._head = state["prefix_head"]
+            self._length = state["entries"]
+            self._anchor()
+            return {
+                "ok": True,
+                "repaired": False,
+                "break_index": None,
+                "quarantined": 0,
+                "truncated_by": 0,
             }
-            if entry.get("prev") != prev:
-                raise ValueError(f"audit entry {index}: broken chain link")
-            if entry.get("digest") != _entry_digest(prev, body):
-                raise ValueError(f"audit entry {index}: digest mismatch")
-            if body.get("seq") != index:
-                raise ValueError(f"audit entry {index}: sequence gap")
-            prev = entry["digest"]
-        return self._length
+        entries = self.entries()
+        break_index: int | None = None
+        quarantined = 0
+        body: dict[str, Any] = {
+            "seq": state["verified"],
+            "event": EVENT_REPAIR,
+        }
+        if state["breaks"]:
+            break_index, reason = state["breaks"][0]
+            # Everything from the break onward chains off untrusted state;
+            # quarantine the whole suffix under one region digest.  The
+            # survey stopped exactly at the break, so its prefix head is
+            # the digest of the last trusted entry.
+            quarantined = len(entries) - break_index
+            prefix_prev = state["prefix_head"]
+            body.update(
+                break_index=break_index,
+                reason=reason,
+                quarantined=quarantined,
+                region_digest=_region_digest(entries[break_index:]),
+            )
+        else:
+            # Clean links but the anchor disagrees: tail truncation or a
+            # wholesale rewrite.  Re-anchor on what actually survives.
+            prefix_prev = state["prefix_head"]
+            body.update(
+                break_index=len(entries),
+                reason=(
+                    "tail truncation"
+                    if state["truncated_by"]
+                    else "anchored head mismatch"
+                ),
+                quarantined=0,
+                region_digest=_region_digest([]),
+                truncated_by=state["truncated_by"],
+            )
+        digest = _entry_digest(prefix_prev, body)
+        entry = dict(body)
+        entry["prev"] = prefix_prev
+        entry["digest"] = digest
+        self._backend.append(self._log, entry)
+        self._head = digest
+        self._length = len(entries) + 1
+        self._anchor()
+        verified_now = self._survey()
+        return {
+            "ok": bool(verified_now["ok"]),
+            "repaired": True,
+            "break_index": break_index,
+            "quarantined": quarantined,
+            "truncated_by": int(state["truncated_by"]),
+        }

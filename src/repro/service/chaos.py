@@ -1,0 +1,352 @@
+"""The kill-and-restart self-healing harness for :class:`GlimmerService`.
+
+One *schedule* is a complete adversarial biography of a service process:
+a sampled :func:`~repro.faults.service_plan.sample_service_plan` decides
+which storage writes lie (transient I/O errors, torn records, writes
+lost after their ack, corrupted audit entries) and at which lifecycle
+stage the process is hard-killed.  :func:`run_service_schedule` then
+plays the operator: it boots the service over faulty storage, submits a
+workload, and every time the process "dies" (:class:`ServiceKilledError`)
+or storage gives out (:class:`StorageUnavailableError` after retries and
+breaker), it restarts the service **from persisted state only** —
+``GlimmerService.recover`` + ``resume`` — and keeps going until the
+workload drains.
+
+The invariant proved at the end of every schedule is *exact-or-
+recovered*:
+
+* every acknowledged submission is applied **exactly once** — it is
+  either ``applied`` in the queue or named by exactly one finalized
+  journaled round (when storage tore its queue record, the journal is
+  the surviving witness);
+* no submission appears in two finalized rounds (no double-count);
+* every finalized round's recorded aggregate equals, bit for bit, the
+  codec-exact mean over its journaled contribution values — a recovered
+  round is indistinguishable from one that never crashed;
+* the audit chain verifies end-to-end, possibly through explicit
+  ``audit-repaired`` records for the history the storage destroyed.
+
+Everything is deterministic: the same ``(seed, index, fault_rate)``
+against fresh state replays the same fault firings, the same kills, the
+same restarts, and the same aggregates — :func:`run_service_schedule`
+returns a ``signature`` tuple the replay test compares directly.
+
+The fault storm is bounded: after ``storm_limit`` incidents the harness
+declares the weather cleared and reboots over pristine storage (faults
+off), modeling an outage that eventually ends.  Self-healing must
+converge once the environment does.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+from repro.crypto.drbg import HmacDrbg
+from repro.errors import (
+    AdmissionError,
+    ConfigurationError,
+    ReproError,
+    RoundAbortedError,
+    ServiceKilledError,
+    StorageError,
+    StorageUnavailableError,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.service_plan import sample_service_plan
+from repro.faults.storage import FaultyStorageBackend
+from repro.service.audit import EVENT_REPAIR, AuditLog
+from repro.service.journal import (
+    STATUS_FINALIZED,
+    STATUS_OPENED,
+    RoundJournal,
+)
+from repro.service.queue import (
+    STATE_APPLIED,
+    STATE_ASSIGNED,
+    STATE_DEFERRED,
+    STATE_PENDING,
+)
+from repro.service.service import GlimmerService
+
+#: Exceptions that mean "the process is dead; restart from disk".
+RESTARTABLE = (ServiceKilledError, StorageError)
+
+
+def _journal_rounds(journal: RoundJournal) -> tuple[dict, set]:
+    """(first opened entry per round id, ids of finalized rounds)."""
+    opened: dict[int, dict] = {}
+    finalized: set[int] = set()
+    for entry in journal.entries():
+        if not isinstance(entry, dict):
+            continue
+        round_id = entry.get("round_id")
+        if not isinstance(round_id, int):
+            continue
+        if entry.get("status") == STATUS_OPENED:
+            opened.setdefault(round_id, entry)
+        elif entry.get("status") == STATUS_FINALIZED:
+            finalized.add(round_id)
+    return opened, finalized
+
+
+def _finalized_sids(journal: RoundJournal) -> dict[str, int]:
+    """submission id -> how many distinct finalized rounds name it."""
+    opened, finalized = _journal_rounds(journal)
+    counts: dict[str, int] = {}
+    for round_id in finalized:
+        entry = opened.get(round_id)
+        if entry is None:
+            continue
+        for sid in entry.get("submission_ids", ()):
+            counts[sid] = counts.get(sid, 0) + 1
+    return counts
+
+
+def expected_aggregate(codec, values_by_user: dict) -> list[float]:
+    """The codec-exact mean a finalized round must reproduce bit-for-bit."""
+    users = sorted(values_by_user)
+    encoded = [codec.encode(list(values_by_user[u])) for u in users]
+    mean = codec.decode(codec.sum_vectors(encoded)) / len(encoded)
+    return [float(v) for v in mean]
+
+
+def run_service_schedule(
+    backend_factory: Callable[[], Any],
+    *,
+    seed: bytes,
+    index: int,
+    fault_rate: float,
+    codec=None,
+    tenant: str = "alpha",
+    num_users: int = 3,
+    sentences_per_user: int = 3,
+    max_features: int | None = 8,
+    queue_capacity: int = 8,
+    waves: int = 1,
+    storm_limit: int = 40,
+    max_steps: int = 160,
+) -> dict:
+    """Run one full chaos schedule to convergence; returns its report.
+
+    ``backend_factory`` must return a handle over the *same* persistent
+    state on every call — it models reopening the database after the
+    process died.  Raises :class:`ReproError` if the schedule fails to
+    converge, :class:`AssertionError` if any invariant is violated.
+    """
+    plan = sample_service_plan(
+        HmacDrbg(seed, personalization=f"service-plan-{index}"),
+        fault_rate,
+        label=f"{seed.decode('utf-8', 'replace')}#{index}",
+    )
+    injector = FaultInjector(plan, seed=seed + b":%d" % index)
+    service_kwargs = dict(
+        num_users=num_users,
+        sentences_per_user=sentences_per_user,
+        max_features=max_features,
+        queue_capacity=queue_capacity,
+    )
+
+    calm = False  # once True, the fault storm has passed
+    service: GlimmerService | None = None
+    incidents: list[tuple[str, str]] = []
+    acked: list[str] = []
+    restarts = -1  # the first boot is not a restart
+    rounds_recovered = 0
+    rounds_aborted = 0
+    recovery_time = 0.0  # wall seconds spent in boot+resume (telemetry)
+    steps = 0
+
+    def _backend():
+        inner = backend_factory()
+        return inner if calm else FaultyStorageBackend(inner, injector)
+
+    def _boot() -> GlimmerService:
+        nonlocal rounds_recovered, rounds_aborted
+        try:
+            svc = GlimmerService.recover(_backend(), **service_kwargs)
+        except ConfigurationError:
+            svc = GlimmerService(_backend(), **service_kwargs)
+        if not calm:
+            svc.attach_chaos(injector)
+        if tenant not in svc.tenants:
+            svc.add_tenant(tenant)
+        while True:
+            try:
+                rounds_recovered += len(svc.resume_sync())
+                break
+            except RoundAbortedError:
+                rounds_aborted += 1
+        return svc
+
+    def _guard(op: Callable[[GlimmerService], Any]) -> Any:
+        """Run one step; on a restartable incident, reboot and retry."""
+        nonlocal service, restarts, calm, steps, recovery_time
+        while True:
+            steps += 1
+            if steps > max_steps:
+                raise ReproError(
+                    f"schedule {plan.label} did not converge in "
+                    f"{max_steps} steps ({len(incidents)} incidents)"
+                )
+            try:
+                if service is None:
+                    started = time.monotonic()
+                    service = _boot()
+                    recovery_time += time.monotonic() - started
+                    restarts += 1
+                return op(service)
+            except RESTARTABLE as exc:
+                incidents.append((type(exc).__name__, str(exc)))
+                if len(incidents) >= storm_limit:
+                    calm = True
+                # A killed process never gets a graceful close; storage
+                # commits per mutation, so nothing acked is waiting on a
+                # flush.  Just drop the instance and reboot from state.
+                service = None
+
+    def _submit(user: str) -> Callable[[GlimmerService], str | None]:
+        def op(svc: GlimmerService) -> str | None:
+            try:
+                return svc.submit_honest(tenant, user)
+            except AdmissionError:
+                svc.run_pending_sync()  # backpressure: drain, then retry
+                return None
+            except ConfigurationError:
+                # The admission read-back found the entry missing: the
+                # write was not durable and the client was *not* acked.
+                return None
+
+        return op
+
+    def _drained(svc: GlimmerService) -> bool:
+        if svc.journal.unfinished():
+            return False
+        queue = svc.tenant(tenant).queue
+        if queue.count(STATE_PENDING, STATE_ASSIGNED, STATE_DEFERRED):
+            return False
+        finalized = _finalized_sids(svc.journal)
+        for sid in acked:
+            entry = queue.entry_or_none(sid)
+            if entry is not None:
+                if entry["state"] != STATE_APPLIED:
+                    return False
+            elif finalized.get(sid, 0) != 1:
+                # Storage destroyed the queue record; the journal must
+                # vouch for the submission instead.
+                return False
+        return True
+
+    users = _guard(
+        lambda svc: sorted(svc.tenant(tenant).deployment.clients)
+    )
+    for _ in range(waves):
+        for user in users:
+            sid = None
+            while sid is None:
+                sid = _guard(_submit(user))
+            acked.append(sid)
+
+        def _drain_step(svc: GlimmerService) -> list:
+            if svc.degraded and not svc.probe_degraded():
+                # The bulkhead is holding but the storage behind it has
+                # not come back; a process restart (fresh breaker, clean
+                # degraded registry) is the operator's next move.
+                raise StorageUnavailableError(
+                    f"degraded tenants not recovering: "
+                    f"{sorted(svc.degraded)}"
+                )
+            return svc.run_pending_sync()
+
+        while not _guard(_drained):
+            if not _guard(_drain_step):
+                # No pending work moved, yet the persisted state is not
+                # reconciled — e.g. a finalize record was lost after its
+                # ack, which only recover+resume can settle.  Bounce the
+                # process; self-healing lives on the restart path.
+                service = None
+
+    # ------------------------------------------------------------ invariants
+    raw = backend_factory()
+    journal = RoundJournal(raw)
+    opened, finalized = _journal_rounds(journal)
+    counts = _finalized_sids(journal)
+    doubled = sorted(sid for sid, n in counts.items() if n > 1)
+    assert not doubled, (
+        f"{plan.label}: submissions double-counted across finalized "
+        f"rounds: {doubled}"
+    )
+    for sid in acked:
+        entry = raw.get(f"queue/{tenant}", sid)
+        if isinstance(entry, dict) and "state" in entry:
+            assert entry["state"] == STATE_APPLIED, (
+                f"{plan.label}: acked submission {sid} ended "
+                f"{entry['state']!r}, not applied"
+            )
+        else:
+            assert counts.get(sid, 0) == 1, (
+                f"{plan.label}: acked submission {sid} lost by storage "
+                f"and not vouched for by any finalized round"
+            )
+
+    aggregates: list[tuple[int, tuple[float, ...]]] = []
+    for round_id in sorted(finalized):
+        entry = opened.get(round_id)
+        if entry is None or "values_by_user" not in entry:
+            continue
+        recorded = None
+        for record in journal.entries():
+            if (
+                isinstance(record, dict)
+                and record.get("round_id") == round_id
+                and record.get("status") == STATUS_FINALIZED
+                and "aggregate" in record
+            ):
+                recorded = record["aggregate"]
+        if recorded is None:
+            continue  # settled round whose original aggregate record was lost
+        aggregates.append((round_id, tuple(float(v) for v in recorded)))
+        if codec is not None:
+            truth = expected_aggregate(codec, entry["values_by_user"])
+            assert [float(v) for v in recorded] == truth, (
+                f"{plan.label}: round {round_id} aggregate is not the "
+                f"codec-exact mean over its journaled values"
+            )
+
+    audit = AuditLog(raw)
+    repair = audit.verify_and_repair()
+    assert repair["ok"], f"{plan.label}: audit chain unrepairable: {repair}"
+    audit.verify_chain()
+    repairs = sum(
+        1
+        for entry in audit.entries()
+        if isinstance(entry, dict) and entry.get("event") == EVENT_REPAIR
+    )
+
+    rounds_settled = sum(
+        1
+        for entry in audit.entries()
+        if isinstance(entry, dict) and entry.get("event") == "round-settled"
+    )
+    kills = sum(1 for kind, _ in incidents if kind == "ServiceKilledError")
+    return {
+        "label": plan.label,
+        "fired": injector.fired_log(),
+        "incidents": list(incidents),
+        "kills": kills,
+        "restarts": max(restarts, 0),
+        "rounds_recovered": rounds_recovered,
+        "rounds_settled": rounds_settled,
+        "rounds_aborted": rounds_aborted,
+        "rounds_finalized": len(finalized),
+        "recovery_time": recovery_time,
+        "acked": len(acked),
+        "audit_repairs": repairs,
+        "calm": calm,
+        "steps": steps,
+        "signature": (
+            injector.fired_log(),
+            tuple(aggregates),
+            tuple(sorted(counts.items())),
+        ),
+    }

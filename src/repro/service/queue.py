@@ -27,9 +27,9 @@ submission can never re-enter a round.
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import Sequence
 
-from repro.errors import AdmissionError, ConfigurationError
+from repro.errors import AdmissionError, ConfigurationError, StorageFaultError
 from repro.service.storage import StorageBackend
 
 STATE_PENDING = "pending"
@@ -74,23 +74,54 @@ class SubmissionQueue:
     # ------------------------------------------------------------- internals
 
     def _next_id(self) -> str:
-        counter = int(self._backend.get(self._meta_space, "next", 0))
+        raw = self._backend.get(self._meta_space, "next", 0)
+        # A torn write can leave garbage where the counter lived; restart
+        # from zero but *never* reuse an id a live entry already holds.
+        counter = raw if isinstance(raw, int) else 0
+        while (
+            self._backend.get(self._space, f"{self.tenant}-s{counter:06d}")
+            is not None
+        ):
+            counter += 1
         self._backend.put(self._meta_space, "next", counter + 1)
+        # Read-back verification: storage that *acks* the counter write but
+        # never persists it would hand the same id to the next submission,
+        # silently overwriting this one.  Detecting the lie here turns a
+        # lost submission into a clean, retryable admission failure.
+        persisted = int(self._backend.get(self._meta_space, "next", 0))
+        if persisted != counter + 1:
+            raise StorageFaultError(
+                f"admission counter write not durable for tenant "
+                f"{self.tenant!r} (wrote {counter + 1}, read {persisted})"
+            )
         return f"{self.tenant}-s{counter:06d}"
 
     def _entry(self, submission_id: str) -> dict:
-        entry = self._backend.get(self._space, submission_id)
+        entry = self.entry_or_none(submission_id)
         if entry is None:
             raise ConfigurationError(
                 f"unknown submission {submission_id!r} for tenant {self.tenant!r}"
             )
         return entry
 
+    def entry_or_none(self, submission_id: str) -> dict | None:
+        """The persisted entry, or None when storage lost (or tore) it."""
+        entry = self._backend.get(self._space, submission_id)
+        if not isinstance(entry, dict) or "state" not in entry:
+            return None
+        return entry
+
     def _store(self, entry: dict) -> None:
         self._backend.put(self._space, entry["submission_id"], entry)
 
     def _all(self) -> list[dict]:
-        return [entry for _, entry in self._backend.items(self._space)]
+        # Torn writes leave marker records with no state machine fields;
+        # they were never acknowledged, so the queue skips them.
+        return [
+            entry
+            for _, entry in self._backend.items(self._space)
+            if isinstance(entry, dict) and "state" in entry
+        ]
 
     def count(self, *states: str) -> int:
         wanted = states or _LIVE_STATES
@@ -165,16 +196,55 @@ class SubmissionQueue:
                 break
         return taken
 
-    def mark_assigned(self, submission_ids: Sequence[str], round_id: int) -> None:
+    def mark_assigned(
+        self,
+        submission_ids: Sequence[str],
+        round_id: int,
+        *,
+        missing_ok: bool = False,
+    ) -> None:
+        """Pin submissions to a round.  Idempotent per (submission, round).
+
+        ``missing_ok`` is the recovery-path variant: a submission whose
+        queue record was lost by storage must not stop reconciliation of
+        the others (the journal still carries its values).  An entry
+        already **applied** is never demoted — re-assigning one would
+        re-open the double-count window this state machine exists to
+        close.
+        """
         for submission_id in submission_ids:
-            entry = self._entry(submission_id)
+            entry = (
+                self.entry_or_none(submission_id)
+                if missing_ok
+                else self._entry(submission_id)
+            )
+            if entry is None:
+                continue
+            if entry["state"] == STATE_APPLIED:
+                continue
+            if (
+                entry["state"] == STATE_ASSIGNED
+                and entry.get("round_id") == int(round_id)
+            ):
+                continue
             entry["state"] = STATE_ASSIGNED
             entry["round_id"] = int(round_id)
             self._store(entry)
 
-    def mark_applied(self, submission_ids: Sequence[str]) -> None:
+    def mark_applied(
+        self, submission_ids: Sequence[str], *, missing_ok: bool = False
+    ) -> None:
+        """Resolve submissions as counted.  Idempotent: replaying a journal
+        (or calling ``resume`` twice) re-marks already-applied entries as a
+        no-op instead of re-writing them."""
         for submission_id in submission_ids:
-            entry = self._entry(submission_id)
+            entry = (
+                self.entry_or_none(submission_id)
+                if missing_ok
+                else self._entry(submission_id)
+            )
+            if entry is None or entry["state"] == STATE_APPLIED:
+                continue
             entry["state"] = STATE_APPLIED
             self._store(entry)
 

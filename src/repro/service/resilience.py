@@ -1,0 +1,221 @@
+"""Retry, circuit breaking, and fail-fast for storage operations.
+
+Three small pieces, composed in :class:`ResilientStorageBackend`:
+
+* :class:`RetryPolicy` — capped exponential backoff with deterministic
+  DRBG jitter.  Delays are *accounted*, not slept, by default: the whole
+  repo runs on simulated time, and a chaos schedule must replay
+  bit-for-bit regardless of wall-clock scheduling.  Deployments that
+  want real sleeps inject a ``sleep`` callable.
+* :class:`CircuitBreaker` — the classic three-state machine per backend:
+  ``closed`` (normal) → ``open`` after ``failure_threshold`` consecutive
+  failures (every call fails fast with
+  :class:`~repro.errors.StorageUnavailableError`, no I/O attempted) →
+  ``half-open`` after a cooldown (one probe operation is let through;
+  success closes the breaker, failure re-opens it).  The cooldown is
+  measured in *operations attempted against the breaker*, not seconds,
+  for the same determinism reason; a production deployment can inject
+  ``time.monotonic`` as the clock instead.
+* :class:`ResilientStorageBackend` — wraps any backend: each operation
+  asks the breaker for admission, retries transient
+  :class:`~repro.errors.StorageFaultError` failures under the policy,
+  and converts exhaustion into fail-fast ``StorageUnavailableError``.
+  Every attempt, retry, fast-fail, and breaker transition is counted in
+  :attr:`ResilientStorageBackend.stats` for telemetry and tests.
+
+The wrapper is transparent on success: values, sequence numbers, and
+``kind`` all pass straight through, so the rest of the service cannot
+tell whether it is talking to raw storage or the armored path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.crypto.drbg import HmacDrbg
+from repro.errors import StorageFaultError, StorageUnavailableError
+from repro.service.storage import StorageBackend
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff: ``base * 2^(attempt-1)`` plus jitter.
+
+    ``max_attempts`` counts the first try: the default of 4 means one
+    try plus up to three retries.  Jitter is drawn from a caller-supplied
+    DRBG so two runs of the same schedule account identical delays.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.005
+    max_delay: float = 0.08
+    jitter: float = 0.5
+
+    def delay_for(self, attempt: int, rng: HmacDrbg | None = None) -> float:
+        """The backoff delay after failed attempt number ``attempt`` (1-based)."""
+        delay = min(self.max_delay, self.base_delay * (2 ** (attempt - 1)))
+        if rng is not None and self.jitter > 0.0:
+            delay *= 1.0 + self.jitter * rng.uniform()
+        return min(delay, self.max_delay)
+
+
+class CircuitBreaker:
+    """Closed → open → half-open → closed, with an operation-count cooldown."""
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 5,
+        cooldown: float = 12.0,
+        clock: Callable[[], float] | None = None,
+        name: str = "storage",
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = int(failure_threshold)
+        self.cooldown = float(cooldown)
+        self.name = name
+        self._ticks = 0
+        self._clock = clock if clock is not None else self._tick_clock
+        self.state = STATE_CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: float | None = None
+        self.transitions: list[tuple[str, float]] = [(STATE_CLOSED, 0.0)]
+        self.fast_fails = 0
+
+    def _tick_clock(self) -> float:
+        """Default deterministic clock: one unit per admission attempt."""
+        return float(self._ticks)
+
+    def _transition(self, state: str) -> None:
+        if state != self.state:
+            self.state = state
+            self.transitions.append((state, self._clock()))
+
+    def allow(self) -> None:
+        """Admit one operation, or fail fast if the circuit is open."""
+        self._ticks += 1
+        if self.state == STATE_OPEN:
+            assert self._opened_at is not None
+            if self._clock() - self._opened_at >= self.cooldown:
+                self._transition(STATE_HALF_OPEN)
+            else:
+                self.fast_fails += 1
+                raise StorageUnavailableError(
+                    f"circuit breaker {self.name!r} is open; "
+                    f"failing fast without touching storage"
+                )
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        if self.state != STATE_CLOSED:
+            self._transition(STATE_CLOSED)
+
+    def record_failure(self) -> None:
+        self._consecutive_failures += 1
+        if (
+            self.state == STATE_HALF_OPEN
+            or self._consecutive_failures >= self.failure_threshold
+        ):
+            self._transition(STATE_OPEN)
+            self._opened_at = self._clock()
+
+
+class ResilientStorageBackend(StorageBackend):
+    """Retry + breaker armor around any :class:`StorageBackend`."""
+
+    def __init__(
+        self,
+        inner: StorageBackend,
+        *,
+        policy: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        sleep: Callable[[float], None] | None = None,
+        jitter_seed: bytes = b"storage-retry-jitter",
+    ) -> None:
+        self.inner = inner
+        self.kind = inner.kind
+        self.policy = policy or RetryPolicy()
+        self.breaker = breaker or CircuitBreaker(name=f"{inner.kind}-backend")
+        self._sleep = sleep
+        self._jitter = HmacDrbg(jitter_seed, personalization="retry-jitter")
+        self.retry_delay_total = 0.0
+        self.stats = {
+            "attempts": 0,
+            "retries": 0,
+            "faults": 0,
+            "unavailable": 0,
+        }
+
+    # ------------------------------------------------------------- core loop
+
+    def _call(self, label: str, op: Callable[[], Any]) -> Any:
+        self.breaker.allow()
+        attempt = 0
+        while True:
+            attempt += 1
+            self.stats["attempts"] += 1
+            try:
+                result = op()
+            except StorageFaultError as exc:
+                self.stats["faults"] += 1
+                self.breaker.record_failure()
+                exhausted = attempt >= self.policy.max_attempts
+                if exhausted or self.breaker.state == STATE_OPEN:
+                    self.stats["unavailable"] += 1
+                    reason = (
+                        f"{label}: retries exhausted after {attempt} attempts"
+                        if exhausted
+                        else f"{label}: circuit opened mid-retry"
+                    )
+                    raise StorageUnavailableError(reason) from exc
+                delay = self.policy.delay_for(attempt, self._jitter)
+                self.retry_delay_total += delay
+                self.stats["retries"] += 1
+                if self._sleep is not None:
+                    self._sleep(delay)
+            else:
+                self.breaker.record_success()
+                return result
+
+    # ------------------------------------------------------------ interface
+
+    def put(self, space: str, key: str, value: Any) -> None:
+        self._call(
+            f"put {space}/{key}", lambda: self.inner.put(space, key, value)
+        )
+
+    def get(self, space: str, key: str, default: Any = None) -> Any:
+        return self._call(
+            f"get {space}/{key}", lambda: self.inner.get(space, key, default)
+        )
+
+    def keys(self, space: str) -> list[str]:
+        return self._call(f"keys {space}", lambda: self.inner.keys(space))
+
+    def delete(self, space: str, key: str) -> bool:
+        return self._call(
+            f"delete {space}/{key}", lambda: self.inner.delete(space, key)
+        )
+
+    def append(self, log: str, entry: dict) -> int:
+        return self._call(f"append {log}", lambda: self.inner.append(log, entry))
+
+    def read_log(self, log: str) -> list[dict]:
+        return self._call(f"read_log {log}", lambda: self.inner.read_log(log))
+
+    def flush(self) -> None:
+        self._call("flush", self.inner.flush)
+
+    def close(self) -> None:
+        # Closing must not fail-fast: a dying process gets one best-effort
+        # attempt straight through, breaker or no breaker.
+        try:
+            self.inner.close()
+        except StorageFaultError:
+            pass

@@ -37,15 +37,29 @@ from __future__ import annotations
 import asyncio
 from typing import Sequence
 
-from repro.errors import AdmissionError, ConfigurationError, RoundAbortedError
+from repro.errors import (
+    AdmissionError,
+    ConfigurationError,
+    RoundAbortedError,
+    ServiceKilledError,
+    StorageError,
+    StorageFaultError,
+    StorageUnavailableError,
+)
 from repro.experiments.common import Deployment
+from repro.faults.plan import ACTION_KILL, SITE_SERVICE_KILL
 from repro.runtime.endpoints import BlinderEndpoint
 from repro.runtime.messages import BLINDER
 from repro.runtime.telemetry import RoundReport
 from repro.service.async_engine import AsyncRoundEngine
 from repro.service.audit import AuditLog
 from repro.service.journal import RoundJournal
-from repro.service.queue import OVERFLOW_REJECT, SubmissionQueue
+from repro.service.queue import (
+    OVERFLOW_REJECT,
+    STATE_APPLIED,
+    SubmissionQueue,
+)
+from repro.service.resilience import ResilientStorageBackend
 from repro.service.storage import SealedBlobMap, StorageBackend
 
 _SERVICE_SPACE = "service"
@@ -88,15 +102,31 @@ class GlimmerService:
         queue_capacity: int = 16,
         overflow: str = OVERFLOW_REJECT,
         defer_capacity: int | None = None,
+        round_deadline: float | None = None,
     ) -> None:
+        # Every storage touch goes through the resilience armor: retries
+        # for transient faults, a circuit breaker converting persistent
+        # failure into fail-fast StorageUnavailableError.  A fresh
+        # service instance gets a fresh breaker — exactly what a process
+        # restart gives a real deployment.
+        if not isinstance(backend, ResilientStorageBackend):
+            backend = ResilientStorageBackend(backend)
         self.backend = backend
+        self.raw_backend = backend.inner
         self.audit = AuditLog(backend)
         self.journal = RoundJournal(backend)
         self.tenants: dict[str, TenantRuntime] = {}
         self.reports: dict[int, RoundReport] = {}
+        self.round_deadline = round_deadline
+        #: Tenants quarantined behind their bulkhead: name -> reason.
+        self.degraded: dict[str, str] = {}
+        self._tenant_backends: dict[str, StorageBackend] = {}
+        self._chaos = None
         self._shared_blinder = None
         config = backend.get(_SERVICE_SPACE, "config")
-        if config is None:
+        if not isinstance(config, dict) or "base_seed" not in config:
+            # None on first boot; a torn record (the config write died
+            # mid-retry) is rewritten from the constructor arguments.
             config = {
                 "base_seed": bytes(base_seed),
                 "num_users": int(num_users),
@@ -137,26 +167,51 @@ class GlimmerService:
         for kind, handler in endpoint.handlers().items():
             runtime.deployment.network.add_handler(BLINDER, kind, handler)
 
-    def add_tenant(self, name: str) -> TenantRuntime:
+    def add_tenant(
+        self, name: str, *, backend: StorageBackend | None = None
+    ) -> TenantRuntime:
         """Stand up a tenant (persisted, so recovery rebuilds it)."""
         if name in self.tenants:
             raise ConfigurationError(f"tenant {name!r} already exists")
+        if backend is not None:
+            self.set_tenant_backend(name, backend)
         index = len(self.backend.keys(_TENANT_SPACE))
         self.backend.put(_TENANT_SPACE, f"{index:04d}", {"name": name})
         runtime = self._attach_tenant(name)
         self.audit.record("tenant-added", tenant=name)
         return runtime
 
-    def _attach_tenant(self, name: str) -> TenantRuntime:
-        deployment = self._build_deployment()
-        queue = SubmissionQueue(
-            self.backend,
+    def set_tenant_backend(self, name: str, backend: StorageBackend) -> None:
+        """Give one tenant its own queue storage (the bulkhead boundary).
+
+        A tenant with a private backend cannot take the others down: its
+        storage failing degrades *it* (fail-fast admission, rounds
+        skipped) while every tenant on healthy storage proceeds.  The
+        backend is armored with its own breaker, so one tenant's retry
+        storm never counts against another's failure budget.
+        """
+        if not isinstance(backend, ResilientStorageBackend):
+            backend = ResilientStorageBackend(backend)
+        self._tenant_backends[name] = backend
+        runtime = self.tenants.get(name)
+        if runtime is not None:
+            runtime.queue = self._build_queue(name)
+
+    def _queue_backend(self, name: str) -> StorageBackend:
+        return self._tenant_backends.get(name, self.backend)
+
+    def _build_queue(self, name: str) -> SubmissionQueue:
+        return SubmissionQueue(
+            self._queue_backend(name),
             name,
             capacity=int(self.config["queue_capacity"]),
             overflow=self.config["overflow"],
             defer_capacity=self.config["defer_capacity"],
         )
-        runtime = TenantRuntime(name, deployment, queue)
+
+    def _attach_tenant(self, name: str) -> TenantRuntime:
+        deployment = self._build_deployment()
+        runtime = TenantRuntime(name, deployment, self._build_queue(name))
         self._share_blinder(runtime)
         self.tenants[name] = runtime
         return runtime
@@ -166,6 +221,67 @@ class GlimmerService:
         if runtime is None:
             raise ConfigurationError(f"no tenant named {name!r}")
         return runtime
+
+    # ---------------------------------------------------- chaos & bulkheads
+
+    def attach_chaos(self, injector) -> None:
+        """Wire a fault injector into the service's hard kill-points."""
+        self._chaos = injector
+
+    def _kill_point(self, stage: str, **context) -> None:
+        """A place the process is allowed to die.  Under chaos, it does."""
+        if self._chaos is None:
+            return
+        action = self._chaos.fire(SITE_SERVICE_KILL, phase=stage, **context)
+        if action == ACTION_KILL:
+            raise ServiceKilledError(f"service killed at {stage}")
+
+    def _audit_safe(self, event: str, **fields) -> None:
+        """Audit best-effort: telemetry about a failure must not mask it."""
+        try:
+            self.audit.record(event, **fields)
+        except StorageError:
+            pass
+
+    def _degrade(self, tenant: str, reason: str) -> None:
+        if tenant in self.degraded:
+            return
+        self.degraded[tenant] = str(reason)
+        self._audit_safe("tenant-degraded", tenant=tenant, reason=str(reason))
+
+    def restore_tenant(self, name: str) -> None:
+        """Lift a tenant's quarantine (its storage came back)."""
+        if self.degraded.pop(name, None) is not None:
+            self._audit_safe("tenant-restored", tenant=name)
+
+    def probe_degraded(self) -> list[str]:
+        """Probe each degraded tenant's storage; restore the recovered.
+
+        One write-then-read probe per tenant against its own queue
+        backend — the half-open pattern at the bulkhead level.
+        """
+        restored = []
+        for name in sorted(self.degraded):
+            backend = self._queue_backend(name)
+            # Probe the raw storage: the armor's breaker may still be
+            # open, and the probe *is* the half-open experiment.
+            target = (
+                backend.inner
+                if isinstance(backend, ResilientStorageBackend)
+                else backend
+            )
+            try:
+                probes = int(target.get("bulkhead-probe", name, 0)) + 1
+                target.put("bulkhead-probe", name, probes)
+                if int(target.get("bulkhead-probe", name, 0)) != probes:
+                    continue
+            except (StorageError, TypeError, ValueError):
+                continue
+            if isinstance(backend, ResilientStorageBackend):
+                backend.breaker.record_success()
+            self.restore_tenant(name)
+            restored.append(name)
+        return restored
 
     @property
     def shared_blinder(self):
@@ -182,13 +298,21 @@ class GlimmerService:
     def close(self) -> None:
         for runtime in self.tenants.values():
             runtime.close()
-        self.backend.flush()
+        try:
+            self.backend.flush()
+        except StorageError:
+            pass
 
     # -------------------------------------------------------------- intake
 
     def submit(self, tenant: str, user_id: str, values: Sequence[float]) -> str:
         """Admit one client submission into a tenant's durable queue."""
         runtime = self.tenant(tenant)
+        if tenant in self.degraded:
+            raise StorageUnavailableError(
+                f"tenant {tenant!r} is degraded "
+                f"({self.degraded[tenant]}); failing fast"
+            )
         if user_id not in runtime.deployment.clients:
             raise ConfigurationError(
                 f"tenant {tenant!r} has no client {user_id!r}"
@@ -201,6 +325,9 @@ class GlimmerService:
                 reason=str(exc),
             )
             raise
+        except StorageUnavailableError as exc:
+            self._degrade(tenant, f"queue storage unavailable: {exc}")
+            raise
         state = runtime.queue.state_of(submission_id)
         self.audit.record(
             "submission-admitted",
@@ -209,6 +336,7 @@ class GlimmerService:
             submission=submission_id,
             state=state,
         )
+        self._kill_point("post-submit", target=tenant)
         return submission_id
 
     def submit_honest(self, tenant: str, user_id: str) -> str:
@@ -220,8 +348,26 @@ class GlimmerService:
     # -------------------------------------------------------------- rounds
 
     def _allocate_round_id(self) -> int:
-        next_id = int(self.backend.get(_SERVICE_SPACE, "next-round", 1))
+        raw = self.backend.get(_SERVICE_SPACE, "next-round", 1)
+        next_id = raw if isinstance(raw, int) else 1
+        # The journal is the authority: a torn or rolled-back counter
+        # must never hand out a round id the journal has already seen —
+        # colliding ids would tangle recovery across tenants.
+        used = [
+            entry["round_id"]
+            for entry in self.journal.entries()
+            if isinstance(entry, dict)
+            and isinstance(entry.get("round_id"), int)
+        ]
+        if used:
+            next_id = max(next_id, max(used) + 1)
         self.backend.put(_SERVICE_SPACE, "next-round", next_id + 1)
+        persisted = self.backend.get(_SERVICE_SPACE, "next-round", 0)
+        if persisted != next_id + 1:
+            raise StorageFaultError(
+                f"round-id counter write not durable "
+                f"(wrote {next_id + 1}, read {persisted})"
+            )
         return next_id
 
     async def run_round(
@@ -235,9 +381,16 @@ class GlimmerService:
         crash at any point is recoverable without double-counting.
         """
         runtime = self.tenant(tenant)
-        batch = runtime.queue.take(limit)
+        if tenant in self.degraded:
+            return None
+        try:
+            batch = runtime.queue.take(limit)
+        except StorageUnavailableError as exc:
+            self._degrade(tenant, f"queue storage unavailable: {exc}")
+            raise
         if not batch:
             return None
+        self._kill_point("post-take", target=tenant)
         round_id = self._allocate_round_id()
         participants = [entry["user_id"] for entry in batch]
         submission_ids = [entry["submission_id"] for entry in batch]
@@ -247,7 +400,12 @@ class GlimmerService:
         self.journal.round_opened(
             round_id, tenant, participants, submission_ids, values_by_user
         )
-        runtime.queue.mark_assigned(submission_ids, round_id)
+        self._kill_point("post-journal-open", target=tenant, round_id=round_id)
+        try:
+            runtime.queue.mark_assigned(submission_ids, round_id)
+        except StorageUnavailableError as exc:
+            self._degrade(tenant, f"queue storage unavailable: {exc}")
+            raise
         self.audit.record(
             "round-opened",
             tenant=tenant,
@@ -255,6 +413,7 @@ class GlimmerService:
             participants=len(participants),
             submissions=submission_ids,
         )
+        self._kill_point("post-assign", target=tenant, round_id=round_id)
         return await self._drive_round(
             runtime, round_id, participants, values_by_user, submission_ids
         )
@@ -268,12 +427,36 @@ class GlimmerService:
         submission_ids: list[str],
     ) -> RoundReport:
         try:
-            report = await runtime.driver.run_round(
+            drive = runtime.driver.run_round(
                 round_id,
                 participants,
                 values_by_user,
                 runtime.deployment.features.bigrams,
             )
+            if self.round_deadline is not None:
+                report = await asyncio.wait_for(
+                    drive, timeout=self.round_deadline
+                )
+            else:
+                report = await drive
+        except asyncio.TimeoutError:
+            # The watchdog path: a wedged round is aborted with full
+            # telemetry instead of hanging the service forever.
+            reason = (
+                f"watchdog: round exceeded its "
+                f"{self.round_deadline}s deadline"
+            )
+            self.journal.round_aborted(round_id, reason)
+            requeued = runtime.queue.requeue_round(round_id)
+            self._audit_safe(
+                "round-watchdog-abort",
+                tenant=runtime.name,
+                round_id=round_id,
+                deadline=self.round_deadline,
+                requeued=requeued,
+            )
+            runtime.engine.abandon_round(round_id)
+            raise RoundAbortedError(f"round {round_id}: {reason}") from None
         except RoundAbortedError as exc:
             self.journal.round_aborted(round_id, str(exc))
             requeued = runtime.queue.requeue_round(round_id)
@@ -286,10 +469,22 @@ class GlimmerService:
             )
             runtime.engine.abandon_round(round_id)
             raise
+        self._kill_point(
+            "post-drive", target=runtime.name, round_id=round_id
+        )
         self.journal.round_finalized(
             round_id, [float(v) for v in report.aggregate]
         )
-        runtime.queue.mark_applied(submission_ids)
+        self._kill_point(
+            "post-finalize-journal", target=runtime.name, round_id=round_id
+        )
+        # missing_ok: on the recovery path a submission's queue record may
+        # have been lost by storage; the journal already carries its
+        # values, so the replay must not die on the missing entry.
+        runtime.queue.mark_applied(submission_ids, missing_ok=True)
+        self._kill_point(
+            "post-apply", target=runtime.name, round_id=round_id
+        )
         self.audit.record(
             "round-finalized",
             tenant=runtime.name,
@@ -313,10 +508,13 @@ class GlimmerService:
                 return await self.run_round(name, limit=limit)
             except RoundAbortedError:
                 return None
+            except StorageUnavailableError:
+                # The tenant was degraded on the way out; its bulkhead
+                # keeps the failure from touching the other tenants.
+                return None
 
-        results = await asyncio.gather(
-            *(_one(name) for name in self.tenants)
-        )
+        names = [name for name in self.tenants if name not in self.degraded]
+        results = await asyncio.gather(*(_one(name) for name in names))
         return [report for report in results if report is not None]
 
     def run_pending_sync(self, *, limit: int | None = None) -> list[RoundReport]:
@@ -325,21 +523,32 @@ class GlimmerService:
     # ------------------------------------------------------------- recovery
 
     @classmethod
-    def recover(cls, backend: StorageBackend) -> "GlimmerService":
+    def recover(
+        cls, backend: StorageBackend, **kwargs
+    ) -> "GlimmerService":
         """Rebuild a service over an existing backend's persisted state."""
         config = backend.get(_SERVICE_SPACE, "config")
         if config is None:
             raise ConfigurationError(
                 "backend holds no service config; nothing to recover"
             )
-        service = cls(backend)
+        service = cls(backend, **kwargs)
+        # Heal the audit chain *before* recording anything on top of it:
+        # a crash may have left a torn tail, and every digest appended
+        # over an unrepaired break would itself be untrustworthy.
+        repair = service.audit.verify_and_repair()
         for key in backend.keys(_TENANT_SPACE):
             record = backend.get(_TENANT_SPACE, key)
-            service._attach_tenant(record["name"])
+            # A torn tenant record was never acknowledged; skip it.
+            if not isinstance(record, dict) or "name" not in record:
+                continue
+            if record["name"] not in service.tenants:
+                service._attach_tenant(record["name"])
         service.audit.record(
             "service-recovered",
             tenants=sorted(service.tenants),
             unfinished=[e["round_id"] for e in service.journal.unfinished()],
+            audit_repaired=repair["repaired"] or None,
         )
         return service
 
@@ -357,17 +566,68 @@ class GlimmerService:
         completed: list[RoundReport] = []
         for runtime in self.tenants.values():
             for entry in runtime.queue.assigned():
-                if entry["round_id"] is None:
-                    continue
-                if self.journal.status_of(entry["round_id"]) == "finalized":
-                    runtime.queue.mark_applied([entry["submission_id"]])
+                round_id = entry["round_id"]
+                status = (
+                    self.journal.status_of(round_id)
+                    if round_id is not None
+                    else None
+                )
+                if status == "finalized":
+                    runtime.queue.mark_applied(
+                        [entry["submission_id"]], missing_ok=True
+                    )
                     self.audit.record(
                         "submission-settled",
                         tenant=runtime.name,
-                        round_id=entry["round_id"],
+                        round_id=round_id,
                         submission=entry["submission_id"],
                     )
+                elif status in (None, "aborted") and round_id is not None:
+                    # Assigned to a round the journal never opened (the
+                    # open record was lost) or one it aborted without
+                    # managing to requeue: the round will never close, so
+                    # hand the submissions back to pending.
+                    requeued = runtime.queue.requeue_round(round_id)
+                    if requeued:
+                        self.audit.record(
+                            "submission-requeued",
+                            tenant=runtime.name,
+                            round_id=round_id,
+                            submissions=requeued,
+                        )
+        replay: list[dict] = []
         for entry in self.journal.unfinished():
+            runtime = self.tenant(entry["tenant"])
+            round_id = int(entry["round_id"])
+            submission_ids = list(entry["submission_ids"])
+            states = [
+                runtime.queue.entry_or_none(sid) for sid in submission_ids
+            ]
+            if any(
+                state is not None and state["state"] == STATE_APPLIED
+                for state in states
+            ):
+                # mark_applied only ever runs after the finalize record
+                # was written, so an applied submission proves the round
+                # completed and storage lost the finalize ack.  Settle
+                # the bookkeeping; re-running would double-count.
+                self.journal.round_finalized(round_id)
+                runtime.queue.mark_applied(submission_ids, missing_ok=True)
+                self.audit.record(
+                    "round-settled",
+                    tenant=runtime.name,
+                    round_id=round_id,
+                    submissions=submission_ids,
+                )
+                continue
+            # Re-pin the journaled submission set before replay: a lost
+            # mark_assigned write leaves entries pending, where a
+            # concurrent take() could pull them into a second round.
+            runtime.queue.mark_assigned(
+                submission_ids, round_id, missing_ok=True
+            )
+            replay.append(entry)
+        for entry in replay:
             tenant = entry["tenant"]
             runtime = self.tenant(tenant)
             round_id = int(entry["round_id"])

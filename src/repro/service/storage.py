@@ -35,9 +35,23 @@ import tempfile
 from collections.abc import MutableMapping
 from typing import Any, Iterator
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, StorageFaultError
 
 BACKEND_KINDS = ("memory", "disk", "sqlite")
+
+
+def _fsync_dir(path: str) -> None:
+    """fsync a directory so a just-renamed/created entry is durable.
+
+    POSIX only promises a rename is on disk once the *directory* inode is
+    synced; without this, a crash after ``os.replace`` can resurface the
+    old file — or, worse, an empty one — on restart.
+    """
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 # --------------------------------------------------------------- value codec
@@ -181,16 +195,25 @@ class DiskBackend(StorageBackend):
 
     def _write_space(self, space: str) -> None:
         data = self._spaces.get(space, {})
-        fd, tmp = tempfile.mkstemp(dir=self.path, suffix=".tmp")
         try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(data, handle)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp, self._space_file(space))
-        finally:
-            if os.path.exists(tmp):  # pragma: no cover - error path
-                os.unlink(tmp)
+            fd, tmp = tempfile.mkstemp(dir=self.path, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(data, handle)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                # Sync order matters: temp-file contents first, then the
+                # rename, then the directory entry.  Skipping the directory
+                # fsync leaves a window where a crash surfaces an empty (or
+                # stale) space file on restart even though the rename
+                # "happened".
+                os.replace(tmp, self._space_file(space))
+                _fsync_dir(self.path)
+            finally:
+                if os.path.exists(tmp):  # pragma: no cover - error path
+                    os.unlink(tmp)
+        except OSError as exc:  # pragma: no cover - real disk failure
+            raise StorageFaultError(f"disk write failed for space {space!r}: {exc}") from exc
 
     def put(self, space: str, key: str, value: Any) -> None:
         self._spaces.setdefault(space, {})[str(key)] = encode_value(value)
@@ -211,15 +234,23 @@ class DiskBackend(StorageBackend):
 
     def append(self, log: str, entry: dict) -> int:
         path = self._log_file(log)
-        seq = 0
-        if os.path.exists(path):
-            with open(path, "r") as handle:
-                seq = sum(1 for _ in handle)
-        with open(path, "a") as handle:
-            handle.write(json.dumps(encode_value(dict(entry))) + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
-        return seq
+        try:
+            seq = 0
+            created = not os.path.exists(path)
+            if not created:
+                with open(path, "r") as handle:
+                    seq = sum(1 for _ in handle)
+            with open(path, "a") as handle:
+                handle.write(json.dumps(encode_value(dict(entry))) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            if created:
+                # A brand-new log file's directory entry needs the same
+                # durability treatment as a space rename.
+                _fsync_dir(self.path)
+            return seq
+        except OSError as exc:  # pragma: no cover - real disk failure
+            raise StorageFaultError(f"disk append failed for log {log!r}: {exc}") from exc
 
     def read_log(self, log: str) -> list[dict]:
         path = self._log_file(log)
@@ -253,11 +284,14 @@ class SQLiteBackend(StorageBackend):
         self._db.commit()
 
     def put(self, space: str, key: str, value: Any) -> None:
-        self._db.execute(
-            "INSERT OR REPLACE INTO kv (space, key, value) VALUES (?, ?, ?)",
-            (space, str(key), json.dumps(encode_value(value))),
-        )
-        self._db.commit()
+        try:
+            self._db.execute(
+                "INSERT OR REPLACE INTO kv (space, key, value) VALUES (?, ?, ?)",
+                (space, str(key), json.dumps(encode_value(value))),
+            )
+            self._db.commit()
+        except sqlite3.OperationalError as exc:  # pragma: no cover - real db failure
+            raise StorageFaultError(f"sqlite put failed for {space}/{key}: {exc}") from exc
 
     def get(self, space: str, key: str, default: Any = None) -> Any:
         row = self._db.execute(
@@ -279,16 +313,19 @@ class SQLiteBackend(StorageBackend):
         return cursor.rowcount > 0
 
     def append(self, log: str, entry: dict) -> int:
-        row = self._db.execute(
-            "SELECT COALESCE(MAX(seq) + 1, 0) FROM logs WHERE log = ?", (log,)
-        ).fetchone()
-        seq = int(row[0])
-        self._db.execute(
-            "INSERT INTO logs (log, seq, entry) VALUES (?, ?, ?)",
-            (log, seq, json.dumps(encode_value(dict(entry)))),
-        )
-        self._db.commit()
-        return seq
+        try:
+            row = self._db.execute(
+                "SELECT COALESCE(MAX(seq) + 1, 0) FROM logs WHERE log = ?", (log,)
+            ).fetchone()
+            seq = int(row[0])
+            self._db.execute(
+                "INSERT INTO logs (log, seq, entry) VALUES (?, ?, ?)",
+                (log, seq, json.dumps(encode_value(dict(entry)))),
+            )
+            self._db.commit()
+            return seq
+        except sqlite3.OperationalError as exc:  # pragma: no cover - real db failure
+            raise StorageFaultError(f"sqlite append failed for log {log!r}: {exc}") from exc
 
     def read_log(self, log: str) -> list[dict]:
         rows = self._db.execute(

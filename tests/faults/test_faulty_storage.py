@@ -1,0 +1,119 @@
+"""FaultyStorageBackend: each write pathology, on schedule, composable."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StorageFaultError
+from repro.faults import (
+    ACTION_CORRUPT,
+    ACTION_IO_ERROR,
+    ACTION_LOST_AFTER_ACK,
+    ACTION_TORN_WRITE,
+    SITE_AUDIT_APPEND,
+    SITE_QUEUE_ADMIT,
+    SITE_STORAGE_APPEND,
+    SITE_STORAGE_PUT,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    FaultyStorageBackend,
+    corrupt_value,
+    is_torn,
+)
+from repro.service.storage import MemoryBackend
+
+
+def _faulty(*specs, rates=None):
+    inner = MemoryBackend()
+    plan = FaultPlan(specs=tuple(specs), rates=rates or {})
+    return inner, FaultyStorageBackend(inner, FaultInjector(plan))
+
+
+def test_io_error_raises_and_writes_nothing():
+    inner, backend = _faulty(
+        FaultSpec(site=SITE_STORAGE_PUT, action=ACTION_IO_ERROR)
+    )
+    with pytest.raises(StorageFaultError):
+        backend.put("s", "k", 1)
+    assert inner.get("s", "k") is None
+    backend.put("s", "k", 2)  # the spec is spent: next write lands
+    assert backend.get("s", "k") == 2
+
+
+def test_torn_write_raises_but_leaves_garbage():
+    inner, backend = _faulty(
+        FaultSpec(site=SITE_STORAGE_PUT, action=ACTION_TORN_WRITE)
+    )
+    with pytest.raises(StorageFaultError):
+        backend.put("s", "k", {"real": True})
+    assert is_torn(inner.get("s", "k")), "torn marker persisted"
+    backend.put("s", "k", {"real": True})  # a retry overwrites the wreck
+    assert backend.get("s", "k") == {"real": True}
+
+
+def test_lost_after_ack_acks_but_never_writes():
+    inner, backend = _faulty(
+        FaultSpec(site=SITE_STORAGE_PUT, action=ACTION_LOST_AFTER_ACK)
+    )
+    backend.put("s", "k", 1)  # no exception: the storage lied
+    assert inner.get("s", "k") is None
+
+
+def test_corrupt_acks_a_doctored_record():
+    inner, backend = _faulty(
+        FaultSpec(site=SITE_STORAGE_PUT, action=ACTION_CORRUPT)
+    )
+    backend.put("s", "k", {"digest": "abcd", "x": 1})
+    stored = inner.get("s", "k")
+    assert stored["x"] == 1
+    assert stored["digest"] == "dcba", "digest flipped"
+    assert corrupt_value({"digest": "abcd"})["digest"] == "dcba"
+
+
+def test_append_lost_after_ack_returns_a_plausible_seq():
+    inner, backend = _faulty(
+        FaultSpec(site=SITE_STORAGE_APPEND, action=ACTION_LOST_AFTER_ACK)
+    )
+    backend.append("log", {"n": 0})  # lost
+    assert backend.append("log", {"n": 1}) == 0
+    assert [e["n"] for e in inner.read_log("log")] == [1]
+
+
+def test_specific_sites_aim_at_one_subsystem():
+    inner, backend = _faulty(
+        FaultSpec(site=SITE_QUEUE_ADMIT, action=ACTION_LOST_AFTER_ACK),
+        FaultSpec(site=SITE_AUDIT_APPEND, action=ACTION_CORRUPT),
+    )
+    backend.put("service", "config", {"fine": True})  # generic: untouched
+    assert inner.get("service", "config") == {"fine": True}
+    backend.put("queue/alpha", "s0", {"state": "pending"})  # admit: lost
+    assert inner.get("queue/alpha", "s0") is None
+    backend.append("round-journal", {"status": "opened"})  # journal: fine
+    backend.append("audit", {"digest": "ff00"})  # audit: corrupted
+    assert inner.read_log("round-journal") == [{"status": "opened"}]
+    assert inner.read_log("audit")[0]["digest"] == "00ff"
+
+
+def test_at_hit_counts_matching_visits():
+    inner, backend = _faulty(
+        FaultSpec(site=SITE_STORAGE_PUT, action=ACTION_IO_ERROR, at_hit=3)
+    )
+    backend.put("s", "a", 1)
+    backend.put("s", "b", 2)
+    with pytest.raises(StorageFaultError):
+        backend.put("s", "c", 3)
+    assert inner.get("s", "c") is None
+    assert backend.get("s", "a") == 1
+
+
+def test_reads_and_deletes_pass_through():
+    inner, backend = _faulty(
+        FaultSpec(site=SITE_STORAGE_PUT, action=ACTION_IO_ERROR, at_hit=99)
+    )
+    inner.put("s", "k", 7)
+    assert backend.get("s", "k") == 7
+    assert backend.keys("s") == ["k"]
+    assert backend.items("s") == [("k", 7)]
+    assert backend.delete("s", "k") is True
+    assert backend.kind == inner.kind

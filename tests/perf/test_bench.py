@@ -124,7 +124,7 @@ def test_snapshot_path_and_find_baseline(tmp_path):
 def fake_run(monkeypatch):
     snapshot = _snapshot({"k/n256": 10.0}, {"round_pipeline/u4x1": 1.0})
     monkeypatch.setattr(
-        bench, "run_benchmarks", lambda quick=False, workers=0: snapshot
+        bench, "run_benchmarks", lambda quick=False, workers=0, chaos=False: snapshot
     )
     return snapshot
 
@@ -243,4 +243,58 @@ def test_cli_bench_wires_arguments(tmp_path, monkeypatch):
         "as_json": True,
         "write": False,
         "workers": 0,
+        "chaos": False,
     }
+
+
+# ------------------------------------------------------------- robustness
+
+
+def _robustness(**overrides):
+    section = {
+        "schedules": 4,
+        "fault_rate": 0.1,
+        "rounds_finalized": 4,
+        "rounds_recovered": 1,
+        "rounds_settled": 2,
+        "rounds_aborted": 0,
+        "restarts": 4,
+        "kills": 1,
+        "audit_repairs": 1,
+        "mean_recovery_s": 0.12,
+    }
+    section.update(overrides)
+    return section
+
+
+def test_robustness_section_is_never_gated():
+    current = _snapshot({"k/n256": 10.0})
+    current["robustness"] = _robustness(restarts=40, mean_recovery_s=9.9)
+    baseline = _snapshot({"k/n256": 10.0})
+    baseline["robustness"] = _robustness()
+    comparison = bench.compare_snapshots(current, baseline, threshold=0.25)
+    assert comparison["ok"], "recovery telemetry must not fail the gate"
+    assert all(
+        "robustness" not in c["metric"] for c in comparison["comparisons"]
+    )
+
+
+def test_render_report_includes_robustness_row():
+    snapshot = _snapshot({"k/n256": 10.0})
+    snapshot["robustness"] = _robustness()
+    report = bench.render_report(snapshot, None)
+    assert "robustness (not gated)" in report
+    assert "4 chaos schedules" in report
+    assert "mean recovery 120.0 ms" in report
+    # And without the section the report stays unchanged.
+    assert "robustness" not in bench.render_report(
+        _snapshot({"k/n256": 10.0}), None
+    )
+
+
+def test_chaos_bench_shape():
+    section = bench._chaos_bench(quick=True)
+    assert section["schedules"] == 4
+    assert section["rounds_finalized"] >= section["schedules"]
+    assert section["restarts"] >= 0
+    assert section["mean_recovery_s"] >= 0.0

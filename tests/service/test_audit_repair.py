@@ -1,0 +1,117 @@
+"""AuditLog self-healing: anchors, break detection, repair records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StorageFaultError
+from repro.faults import (
+    ACTION_CORRUPT,
+    ACTION_LOST_AFTER_ACK,
+    ACTION_TORN_WRITE,
+    SITE_AUDIT_APPEND,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    FaultyStorageBackend,
+)
+from repro.service.audit import EVENT_REPAIR, AuditLog
+from repro.service.storage import MemoryBackend
+
+
+def _audit_under(action, at_hit):
+    inner = MemoryBackend()
+    plan = FaultPlan(
+        specs=(FaultSpec(site=SITE_AUDIT_APPEND, action=action, at_hit=at_hit),)
+    )
+    faulty = FaultyStorageBackend(inner, FaultInjector(plan))
+    return inner, AuditLog(faulty)
+
+
+def test_corrupted_entry_detected_quarantined_repaired():
+    inner, audit = _audit_under(ACTION_CORRUPT, at_hit=2)
+    for n in range(4):
+        audit.record("event", n=n)  # entry 1 is silently corrupted
+
+    clean = AuditLog(inner)
+    with pytest.raises(ValueError, match="audit entry 1"):
+        clean.verify_chain()
+
+    report = clean.verify_and_repair()
+    assert report == {
+        "ok": True,
+        "repaired": True,
+        "break_index": 1,
+        # Everything after the corrupted entry chained off untrusted
+        # state: the whole suffix is quarantined.
+        "quarantined": 3,
+        "truncated_by": 0,
+    }
+    assert clean.verify_chain() > 0, "repaired chain verifies end-to-end"
+    (repair,) = [
+        e for e in clean.entries() if e.get("event") == EVENT_REPAIR
+    ]
+    assert repair["break_index"] == 1
+    assert repair["reason"] == "digest mismatch"
+    assert "region_digest" in repair
+    # Idempotent: a second pass finds nothing to do.
+    assert clean.verify_and_repair()["repaired"] is False
+
+
+def test_lost_append_is_caught_by_the_anchor():
+    inner, audit = _audit_under(ACTION_LOST_AFTER_ACK, at_hit=3)
+    for n in range(3):
+        audit.record("event", n=n)  # entry 2 acked but never persisted
+
+    clean = AuditLog(inner)
+    with pytest.raises(ValueError, match="truncated"):
+        clean.verify_chain()
+    report = clean.verify_and_repair()
+    assert report["ok"] and report["repaired"]
+    assert report["truncated_by"] == 1
+    clean.verify_chain()
+
+
+def test_torn_tail_does_not_brick_the_log():
+    inner, audit = _audit_under(ACTION_TORN_WRITE, at_hit=3)
+    audit.record("event", n=0)
+    audit.record("event", n=1)
+    with pytest.raises(StorageFaultError):
+        audit.record("event", n=2)  # torn: garbage appended, op raised
+
+    clean = AuditLog(inner)  # __init__ must tolerate the torn tail
+    report = clean.verify_and_repair()
+    assert report["ok"] and report["repaired"]
+    assert report["break_index"] == 2
+    assert report["quarantined"] == 1
+    clean.verify_chain()
+    # The log keeps working after repair, chained off the repair record.
+    clean.record("post-repair")
+    assert clean.verify_chain() >= 4
+
+
+def test_recording_continues_over_a_repaired_chain():
+    inner, audit = _audit_under(ACTION_CORRUPT, at_hit=1)
+    audit.record("will-corrupt")
+    clean = AuditLog(inner)
+    assert clean.verify_and_repair()["repaired"]
+    clean.record("after")
+    clean.record("after-again")
+    assert clean.verify_chain() >= 3
+    assert clean.verify_and_repair()["repaired"] is False
+
+
+def test_healthy_chain_needs_no_repair():
+    backend = MemoryBackend()
+    audit = AuditLog(backend)
+    for n in range(5):
+        audit.record("event", n=n)
+    report = audit.verify_and_repair()
+    assert report == {
+        "ok": True,
+        "repaired": False,
+        "break_index": None,
+        "quarantined": 0,
+        "truncated_by": 0,
+    }
+    assert audit.verify_chain() == 5

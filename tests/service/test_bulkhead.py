@@ -1,0 +1,112 @@
+"""Tenant bulkheads: one tenant's dead storage never touches the rest."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StorageFaultError, StorageUnavailableError
+from repro.service.service import GlimmerService
+from repro.service.storage import MemoryBackend, build_backend
+
+KNOBS = dict(num_users=3, sentences_per_user=3, max_features=8)
+ROUNDS = 3
+
+
+class DeadBackend(MemoryBackend):
+    """Every mutation fails until ``broken`` is cleared."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.broken = True
+        self.write_attempts = 0
+
+    def put(self, space, key, value):
+        self.write_attempts += 1
+        if self.broken:
+            raise StorageFaultError("dead disk: put")
+        super().put(space, key, value)
+
+    def append(self, log, entry):
+        self.write_attempts += 1
+        if self.broken:
+            raise StorageFaultError("dead disk: append")
+        return super().append(log, entry)
+
+
+def _drive_waves(service, tenant: str, rounds: int) -> list:
+    reports = []
+    runtime = service.tenant(tenant)
+    for _ in range(rounds):
+        for user in sorted(runtime.deployment.clients):
+            service.submit_honest(tenant, user)
+        reports.extend(service.run_pending_sync())
+    return reports
+
+
+def test_dead_tenant_degrades_and_fails_fast():
+    service = GlimmerService(build_backend("memory"), **KNOBS)
+    dead = DeadBackend()
+    service.add_tenant("sick", backend=dead)
+    user = sorted(service.tenant("sick").deployment.clients)[0]
+
+    with pytest.raises(StorageUnavailableError):
+        service.submit_honest("sick", user)
+    assert "sick" in service.degraded
+
+    # Degraded: admission fails fast, without a single storage attempt.
+    touched = dead.write_attempts
+    with pytest.raises(StorageUnavailableError):
+        service.submit_honest("sick", user)
+    assert dead.write_attempts == touched
+    # The quarantine is on the audit record.
+    assert service.audit.trail(event="tenant-degraded")[0]["tenant"] == "sick"
+    service.close()
+
+
+def test_bulkhead_isolates_healthy_tenant_bit_exact():
+    # Twin: the same healthy tenant on a service with no sick neighbor.
+    twin = GlimmerService(build_backend("memory"), **KNOBS)
+    twin.add_tenant("healthy")
+    twin_reports = _drive_waves(twin, "healthy", ROUNDS)
+    twin.close()
+
+    service = GlimmerService(build_backend("memory"), **KNOBS)
+    service.add_tenant("healthy")
+    dead = DeadBackend()
+    service.add_tenant("sick", backend=dead)
+    sick_user = sorted(service.tenant("sick").deployment.clients)[0]
+    with pytest.raises(StorageUnavailableError):
+        service.submit_honest("sick", sick_user)
+    assert "sick" in service.degraded
+
+    # The healthy tenant completes its rounds as if nothing happened.
+    reports = _drive_waves(service, "healthy", ROUNDS)
+    assert len(reports) == ROUNDS == len(twin_reports)
+    for mine, theirs in zip(reports, twin_reports):
+        assert mine.round_id == theirs.round_id
+        assert mine.as_dict()["aggregate"] == theirs.as_dict()["aggregate"]
+    # run_pending skips the degraded tenant entirely.
+    assert "sick" in service.degraded
+    service.close()
+
+
+def test_probe_restores_a_healed_tenant():
+    service = GlimmerService(build_backend("memory"), **KNOBS)
+    dead = DeadBackend()
+    service.add_tenant("sick", backend=dead)
+    user = sorted(service.tenant("sick").deployment.clients)[0]
+    with pytest.raises(StorageUnavailableError):
+        service.submit_honest("sick", user)
+    assert service.probe_degraded() == [], "still dead: stays quarantined"
+    assert "sick" in service.degraded
+
+    dead.broken = False
+    assert service.probe_degraded() == ["sick"]
+    assert "sick" not in service.degraded
+    # And the tenant actually works again, end to end.
+    for name in sorted(service.tenant("sick").deployment.clients):
+        service.submit_honest("sick", name)
+    (report,) = service.run_pending_sync()
+    assert report.num_contributions == KNOBS["num_users"]
+    assert service.audit.trail(event="tenant-restored")[0]["tenant"] == "sick"
+    service.close()

@@ -85,7 +85,7 @@ def test_crash_in_the_journal_queue_gap_settles_without_replay(backend_factory):
     queue = crashed.tenant("alpha").queue
     # Crash between journal.round_finalized and queue.mark_applied: the
     # round ran to completion but the queue never heard.
-    real_mark_applied, queue.mark_applied = queue.mark_applied, lambda ids: None
+    real_mark_applied, queue.mark_applied = queue.mark_applied, lambda ids, **kw: None
     (report,) = crashed.run_pending_sync()
     queue.mark_applied = real_mark_applied
     assert queue.assigned_to(report.round_id), "gap state: still assigned"
@@ -103,6 +103,39 @@ def test_crash_in_the_journal_queue_gap_settles_without_replay(backend_factory):
             queue.state_of(e["submission"]) == STATE_APPLIED for e in settled
         )
         assert recovered.run_pending_sync() == []
+
+
+def test_replaying_the_journal_twice_never_double_applies(backend_factory):
+    crashed = _service(backend_factory())
+    _submit_all(crashed)
+    round_id, submission_ids = _open_without_driving(crashed)
+    crashed.close()
+
+    recovered = GlimmerService.recover(backend_factory())
+    with recovered:
+        (report,) = recovered.resume_sync()
+        assert report.round_id == round_id
+        # Same process, second resume: the journal is already settled.
+        assert recovered.resume_sync() == []
+        assert recovered.run_pending_sync() == []
+        recovered.close()
+
+    # Third process over the same state: still nothing to replay.
+    third = GlimmerService.recover(backend_factory())
+    with third:
+        assert third.resume_sync() == []
+        queue = third.tenant("alpha").queue
+        for sid in submission_ids:
+            assert queue.state_of(sid) == STATE_APPLIED
+        # One finalize per round in the whole journal, ever.
+        finalized = [
+            e
+            for e in third.journal.entries()
+            if e.get("status") == "finalized" and e.get("round_id") == round_id
+        ]
+        assert len(finalized) == 1
+        assert len(third.audit.trail(event="round-replayed")) == 1
+        third.audit.verify_chain()
 
 
 def test_sealed_rounds_survive_blinder_crash_via_persistent_store(backend_factory):

@@ -1,0 +1,187 @@
+"""Retry policy, circuit breaker state machine, resilient backend armor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.drbg import HmacDrbg
+from repro.errors import StorageFaultError, StorageUnavailableError
+from repro.service.resilience import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    CircuitBreaker,
+    ResilientStorageBackend,
+    RetryPolicy,
+)
+from repro.service.storage import MemoryBackend
+
+
+class FlakyBackend(MemoryBackend):
+    """Fails the next ``fail_next`` mutations, then behaves."""
+
+    def __init__(self, fail_next: int = 0) -> None:
+        super().__init__()
+        self.fail_next = fail_next
+        self.attempts = 0
+
+    def _maybe_fail(self, label: str) -> None:
+        self.attempts += 1
+        if self.fail_next > 0:
+            self.fail_next -= 1
+            raise StorageFaultError(f"flaky {label}")
+
+    def put(self, space, key, value):
+        self._maybe_fail("put")
+        super().put(space, key, value)
+
+    def append(self, log, entry):
+        self._maybe_fail("append")
+        return super().append(log, entry)
+
+
+# ------------------------------------------------------------- retry policy
+
+
+def test_backoff_doubles_and_caps():
+    policy = RetryPolicy(base_delay=0.01, max_delay=0.05, jitter=0.0)
+    assert policy.delay_for(1) == pytest.approx(0.01)
+    assert policy.delay_for(2) == pytest.approx(0.02)
+    assert policy.delay_for(3) == pytest.approx(0.04)
+    assert policy.delay_for(4) == pytest.approx(0.05), "capped"
+    assert policy.delay_for(10) == pytest.approx(0.05)
+
+
+def test_jitter_is_deterministic_per_seed():
+    policy = RetryPolicy(jitter=0.5)
+    first = [
+        policy.delay_for(n, HmacDrbg(b"jit", personalization="t"))
+        for n in (1, 2, 3)
+    ]
+    second = [
+        policy.delay_for(n, HmacDrbg(b"jit", personalization="t"))
+        for n in (1, 2, 3)
+    ]
+    assert first == second
+    assert all(d >= policy.base_delay for d in first[:1])
+
+
+# ----------------------------------------------------------- circuit breaker
+
+
+def test_breaker_walks_closed_open_half_open_closed():
+    breaker = CircuitBreaker(failure_threshold=2, cooldown=3.0)
+    assert breaker.state == STATE_CLOSED
+    breaker.record_failure()
+    assert breaker.state == STATE_CLOSED, "below threshold"
+    breaker.record_failure()
+    assert breaker.state == STATE_OPEN
+
+    # Open: admissions fail fast until the cooldown elapses (the default
+    # clock ticks once per admission attempt).
+    for _ in range(2):
+        with pytest.raises(StorageUnavailableError):
+            breaker.allow()
+    assert breaker.fast_fails == 2
+    breaker.allow()  # third tick reaches the cooldown: half-open probe
+    assert breaker.state == STATE_HALF_OPEN
+    breaker.record_success()
+    assert breaker.state == STATE_CLOSED
+    assert [state for state, _ in breaker.transitions] == [
+        STATE_CLOSED,
+        STATE_OPEN,
+        STATE_HALF_OPEN,
+        STATE_CLOSED,
+    ]
+
+
+def test_breaker_reopens_when_the_probe_fails():
+    breaker = CircuitBreaker(failure_threshold=1, cooldown=1.0)
+    breaker.record_failure()
+    assert breaker.state == STATE_OPEN
+    breaker.allow()  # cooldown elapsed -> half-open probe admitted
+    assert breaker.state == STATE_HALF_OPEN
+    breaker.record_failure()
+    assert breaker.state == STATE_OPEN, "failed probe re-opens immediately"
+
+
+def test_success_resets_the_consecutive_failure_count():
+    breaker = CircuitBreaker(failure_threshold=3)
+    breaker.record_failure()
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == STATE_CLOSED
+
+
+# --------------------------------------------------------- resilient backend
+
+
+def test_retries_absorb_transient_faults():
+    inner = FlakyBackend(fail_next=2)
+    backend = ResilientStorageBackend(inner)
+    backend.put("space", "k", {"v": 1})
+    assert backend.get("space", "k") == {"v": 1}
+    assert backend.stats["retries"] == 2
+    assert backend.stats["faults"] == 2
+    assert backend.retry_delay_total > 0.0
+    assert backend.breaker.state == STATE_CLOSED
+
+
+def test_exhaustion_converts_to_unavailable():
+    inner = FlakyBackend(fail_next=100)
+    backend = ResilientStorageBackend(
+        inner, policy=RetryPolicy(max_attempts=3)
+    )
+    with pytest.raises(StorageUnavailableError):
+        backend.put("space", "k", 1)
+    assert backend.stats["unavailable"] == 1
+    assert inner.attempts == 3
+
+
+def test_open_breaker_fails_fast_without_touching_storage():
+    inner = FlakyBackend(fail_next=100)
+    backend = ResilientStorageBackend(
+        inner,
+        policy=RetryPolicy(max_attempts=2),
+        breaker=CircuitBreaker(failure_threshold=2, cooldown=50.0),
+    )
+    with pytest.raises(StorageUnavailableError):
+        backend.put("space", "k", 1)  # 2 attempts, breaker opens
+    touched = inner.attempts
+    with pytest.raises(StorageUnavailableError):
+        backend.put("space", "k", 1)  # fast-fail: no I/O at all
+    assert inner.attempts == touched
+    assert backend.breaker.fast_fails == 1
+
+
+def test_half_open_probe_closes_breaker_end_to_end():
+    inner = FlakyBackend(fail_next=2)
+    backend = ResilientStorageBackend(
+        inner,
+        policy=RetryPolicy(max_attempts=1),  # every fault surfaces
+        breaker=CircuitBreaker(failure_threshold=2, cooldown=2.0),
+    )
+    for _ in range(2):
+        with pytest.raises(StorageUnavailableError):
+            backend.put("space", "k", 1)
+    assert backend.breaker.state == STATE_OPEN
+    with pytest.raises(StorageUnavailableError):
+        backend.put("space", "k", 1)  # fast-fail tick 1
+    backend.put("space", "k", 2)  # cooldown over: probe succeeds, closes
+    assert backend.breaker.state == STATE_CLOSED
+    assert backend.get("space", "k") == 2
+
+
+def test_wrapper_is_transparent_on_success():
+    inner = MemoryBackend()
+    backend = ResilientStorageBackend(inner)
+    assert backend.kind == inner.kind
+    assert backend.append("log", {"a": 1}) == 0
+    assert backend.append("log", {"a": 2}) == 1
+    assert backend.read_log("log") == [{"a": 1}, {"a": 2}]
+    backend.put("s", "k", b"bytes")
+    assert backend.get("s", "k") == b"bytes"
+    assert backend.keys("s") == ["k"]
+    assert backend.delete("s", "k") is True

@@ -102,3 +102,80 @@ def test_parse_overrides_rejects_malformed():
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+# --------------------------------------------------------- robustness tooling
+
+
+def _seed_service_state(state_dir, users=3):
+    from repro.service import GlimmerService, build_backend
+
+    with GlimmerService(
+        build_backend("disk", str(state_dir)),
+        num_users=users,
+        sentences_per_user=3,
+        max_features=8,
+    ) as service:
+        service.add_tenant("tenant-a")
+        for user in sorted(service.tenant("tenant-a").deployment.clients):
+            service.submit_honest("tenant-a", user)
+        (report,) = service.run_pending_sync()
+        return report
+
+
+def test_audit_verify_clean_exits_zero(tmp_path, capsys):
+    _seed_service_state(tmp_path / "state")
+    assert main(["audit-verify", "--state-dir", str(tmp_path / "state")]) == 0
+    assert "audit chain verified" in capsys.readouterr().out
+
+
+def test_audit_verify_detects_tamper_and_repairs(tmp_path, capsys):
+    import json
+
+    _seed_service_state(tmp_path / "state")
+    log_file = next((tmp_path / "state").glob("log-audit.jsonl"))
+    lines = log_file.read_text().splitlines()
+    doctored = json.loads(lines[1])
+    doctored["digest"] = doctored["digest"][::-1]
+    lines[1] = json.dumps(doctored)
+    log_file.write_text("\n".join(lines) + "\n")
+
+    assert main(["audit-verify", "--state-dir", str(tmp_path / "state")]) == 1
+    err = capsys.readouterr().err
+    assert "audit chain broken" in err
+
+    assert (
+        main(["audit-verify", "--state-dir", str(tmp_path / "state"), "--repair"])
+        == 0
+    )
+    assert "repaired" in capsys.readouterr().out
+    # Once repaired, plain verification passes again.
+    assert main(["audit-verify", "--state-dir", str(tmp_path / "state")]) == 0
+
+
+def test_serve_chaos_seed_self_heals(tmp_path, capsys):
+    state = str(tmp_path / "state")
+    for user in ("user-0000", "user-0001", "user-0002"):
+        assert (
+            main(
+                [
+                    "submit", "--state-dir", state, "--tenant", "tenant-a",
+                    "--user", user, "--users", "3",
+                ]
+            )
+            == 0
+        )
+    assert (
+        main(
+            [
+                "serve", "--state-dir", state, "--tenants", "tenant-a",
+                "--rounds", "3", "--resume", "--users", "3",
+                "--chaos-seed", "cli-chaos-1", "--fault-rate", "0.3",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "chaos schedule 'cli-chaos-1'" in out
+    # The state the chaos run leaves behind is verifiably intact.
+    assert main(["audit-verify", "--state-dir", state]) == 0
