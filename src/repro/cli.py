@@ -160,6 +160,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         write=not args.no_write,
         workers=args.workers,
         chaos=args.chaos,
+        fleet=args.fleet,
     )
 
 
@@ -431,6 +432,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also run chaos schedules and record recovery telemetry in a "
         "non-gated 'robustness' snapshot section",
+    )
+    bench_parser.add_argument(
+        "--fleet",
+        action="store_true",
+        help="also run degraded-link fleet schedules and record rounds "
+        "recovered, time-to-settle, and re-attestations avoided in a "
+        "non-gated 'fleet' snapshot section",
     )
     bench_parser.set_defaults(func=_cmd_bench)
 

@@ -32,6 +32,7 @@ EXPERIMENTS: dict[str, tuple[str, str]] = {
     "e17": ("§2 extension — in-home activity detection", "repro.experiments.e17_activity"),
     "e18": ("§3 extension — availability under injected faults", "repro.experiments.e18_availability"),
     "e19": ("§3 extension — Byzantine actors: detect, blame, quarantine", "repro.experiments.e19_byzantine"),
+    "e20": ("§4.2 extension — flaky-fleet resilience under link chaos", "repro.experiments.e20_fleet"),
 }
 
 

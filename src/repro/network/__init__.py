@@ -18,6 +18,18 @@ from repro.network.adversary import (
 )
 from repro.network.channel import SecureChannel, establish_channel
 from repro.network.clock import LatencyModel, SimulatedClock
+from repro.network.conditions import (
+    CELLULAR_EDGE,
+    HOSTILE,
+    PROFILES,
+    URBAN_WIFI,
+    ConditionProfile,
+    FleetPlan,
+    LinkConditions,
+    LinkSchedule,
+    resolve_profile,
+    sample_fleet_plan,
+)
 from repro.network.message import Message
 from repro.network.transport import Endpoint, Network
 
@@ -31,6 +43,16 @@ __all__ = [
     "establish_channel",
     "LatencyModel",
     "SimulatedClock",
+    "ConditionProfile",
+    "FleetPlan",
+    "LinkConditions",
+    "LinkSchedule",
+    "PROFILES",
+    "URBAN_WIFI",
+    "CELLULAR_EDGE",
+    "HOSTILE",
+    "resolve_profile",
+    "sample_fleet_plan",
     "Message",
     "Endpoint",
     "Network",

@@ -12,6 +12,7 @@ either a (possibly modified) message or ``None`` to drop it.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Any
 
 from repro.crypto.drbg import HmacDrbg
@@ -43,7 +44,17 @@ class EavesdropAdversary(NetworkAdversary):
 
 
 class DropAdversary(NetworkAdversary):
-    """Drops messages, either by kind or with probability ``drop_rate``."""
+    """Drops messages, either by kind or with probability ``drop_rate``.
+
+    Pass ``rng`` to make the adversary part of a replay-deterministic
+    composition: every probabilistic drop then comes from the injected
+    DRBG stream, so the same seeds reproduce the same drop sequence no
+    matter what other adversaries (link conditions, replay) share the
+    chain.  The fallback RNG exists only for standalone convenience —
+    it is seeded from a module constant, so two default-constructed
+    instances draw *identical* streams and compositions built from them
+    are not independent.  Harnesses must inject.
+    """
 
     def __init__(
         self,
@@ -86,16 +97,51 @@ class ReplayAdversary(NetworkAdversary):
     """Records messages of a kind and can replay them later.
 
     Replay is *active*: call :meth:`replay_into` with the network to
-    re-deliver a captured message.
+    re-deliver a captured message verbatim (the attack path — an
+    ``attempt == 1`` copy that must trip the strict replay checks).
+
+    With an injected ``rng`` and a ``replay_rate``, the adversary also
+    replays *autonomously*: after :meth:`attach`, each recorded-kind
+    message has ``replay_rate`` probability of queuing a stale
+    re-delivery of an earlier capture (chosen by the DRBG) through the
+    network's redelivery queue.  Autonomous replays carry ``attempt + 1``
+    — they model a duplicating/reordering network exercising handler
+    idempotency, and because both the firing decision and the victim
+    selection come from the injected stream, composition with other
+    DRBG-injected adversaries stays replay-deterministic.
     """
 
-    def __init__(self, target_kinds: set[str] | None = None) -> None:
+    def __init__(
+        self,
+        target_kinds: set[str] | None = None,
+        rng: HmacDrbg | None = None,
+        replay_rate: float = 0.0,
+    ) -> None:
         self.target_kinds = target_kinds
         self.recorded: list[Message] = []
+        self._rng = rng
+        self.replay_rate = float(replay_rate)
+        self._network = None
+        self.auto_replayed = 0
+
+    def attach(self, network: "Any") -> None:
+        """Give the adversary a redelivery queue for autonomous replays."""
+        self._network = network
 
     def process(self, message: Message) -> Message | None:
         if self.target_kinds is None or message.kind in self.target_kinds:
             self.recorded.append(message)
+            if (
+                self._network is not None
+                and self._rng is not None
+                and self.replay_rate > 0.0
+                and self._rng.uniform() < self.replay_rate
+            ):
+                victim = self.recorded[self._rng.randint(len(self.recorded))]
+                self._network.enqueue_redelivery(
+                    replace(victim, attempt=victim.attempt + 1)
+                )
+                self.auto_replayed += 1
         return message
 
     def replay_into(self, network: "Any", index: int = -1) -> Any:

@@ -95,6 +95,10 @@ class Network:
         stay comparable across experiments (the documented contract),
         while the reply leg is still auditable — a dropped reply shows
         up in ``messages_dropped`` and *only* there."""
+        self._redeliveries: list[Message] = []
+        self._in_flight = 0
+        self.redeliveries_delivered = 0
+        self.redeliveries_failed = 0
 
     # ------------------------------------------------------------- topology
 
@@ -175,7 +179,48 @@ class Network:
         if processed is None:
             self.messages_dropped += 1
             return False, None
-        return True, self.deliver_raw(processed)
+        self._in_flight += 1
+        try:
+            result = self.deliver_raw(processed)
+        finally:
+            self._in_flight -= 1
+        self._drain_redeliveries()
+        return True, result
+
+    def enqueue_redelivery(self, message: Message) -> None:
+        """Queue a duplicate/stale copy for delivery after the current one.
+
+        Adversaries modeling a duplicating or reordering network (link
+        conditions, autonomous replay) call this from ``process``: the
+        copy must not land *before* the message being processed, so it is
+        queued and drained only once the *outermost* delivery completes —
+        a duplicate of a command whose handler is still on the stack
+        (handlers make nested calls) must not re-enter that handler
+        mid-operation, before its idempotency record exists.  Queued
+        copies go through :meth:`deliver_raw` — they skip the adversary
+        chain (no duplicate-of-duplicate cascades) and their handler
+        responses go nowhere, exactly like a stray datagram's would.
+        """
+        self._redeliveries.append(message)
+
+    def _drain_redeliveries(self) -> None:
+        if self._in_flight:
+            return  # a handler is still running; its caller drains
+        while self._redeliveries:
+            pending = self._redeliveries.pop(0)
+            self._in_flight += 1
+            try:
+                self.deliver_raw(pending)
+            except Exception:
+                # A duplicate that a handler rejects (protocol violation,
+                # unknown endpoint after a re-registration) dies on the
+                # floor, as real stray packets do; the violation is
+                # already recorded by the handler's own checks.
+                self.redeliveries_failed += 1
+            else:
+                self.redeliveries_delivered += 1
+            finally:
+                self._in_flight -= 1
 
     def send(self, sender: str, receiver: str, kind: str, payload: Any) -> Any:
         """One-way delivery through the adversary chain.
@@ -233,4 +278,5 @@ class Network:
         self.clock.advance(
             self._latency_for(receiver, sender, payload_size(processed.payload))
         )
+        self._drain_redeliveries()
         return processed.payload

@@ -348,11 +348,53 @@ def _chaos_bench(quick: bool = False) -> dict:
     return totals
 
 
+def _fleet_bench(quick: bool = False) -> dict:
+    """Fleet-resilience telemetry over a few degraded-link schedules.
+
+    Runs :func:`~repro.service.fleet.run_fleet_schedule` across the
+    condition profiles and aggregates what the defenses absorbed.  Like
+    the chaos section, the numbers land in a snapshot section that
+    :func:`compare_snapshots` never walks: settle time depends on the
+    sampled weather, so the row is an observable, not a gate.
+    """
+    from repro.network.conditions import PROFILES
+    from repro.service.fleet import run_fleet_schedule
+
+    per_profile = 2 if quick else 4
+    totals = {
+        "rounds": 0,
+        "rounds_recovered": 0,
+        "rejoins": 0,
+        "resumed": 0,
+        "full_attestations": 0,
+        "perturbed_submissions": 0,
+        "submissions_reconciled": 0,
+    }
+    settle_ms = []
+    for profile in sorted(PROFILES):
+        for index in range(per_profile):
+            report = run_fleet_schedule(
+                seed=b"bench-fleet", index=index, profile=profile
+            )
+            for key in totals:
+                totals[key] += report[key]
+            settle_ms.append(report["mean_settle_ms"])
+    totals.update(
+        schedules=per_profile * len(PROFILES),
+        mean_settle_ms=sum(settle_ms) / len(settle_ms),
+        reattestations_avoided=totals["resumed"],
+    )
+    return totals
+
+
 # ----------------------------------------------------------------- snapshots
 
 
 def run_benchmarks(
-    quick: bool = False, workers: int = 0, chaos: bool = False
+    quick: bool = False,
+    workers: int = 0,
+    chaos: bool = False,
+    fleet: bool = False,
 ) -> dict:
     """Run every bench; returns the snapshot document (not yet written).
 
@@ -401,6 +443,8 @@ def run_benchmarks(
     }
     if chaos:
         snapshot["robustness"] = _chaos_bench(quick)
+    if fleet:
+        snapshot["fleet"] = _fleet_bench(quick)
     return snapshot
 
 
@@ -524,6 +568,21 @@ def render_report(snapshot: dict, comparison: dict | None) -> str:
             f"{robustness['audit_repairs']} audit repairs, "
             f"mean recovery {robustness['mean_recovery_s'] * 1000:.1f} ms"
         )
+    fleet = snapshot.get("fleet")
+    if fleet:
+        lines.append("")
+        lines.append(
+            f"fleet (not gated): {fleet['schedules']} degraded-link "
+            f"schedules — {fleet['rounds']} rounds "
+            f"({fleet['rounds_recovered']} recovered), "
+            f"mean time-to-settle {fleet['mean_settle_ms']:.1f} ms, "
+            f"{fleet['rejoins']} rejoins with "
+            f"{fleet['reattestations_avoided']} re-attestations avoided "
+            f"({fleet['full_attestations']} full quote-verifies paid), "
+            f"{fleet['perturbed_submissions']} perturbed submissions "
+            f"all rejected, "
+            f"{fleet['submissions_reconciled']} reconciled at finalize"
+        )
     if comparison is not None:
         lines.append("")
         if comparison["ok"]:
@@ -551,9 +610,12 @@ def main(
     write: bool = True,
     workers: int = 0,
     chaos: bool = False,
+    fleet: bool = False,
 ) -> int:
     """The ``repro bench`` entry point; returns the process exit code."""
-    snapshot = run_benchmarks(quick=quick, workers=workers, chaos=chaos)
+    snapshot = run_benchmarks(
+        quick=quick, workers=workers, chaos=chaos, fleet=fleet
+    )
     path = snapshot_path(out_dir, snapshot["date"])
     if baseline is None:
         baseline = find_baseline(out_dir)
@@ -576,6 +638,7 @@ def main(
                     "date": snapshot["date"],
                     "speedups": snapshot["speedups"],
                     "robustness": snapshot.get("robustness"),
+                    "fleet": snapshot.get("fleet"),
                     "comparison": comparison,
                 },
                 indent=2,

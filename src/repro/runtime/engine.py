@@ -57,6 +57,7 @@ from repro.errors import (
 from repro.faults import ACTION_CRASH, ACTION_STALL, SITE_BLINDER, SITE_PHASE_STALL
 from repro.network.transport import Network
 from repro.runtime import messages as m
+from repro.runtime.deadlines import AdaptiveDeadlines, PhaseDeadlineController
 from repro.runtime.endpoints import BlinderEndpoint, ClientEndpoint, ServiceEndpoint
 from repro.runtime.messages import BLINDER, ENGINE, SERVICE, client_endpoint
 from repro.runtime.protocol import (
@@ -76,6 +77,7 @@ from repro.runtime.telemetry import (
     OUTCOME_DEADLINE_MISSED,
     OUTCOME_DROPOUT,
     OUTCOME_EVICTED,
+    OUTCOME_PARTITIONED,
     OUTCOME_PROVISION_FAILED,
     OUTCOME_QUARANTINED,
     OUTCOME_SUBMIT_FAILED,
@@ -113,6 +115,11 @@ class _RoundRecord:
         self.faults0 = 0
         self.ecalls = 0
         self.joined: dict[str, Any] = {}
+        self.late_discards = 0
+        self.hedged = 0
+        self.stragglers = 0
+        self.partition_trimmed = 0
+        self.reconciled = 0
         self.meter_start: dict[str, dict[str, int]] = {}
         self.messages0 = network.messages_delivered + network.messages_dropped
         self.dropped0 = network.messages_dropped
@@ -166,6 +173,9 @@ class RoundEngine:
         everything else — and ``workers == 0`` — takes the serial bus
         path below, unchanged."""
         self._scale_pool = None
+        self.link_conditions = None
+        """Optional :class:`repro.network.conditions.LinkConditions`
+        reachability oracle (see :meth:`attach_conditions`)."""
         self.monitor = ProtocolMonitor(self.quarantine)
         self._retry_rng = HmacDrbg(seed, personalization="retry-jitter")
         self.clients: dict[str, Any] = {}
@@ -202,6 +212,17 @@ class RoundEngine:
         if client_id not in self.clients:
             raise ProtocolError(f"client {client_id!r} is not registered on the bus")
         return client_endpoint(client_id)
+
+    def attach_conditions(self, conditions) -> None:
+        """Attach (or with ``None`` detach) a link-conditions oracle.
+
+        With an oracle attached, phase boundaries trim participants the
+        oracle reports offline — partition-aware cohort trimming that
+        degrades an unreachable device straight into the §3
+        dropout-repair path instead of burning its full retry budget.
+        The oracle only answers reachability; it never sees payloads.
+        """
+        self.link_conditions = conditions
 
     # ------------------------------------------------------------- lifecycle
 
@@ -333,7 +354,14 @@ class RoundEngine:
     # --------------------------------------------------------------- retries
 
     def call_with_retry(
-        self, record: _RoundRecord, sender: str, receiver: str, kind: str, payload
+        self,
+        record: _RoundRecord,
+        sender: str,
+        receiver: str,
+        kind: str,
+        payload,
+        *,
+        first_attempt: int = 1,
     ):
         """``Network.call`` with capped, jittered exponential backoff.
 
@@ -345,8 +373,16 @@ class RoundEngine:
         and each wait adds up to one backoff-interval of jitter drawn from
         the engine's DRBG: deterministic for a given seed, decorrelated
         across retrying callers.
+
+        ``first_attempt`` starts the attempt numbering above 1 for hedged
+        re-deliveries: a command re-issued with ``first_attempt >
+        max_attempts`` is visibly a retransmission to every handler, so
+        an operation that already executed answers from its idempotency
+        cache instead of running twice.  The retry *budget* is unchanged
+        — up to ``max_attempts`` sends counting from ``first_attempt``.
         """
-        attempt = 0
+        attempt = first_attempt - 1
+        last_allowed = first_attempt + self.max_attempts - 1
         while True:
             attempt += 1
             try:
@@ -354,11 +390,12 @@ class RoundEngine:
                     sender, receiver, kind, payload, attempt=attempt
                 )
             except NetworkError:
-                if attempt >= self.max_attempts:
+                if attempt >= last_allowed:
                     raise
                 record.retries += 1
                 delay = min(
-                    self.backoff_ms * (2 ** (attempt - 1)), self.max_backoff_ms
+                    self.backoff_ms * (2 ** (attempt - first_attempt)),
+                    self.max_backoff_ms,
                 )
                 self.network.clock.advance(
                     delay + delay * self._retry_rng.uniform()
@@ -435,7 +472,14 @@ class RoundEngine:
             )
         return published
 
-    def provision_mask(self, client_id: str, round_id: int, party_index: int) -> None:
+    def provision_mask(
+        self,
+        client_id: str,
+        round_id: int,
+        party_index: int,
+        *,
+        first_attempt: int = 1,
+    ) -> None:
         """Command a client to fetch and install its mask for one slot."""
         record = self.round_record(round_id)
         record.note_participant(client_id)
@@ -448,6 +492,7 @@ class RoundEngine:
             self._client_name(client_id),
             m.KIND_PROVISION_MASK,
             m.ProvisionMask(round_id, party_index, commitment),
+            first_attempt=first_attempt,
         )
         record.provisioned[party_index] = client_id
 
@@ -461,6 +506,7 @@ class RoundEngine:
         blind: bool = True,
         claims: Mapping | None = None,
         context_fields: Sequence[str] = (),
+        first_attempt: int = 1,
     ) -> str:
         """Command a client to contribute; returns its outcome label."""
         record = self.round_record(round_id)
@@ -478,6 +524,7 @@ class RoundEngine:
                 claims=tuple(sorted((claims or {}).items())),
                 context_fields=tuple(context_fields),
             ),
+            first_attempt=first_attempt,
         )
         record.outcomes[client_id] = outcome
         return outcome
@@ -568,6 +615,7 @@ class RoundEngine:
                 f"{len(record.unresolved)} submission(s) could not be "
                 "reconciled (accepted-or-not unknown)",
             )
+        self._reconcile_consumed(record)
         for slot, user_id in record.provisioned.items():
             if slot in record.consumed and record.outcomes.get(user_id) in (
                 OUTCOME_UNREACHABLE,
@@ -672,6 +720,43 @@ class RoundEngine:
                     )
             return tuple(int(v) for v in revealed.mask)
         return tuple(int(v) for v in revealed)
+
+    def _reconcile_consumed(self, record: _RoundRecord) -> None:
+        """Adopt acceptances the service holds that the engine never saw.
+
+        Under a duplicating network a submission whose every *witnessed*
+        attempt failed can still land: a queued duplicate executes after
+        the sender gave up, its response goes nowhere, and the service
+        consumes the slot without the engine learning of it.  The slot
+        being consumed at the service is ground truth — revealing a
+        consumed slot's mask as §3 repair would fold residual mask
+        material into the aggregate — so before choosing repairs the
+        engine syncs its accounting against the monitor's service-gate
+        record, cross-checked with the nonces the service actually holds.
+        Signatures keep the adoption sound: the service can only hold
+        contributions a genuine Glimmer signed, and the finalize audit
+        recomputes the aggregate over exactly that set.
+        """
+        state_getter = getattr(self.service, "round_state", None)
+        if state_getter is None:
+            return
+        try:
+            state = state_getter(record.round_id)
+        except ProtocolError:
+            return
+        held = {c.nonce for c in getattr(state, "accepted", ())}
+        if not held:
+            return
+        claimed = self.monitor.accepted_slots(record.round_id)
+        for slot, user_id in record.provisioned.items():
+            if slot in record.consumed:
+                continue
+            nonce = claimed.get(slot)
+            if nonce is None or nonce not in held:
+                continue
+            record.consumed.add(slot)
+            record.slot_nonce[slot] = nonce
+            record.reconciled += 1
 
     def _evict_offenders(self, record: _RoundRecord) -> None:
         """Quarantine this round's offenders and evict their contributions.
@@ -899,6 +984,7 @@ class RoundEngine:
         context_fields: Sequence[str] = (),
         recovery_threshold: float | None = None,
         blind: bool = True,
+        adaptive: AdaptiveDeadlines | None = None,
     ) -> RoundReport:
         """Run one full round: open → provision → collect → finalize.
 
@@ -914,6 +1000,17 @@ class RoundEngine:
         measured from the phase start); participants reached after a phase
         deadline are marked ``deadline-missed`` and degrade into dropouts
         rather than failing the round, down to ``recovery_threshold``.
+
+        ``adaptive`` replaces those fixed per-phase budgets with
+        observation-derived ones (see
+        :class:`~repro.runtime.deadlines.AdaptiveDeadlines`): each phase's
+        cutoff is computed from the latency percentiles of its own
+        completed operations, stragglers are counted, and — with
+        ``adaptive.hedge`` — a participant that fails its command gets one
+        hedged re-delivery (retransmission-numbered, answered from handler
+        idempotency caches) before degrading into a dropout.  When both
+        ``adaptive`` and ``phase_deadlines_ms`` are given, ``adaptive``
+        wins.
 
         Raises :class:`RoundAbortedError` when no contribution is
         accepted, when survivors fall below ``recovery_threshold`` (a
@@ -934,6 +1031,7 @@ class RoundEngine:
             context_fields=context_fields,
             recovery_threshold=recovery_threshold,
             blind=blind,
+            adaptive=adaptive,
         )
         while True:
             try:
@@ -956,6 +1054,7 @@ class RoundEngine:
         context_fields: Sequence[str] = (),
         recovery_threshold: float | None = None,
         blind: bool = True,
+        adaptive: AdaptiveDeadlines | None = None,
     ):
         """One round as a resumable generator of phase-labelled stages.
 
@@ -981,7 +1080,15 @@ class RoundEngine:
         )
         phase_deadlines = dict(phase_deadlines_ms or {})
         features = tuple(features)
-        if self.parallelism is not None and self.parallelism.enabled:
+        if (
+            self.parallelism is not None
+            and self.parallelism.enabled
+            and adaptive is None
+            and self.link_conditions is None
+        ):
+            # Adaptive deadlines and link-conditions trimming are serial-
+            # path features: both observe per-operation timing on the bus,
+            # which the sharded fast path deliberately does not expose.
             from repro.scale import rounds as scale_rounds
 
             if scale_rounds.parallel_eligible(
@@ -1024,22 +1131,37 @@ class RoundEngine:
             # Known offenders sit the round out entirely: no mask slot is
             # charged to them and no command reaches them.
             record.outcomes[user_id] = OUTCOME_QUARANTINED
+        hedging = adaptive is not None and adaptive.hedge
         if blind:
             self._start_phase(record, "provision")
             provision_deadline = self._phase_deadline(phase_deadlines, "provision")
+            controller = None
+            if adaptive is not None:
+                provision_deadline = None
+                controller = PhaseDeadlineController(
+                    adaptive,
+                    self.network.clock.now_ms(),
+                    len(participants) - len(quarantined),
+                )
+            self._trim_partitioned(record, participants, quarantined)
             for index, user_id in enumerate(participants):
                 yield "provision"
                 if user_id in quarantined:
                     continue
+                if record.outcomes.get(user_id) == OUTCOME_PARTITIONED:
+                    continue
                 if user_id in silent:
                     record.outcomes[user_id] = OUTCOME_DROPOUT
                     continue
-                if (
-                    provision_deadline is not None
-                    and self.network.clock.now_ms() > provision_deadline
-                ):
+                cutoff = (
+                    controller.cutoff_ms()
+                    if controller is not None
+                    else provision_deadline
+                )
+                if cutoff is not None and self.network.clock.now_ms() > cutoff:
                     record.outcomes[user_id] = OUTCOME_DEADLINE_MISSED
                     continue
+                started = self.network.clock.now_ms()
                 try:
                     self.provision_mask(user_id, round_id, index)
                 except MaskVerificationError as exc:
@@ -1055,6 +1177,11 @@ class RoundEngine:
                         f"commitment: {exc}",
                     )
                 except NetworkError:
+                    if hedging and self._hedge_provision(
+                        record, user_id, round_id, index
+                    ):
+                        self._observe_op(record, controller, started)
+                        continue
                     record.outcomes[user_id] = OUTCOME_PROVISION_FAILED
                 except EnclaveError:
                     # Client enclave died mid-provision.  Restart it from
@@ -1063,11 +1190,23 @@ class RoundEngine:
                     if self._recover_and_retry_provision(
                         record, user_id, round_id, index
                     ):
+                        self._observe_op(record, controller, started)
                         continue
                     record.outcomes[user_id] = OUTCOME_CRASHED
+                else:
+                    self._observe_op(record, controller, started)
         self._start_phase(record, "collect")
         deadline = None if deadline_ms is None else record.opened_at_ms + deadline_ms
         collect_deadline = self._phase_deadline(phase_deadlines, "collect")
+        collect_controller = None
+        if adaptive is not None:
+            collect_deadline = None
+            collect_controller = PhaseDeadlineController(
+                adaptive,
+                self.network.clock.now_ms(),
+                len(participants) - len(quarantined),
+            )
+        self._trim_partitioned(record, participants, quarantined)
         for user_id in participants:
             yield "collect"
             if user_id in quarantined:
@@ -1082,17 +1221,28 @@ class RoundEngine:
                 OUTCOME_PROVISION_FAILED,
                 OUTCOME_CRASHED,
                 OUTCOME_DEADLINE_MISSED,
+                OUTCOME_PARTITIONED,
             ):
                 continue
+            phase_cutoff = (
+                collect_controller.cutoff_ms()
+                if collect_controller is not None
+                else collect_deadline
+            )
             if deadline is not None and self.network.clock.now_ms() > deadline:
                 record.outcomes[user_id] = OUTCOME_DEADLINE_MISSED
                 continue
             if (
-                collect_deadline is not None
-                and self.network.clock.now_ms() > collect_deadline
+                phase_cutoff is not None
+                and self.network.clock.now_ms() > phase_cutoff
             ):
                 record.outcomes[user_id] = OUTCOME_DEADLINE_MISSED
                 continue
+            effective_cutoff = min(
+                (c for c in (deadline, phase_cutoff) if c is not None),
+                default=None,
+            )
+            started = self.network.clock.now_ms()
             claims = (claims_by_user or {}).get(user_id)
             try:
                 outcome = self.contribute(
@@ -1105,7 +1255,31 @@ class RoundEngine:
                     context_fields=context_fields,
                 )
             except NetworkError:
-                record.outcomes[user_id] = OUTCOME_UNREACHABLE
+                outcome = None
+                if hedging:
+                    outcome = self._hedge_contribute(
+                        record,
+                        user_id,
+                        round_id,
+                        values_by_user[user_id],
+                        features,
+                        blind=blind,
+                        claims=claims,
+                        context_fields=context_fields,
+                    )
+                if outcome is None:
+                    record.outcomes[user_id] = OUTCOME_UNREACHABLE
+                    continue
+            self._observe_op(record, collect_controller, started)
+            if outcome == OUTCOME_ACCEPTED and (
+                effective_cutoff is not None
+                and self.network.clock.now_ms() > effective_cutoff
+            ):
+                # The reply landed, but only after the deadline had
+                # passed — from the round's point of view this client
+                # missed it, and counting the contribution anyway would
+                # double-book the slot against the deadline bookkeeping.
+                self._discard_late_reply(record, user_id)
                 continue
             if outcome == OUTCOME_CRASHED:
                 # One recovery attempt: restart the enclave from sealed
@@ -1175,6 +1349,123 @@ class RoundEngine:
             return False
         return True
 
+    def _trim_partitioned(
+        self,
+        record: _RoundRecord,
+        participants: Sequence[str],
+        quarantined: set[str],
+    ) -> None:
+        """Mark participants the link oracle reports offline right now.
+
+        Called at phase starts when a :class:`LinkConditions` oracle is
+        attached: a partitioned device would burn its full retry budget
+        per command and stall the whole cohort, so it is degraded into
+        the §3 dropout-repair path immediately (``partitioned``).  A
+        device whose episode ends before the next phase boundary rejoins
+        naturally — trimming is per-phase, not per-round.
+        """
+        conditions = self.link_conditions
+        if conditions is None:
+            return
+        now = self.network.clock.now_ms()
+        for user_id in participants:
+            if user_id in quarantined:
+                continue
+            if record.outcomes.get(user_id) == OUTCOME_PARTITIONED:
+                continue
+            if conditions.offline_for(user_id, now):
+                record.outcomes[user_id] = OUTCOME_PARTITIONED
+                record.partition_trimmed += 1
+
+    def _observe_op(
+        self,
+        record: _RoundRecord,
+        controller: PhaseDeadlineController | None,
+        started_ms: float,
+    ) -> None:
+        """Feed one completed operation's latency to the phase controller."""
+        if controller is None:
+            return
+        if controller.observe(self.network.clock.now_ms() - started_ms):
+            record.stragglers += 1
+
+    def _hedge_provision(
+        self, record: _RoundRecord, user_id: str, round_id: int, index: int
+    ) -> bool:
+        """One hedged provision re-delivery before writing the slot off.
+
+        The re-issued command starts its attempt numbering past
+        ``max_attempts``, so the client endpoint sees an unambiguous
+        retransmission and answers from its idempotency cache if the
+        original actually executed — pure re-delivery, never
+        re-execution.
+        """
+        record.hedged += 1
+        try:
+            self.provision_mask(
+                user_id, round_id, index, first_attempt=self.max_attempts + 1
+            )
+        except (NetworkError, EnclaveError):
+            return False
+        return True
+
+    def _hedge_contribute(
+        self,
+        record: _RoundRecord,
+        user_id: str,
+        round_id: int,
+        values: Sequence[float],
+        features: Sequence,
+        *,
+        blind: bool,
+        claims: Mapping | None,
+        context_fields: Sequence[str],
+    ) -> str | None:
+        """One hedged contribute re-delivery; outcome or ``None`` if lost."""
+        record.hedged += 1
+        try:
+            return self.contribute(
+                user_id,
+                round_id,
+                values,
+                features,
+                blind=blind,
+                claims=claims,
+                context_fields=context_fields,
+                first_attempt=self.max_attempts + 1,
+            )
+        except NetworkError:
+            return None
+
+    def _discard_late_reply(self, record: _RoundRecord, user_id: str) -> None:
+        """Evict a contribution whose accept reply landed past the deadline.
+
+        The client was about to be marked ``deadline-missed`` when its
+        in-flight reply arrived: without this, the round would count the
+        contribution *and* the deadline bookkeeping — double-booking the
+        slot.  The accepted nonce is evicted from the service, the slot
+        reverts to unconsumed (so §3 repair reveals its mask), and the
+        client is marked ``deadline-missed`` after all.  Discard only
+        happens when the eviction verifiably succeeds; if the service
+        cannot evict (plain rounds, legacy services), the accept stands —
+        exactness outranks deadline hygiene.
+        """
+        slots = [
+            slot
+            for slot, owner in record.provisioned.items()
+            if owner == user_id and slot in record.consumed
+        ]
+        for slot in slots:
+            nonce = record.slot_nonce.get(slot)
+            if nonce is None or not hasattr(self.service, "evict_nonce"):
+                continue
+            if self.service.evict_nonce(record.round_id, nonce):
+                record.consumed.discard(slot)
+                record.slot_nonce.pop(slot, None)
+                self.monitor.forget_slot(record.round_id, slot)
+                record.outcomes[user_id] = OUTCOME_DEADLINE_MISSED
+                record.late_discards += 1
+
     # --------------------------------------------------------------- reports
 
     def _report_from(
@@ -1227,6 +1518,11 @@ class RoundEngine:
             faults_injected=faults,
             violations=self.monitor.violations_for(record.round_id),
             quarantined=tuple(record.quarantined_now),
+            late_replies_discarded=record.late_discards,
+            hedged_deliveries=record.hedged,
+            stragglers=record.stragglers,
+            partition_trimmed=record.partition_trimmed,
+            submissions_reconciled=record.reconciled,
         )
 
     def _build_report(

@@ -327,6 +327,17 @@ class ProtocolMonitor:
         monitor = self._round(round_id)
         monitor.slot_nonces.setdefault(slot, nonce)
 
+    def accepted_slots(self, round_id: int) -> dict[int, bytes]:
+        """Slot → service-accepted nonce, as witnessed at the service gate.
+
+        Includes acceptances the *engine* never saw a reply for — a
+        duplicate delivery whose response went nowhere still passed
+        through :meth:`note_accepted` — which is what lets the engine
+        reconcile its slot accounting with the service at finalize.
+        """
+        monitor = self._rounds.get(round_id)
+        return dict(monitor.slot_nonces) if monitor is not None else {}
+
     def forget_slot(self, round_id: int, slot: int | None) -> None:
         """Drop a slot's accepted-nonce record (quarantine eviction)."""
         if slot is None:

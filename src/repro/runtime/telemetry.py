@@ -25,6 +25,7 @@ OUTCOME_PROVISION_FAILED = "provision-failed"
 OUTCOME_UNREACHABLE = "unreachable"
 OUTCOME_DEADLINE_MISSED = "deadline-missed"
 OUTCOME_DROPOUT = "dropout"
+OUTCOME_PARTITIONED = "partitioned"
 OUTCOME_CRASHED = "crashed"
 OUTCOME_EVICTED = "evicted"
 OUTCOME_QUARANTINED = "quarantined"
@@ -80,6 +81,22 @@ class RoundReport:
     """:class:`~repro.runtime.protocol.ViolationRecord` entries observed."""
     quarantined: tuple[str, ...] = ()
     """Senders newly quarantined while this round ran."""
+    late_replies_discarded: int = 0
+    """Accepted replies that landed after their phase deadline and were
+    evicted again (the slot reverts to §3 repair) — counted so the
+    deadline-vs-in-flight race is visible, never silently double-booked."""
+    hedged_deliveries: int = 0
+    """Extra hedged re-deliveries granted to stragglers before degrading
+    them into dropouts (adaptive-deadline rounds only)."""
+    stragglers: int = 0
+    """Operations slower than the adaptive straggler threshold."""
+    partition_trimmed: int = 0
+    """Participants trimmed at a phase boundary because the link
+    conditions oracle reported them partitioned/offline."""
+    submissions_reconciled: int = 0
+    """Slots the service consumed without the engine witnessing the
+    acceptance (a duplicate delivered a submission after its sender gave
+    up), adopted at finalize so the slot is not wrongly mask-repaired."""
     _survivors: tuple[str, ...] = field(default=(), repr=False)
 
     # ---------------------------------------------------------- derived views
@@ -105,6 +122,7 @@ class RoundReport:
                 OUTCOME_DEADLINE_MISSED,
                 OUTCOME_UNREACHABLE,
                 OUTCOME_CRASHED,
+                OUTCOME_PARTITIONED,
             )
         )
 
@@ -153,6 +171,18 @@ class RoundReport:
         if self.client_restarts or self.faults_injected:
             table.add_row("client restarts", self.client_restarts)
             table.add_row("faults injected", self.faults_injected)
+        if (
+            self.late_replies_discarded
+            or self.hedged_deliveries
+            or self.stragglers
+            or self.partition_trimmed
+            or self.submissions_reconciled
+        ):
+            table.add_row("late replies discarded", self.late_replies_discarded)
+            table.add_row("hedged deliveries", self.hedged_deliveries)
+            table.add_row("stragglers", self.stragglers)
+            table.add_row("partition trimmed", self.partition_trimmed)
+            table.add_row("submissions reconciled", self.submissions_reconciled)
         if self.violations:
             table.add_row("protocol violations", len(self.violations))
         if self.quarantined:
@@ -200,6 +230,11 @@ class RoundReport:
                 violation.as_dict() for violation in self.violations
             ],
             "quarantined": list(self.quarantined),
+            "late_replies_discarded": self.late_replies_discarded,
+            "hedged_deliveries": self.hedged_deliveries,
+            "stragglers": self.stragglers,
+            "partition_trimmed": self.partition_trimmed,
+            "submissions_reconciled": self.submissions_reconciled,
         }
 
     def to_dict(self) -> dict[str, Any]:
@@ -249,6 +284,11 @@ class RoundReport:
                 for violation in data.get("violations", ())
             ),
             quarantined=tuple(data.get("quarantined", ())),
+            late_replies_discarded=int(data.get("late_replies_discarded", 0)),
+            hedged_deliveries=int(data.get("hedged_deliveries", 0)),
+            stragglers=int(data.get("stragglers", 0)),
+            partition_trimmed=int(data.get("partition_trimmed", 0)),
+            submissions_reconciled=int(data.get("submissions_reconciled", 0)),
         )
 
 

@@ -22,7 +22,10 @@ completion.  This package wraps it in a service shape:
   continuous intake, overlapping rounds, crash recovery, per-tenant
   bulkheads, a round watchdog, and chaos kill-points;
 * :mod:`repro.service.chaos` — the kill-and-restart self-healing harness
-  driving all of the above under scheduled storage faults.
+  driving all of the above under scheduled storage faults;
+* :mod:`repro.service.fleet` — the flaky-fleet chaos harness: deterministic
+  link weather (:mod:`repro.network.conditions`), adaptive deadlines, and
+  incremental attestation sessions, proven exact-or-recovered per schedule.
 
 The synchronous engine remains the bit-exact reference; everything here
 reuses its phase logic verbatim and only changes *when* it runs.
@@ -30,6 +33,7 @@ reuses its phase logic verbatim and only changes *when* it runs.
 
 from repro.service.async_engine import AsyncRoundEngine, install_async_drive
 from repro.service.audit import EVENT_REPAIR, AuditLog
+from repro.service.fleet import run_fleet_schedule
 from repro.service.journal import RoundJournal
 from repro.service.queue import (
     OVERFLOW_DEFER,
@@ -81,4 +85,5 @@ __all__ = [
     "TenantRuntime",
     "build_backend",
     "install_async_drive",
+    "run_fleet_schedule",
 ]

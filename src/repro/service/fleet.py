@@ -1,0 +1,292 @@
+"""The flaky-fleet chaos harness: link weather, sessions, exact rounds.
+
+One *fleet schedule* is the complete biography of a device cohort under
+degraded network weather: a :func:`~repro.network.conditions.
+sample_fleet_plan` decides every client's loss bursts, latency spikes,
+partition and disconnect episodes, duplicate deliveries, clock skew, and
+firmware-version skew — plus the quote-policy epoch bumps the
+attestation session layer must survive.  :func:`run_fleet_schedule`
+plays that schedule against a fresh deployment:
+
+* the :class:`~repro.network.conditions.LinkConditions` adversary
+  executes the plan on the wire, composed with a DRBG-injected ambient
+  :class:`~repro.network.adversary.DropAdversary` and an autonomous
+  :class:`~repro.network.adversary.ReplayAdversary`;
+* the engine runs every round with adaptive deadlines, hedged
+  re-delivery, and partition-aware cohort trimming
+  (:class:`~repro.runtime.deadlines.AdaptiveDeadlines` +
+  :meth:`~repro.runtime.engine.RoundEngine.attach_conditions`);
+* each round opens with a *session step*: online devices resume their
+  attestation session with a :class:`~repro.sgx.sessions.SessionBroker`
+  ticket when they can, and pay a full quote-verify only on first join,
+  after a policy-epoch bump, or when resumption is rejected;
+* a round the weather manages to abort is retried once after the storm
+  clears (conditions calmed, adversaries removed) under a fresh round
+  id — *recovered*, in the report's terms.
+
+Invariants checked per schedule (``AssertionError`` on violation):
+
+* **exact-or-recovered** — every finalized round's aggregate equals,
+  bit for bit, the codec-exact mean over the accepted participants'
+  original vectors;
+* **zero undetected corruption** — firmware-skew perturbations never
+  reach an aggregate: a perturbed submission is rejected by wire
+  validation and its sender quarantined, which the exactness oracle
+  would otherwise expose;
+* **replayability** — the returned ``signature`` tuple is a pure
+  function of ``(seed, index, profile)``; the chaos tests compare two
+  independent runs directly.
+
+The report also carries the session economics (full verifications,
+cache hits, resumptions, rejoins) that the sublinear-re-attestation
+assertion in :mod:`tests.chaos.test_fleet_chaos` aggregates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crypto.drbg import HmacDrbg
+from repro.errors import AttestationError, RoundAbortedError
+from repro.experiments.common import Deployment
+from repro.network.adversary import DropAdversary, ReplayAdversary
+from repro.network.conditions import (
+    ConditionProfile,
+    LinkConditions,
+    resolve_profile,
+    sample_fleet_plan,
+)
+from repro.runtime import messages as m
+from repro.runtime.deadlines import AdaptiveDeadlines
+from repro.runtime.telemetry import OUTCOME_ACCEPTED
+from repro.sgx.attestation import QuotePolicy, report_data_for
+from repro.sgx.sessions import SessionBroker
+
+__all__ = ["run_fleet_schedule"]
+
+#: Round ids for storm-cleared retries start here (well clear of the
+#: scheduled ids, which count up from 1).
+_RECOVERY_BASE = 1000
+
+
+def _expected_mean(codec, vectors: dict[str, np.ndarray], accepted) -> np.ndarray:
+    """The codec-exact mean a finalized round must reproduce bit-for-bit."""
+    encoded = [codec.encode(list(vectors[user])) for user in sorted(accepted)]
+    return codec.decode(codec.sum_vectors(encoded)) / len(encoded)
+
+
+def run_fleet_schedule(
+    *,
+    seed: bytes,
+    index: int,
+    profile: str | ConditionProfile,
+    num_users: int = 6,
+    sentences_per_user: int = 3,
+    max_features: int | None = 8,
+    rounds: int = 4,
+    adaptive: AdaptiveDeadlines | None = None,
+) -> dict:
+    """Run one fleet schedule to convergence; returns its report.
+
+    Deterministic end to end: the same ``(seed, index, profile)`` builds
+    the same deployment, samples the same plan, and produces the same
+    ``signature``.  Raises :class:`AssertionError` if any invariant is
+    violated; :class:`RoundAbortedError` only if even the storm-cleared
+    retry of a round cannot finalize (which would itself be a bug).
+    """
+    resolved = resolve_profile(profile)
+    if adaptive is None:
+        adaptive = AdaptiveDeadlines()
+    label_seed = f"{seed.decode('utf-8', 'replace')}#{index}@{resolved.name}"
+
+    deployment = Deployment.build(
+        num_users=num_users,
+        seed=seed + f":fleet:{index}:{resolved.name}".encode("utf-8"),
+        sentences_per_user=sentences_per_user,
+        max_features=max_features,
+    )
+    users = sorted(deployment.clients)
+    vectors = deployment.local_vectors(users)
+    features = deployment.features.bigrams
+    plan = sample_fleet_plan(seed, index, resolved, users, rounds=rounds)
+
+    conditions = LinkConditions(
+        plan,
+        deployment.network.clock,
+        HmacDrbg(seed, personalization=f"fleet-conditions:{resolved.name}:{index}"),
+    )
+    conditions.attach(deployment.network)
+    ambient = DropAdversary(
+        drop_rate=resolved.ambient_drop_rate,
+        rng=HmacDrbg(seed, personalization=f"fleet-drop:{resolved.name}:{index}"),
+    )
+    replayer = ReplayAdversary(
+        target_kinds={m.KIND_PROVISION_MASK, m.KIND_CONTRIBUTE, m.KIND_SUBMIT},
+        rng=HmacDrbg(seed, personalization=f"fleet-replay:{resolved.name}:{index}"),
+        replay_rate=resolved.replay_rate,
+    )
+    replayer.attach(deployment.network)
+    deployment.network.interpose(conditions)
+    deployment.network.interpose(ambient)
+    deployment.network.interpose(replayer)
+    deployment.engine.attach_conditions(conditions)
+
+    broker = SessionBroker(
+        deployment.attestation,
+        QuotePolicy(expected_mrenclave=deployment.image.mrenclave),
+        seed=seed + b":sessions",
+    )
+
+    def _full_attest(user_id: str):
+        client = deployment.clients[user_id]
+        quote = client.platform.quote_enclave(
+            client.glimmer,
+            report_data_for(b"fleet-session:" + user_id.encode("utf-8")),
+        )
+        return broker.establish(quote)
+
+    tickets: dict[str, object] = {}
+    online_before: dict[str, bool] = {}
+    rejoins = 0
+    rounds_recovered = 0
+    stormy = True
+    round_reports = []
+    per_round: list[tuple] = []
+
+    def _calm_everything() -> None:
+        nonlocal stormy
+        if not stormy:
+            return
+        stormy = False
+        conditions.calm()
+        deployment.network.clear_adversaries()
+        deployment.engine.attach_conditions(None)
+
+    for ordinal in range(rounds):
+        if ordinal in plan.epoch_bumps:
+            broker.bump_policy_epoch()
+
+        # Session step: every device reachable right now either resumes
+        # its attestation session or pays a full quote-verify.
+        now = deployment.network.clock.now_ms()
+        for user_id in users:
+            online = not (stormy and conditions.offline_for(user_id, now))
+            was_online = online_before.get(user_id)
+            if online and was_online is False:
+                rejoins += 1
+            online_before[user_id] = online
+            if not online:
+                continue
+            ticket = tickets.get(user_id)
+            if ticket is not None:
+                try:
+                    broker.resume(ticket)
+                    key = broker.resume_key(ticket)
+                    assert len(key) == 32
+                    continue
+                except AttestationError:
+                    tickets.pop(user_id, None)
+            _result, ticket = _full_attest(user_id)
+            tickets[user_id] = ticket
+
+        round_id = ordinal + 1
+        try:
+            report = deployment.engine.run_round(
+                round_id,
+                users,
+                vectors,
+                features,
+                adaptive=adaptive if stormy else None,
+            )
+        except RoundAbortedError:
+            deployment.engine.abandon_round(round_id)
+            # The storm won this round.  Weather eventually clears; the
+            # recovered round must then finalize exactly.
+            _calm_everything()
+            rounds_recovered += 1
+            report = deployment.engine.run_round(
+                _RECOVERY_BASE + round_id, users, vectors, features
+            )
+
+        accepted = sorted(
+            user
+            for user in report.participants
+            if report.outcomes.get(user) == OUTCOME_ACCEPTED
+        )
+        assert accepted, f"{label_seed}: round {report.round_id} kept nobody"
+        expected = _expected_mean(deployment.codec, vectors, accepted)
+        assert np.array_equal(
+            np.asarray(report.aggregate), expected
+        ), (
+            f"{label_seed}: round {report.round_id} aggregate is not the "
+            f"codec-exact mean over its accepted participants"
+        )
+        round_reports.append(report)
+        per_round.append(
+            (
+                report.round_id,
+                tuple(sorted(report.outcomes.items())),
+                tuple(float(v) for v in np.asarray(report.aggregate).ravel()),
+                report.masks_repaired,
+                report.late_replies_discarded,
+                report.hedged_deliveries,
+                report.partition_trimmed,
+                report.submissions_reconciled,
+            )
+        )
+
+    quarantined = sorted(
+        {user for report in round_reports for user in report.quarantined}
+    )
+    perturbed = conditions.perturbed_submissions
+    if perturbed:
+        # Zero undetected corruption, stated positively: every schedule
+        # that perturbed a submission rejected it (the exactness oracle
+        # above passed) and blamed a firmware-skewed device.
+        skewed = {
+            user_id
+            for user_id, link in plan.links.items()
+            if link.firmware_skew
+        }
+        for offender in quarantined:
+            client_id = offender.split(":", 1)[-1]
+            assert client_id in skewed, (
+                f"{label_seed}: {offender} quarantined without firmware skew"
+            )
+
+    mean_settle_ms = float(
+        np.mean([report.latency_ms for report in round_reports])
+    )
+    counters = broker.counters()
+    return {
+        "label": label_seed,
+        "profile": resolved.name,
+        "num_users": num_users,
+        "rounds": rounds,
+        "rounds_recovered": rounds_recovered,
+        "rejoins": rejoins,
+        "submissions_reconciled": sum(
+            report.submissions_reconciled for report in round_reports
+        ),
+        "quarantined": quarantined,
+        "perturbed_submissions": perturbed,
+        "conditions": conditions.counters(),
+        "ambient_dropped": ambient.dropped,
+        "auto_replayed": replayer.auto_replayed,
+        "redeliveries_delivered": deployment.network.redeliveries_delivered,
+        "redeliveries_failed": deployment.network.redeliveries_failed,
+        "sessions": counters,
+        "full_attestations": counters["full_verifications"],
+        "resumed": counters["resumed"],
+        "epoch_bumps": counters["epoch_bumps"],
+        "mean_settle_ms": mean_settle_ms,
+        "calm": not stormy,
+        "signature": (
+            plan.describe(),
+            tuple(per_round),
+            tuple(sorted(conditions.counters().items())),
+            tuple(sorted(counters.items())),
+            ambient.dropped,
+            replayer.auto_replayed,
+        ),
+    }

@@ -14,6 +14,9 @@ recover it).  This package models exactly that contract:
   boundary with a calibrated cycle cost model.
 * :mod:`repro.sgx.attestation` — local reports, the quoting enclave, and an
   IAS-style attestation verification service.
+* :mod:`repro.sgx.sessions` — incremental attestation: quote-verification
+  caching and MACed resumption tickets, so rejoining fleet devices skip
+  the full quote-verify + DH leg until the policy epoch moves.
 * :mod:`repro.sgx.sealing` — sealing keys and sealed blobs.
 * :mod:`repro.sgx.counters` — monotonic counters for rollback protection.
 * :mod:`repro.sgx.threats` — the knobs experiments use to *break* the
@@ -29,12 +32,15 @@ from repro.sgx.costs import CostModel, CycleMeter, DEFAULT_COST_MODEL
 from repro.sgx.enclave import Enclave, EnclaveApi, EnclaveProgram, ecall
 from repro.sgx.measurement import EnclaveImage, VendorKey
 from repro.sgx.platform import SgxPlatform, ThreatModel
+from repro.sgx.sessions import SessionBroker, SessionTicket
 
 __all__ = [
     "AttestationService",
     "Quote",
     "QuotePolicy",
     "Report",
+    "SessionBroker",
+    "SessionTicket",
     "CostModel",
     "CycleMeter",
     "DEFAULT_COST_MODEL",

@@ -179,6 +179,11 @@ class QuotePolicy:
     expected_mrsigner: bytes | None = None
     minimum_version: int = 1
     allow_debug: bool = False
+    policy_epoch: int = 0
+    """Monotonic freshness counter.  A verifier bumps the epoch when its
+    trust inputs change (new published measurement, revocation sweep,
+    TCB recovery); cached verifications and session tickets minted under
+    an older epoch are then stale and must re-attest in full."""
 
 
 @dataclass(frozen=True)
@@ -212,6 +217,12 @@ class AttestationService:
 
     def is_provisioned(self, platform_id: bytes) -> bool:
         return platform_id in self._platforms
+
+    def is_revoked(self, platform_id: bytes) -> bool:
+        """Whether a platform has been revoked (session layers re-check
+        this on every resumption — a ticket must not outlive a
+        revocation)."""
+        return platform_id in self._revoked
 
     def verify(self, quote: Quote, policy: QuotePolicy | None = None) -> AttestationResult:
         """Verify a quote against provisioning, revocation, and ``policy``.

@@ -1,0 +1,171 @@
+"""Fleet chaos: degraded-link weather against the full defense stack.
+
+``test_service_chaos.py`` proves exact-or-recovered across *process*
+lifetimes; this suite proves it across *fleet* pathologies: per-client
+loss bursts, latency spikes, partitions, disconnect-and-rejoin churn,
+duplicate deliveries, clock skew, and firmware-version skew — each
+schedule drawn deterministically by :func:`repro.network.conditions.
+sample_fleet_plan` and executed by :func:`repro.service.fleet.
+run_fleet_schedule` against adaptive deadlines, hedged re-delivery,
+partition-aware trimming, and incremental attestation sessions.
+
+Per-schedule invariants (codec-exact aggregates, zero undetected
+corruption, quarantine attribution) are asserted inside the harness;
+this suite adds the fleet-level ones:
+
+* **sublinear re-attestation** — full quote-verifies are bounded by
+  first joins plus policy-epoch bumps, never by rejoin count;
+* **replayability** — the same ``(seed, index, profile)`` reproduces
+  the schedule's signature bit for bit on a fresh deployment.
+
+``CHAOS_SEED`` / ``FLEET_PROFILE`` narrow the matrix (CI shards on
+them); ``CHAOS_ARTIFACT_DIR`` collects a JSON artifact for any failing
+schedule so the exact (seed, index, profile) replays locally.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.network.conditions import PROFILES
+from repro.service.fleet import run_fleet_schedule
+
+SCHEDULES_PER_SEED = 50
+REPLAY_SCHEDULES = 6
+NUM_USERS = 6
+
+DEFAULT_SEEDS = ("fleet-a", "fleet-b")
+SEEDS = (
+    (os.environ["CHAOS_SEED"],) if os.environ.get("CHAOS_SEED") else DEFAULT_SEEDS
+)
+PROFILE_NAMES = (
+    (os.environ["FLEET_PROFILE"],)
+    if os.environ.get("FLEET_PROFILE")
+    else tuple(sorted(PROFILES))
+)
+#: Coverage assertions ("the sweep exercised rejoin churn / epoch bumps
+#: / firmware skew") only make sense when the indices stripe across the
+#: whole profile matrix; a profile-narrowed CI shard keeps the
+#: per-schedule invariants and skips the cross-profile bookkeeping.
+FULL_PROFILE_MATRIX = PROFILE_NAMES == tuple(sorted(PROFILES))
+
+
+def _profile_for(index: int) -> str:
+    """Stripe the schedule indices across the profile matrix."""
+    return PROFILE_NAMES[index % len(PROFILE_NAMES)]
+
+
+def _run(seed: str, index: int, profile: str, **kwargs):
+    params = dict(
+        seed=seed.encode(),
+        index=index,
+        profile=profile,
+        num_users=NUM_USERS,
+    )
+    params.update(kwargs)
+    try:
+        return run_fleet_schedule(**params)
+    except Exception as exc:
+        artifact_dir = os.environ.get("CHAOS_ARTIFACT_DIR")
+        if artifact_dir:
+            os.makedirs(artifact_dir, exist_ok=True)
+            name = f"fleet-chaos-{profile}-{seed}-{index:03d}.json"
+            with open(os.path.join(artifact_dir, name), "w") as handle:
+                json.dump(
+                    {
+                        "profile": profile,
+                        "seed": seed,
+                        "index": index,
+                        "num_users": params["num_users"],
+                        "error": f"{type(exc).__name__}: {exc}",
+                    },
+                    handle,
+                    indent=2,
+                )
+        raise
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fleet_chaos_exact_or_recovered(seed):
+    totals = {
+        "rounds": 0,
+        "rounds_recovered": 0,
+        "rejoins": 0,
+        "perturbed_submissions": 0,
+        "full_attestations": 0,
+        "resumed": 0,
+        "epoch_bumps": 0,
+        "ambient_dropped": 0,
+        "auto_replayed": 0,
+        "redeliveries_delivered": 0,
+    }
+    weather = {"offline_drops": 0, "burst_drops": 0, "duplicates": 0, "spikes": 0}
+    quarantines = 0
+    for index in range(SCHEDULES_PER_SEED):
+        report = _run(seed, index, _profile_for(index))
+        for key in totals:
+            totals[key] += report[key]
+        for key in weather:
+            weather[key] += report["conditions"][key]
+        quarantines += len(report["quarantined"])
+        # Sublinear re-attestation, per schedule: a full quote-verify is
+        # paid only on first join or after a policy-epoch bump — rejoins
+        # ride the session layer.  (Every verify in this harness is a
+        # distinct quote, so none dedupe through the broker's cache.)
+        assert report["full_attestations"] <= NUM_USERS * (
+            1 + report["epoch_bumps"]
+        ), f"{report['label']}: rejoins paid for full re-attestations"
+    # Exactness per round is asserted inside the harness; here we assert
+    # the sweep actually exercised the machinery it claims to prove.
+    assert totals["rounds"] == SCHEDULES_PER_SEED * 4
+    for key, count in weather.items():
+        assert count > 0, f"no schedule exercised {key}"
+    if not FULL_PROFILE_MATRIX:
+        # A single profile's 50 schedules may legitimately skip a
+        # pathology (e.g. hostile storms can suppress every rejoin);
+        # the full-matrix runs own the coverage proof.
+        return
+    assert totals["rejoins"] > 0, "no schedule exercised rejoin churn"
+    assert totals["resumed"] > totals["rejoins"], (
+        "sessions saved less work than the churn they cover"
+    )
+    assert totals["epoch_bumps"] > 0, "no schedule bumped the policy epoch"
+    assert totals["perturbed_submissions"] > 0, (
+        "no schedule exercised firmware-skew corruption"
+    )
+    assert quarantines > 0, "no corrupted submission was ever attributed"
+    assert totals["ambient_dropped"] > 0
+    assert totals["auto_replayed"] > 0, "no schedule exercised replay traffic"
+    assert totals["redeliveries_delivered"] > 0, (
+        "no duplicate ever reached an idempotent handler"
+    )
+
+
+@pytest.mark.parametrize("profile", PROFILE_NAMES)
+def test_same_coordinates_replay_identically(profile):
+    """Fresh deployment + same (seed, index, profile) => same signature."""
+    runs = []
+    for _attempt in range(2):
+        runs.append(
+            tuple(
+                _run("fleet-replay", index, profile)["signature"]
+                for index in range(REPLAY_SCHEDULES)
+            )
+        )
+    assert runs[0] == runs[1]
+
+
+def test_distinct_seeds_differ():
+    """Sanity: the schedule space is actually being sampled."""
+    signatures = []
+    for seed in DEFAULT_SEEDS:
+        signatures.append(
+            tuple(
+                _run(seed, index, _profile_for(index))["signature"]
+                for index in range(REPLAY_SCHEDULES)
+            )
+        )
+    assert signatures[0] != signatures[1]

@@ -11,7 +11,7 @@ from repro.experiments.registry import EXPERIMENTS, run_experiment
 
 
 def test_registry_lists_all_experiments():
-    assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 20)}
+    assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 21)}
 
 
 def test_registry_unknown_id():
@@ -176,6 +176,7 @@ def test_tables_render_for_every_experiment():
         "e17": dict(num_users=3, tolerances=(0.05,), frames_per_stream=40),
         "e18": dict(num_users=3, rounds_per_rate=2, fault_rates=(0.0, 0.1)),
         "e19": dict(num_users=3, rounds_per_mix=1),
+        "e20": dict(num_schedules=1, num_users=4, rounds=2),
     }
     for experiment_id, kwargs in small_kwargs.items():
         result = run_experiment(experiment_id, **kwargs)

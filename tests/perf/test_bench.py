@@ -124,7 +124,7 @@ def test_snapshot_path_and_find_baseline(tmp_path):
 def fake_run(monkeypatch):
     snapshot = _snapshot({"k/n256": 10.0}, {"round_pipeline/u4x1": 1.0})
     monkeypatch.setattr(
-        bench, "run_benchmarks", lambda quick=False, workers=0, chaos=False: snapshot
+        bench, "run_benchmarks", lambda quick=False, workers=0, chaos=False, fleet=False: snapshot
     )
     return snapshot
 
@@ -244,6 +244,7 @@ def test_cli_bench_wires_arguments(tmp_path, monkeypatch):
         "write": False,
         "workers": 0,
         "chaos": False,
+        "fleet": False,
     }
 
 
@@ -298,3 +299,43 @@ def test_chaos_bench_shape():
     assert section["rounds_finalized"] >= section["schedules"]
     assert section["restarts"] >= 0
     assert section["mean_recovery_s"] >= 0.0
+
+
+# ------------------------------------------------------------------ fleet
+
+
+def _fleet(**overrides):
+    section = {
+        "schedules": 6,
+        "rounds": 24,
+        "rounds_recovered": 0,
+        "rejoins": 1,
+        "resumed": 95,
+        "full_attestations": 48,
+        "perturbed_submissions": 8,
+        "submissions_reconciled": 0,
+        "mean_settle_ms": 10279.7,
+        "reattestations_avoided": 95,
+    }
+    section.update(overrides)
+    return section
+
+
+def test_fleet_section_is_never_gated():
+    current = _snapshot({"k/n256": 10.0})
+    current["fleet"] = _fleet(full_attestations=480, mean_settle_ms=99999.0)
+    baseline = _snapshot({"k/n256": 10.0})
+    baseline["fleet"] = _fleet()
+    comparison = bench.compare_snapshots(current, baseline, threshold=0.25)
+    assert comparison["ok"], "fleet telemetry must not fail the gate"
+    assert all("fleet" not in c["metric"] for c in comparison["comparisons"])
+
+
+def test_render_report_includes_fleet_row():
+    snapshot = _snapshot({"k/n256": 10.0})
+    snapshot["fleet"] = _fleet()
+    report = bench.render_report(snapshot, None)
+    assert "fleet (not gated)" in report
+    assert "6 degraded-link schedules" in report
+    assert "95 re-attestations avoided" in report
+    assert "fleet" not in bench.render_report(_snapshot({"k/n256": 10.0}), None)

@@ -1,0 +1,154 @@
+"""Incremental attestation sessions: caching, tickets, forced re-attestation.
+
+Covers the :class:`repro.sgx.sessions.SessionBroker` contract the fleet
+harness leans on — and the edge cases that would quietly break trust if
+mishandled: an expired policy epoch, a measurement the policy no longer
+accepts (firmware skew), and a stale quote replayed after a policy bump
+trying to poison the verification cache.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import AttestationError
+from repro.sgx import QuotePolicy, SessionBroker
+from repro.sgx.attestation import report_data_for
+from repro.sgx.threats import tamper_quote_measurement
+
+
+@pytest.fixture
+def quote(platform, enclave):
+    return platform.quote_enclave(enclave, report_data_for(b"session-binding"))
+
+
+@pytest.fixture
+def broker(attestation_service, image):
+    return SessionBroker(
+        attestation_service, QuotePolicy(expected_mrenclave=image.mrenclave)
+    )
+
+
+# ----------------------------------------------------------------- caching
+
+
+def test_identical_reverification_hits_cache(broker, quote):
+    first = broker.verify(quote)
+    second = broker.verify(quote)
+    assert first == second
+    assert broker.full_verifications == 1
+    assert broker.cache_hits == 1
+
+
+def test_different_quote_body_pays_full_verification(
+    broker, platform, enclave, quote
+):
+    broker.verify(quote)
+    fresh = platform.quote_enclave(enclave, report_data_for(b"new-handshake"))
+    broker.verify(fresh)
+    assert broker.full_verifications == 2
+    assert broker.cache_hits == 0
+
+
+def test_cached_verification_does_not_outlive_revocation(
+    broker, attestation_service, platform, quote
+):
+    broker.verify(quote)
+    attestation_service.revoke_platform(platform.platform_id)
+    with pytest.raises(AttestationError):
+        broker.verify(quote)
+    assert broker.cache_hits == 0
+
+
+def test_stale_quote_after_policy_bump_cannot_poison_cache(broker, quote):
+    """A quote cached under epoch N must not be honored from cache at N+1.
+
+    The cache key includes the policy epoch, so the replayed quote pays a
+    full re-verification under the *new* policy — the attack surface of a
+    stale-but-cached verdict simply does not exist.
+    """
+    broker.verify(quote)
+    broker.bump_policy_epoch()
+    broker.verify(quote)
+    assert broker.full_verifications == 2
+    assert broker.cache_hits == 0
+
+
+# ----------------------------------------------------------------- sessions
+
+
+def test_establish_then_resume_skips_full_verification(broker, quote):
+    result, ticket = broker.establish(quote)
+    resumed = broker.resume(ticket)
+    assert resumed == result
+    assert broker.full_verifications == 1
+    assert broker.resumed == 1
+    key = broker.resume_key(ticket)
+    assert len(key) == 32
+    assert broker.resume_key(ticket) == key  # both ends derive the same key
+
+
+def test_expired_policy_epoch_rejects_resumption(broker, quote):
+    _, ticket = broker.establish(quote)
+    broker.bump_policy_epoch()
+    with pytest.raises(AttestationError, match="epoch"):
+        broker.resume(ticket)
+    assert broker.resume_rejected == 1
+    # The fallback path — full re-attestation — works and mints a ticket
+    # valid under the new epoch.
+    _, fresh = broker.establish(quote)
+    assert broker.resume(fresh)
+    assert broker.full_verifications == 2
+
+
+def test_mrenclave_mismatch_after_firmware_skew_rejects_ticket(broker, quote):
+    """A ticket minted for a measurement the policy stops trusting dies.
+
+    Firmware skew ships a different enclave build: the verifier publishes
+    a new expected MRENCLAVE without necessarily bumping the epoch, and
+    tickets naming the old hash must fail resumption immediately.
+    """
+    _, ticket = broker.establish(quote)
+    broker.policy = replace(broker.policy, expected_mrenclave=b"\x42" * 32)
+    with pytest.raises(AttestationError, match="measurement"):
+        broker.resume(ticket)
+    assert broker.resume_rejected == 1
+
+
+def test_skewed_firmware_quote_fails_establishment(broker, quote):
+    tampered = tamper_quote_measurement(quote, b"\x42" * 32)
+    with pytest.raises(AttestationError):
+        broker.establish(tampered)
+
+
+def test_forged_ticket_mac_rejected(broker, quote):
+    _, ticket = broker.establish(quote)
+    forged = replace(ticket, policy_epoch=ticket.policy_epoch + 1)
+    with pytest.raises(AttestationError, match="MAC"):
+        broker.resume(forged)
+    assert broker.resume_rejected == 1
+
+
+def test_revocation_kills_outstanding_tickets(
+    broker, attestation_service, platform, quote
+):
+    _, ticket = broker.establish(quote)
+    attestation_service.revoke_platform(platform.platform_id)
+    with pytest.raises(AttestationError, match="revoked"):
+        broker.resume(ticket)
+
+
+def test_unknown_broker_ticket_rejected(attestation_service, image, quote):
+    minter = SessionBroker(
+        attestation_service,
+        QuotePolicy(expected_mrenclave=image.mrenclave),
+        seed=b"broker-one",
+    )
+    other = SessionBroker(
+        attestation_service,
+        QuotePolicy(expected_mrenclave=image.mrenclave),
+        seed=b"broker-two",
+    )
+    _, ticket = minter.establish(quote)
+    with pytest.raises(AttestationError):
+        other.resume(ticket)
