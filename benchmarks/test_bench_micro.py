@@ -31,6 +31,46 @@ def test_bench_schnorr_verify(benchmark):
     benchmark(keypair.public_key.verify, message, signature)
 
 
+def test_bench_schnorr_batch_verify(benchmark):
+    """Randomized batch verification of a 64-signature cohort."""
+    from repro.crypto.schnorr import batch_verify
+
+    keypair = SchnorrKeyPair.generate(HmacDrbg(b"bench"), OAKLEY_GROUP_1)
+    items = [
+        (message, keypair.sign(message))
+        for message in (b"contribution %d" % i for i in range(64))
+    ]
+    assert batch_verify(keypair.public_key, items) is True
+    benchmark(batch_verify, keypair.public_key, items)
+
+
+def test_bench_fixed_base_exp(benchmark):
+    """Windowed fixed-base exponentiation for the subgroup generator."""
+    from repro.crypto import group_ops
+
+    group = OAKLEY_GROUP_1
+    h = group.subgroup_generator()
+    group_ops.register_base(group.prime, h)
+    rng = HmacDrbg(b"bench-exp")
+    exponent = group.random_exponent(rng)
+    assert group_ops.fixed_power(group.prime, h, exponent) == pow(
+        h, exponent, group.prime
+    )
+    benchmark(group_ops.fixed_power, group.prime, h, exponent)
+
+
+def test_bench_multi_exp(benchmark):
+    """Pippenger multi-exponentiation: 64 bases, 128-bit exponents."""
+    from repro.crypto import group_ops
+
+    group = OAKLEY_GROUP_1
+    rng = HmacDrbg(b"bench-multiexp")
+    h = group.subgroup_generator()
+    bases = [group.power(h, group.random_exponent(rng)) for _ in range(64)]
+    exponents = [int.from_bytes(rng.generate(16), "big") or 1 for _ in range(64)]
+    benchmark(group_ops.multi_power, group.prime, bases, exponents)
+
+
 def test_bench_dh_agreement(benchmark):
     rng = HmacDrbg(b"bench-dh")
     alice = DHKeyPair.generate(OAKLEY_GROUP_1, rng)
@@ -131,15 +171,17 @@ def test_bench_kernel_table(benchmark):
     to ``benchmark.extra_info``).  ``repro bench`` measures the same
     metrics with longer timings for the committed BENCH_*.json snapshot.
     """
-    from repro.perf.bench import _MICRO_BENCHES
+    from repro.perf.bench import _MICRO_BENCHES, _PK_BENCHES, _PK_SIZES
 
     sizes = (256, 4096, 65536)
     min_time = 0.05  # short timings: the table's shape, not its precision
 
     def run_all():
         rows = []
-        for name, bench_fn in _MICRO_BENCHES.items():
-            for length in sizes:
+        plan = [(name, fn, sizes) for name, fn in _MICRO_BENCHES.items()]
+        plan += [(name, fn, _PK_SIZES) for name, fn in _PK_BENCHES.items()]
+        for name, bench_fn, bench_sizes in plan:
+            for length in bench_sizes:
                 fast, slow = bench_fn(length, min_time)
                 rows.append(
                     (

@@ -143,9 +143,33 @@ class ClientDevice:
         """
         session_id, dh_public, quote = self._attested_handshake()
         delivery = provisioner.provision_signing_key(session_id, dh_public, quote)
-        sealed = self.glimmer.ecall("install_signing_key", delivery)
+        try:
+            sealed = self.glimmer.ecall("install_signing_key", delivery)
+        except CryptoError:
+            self._evict_resumed_session(
+                provisioner, quote, "signing-key-provisioning"
+            )
+            session_id, dh_public, quote = self._attested_handshake()
+            delivery = provisioner.provision_signing_key(
+                session_id, dh_public, quote
+            )
+            sealed = self.glimmer.ecall("install_signing_key", delivery)
         self._sealed_signing_key = sealed
         return sealed
+
+    def _evict_resumed_session(self, provisioner, quote, context: str) -> None:
+        """Heal a resumed delivery the enclave could not open.
+
+        A restarted Glimmer loses its session-key cache, so a provisioner
+        resuming the old session produces a delivery that fails
+        authenticated decryption.  Evicting the cache entry makes the
+        retry run the full handshake; without a cache the failure is
+        genuine and re-raised.
+        """
+        cache = getattr(provisioner, "session_cache", None)
+        if cache is None:
+            raise
+        cache.evict(quote.platform_id, context)
 
     def provision_mask(
         self, provisioner: BlinderProvisioner, round_id: int, party_index: int
@@ -159,7 +183,17 @@ class ClientDevice:
             record = provisioner.round_commitments(round_id).record_for(party_index)
         except CryptoError:
             record = None
-        self.install_mask(round_id, party_index, delivery, record)
+        try:
+            self.install_mask(round_id, party_index, delivery, record)
+        except CryptoError:
+            self._evict_resumed_session(
+                provisioner, quote, "blinding-mask-provisioning"
+            )
+            session_id, dh_public, quote = self._attested_handshake()
+            delivery = provisioner.provision_mask(
+                session_id, dh_public, quote, round_id, party_index
+            )
+            self.install_mask(round_id, party_index, delivery, record)
 
     # --------------------------------------------------------- contribution
 

@@ -31,6 +31,7 @@ from repro.core.provisioning import VettingRegistry, _verify_bound_quote
 from repro.crypto.cipher import AuthenticatedCipher, SealedBox
 from repro.crypto.dh import DHKeyPair
 from repro.crypto.drbg import HmacDrbg
+from repro.crypto.group_ops import DHSessionCache
 from repro.crypto.hashing import hash_bytes, hash_items
 from repro.crypto.schnorr import SchnorrKeyPair, SchnorrPublicKey, SchnorrSignature
 from repro.errors import AuthenticationError, CryptoError, ProtocolError
@@ -91,6 +92,10 @@ class ConfidentialGlimmerProgram(EnclaveProgram):
     def on_load(self) -> None:
         self._service_identity = decode_public_key(self.api.config)
         self._sessions: dict[bytes, DHKeyPair] = {}
+        # (peer DH public, context) -> established key; a repeated peer
+        # public means the provisioner is resuming a cached session (see
+        # GlimmerProgram._open_delivery for the protocol).
+        self._session_keys: dict[tuple[int, str], bytes] = {}
         self._detector: DetectorWeights | None = None
         self._reporting: SchnorrKeyPair | None = None
 
@@ -119,8 +124,20 @@ class ConfidentialGlimmerProgram(EnclaveProgram):
             self._service_identity.verify(digest, delivery.handshake_signature)
         except AuthenticationError as exc:
             raise AuthenticationError("service handshake signature invalid") from exc
-        self.api.charge_dh()
-        key = keypair.derive_key(delivery.peer_dh_public, "detector-provisioning")
+        cache_key = (delivery.peer_dh_public, "detector-provisioning")
+        base_key = self._session_keys.get(cache_key)
+        if base_key is not None:
+            key = DHSessionCache.resume_key(
+                base_key, delivery.session_id, "detector-provisioning"
+            )
+        else:
+            self.api.charge_dh()
+            key = keypair.derive_key(
+                delivery.peer_dh_public, "detector-provisioning"
+            )
+            if len(self._session_keys) >= 128:
+                self._session_keys.pop(next(iter(self._session_keys)))
+            self._session_keys[cache_key] = key
         cipher = AuthenticatedCipher(key)
         self.api.charge_aead(len(delivery.encrypted_payload))
         plaintext = cipher.decrypt(
@@ -237,6 +254,10 @@ class BotDetectionService:
             rng.fork("reporting-key"), identity.group
         )
         self._outstanding: dict[str, bytes] = {}
+        self.session_cache: DHSessionCache | None = None
+        """Opt-in cross-round handshake resumption (changes this
+        provisioner's DRBG stream when enabled — see
+        :class:`repro.core.provisioning._ProvisionerBase`)."""
 
     def provision_detector(
         self, session_id: bytes, glimmer_dh_public: int, quote
@@ -244,19 +265,35 @@ class BotDetectionService:
         """Attest the Glimmer, then ship detector + reporting key encrypted."""
         expected = self.registry.approved_measurement(self.glimmer_name)
         _verify_bound_quote(self.attestation, quote, expected, glimmer_dh_public)
-        keypair = DHKeyPair.generate(self.identity.group, self.rng)
+        cached = (
+            self.session_cache.lookup(quote.platform_id, "detector-provisioning")
+            if self.session_cache is not None
+            else None
+        )
+        if cached is not None:
+            own_public, base_key = cached
+            key = DHSessionCache.resume_key(
+                base_key, session_id, "detector-provisioning"
+            )
+        else:
+            keypair = DHKeyPair.generate(self.identity.group, self.rng)
+            own_public = keypair.public
+            key = keypair.derive_key(glimmer_dh_public, "detector-provisioning")
+            if self.session_cache is not None:
+                self.session_cache.store(
+                    quote.platform_id, "detector-provisioning", own_public, key
+                )
         digest = handshake_digest(
-            "detector-provisioning", session_id, glimmer_dh_public, keypair.public
+            "detector-provisioning", session_id, glimmer_dh_public, own_public
         )
         signature = self.identity.sign(digest)
-        key = keypair.derive_key(glimmer_dh_public, "detector-provisioning")
         cipher = AuthenticatedCipher(key)
         payload = encode_detector(self.detector, self.reporting_keypair.secret)
         nonce = self.rng.generate(16)
         box = cipher.encrypt(nonce, payload, associated_data=session_id)
         return KeyDelivery(
             session_id=session_id,
-            peer_dh_public=keypair.public,
+            peer_dh_public=own_public,
             handshake_signature=signature,
             encrypted_payload=box.to_bytes(),
         )

@@ -40,6 +40,7 @@ from repro.crypto.commitments import (
     verify_opening,
 )
 from repro.crypto.dh import DHKeyPair
+from repro.crypto.group_ops import DHSessionCache
 from repro.crypto.hashing import hash_items
 from repro.crypto.schnorr import SchnorrKeyPair, SchnorrPublicKey, SchnorrSignature
 from repro.errors import (
@@ -159,6 +160,10 @@ def handshake_digest(
     )
 
 
+#: Established-session keys a Glimmer retains for handshake resumption.
+_MAX_SESSION_KEYS = 128
+
+
 class GlimmerProgram(EnclaveProgram):
     """The single-enclave Glimmer (Figure 3)."""
 
@@ -168,6 +173,15 @@ class GlimmerProgram(EnclaveProgram):
         self._blinding = BlindingComponent()
         self._signing: SigningComponent | None = None
         self._sessions: dict[bytes, DHKeyPair] = {}
+        # (peer DH public, context) -> established shared key.  A peer
+        # public only ever *repeats* when the provisioner is resuming a
+        # cached session (fresh handshakes draw fresh keypairs), so this
+        # side needs no opt-in flag: on repeat the per-round key is
+        # ratcheted from the cached shared key; otherwise the full DH leg
+        # runs exactly as before.  Enclave-resident state — a restart
+        # wipes it, and a provisioner that still resumes gets an
+        # authenticated-decryption failure, evicts, and re-establishes.
+        self._session_keys: dict[tuple[int, str], bytes] = {}
 
     # ------------------------------------------------- attested provisioning
 
@@ -203,8 +217,21 @@ class GlimmerProgram(EnclaveProgram):
             raise AuthenticationError(
                 f"peer handshake signature invalid for {context!r}"
             ) from exc
-        self.api.charge_dh()
-        key = keypair.derive_key(delivery.peer_dh_public, context)
+        cache_key = (delivery.peer_dh_public, context)
+        base_key = self._session_keys.get(cache_key)
+        if base_key is not None:
+            # Resumed session: the peer reused its established DH public,
+            # so both ends ratchet the cached shared key with this
+            # session's id — no shared-secret exponentiation.
+            key = DHSessionCache.resume_key(
+                base_key, delivery.session_id, context
+            )
+        else:
+            self.api.charge_dh()
+            key = keypair.derive_key(delivery.peer_dh_public, context)
+            if len(self._session_keys) >= _MAX_SESSION_KEYS:
+                self._session_keys.pop(next(iter(self._session_keys)))
+            self._session_keys[cache_key] = key
         cipher = AuthenticatedCipher(key)
         self.api.charge_aead(len(delivery.encrypted_payload))
         return cipher.decrypt(

@@ -34,6 +34,7 @@ from repro.crypto.commitments import (
 )
 from repro.crypto.dh import DHKeyPair
 from repro.crypto.drbg import HmacDrbg
+from repro.crypto.group_ops import DHSessionCache
 from repro.crypto.kdf import hkdf
 from repro.crypto.masking import BlindingService, SumZeroMasks
 from repro.crypto.schnorr import SchnorrKeyPair
@@ -85,13 +86,27 @@ def _verify_bound_quote(
 
 @dataclass
 class _ProvisionerBase:
-    """Shared quote-check + encrypted-delivery machinery."""
+    """Shared quote-check + encrypted-delivery machinery.
+
+    ``session_cache`` (opt-in, default off) resumes repeat handshakes:
+    after one full DH leg with an attested platform, later deliveries to
+    the same ``(platform, context)`` ratchet the cached shared key with
+    the fresh session id instead of re-running keygen + membership check
+    + shared-secret exponentiation.  The quote is still verified and the
+    handshake digest — which binds the *current* session's values — is
+    still signed on every delivery.  Resumption skips this provisioner's
+    per-leg DRBG keypair draws, so enabling it changes the provisioner's
+    random stream: serial parity suites and the bit-exact parallel round
+    path both require it off (see
+    :func:`repro.scale.rounds.parallel_eligible`).
+    """
 
     identity: SchnorrKeyPair
     attestation: AttestationService
     registry: VettingRegistry
     glimmer_name: str
     rng: HmacDrbg
+    session_cache: DHSessionCache | None = None
 
     def _deliver(
         self,
@@ -103,16 +118,35 @@ class _ProvisionerBase:
     ) -> KeyDelivery:
         expected = self.registry.approved_measurement(self.glimmer_name)
         _verify_bound_quote(self.attestation, quote, expected, glimmer_dh_public)
-        keypair = DHKeyPair.generate(self.identity.group, self.rng)
-        digest = handshake_digest(context, session_id, glimmer_dh_public, keypair.public)
+        cached = (
+            self.session_cache.lookup(quote.platform_id, context)
+            if self.session_cache is not None
+            else None
+        )
+        if cached is not None:
+            # Resumed leg: same long-lived DH public as the establishing
+            # handshake (which is how the Glimmer recognizes the session),
+            # per-round key ratcheted from the cached shared key.  If the
+            # enclave lost its side (restart), decryption fails there; the
+            # caller evicts this peer and retries the full path.
+            own_public, base_key = cached
+            key = DHSessionCache.resume_key(base_key, session_id, context)
+        else:
+            keypair = DHKeyPair.generate(self.identity.group, self.rng)
+            own_public = keypair.public
+            key = keypair.derive_key(glimmer_dh_public, context)
+            if self.session_cache is not None:
+                self.session_cache.store(
+                    quote.platform_id, context, own_public, key
+                )
+        digest = handshake_digest(context, session_id, glimmer_dh_public, own_public)
         signature = self.identity.sign(digest)
-        key = keypair.derive_key(glimmer_dh_public, context)
         cipher = AuthenticatedCipher(key)
         nonce = self.rng.generate(16)
         box = cipher.encrypt(nonce, payload, associated_data=session_id)
         return KeyDelivery(
             session_id=session_id,
-            peer_dh_public=keypair.public,
+            peer_dh_public=own_public,
             handshake_signature=signature,
             encrypted_payload=box.to_bytes(),
         )

@@ -41,6 +41,7 @@ from repro.core.validation import PrivateContext, default_registry
 from repro.crypto.cipher import AuthenticatedCipher, SealedBox
 from repro.crypto.commitments import decode_mask_payload
 from repro.crypto.dh import DHKeyPair
+from repro.crypto.group_ops import DHSessionCache
 from repro.crypto.schnorr import SchnorrKeyPair
 from repro.errors import (
     AttestationError,
@@ -70,9 +71,36 @@ class _ComponentProgram(EnclaveProgram):
         self._link_send_seq: dict[str, int] = {}
         self._link_recv_seq: dict[str, int] = {}
         self._pending_pairings: dict[str, DHKeyPair] = {}
+        # (peer DH public, context) -> established provisioning key, for
+        # cross-round handshake resumption — same protocol as the
+        # single-enclave Glimmer (see GlimmerProgram._open_delivery).
+        self._session_keys: dict[tuple[int, str], bytes] = {}
 
     def _group(self):
         raise NotImplementedError
+
+    def _provisioning_key(
+        self, keypair: DHKeyPair, delivery: KeyDelivery, context: str
+    ) -> bytes:
+        """Session key for a delivery: resumed when the peer public repeats.
+
+        A fresh handshake draws a fresh peer keypair, so a *repeated*
+        peer public can only mean the provisioner is resuming its cached
+        session; both ends then ratchet the established key with this
+        session's id and skip the shared-secret exponentiation.
+        """
+        cache_key = (delivery.peer_dh_public, context)
+        base_key = self._session_keys.get(cache_key)
+        if base_key is not None:
+            return DHSessionCache.resume_key(
+                base_key, delivery.session_id, context
+            )
+        self.api.charge_dh()
+        key = keypair.derive_key(delivery.peer_dh_public, context)
+        if len(self._session_keys) >= 128:
+            self._session_keys.pop(next(iter(self._session_keys)))
+        self._session_keys[cache_key] = key
+        return key
 
     @ecall
     def offer_pairing(self, link: str) -> PairingOffer:
@@ -249,8 +277,9 @@ class BlindingEnclaveProgram(_ComponentProgram):
             self._config.blinder_identity.verify(digest, delivery.handshake_signature)
         except AuthenticationError as exc:
             raise AuthenticationError("blinder handshake signature invalid") from exc
-        self.api.charge_dh()
-        key = keypair.derive_key(delivery.peer_dh_public, "blinding-mask-provisioning")
+        key = self._provisioning_key(
+            keypair, delivery, "blinding-mask-provisioning"
+        )
         cipher = AuthenticatedCipher(key)
         self.api.charge_aead(len(delivery.encrypted_payload))
         plaintext = cipher.decrypt(
@@ -322,8 +351,9 @@ class SigningEnclaveProgram(_ComponentProgram):
             self._config.service_identity.verify(digest, delivery.handshake_signature)
         except AuthenticationError as exc:
             raise AuthenticationError("service handshake signature invalid") from exc
-        self.api.charge_dh()
-        key = keypair.derive_key(delivery.peer_dh_public, "signing-key-provisioning")
+        key = self._provisioning_key(
+            keypair, delivery, "signing-key-provisioning"
+        )
         cipher = AuthenticatedCipher(key)
         self.api.charge_aead(len(delivery.encrypted_payload))
         plaintext = cipher.decrypt(

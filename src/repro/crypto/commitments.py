@@ -67,6 +67,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.crypto import group_ops
 from repro.crypto.dh import DHGroup, OAKLEY_GROUP_1, TEST_GROUP
 from repro.crypto.drbg import HmacDrbg
 from repro.crypto.hashing import hash_bytes, hash_items, hash_to_int
@@ -115,6 +116,11 @@ def pedersen_generators(group: DHGroup) -> tuple[int, int]:
             2 + hash_to_int("pedersen-u", seed, group.prime - 3), 2, group.prime
         )
         if candidate not in (1, group.prime - 1) and candidate != h:
+            # Both generators are raised to fresh exponents once per slot
+            # per round — guaranteed hot, so build their fixed-base tables
+            # up front instead of waiting for the use-count heuristic.
+            group_ops.register_base(group.prime, h)
+            group_ops.register_base(group.prime, candidate)
             return h, candidate
         counter += 1
 
@@ -417,17 +423,19 @@ def scalar_for_mask(
     return scalar
 
 
-def verify_opening(
+def _checked_scalar(
     commitments: MaskCommitmentSet | MaskCommitmentRecord,
     slot: int,
     opening: MaskOpening,
     weights: tuple[tuple[int, ...], ...] | None = None,
-) -> None:
-    """Check one slot's delivered mask against the round commitments.
+) -> tuple[int, int]:
+    """All the cheap per-slot opening checks; ``(scalar, committed point)``.
 
-    Works from the full set (engine, at reveal) or from a single-slot
-    record (Glimmer, at install).  Raises
-    :class:`~repro.errors.MaskVerificationError` on any mismatch.
+    Shape, ring range, hash commitment, and randomizer range are checked
+    here (raising :class:`~repro.errors.MaskVerificationError`); the
+    Pedersen *point* equation is the caller's job — single-slot
+    :func:`verify_opening` pays one double-exp per slot, while
+    :func:`batch_verify_openings` folds every slot into one multi-exp.
     """
     if isinstance(commitments, MaskCommitmentRecord):
         record = commitments
@@ -460,11 +468,29 @@ def verify_opening(
     group = resolve_group(set_like.group_name)
     if not 0 <= opening.randomizer < group.subgroup_order:
         raise MaskVerificationError(f"slot {slot}: randomizer out of range")
-    h, u = pedersen_generators(group)
     if isinstance(set_like, MaskCommitmentRecord):
         scalar = _scalar_from_record(set_like, opening.mask)
     else:
         scalar = scalar_for_mask(set_like, opening.mask, weights)
+    return scalar, point
+
+
+def verify_opening(
+    commitments: MaskCommitmentSet | MaskCommitmentRecord,
+    slot: int,
+    opening: MaskOpening,
+    weights: tuple[tuple[int, ...], ...] | None = None,
+) -> None:
+    """Check one slot's delivered mask against the round commitments.
+
+    Works from the full set (engine, at reveal) or from a single-slot
+    record (Glimmer, at install).  Raises
+    :class:`~repro.errors.MaskVerificationError` on any mismatch.
+    """
+    scalar, point = _checked_scalar(commitments, slot, opening, weights)
+    set_like = commitments
+    group = resolve_group(set_like.group_name)
+    h, u = pedersen_generators(group)
     expected = (
         group.power(h, scalar) * group.power(u, opening.randomizer)
     ) % group.prime
@@ -472,6 +498,64 @@ def verify_opening(
         raise MaskVerificationError(
             f"slot {slot}: delivered mask does not match its Pedersen commitment"
         )
+
+
+def batch_verify_openings(
+    commitments: MaskCommitmentSet,
+    openings: Sequence[tuple[int, MaskOpening]],
+    weights: tuple[tuple[int, ...], ...] | None = None,
+) -> bool:
+    """One multi-exp Pedersen check over many slots' openings.
+
+    Returns ``True`` when every opening matches its committed point;
+    ``False`` when anything fails — callers fall back to per-slot
+    :func:`verify_opening` so the exact offending slot is blamed with
+    the exact error it always produced.
+
+    Soundness: each slot's cheap checks (hash commitment, ranges) run
+    unconditionally; the per-slot Pedersen equations
+    ``C_j == h^{s_j}·u^{r_j}`` are combined with independent 128-bit
+    DRBG weights ``z_j`` (fixed only after the openings are) into
+
+        ``Π C_j^{z_j} == h^{Σ z_j·s_j} · u^{Σ z_j·r_j}   (mod p)``
+
+    which holds for dishonest openings with probability ≤ 2^−128
+    (Schwartz–Zippel in the prime-order subgroup — the ``C_j`` were
+    membership-checked at ``validate_structure`` time).
+    """
+    if len(openings) < 2:
+        return False
+    group = resolve_group(commitments.group_name)
+    q = group.subgroup_order
+    try:
+        checked = [
+            (slot, opening, *_checked_scalar(commitments, slot, opening, weights))
+            for slot, opening in openings
+        ]
+    except MaskVerificationError:
+        return False
+    size = group.element_size
+    transcript_parts = [commitments.root()]
+    for slot, opening, scalar, point in checked:
+        transcript_parts.append(slot.to_bytes(4, "big"))
+        transcript_parts.append(opening.salt)
+        transcript_parts.append(scalar.to_bytes(size, "big"))
+        transcript_parts.append(opening.randomizer.to_bytes(size, "big"))
+    transcript = hash_items("pedersen-batch-openings", transcript_parts)
+    scalars = group_ops.batch_scalars(transcript, len(checked))
+    s_combined = 0
+    r_combined = 0
+    for (slot, opening, scalar, point), z in zip(checked, scalars):
+        s_combined = (s_combined + z * scalar) % q
+        r_combined = (r_combined + z * opening.randomizer) % q
+    h, u = pedersen_generators(group)
+    lhs = (
+        group.power(h, s_combined) * group.power(u, r_combined)
+    ) % group.prime
+    rhs = group_ops.multi_power(
+        group.prime, [point for _, _, _, point in checked], scalars
+    )
+    return lhs == rhs
 
 
 def _scalar_from_record(record: MaskCommitmentRecord, mask: Sequence[int]) -> int:

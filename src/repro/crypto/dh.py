@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.crypto import group_ops
 from repro.crypto.drbg import HmacDrbg
 from repro.crypto.kdf import hkdf
 from repro.errors import CryptoError
@@ -34,18 +35,28 @@ class DHGroup:
     prime: int
     generator: int = 2
     subgroup_order: int = field(init=False)
+    element_size: int = field(init=False)
+    """Bytes needed to serialize a group element big-endian — hoisted out
+    of every ``_int_bytes``/``shared_secret`` call."""
 
     def __post_init__(self) -> None:
         if self.prime < 7 or self.prime % 2 == 0:
             raise CryptoError("prime must be an odd integer >= 7")
         object.__setattr__(self, "subgroup_order", (self.prime - 1) // 2)
+        object.__setattr__(self, "element_size", (self.prime.bit_length() + 7) // 8)
 
     def random_exponent(self, rng: HmacDrbg) -> int:
         """Uniform secret exponent in ``[1, q)``."""
         return rng.randrange(1, self.subgroup_order)
 
     def power(self, base: int, exponent: int) -> int:
-        return pow(base, exponent, self.prime)
+        """``base^exponent mod p`` — through a fixed-base table when hot.
+
+        Bit-exact with ``pow`` on every input (tables only change how the
+        product is computed); hot bases like the subgroup generator and
+        long-lived public keys earn precomputed tables automatically.
+        """
+        return group_ops.fixed_power(self.prime, base, exponent)
 
     def subgroup_generator(self) -> int:
         """Generator of the order-``q`` quadratic-residue subgroup.
@@ -53,9 +64,15 @@ class DHGroup:
         ``g^2`` is always a quadratic residue, so every public element lies
         in the prime-order subgroup and passes :meth:`is_valid_element` —
         which is also what makes the validity check meaningful against
-        small-subgroup attacks.
+        small-subgroup attacks.  Computed once per group: every sign,
+        verify, and handshake starts from this element.
         """
-        return self.power(self.generator, 2)
+        cached = self.__dict__.get("_subgroup_generator_memo")
+        if cached is not None:
+            return cached
+        h = pow(self.generator, 2, self.prime)
+        object.__setattr__(self, "_subgroup_generator_memo", h)
+        return h
 
     def public_element(self, exponent: int) -> int:
         return self.power(self.subgroup_generator(), exponent)
@@ -64,11 +81,19 @@ class DHGroup:
         """Subgroup-membership check: rejects 0, 1, p-1, and non-residues.
 
         Skipping this check enables small-subgroup confinement attacks, so
-        channel code calls it on every received handshake value.
+        channel code calls it on every received handshake value.  Elements
+        that already passed are memoized (True results only — see
+        :func:`repro.crypto.group_ops.is_known_member` — so a cache hit
+        can never admit an element the full check would reject).
         """
         if not 1 < element < self.prime - 1:
             return False
-        return pow(element, self.subgroup_order, self.prime) == 1
+        if group_ops.is_known_member(self.prime, element):
+            return True
+        if pow(element, self.subgroup_order, self.prime) != 1:
+            return False
+        group_ops.remember_member(self.prime, element)
+        return True
 
 
 # RFC 2409 Oakley Group 1 (768-bit safe prime), generator 2.
@@ -101,8 +126,7 @@ class DHKeyPair:
         if not self.group.is_valid_element(peer_public):
             raise CryptoError("peer public value is not a valid group element")
         element = self.group.power(peer_public, self.secret)
-        size = (self.group.prime.bit_length() + 7) // 8
-        return element.to_bytes(size, "big")
+        return element.to_bytes(self.group.element_size, "big")
 
     def derive_key(self, peer_public: int, context: str) -> bytes:
         """32-byte symmetric key from the shared secret, labeled by ``context``."""

@@ -1,0 +1,407 @@
+"""Fast public-key group operations: tables, multi-exp, session resume.
+
+PR 4 made the masking/ring kernels 10-500x faster, which left pure-python
+``pow`` over the safe-prime group as the dominant cost of a round: Schnorr
+sign/verify, DH handshakes, and Pedersen commitment arithmetic all reduce
+to full-width modular exponentiations.  This module attacks that cost on
+three fronts, all exact (never approximate) and all gated by parity twins
+in :mod:`repro.perf.reference`:
+
+* **Fixed-base windowed tables** (:class:`FixedBaseTable`,
+  :func:`fixed_power`) — the subgroup generator ``h``, the Pedersen
+  second generator ``u``, and long-lived public keys are raised to fresh
+  exponents thousands of times per deployment.  Precomputing
+  ``base^(d·2^(w·i))`` once turns each exponentiation into ~128 table
+  multiplies instead of ~1150 square-and-multiply steps.  Tables build
+  lazily: any base exponentiated more than :data:`AUTO_BUILD_THRESHOLD`
+  times earns one, so hot public keys are discovered, not declared.
+* **Simultaneous multi-exponentiation** (:func:`multi_power`, Pippenger's
+  bucket method) — verifying a whole cohort at once (batch Schnorr, batch
+  Pedersen openings) needs ``Π base_i^{z_i}`` for small random ``z_i``;
+  sharing the squarings across the products beats a ``pow`` loop by the
+  ratio of exponent widths.
+* **Cross-round DH session cache** (:class:`DHSessionCache`) — repeat
+  provisioning legs to the same peer resume a previously established
+  shared secret with an HKDF-ratcheted per-round key instead of paying
+  keygen + membership check + shared-secret exponentiation again,
+  mirroring the quote-resumption pattern of :mod:`repro.sgx.sessions`.
+
+The module also memoizes subgroup-membership checks (True results only —
+an element proven in the subgroup stays in the subgroup; invalid elements
+always re-run the full check) and exposes the counters the engine folds
+into :class:`~repro.runtime.telemetry.RoundReport` so cache efficacy is
+observable per round.
+
+Everything here is plain-int arithmetic: no imports from
+:mod:`repro.crypto.dh` or :mod:`repro.crypto.schnorr`, which lets those
+modules build on this one without cycles.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.kdf import hkdf
+
+__all__ = [
+    "FixedBaseTable",
+    "DHSessionCache",
+    "fixed_power",
+    "register_base",
+    "multi_power",
+    "jacobi",
+    "batch_scalars",
+    "counters",
+    "counters_delta",
+    "reset_tables",
+]
+
+#: Window width for fixed-base tables.  w=6 costs ~12 ms and ~1 MB per
+#: 768-bit base and makes each exponentiation ~4.5x faster than ``pow``;
+#: wider windows buy little more and cost quadratically more to build.
+WINDOW_BITS = 6
+
+#: Below this prime width the CPython ``pow`` C loop beats any pure-python
+#: windowed ladder, so small groups (e.g. the 64-bit test group) bypass
+#: tables entirely.
+MIN_TABLE_PRIME_BITS = 256
+
+#: A base earns a table after this many exponentiations.  Building costs
+#: ~8 plain exponentiations' worth of multiplies, so the threshold keeps
+#: one-shot bases (ephemeral peer publics) on the plain path.
+AUTO_BUILD_THRESHOLD = 8
+
+#: Hard caps so adversarial traffic cannot balloon the caches.
+_MAX_TABLES = 32
+_MAX_USE_COUNTS = 4096
+_MAX_MEMBERS = 8192
+
+#: Width of the random batch-verification scalars.  2^-128 soundness
+#: error per Schwartz-Zippel, comfortably below the hash security level.
+BATCH_SCALAR_BITS = 128
+
+
+# ------------------------------------------------------------------ counters
+
+_COUNTERS = {
+    "batch_verifications": 0,
+    "batch_fallbacks": 0,
+    "handshakes_resumed": 0,
+    "membership_checks_skipped": 0,
+}
+
+
+def bump(counter: str, by: int = 1) -> None:
+    _COUNTERS[counter] += by
+
+
+def counters() -> dict[str, int]:
+    """A snapshot of the process-wide cache/batching counters."""
+    return dict(_COUNTERS)
+
+
+def counters_delta(before: dict[str, int]) -> dict[str, int]:
+    """Counter growth since ``before`` (a prior :func:`counters` snapshot)."""
+    return {key: _COUNTERS[key] - before.get(key, 0) for key in _COUNTERS}
+
+
+# ----------------------------------------------------------- windowed tables
+
+
+class FixedBaseTable:
+    """Precomputed powers ``base^(d · 2^(w·i)) mod prime`` for fast ``^e``.
+
+    With window width ``w``, exponents up to ``prime.bit_length()`` bits
+    split into digits ``d_i`` and ``base^e = Π table[i][d_i]`` — one
+    multiply per non-zero digit, no squarings at exponentiation time.
+    """
+
+    __slots__ = ("prime", "base", "window", "coverage_bits", "_rows")
+
+    def __init__(
+        self, prime: int, base: int, window: int = WINDOW_BITS, max_bits: int | None = None
+    ) -> None:
+        self.prime = prime
+        self.base = base
+        self.window = window
+        bits = max_bits if max_bits is not None else prime.bit_length()
+        radix = 1 << window
+        num_rows = max(1, -(-bits // window))
+        self.coverage_bits = num_rows * window
+        rows = []
+        step = base % prime
+        for _ in range(num_rows):
+            row = [1] * radix
+            acc = 1
+            for digit in range(1, radix):
+                acc = acc * step % prime
+                row[digit] = acc
+            rows.append(row)
+            # acc == step^(radix-1); one more multiply gives the next
+            # row's unit step step^radix = base^(2^(w·(i+1))).
+            step = acc * step % prime
+        self._rows = rows
+
+    def power(self, exponent: int) -> int:
+        """``base^exponent mod prime`` — exact, falls back out of range."""
+        if exponent < 0 or exponent.bit_length() > self.coverage_bits:
+            return pow(self.base, exponent, self.prime)
+        prime = self.prime
+        mask = (1 << self.window) - 1
+        result = 1
+        row = 0
+        while exponent:
+            digit = exponent & mask
+            if digit:
+                result = result * self._rows[row][digit] % prime
+            exponent >>= self.window
+            row += 1
+        return result
+
+
+_TABLES: dict[tuple[int, int], FixedBaseTable] = {}
+_USE_COUNTS: dict[tuple[int, int], int] = {}
+
+
+def register_base(prime: int, base: int) -> FixedBaseTable | None:
+    """Eagerly build (or fetch) the table for a known-hot base.
+
+    Returns ``None`` for primes too small to profit or when the table
+    budget is exhausted — callers never need to care, :func:`fixed_power`
+    stays correct either way.
+    """
+    key = (prime, base)
+    table = _TABLES.get(key)
+    if table is not None:
+        return table
+    if prime.bit_length() < MIN_TABLE_PRIME_BITS or len(_TABLES) >= _MAX_TABLES:
+        return None
+    table = FixedBaseTable(prime, base)
+    _TABLES[key] = table
+    return table
+
+
+def fixed_power(prime: int, base: int, exponent: int) -> int:
+    """``pow(base, exponent, prime)`` through a fixed-base table when hot.
+
+    Bit-exact with ``pow`` on every input: tables only change *how* the
+    product is computed.  Cold bases are counted and earn a table after
+    :data:`AUTO_BUILD_THRESHOLD` uses, which is how long-lived public
+    keys (service signing key, provisioner identities) get fast without
+    any call site declaring them.
+    """
+    key = (prime, base)
+    table = _TABLES.get(key)
+    if table is not None:
+        return table.power(exponent)
+    if prime.bit_length() >= MIN_TABLE_PRIME_BITS and len(_TABLES) < _MAX_TABLES:
+        if len(_USE_COUNTS) >= _MAX_USE_COUNTS:
+            _USE_COUNTS.clear()
+        count = _USE_COUNTS.get(key, 0) + 1
+        _USE_COUNTS[key] = count
+        if count >= AUTO_BUILD_THRESHOLD:
+            table = register_base(prime, base)
+            if table is not None:
+                _USE_COUNTS.pop(key, None)
+                return table.power(exponent)
+    return pow(base, exponent, prime)
+
+
+def reset_tables() -> None:
+    """Drop every cached table, use count, and membership memo (tests)."""
+    _TABLES.clear()
+    _USE_COUNTS.clear()
+    _MEMBERS.clear()
+
+
+# --------------------------------------------------- multi-exponentiation
+
+
+def multi_power(prime: int, bases, exponents) -> int:
+    """``Π bases[i]^exponents[i] mod prime`` via Pippenger's bucket method.
+
+    Exact for any non-negative exponents.  The win over a ``pow`` loop
+    comes from sharing one squaring chain across all products — for the
+    128-bit scalars of batch verification that is ~3x at 64 bases and
+    grows with the batch.
+    """
+    bases = [int(b) % prime for b in bases]
+    exponents = [int(e) for e in exponents]
+    if len(bases) != len(exponents):
+        raise ValueError("multi_power needs one exponent per base")
+    if any(e < 0 for e in exponents):
+        raise ValueError("multi_power exponents must be non-negative")
+    if not bases:
+        return 1 % prime
+    if len(bases) == 1:
+        return pow(bases[0], exponents[0], prime)
+    max_bits = max(e.bit_length() for e in exponents)
+    if max_bits == 0:
+        return 1 % prime
+    window = 6 if len(bases) >= 16 else 4
+    mask = (1 << window) - 1
+    num_windows = -(-max_bits // window)
+    result = 1
+    for w in range(num_windows - 1, -1, -1):
+        if result != 1:
+            for _ in range(window):
+                result = result * result % prime
+        shift = w * window
+        buckets = [1] * (mask + 1)
+        for base, exponent in zip(bases, exponents):
+            digit = (exponent >> shift) & mask
+            if digit:
+                buckets[digit] = buckets[digit] * base % prime
+        # Σ d·bucket[d] via the running-product trick: suffix products
+        # accumulate each bucket once per unit of its digit value.
+        acc = 1
+        windowed = 1
+        for digit in range(mask, 0, -1):
+            acc = acc * buckets[digit] % prime
+            windowed = windowed * acc % prime
+        result = result * windowed % prime
+    return result
+
+
+def jacobi(a: int, n: int) -> int:
+    """The Jacobi symbol ``(a|n)`` for odd ``n`` (standard binary algorithm).
+
+    For a safe prime ``p = 2q+1`` the order-``q`` subgroup is exactly the
+    quadratic residues, so ``jacobi(x, p) == 1`` is a cheap (no
+    exponentiation) membership pre-filter used by the batch verifiers to
+    keep full-group forgeries out of subgroup-soundness arguments.
+    """
+    if n <= 0 or n % 2 == 0:
+        raise ValueError("jacobi is defined for positive odd n")
+    a %= n
+    result = 1
+    while a:
+        while a % 2 == 0:
+            a //= 2
+            if n % 8 in (3, 5):
+                result = -result
+        a, n = n, a
+        if a % 4 == 3 and n % 4 == 3:
+            result = -result
+        a %= n
+    return result if n == 1 else 0
+
+
+def batch_scalars(transcript: bytes, count: int) -> list[int]:
+    """Deterministic random weights for batch verification.
+
+    Drawn from a DRBG seeded by the batch transcript, so the scalars are
+    unpredictable to whoever produced the signatures/openings (they are
+    fixed only after the batch is), yet reproducible for the replay
+    suites.  Each is a nonzero :data:`BATCH_SCALAR_BITS`-bit value.
+    """
+    rng = HmacDrbg(transcript, personalization="batch-verify-scalars")
+    width = BATCH_SCALAR_BITS // 8
+    return [
+        int.from_bytes(rng.generate(width), "big") or 1 for _ in range(count)
+    ]
+
+
+# ------------------------------------------------------ membership memoizing
+
+_MEMBERS: set[tuple[int, int]] = set()
+
+
+def is_known_member(prime: int, element: int) -> bool:
+    """Has this element already passed the full subgroup-membership check?
+
+    Only ``True`` results are ever cached (:func:`remember_member`), so a
+    hit can never turn an invalid element valid — invalid elements always
+    pay the full exponentiation and always fail it.
+    """
+    if (prime, element) in _MEMBERS:
+        bump("membership_checks_skipped")
+        return True
+    return False
+
+
+def remember_member(prime: int, element: int) -> None:
+    """Record a full-check success for :func:`is_known_member`."""
+    if len(_MEMBERS) >= _MAX_MEMBERS:
+        _MEMBERS.clear()
+    _MEMBERS.add((prime, element))
+
+
+# -------------------------------------------------------- DH session cache
+
+
+class DHSessionCache:
+    """Resume prior DH handshakes instead of re-running them.
+
+    One side of a provisioning relationship (a provisioner, a glimmer)
+    keeps ``(peer identity, context) → (own public, base key)``: the
+    shared key both ends derived the first time they completed a full
+    handshake.  Later rounds derive a fresh per-round key by ratcheting
+    the base key with the round's session id (:meth:`resume_key`) — no
+    keygen, no membership check, no shared-secret exponentiation.
+
+    Keying mirrors :mod:`repro.sgx.sessions`: the *initiating* side keys
+    on a stable peer identity (the attested platform id — the glimmer's
+    own DH public is fresh per session and useless as a key), the
+    *responding* side keys on the initiator's long-lived DH public, which
+    only ever repeats when the initiator is resuming.  Eviction on either
+    side is self-announcing: a fresh keypair means a fresh public, so the
+    peer's cache misses and the pair falls back to the full handshake.
+    The one asymmetric case — the responder lost its cache (enclave
+    restart) while the initiator resumes — surfaces as an authenticated-
+    decryption failure; the initiator heals by :meth:`evict`-ing the peer
+    and retrying the full path.
+
+    Resumption deliberately skips the initiator's per-leg DRBG keypair
+    draws, so enabling a cache changes the initiator's random stream:
+    caches are strictly opt-in and disqualify the bit-exact parallel
+    round path (see :func:`repro.scale.rounds.parallel_eligible`).
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        self.max_entries = max_entries
+        self._entries: dict[tuple[object, str], tuple[int, bytes]] = {}
+        self.stores = 0
+        self.hits = 0
+        self.evictions = 0
+
+    def lookup(self, peer, context: str) -> tuple[int, bytes] | None:
+        """``(own public, base key)`` for a resumable peer, else ``None``."""
+        entry = self._entries.get((peer, context))
+        if entry is not None:
+            self.hits += 1
+            bump("handshakes_resumed")
+        return entry
+
+    def store(self, peer, context: str, own_public: int, base_key: bytes) -> None:
+        """Record a completed full handshake for later resumption."""
+        if len(self._entries) >= self.max_entries:
+            self._entries.pop(next(iter(self._entries)))
+            self.evictions += 1
+        self._entries[(peer, context)] = (own_public, base_key)
+        self.stores += 1
+
+    @staticmethod
+    def resume_key(base_key: bytes, session_id: bytes, context: str) -> bytes:
+        """The per-round key: HKDF over the base key and this session.
+
+        Stateless in the session id (no counters to desync), so retries
+        and out-of-order rounds derive the same key on both ends.
+        """
+        return hkdf(base_key + session_id, "dh-session-resume:" + context)
+
+    def evict(self, peer, context: str) -> None:
+        """Forget one peer (e.g. after a resumed delivery failed to open)."""
+        if self._entries.pop((peer, context), None) is not None:
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self.evictions += len(self._entries)
+        self._entries.clear()
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "stores": self.stores,
+            "hits": self.hits,
+            "evictions": self.evictions,
+            "entries": len(self._entries),
+        }

@@ -17,8 +17,9 @@ nonce reuse and signatures are reproducible.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+from repro.crypto import group_ops
 from repro.crypto.dh import DHGroup, OAKLEY_GROUP_1
 from repro.crypto.drbg import HmacDrbg
 from repro.crypto.hashing import hash_items, hash_to_int
@@ -30,16 +31,25 @@ def _subgroup_generator(group: DHGroup) -> int:
 
 
 def _int_bytes(value: int, group: DHGroup) -> bytes:
-    size = (group.prime.bit_length() + 7) // 8
-    return value.to_bytes(size, "big")
+    return value.to_bytes(group.element_size, "big")
 
 
 @dataclass(frozen=True)
 class SchnorrSignature:
-    """A Schnorr signature ``(challenge, response)``."""
+    """A Schnorr signature ``(challenge, response)``.
+
+    ``commitment`` optionally carries the signer's nonce commitment
+    ``r = h^k``.  It is redundant (``r = h^s · y^{-e}`` is recomputable
+    from the signature) and therefore excluded from equality and from the
+    wire encoding; carrying it lets a verifier with many signatures run
+    randomized *batch* verification (:func:`batch_verify`) without
+    re-deriving every ``r`` — signatures parsed off the wire simply have
+    ``commitment=None`` and verify one at a time.
+    """
 
     challenge: int
     response: int
+    commitment: int | None = field(default=None, compare=False, repr=False)
 
     _COMPONENT_SIZE = 256  # bytes; fits any subgroup order up to 2048 bits
 
@@ -153,4 +163,72 @@ class SchnorrKeyPair:
         r = group.power(h, k)
         e = _challenge(group, r, self.public_key.element, message)
         s = (k + e * self.secret) % q
-        return SchnorrSignature(challenge=e, response=s)
+        return SchnorrSignature(challenge=e, response=s, commitment=r)
+
+
+def batch_verify(
+    public: SchnorrPublicKey, items: list[tuple[bytes, SchnorrSignature]]
+) -> bool | None:
+    """Randomized batch verification of many signatures under one key.
+
+    Returns ``True`` when the whole batch verifies, ``False`` when the
+    combined check fails (some signature is bad — fall back to
+    per-signature :meth:`SchnorrPublicKey.verify` to blame the culprit),
+    and ``None`` when the batch is not batchable (fewer than two
+    signatures, a signature without its nonce commitment, or a
+    commitment outside the QR subgroup) — in which case nothing was
+    checked and the caller must verify per signature.
+
+    Soundness (small-exponent / Bellare-Garay-Rabin): per signature the
+    cheap hash check ``e_i == H(R_i, y, m_i)`` binds the challenge to the
+    carried commitment, and the single combined equation
+
+        ``h^(Σ z_i·s_i) · y^(−Σ z_i·e_i)  ==  Π R_i^{z_i}   (mod p)``
+
+    with independent 128-bit ``z_i`` (DRBG-derived from the batch
+    transcript, so fixed only after the signatures are) fails with
+    probability ≥ 1 − 2^−128 unless every ``R_i == h^{s_i}·y^{−e_i}``,
+    i.e. unless every signature individually verifies.  The Jacobi
+    pre-filter pins each ``R_i`` inside the prime-order subgroup, so the
+    Schwartz-Zippel argument runs in a prime-order group (a sign-flipped
+    ``R_i`` cannot halve the error).  Accept/reject decisions therefore
+    match the per-signature path on every input, which the property
+    suite asserts including forged-signature-in-a-batch cases.
+    """
+    if len(items) < 2:
+        return None
+    group = public.group
+    q = group.subgroup_order
+    prime = group.prime
+    if not group.is_valid_element(public.element):
+        return None
+    transcript_parts = [group.name.encode(), _int_bytes(public.element, group)]
+    commitments: list[int] = []
+    for message, signature in items:
+        r = signature.commitment
+        if r is None or not 1 <= r < prime or group_ops.jacobi(r, prime) != 1:
+            return None
+        if not (0 <= signature.challenge < q and 0 <= signature.response < q):
+            return None
+        if _challenge(group, r, public.element, message) != signature.challenge:
+            # The challenge does not even match the carried commitment;
+            # the per-signature path will reject and name the culprit.
+            return False
+        commitments.append(r)
+        transcript_parts.append(_int_bytes(r, group))
+        transcript_parts.append(signature.to_bytes())
+        transcript_parts.append(message)
+    transcript = hash_items("schnorr-batch-transcript", transcript_parts)
+    scalars = group_ops.batch_scalars(transcript, len(items))
+    s_combined = 0
+    e_combined = 0
+    for (message, signature), z in zip(items, scalars):
+        s_combined = (s_combined + z * signature.response) % q
+        e_combined = (e_combined + z * signature.challenge) % q
+    h = _subgroup_generator(group)
+    lhs = (
+        group.power(h, s_combined)
+        * group.power(public.element, (q - e_combined) % q)
+    ) % prime
+    rhs = group_ops.multi_power(prime, commitments, scalars)
+    return lhs == rhs

@@ -15,6 +15,13 @@ package concentrates the fast paths:
   experiment benchmarks, emits ``BENCH_<date>.json`` snapshots, and
   compares against a previous snapshot with a regression threshold.
 
+The public-key hot path (fixed-base windowed exponentiation, Pippenger
+multi-exponentiation, batch Schnorr/Pedersen verification, DH session
+resumption) lives in :mod:`repro.crypto.group_ops` and is re-exported
+here — it is a performance layer in the same sense as the kernels, with
+its own naive twins in :mod:`repro.perf.reference` and its own kernel
+rows in the bench table.
+
 Determinism contract
 --------------------
 
@@ -26,6 +33,13 @@ not an optimization.  ``tests/perf/test_parity.py`` enforces the contract
 with seeded sweeps over degenerate and large lengths.
 """
 
+from repro.crypto.group_ops import (
+    DHSessionCache,
+    FixedBaseTable,
+    fixed_power,
+    multi_power,
+    register_base,
+)
 from repro.perf.kernels import (
     as_ring,
     as_ring_rows,
@@ -39,10 +53,15 @@ from repro.perf.kernels import (
 )
 
 __all__ = [
+    "DHSessionCache",
+    "FixedBaseTable",
     "as_ring",
     "as_ring_rows",
     "be_words_to_bytes",
     "bytes_to_be_words",
+    "fixed_power",
+    "multi_power",
+    "register_base",
     "ring_add",
     "ring_neg",
     "ring_sub",

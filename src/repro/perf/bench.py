@@ -200,6 +200,94 @@ _MICRO_BENCHES: dict[str, Callable[[int, float], tuple[dict, dict]]] = {
 }
 
 
+# ------------------------------------------------------- public-key benches
+#
+# Public-key rows run at their own, much smaller sizes: ``length`` here is
+# a batch size (signatures, bases, exponentiations), not a vector length,
+# and a single naive 768-bit ``pow`` already costs ~2ms.  All rows use
+# OAKLEY_GROUP_1 so they measure real modular sizes, and compare against
+# the frozen naive twins in :mod:`repro.perf.reference`.
+
+_PK_SIZES = (64,)
+_PK_QUICK_SIZES = (16,)
+
+
+def _bench_pk_fixed_exp(length: int, min_time: float) -> tuple[dict, dict]:
+    """Windowed fixed-base exponentiation vs builtin ``pow``."""
+    from repro.crypto import group_ops
+    from repro.crypto.dh import OAKLEY_GROUP_1 as group
+
+    rng = HmacDrbg(b"bench-pk-exp")
+    h = group.subgroup_generator()
+    group_ops.register_base(group.prime, h)
+    exponents = [group.random_exponent(rng) for _ in range(length)]
+
+    def windowed() -> None:
+        for exponent in exponents:
+            group_ops.fixed_power(group.prime, h, exponent)
+
+    def naive() -> None:
+        for exponent in exponents:
+            reference.fixed_power_naive(group.prime, h, exponent)
+
+    return _timeit(windowed, min_time), _timeit(naive, min_time)
+
+
+def _bench_pk_multi_exp(length: int, min_time: float) -> tuple[dict, dict]:
+    """Pippenger simultaneous multi-exponentiation vs a ``pow`` loop."""
+    from repro.crypto import group_ops
+    from repro.crypto.dh import OAKLEY_GROUP_1 as group
+
+    rng = HmacDrbg(b"bench-pk-multiexp")
+    h = group.subgroup_generator()
+    bases = [group.power(h, group.random_exponent(rng)) for _ in range(length)]
+    exponents = [
+        int.from_bytes(rng.generate(16), "big") or 1 for _ in range(length)
+    ]
+
+    def pippenger() -> None:
+        group_ops.multi_power(group.prime, bases, exponents)
+
+    def naive() -> None:
+        reference.multi_power_naive(group.prime, bases, exponents)
+
+    assert group_ops.multi_power(group.prime, bases, exponents) == (
+        reference.multi_power_naive(group.prime, bases, exponents)
+    )
+    return _timeit(pippenger, min_time), _timeit(naive, min_time)
+
+
+def _bench_pk_batch_verify(length: int, min_time: float) -> tuple[dict, dict]:
+    """Randomized batch Schnorr verification vs the per-signature loop."""
+    from repro.crypto import schnorr
+    from repro.crypto.dh import OAKLEY_GROUP_1 as group
+
+    rng = HmacDrbg(b"bench-pk-verify")
+    keypair = schnorr.SchnorrKeyPair.generate(rng, group)
+    items = [
+        (message, keypair.sign(message))
+        for message in (f"bench-msg-{i}".encode() for i in range(length))
+    ]
+    public = keypair.public_key
+    assert schnorr.batch_verify(public, items) is True
+    assert reference.verify_signatures_naive(public, items) is True
+
+    def batched() -> None:
+        schnorr.batch_verify(public, items)
+
+    def naive() -> None:
+        reference.verify_signatures_naive(public, items)
+
+    return _timeit(batched, min_time), _timeit(naive, min_time)
+
+
+_PK_BENCHES: dict[str, Callable[[int, float], tuple[dict, dict]]] = {
+    "pk_fixed_exp": _bench_pk_fixed_exp,
+    "pk_multi_exp": _bench_pk_multi_exp,
+    "pk_batch_verify": _bench_pk_batch_verify,
+}
+
+
 # -------------------------------------------------------- experiment benches
 
 
@@ -236,6 +324,7 @@ def _experiment_round_bench(
     needed to get this far", not a per-entry footprint; it is recorded
     for snapshot archaeology and deliberately not regression-gated.
     """
+    from repro.crypto import group_ops
     from repro.experiments.common import Deployment
 
     parallelism = None
@@ -254,6 +343,7 @@ def _experiment_round_bench(
         gc.collect()
     with deployment.engine as engine:
         engine.warm_scale_pool()
+        counters_before = group_ops.counters()
         start = time.perf_counter()
         for round_id in range(1, rounds + 1):
             deployment.honest_round(round_id)
@@ -266,6 +356,9 @@ def _experiment_round_bench(
         "wall_s": wall,
         "clients_per_sec": served / wall if wall > 0 else math.inf,
         "peak_rss_kb": _peak_rss_kb(),
+        # Observables, never gated: what the public-key fast path absorbed
+        # during the timed rounds (process-wide, exact for serial runs).
+        "pk_counters": group_ops.counters_delta(counters_before),
     }
 
 
@@ -406,8 +499,11 @@ def run_benchmarks(
     calibration = calibration_score(min_time=min_time)
     results: dict[str, dict] = {}
     speedups: dict[str, float] = {}
-    for name, bench in _MICRO_BENCHES.items():
-        for length in sizes:
+    pk_sizes = _PK_QUICK_SIZES if quick else _PK_SIZES
+    plan = [(name, bench, sizes) for name, bench in _MICRO_BENCHES.items()]
+    plan += [(name, bench, pk_sizes) for name, bench in _PK_BENCHES.items()]
+    for name, bench, bench_sizes in plan:
+        for length in bench_sizes:
             fast, slow = bench(length, min_time)
             key = f"{name}/n{length}"
             speedup = fast["ops_per_sec"] / slow["ops_per_sec"]
@@ -553,6 +649,14 @@ def render_report(snapshot: dict, comparison: dict | None) -> str:
         if entry.get("peak_rss_kb"):
             line += f" (peak RSS {entry['peak_rss_kb'] / 1024:.0f} MiB)"
         lines.append(line)
+        pk = {
+            k: v for k, v in (entry.get("pk_counters") or {}).items() if v
+        }
+        if pk:
+            lines.append(
+                "  pk fast path: "
+                + ", ".join(f"{k}={v}" for k, v in sorted(pk.items()))
+            )
     robustness = snapshot.get("robustness")
     if robustness:
         lines.append("")

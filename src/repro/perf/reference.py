@@ -138,3 +138,85 @@ def sum_vectors_legacy(
 ) -> list[int]:
     """The seed revision's blinded-sum loop (benchmark baseline)."""
     return sum_vectors_scalar(vectors, modulus_bits)
+
+
+# ----------------------------------------------------- public-key baselines
+
+
+def fixed_power_naive(prime: int, base: int, exponent: int) -> int:
+    """Naive twin of :func:`repro.crypto.group_ops.fixed_power`."""
+    return pow(base, exponent, prime)
+
+
+def multi_power_naive(
+    prime: int, bases: Sequence[int], exponents: Sequence[int]
+) -> int:
+    """Naive twin of :func:`repro.crypto.group_ops.multi_power`: a pow loop."""
+    product = 1 % prime
+    for base, exponent in zip(bases, exponents):
+        product = product * pow(base, exponent, prime) % prime
+    return product
+
+
+def schnorr_verify_naive(group, public_element: int, message: bytes, signature) -> bool:
+    """Frozen per-signature Schnorr verification with builtin ``pow``.
+
+    Mirrors the seed revision's :meth:`SchnorrPublicKey.verify` decision
+    exactly — range checks, full membership check, ``r' = h^s·y^{q-e}``,
+    challenge recomputation — with no tables, no memoization, and no
+    batching.  The batch path must agree with this on every input.
+    """
+    from repro.crypto.schnorr import _challenge
+
+    q = group.subgroup_order
+    if not (0 <= signature.challenge < q and 0 <= signature.response < q):
+        return False
+    element = public_element
+    if not 1 < element < group.prime - 1:
+        return False
+    if pow(element, q, group.prime) != 1:
+        return False
+    h = pow(group.generator, 2, group.prime)
+    r_prime = (
+        pow(h, signature.response, group.prime)
+        * pow(element, q - signature.challenge, group.prime)
+    ) % group.prime
+    return _challenge(group, r_prime, element, message) == signature.challenge
+
+
+def verify_signatures_naive(public, items) -> bool:
+    """Naive cohort verification: :func:`schnorr_verify_naive` in a loop."""
+    return all(
+        schnorr_verify_naive(public.group, public.element, message, signature)
+        for message, signature in items
+    )
+
+
+def verify_openings_naive(commitments, openings) -> bool:
+    """Naive twin of :func:`repro.crypto.commitments.batch_verify_openings`.
+
+    Per-slot Pedersen point checks with builtin ``pow`` — the decision
+    (not the arithmetic route) the batch multi-exp path must reproduce.
+    """
+    from repro.crypto.commitments import (
+        MaskVerificationError,
+        _checked_scalar,
+        pedersen_generators,
+        resolve_group,
+    )
+
+    group = resolve_group(commitments.group_name)
+    h, u = pedersen_generators(group)
+    weights = commitments.weights()
+    for slot, opening in openings:
+        try:
+            scalar, point = _checked_scalar(commitments, slot, opening, weights)
+        except MaskVerificationError:
+            return False
+        expected = (
+            pow(h, scalar, group.prime)
+            * pow(u, opening.randomizer, group.prime)
+        ) % group.prime
+        if expected != point:
+            return False
+    return True

@@ -292,6 +292,44 @@ class ClientEndpoint:
                 party_index=request.party_index,
             ),
         )
+        try:
+            self._install_mask(request, delivery)
+        except CryptoError:
+            # A resumed delivery this (restarted) Glimmer could not open:
+            # its session-key cache is gone.  Evict the provisioner's
+            # entry and re-run the full handshake once; without a session
+            # cache the failure is genuine.
+            cache = getattr(
+                self.engine.blinder_provisioner, "session_cache", None
+            )
+            if cache is None:
+                raise
+            cache.evict(quote.platform_id, "blinding-mask-provisioning")
+            session_id, dh_public, quote = self.client.handshake_request()
+            record.ecalls += 1  # begin_handshake (retry)
+            delivery = self.engine.call_with_retry(
+                record,
+                self.name,
+                m.BLINDER,
+                m.KIND_MASK_REQUEST,
+                m.MaskRequest(
+                    session_id=session_id,
+                    dh_public=dh_public,
+                    quote=quote,
+                    round_id=request.round_id,
+                    party_index=request.party_index,
+                ),
+            )
+            self._install_mask(request, delivery)
+        record.ecalls += 1  # install_blinding_mask
+        if hasattr(self.client, "checkpoint_round"):
+            # Seal the freshly installed mask so a later crash in this
+            # round is recoverable.  Not counted in record.ecalls, which
+            # tracks the paper's three-ecall protocol path per client.
+            self.client.checkpoint_round(request.round_id)
+        return True
+
+    def _install_mask(self, request, delivery) -> None:
         if request.commitment is not None:
             self.client.install_mask(
                 request.round_id,
@@ -303,13 +341,6 @@ class ClientEndpoint:
             self.client.install_mask(
                 request.round_id, request.party_index, delivery
             )
-        record.ecalls += 1  # install_blinding_mask
-        if hasattr(self.client, "checkpoint_round"):
-            # Seal the freshly installed mask so a later crash in this
-            # round is recoverable.  Not counted in record.ecalls, which
-            # tracks the paper's three-ecall protocol path per client.
-            self.client.checkpoint_round(request.round_id)
-        return True
 
     def _remember(
         self, round_id: int, outcome: tuple[str, str | None]

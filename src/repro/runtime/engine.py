@@ -42,8 +42,14 @@ from typing import Any, Iterable, Mapping, Sequence
 
 import numpy as np
 
-from repro.crypto.commitments import MaskOpening, verify_opening
+from repro.crypto import group_ops
+from repro.crypto.commitments import (
+    MaskOpening,
+    batch_verify_openings,
+    verify_opening,
+)
 from repro.crypto.drbg import HmacDrbg
+from repro.crypto.schnorr import batch_verify as batch_verify_signatures
 from repro.perf import kernels
 from repro.errors import (
     EnclaveError,
@@ -121,6 +127,7 @@ class _RoundRecord:
         self.partition_trimmed = 0
         self.reconciled = 0
         self.meter_start: dict[str, dict[str, int]] = {}
+        self.pk_counters0 = group_ops.counters()
         self.messages0 = network.messages_delivered + network.messages_dropped
         self.dropped0 = network.messages_dropped
         self.bytes0 = network.bytes_delivered
@@ -642,6 +649,7 @@ class RoundEngine:
         repairs: list[tuple[int, ...]] = []
         try:
             if record.blinded:
+                revealed_by_slot: list[tuple[int, Any]] = []
                 for slot in range(record.num_slots):
                     if slot in record.consumed:
                         continue
@@ -649,8 +657,13 @@ class RoundEngine:
                         record, ENGINE, BLINDER, m.KIND_REVEAL_MASK,
                         m.RevealMask(round_id, slot),
                     )
+                    revealed_by_slot.append((slot, revealed))
+                batched = self._batch_verified_reveals(record, revealed_by_slot)
+                for slot, revealed in revealed_by_slot:
                     repairs.append(
-                        self._verified_repair_mask(record, slot, revealed)
+                        self._verified_repair_mask(
+                            record, slot, revealed, preverified=batched
+                        )
                     )
             result = self.call_with_retry(
                 record,
@@ -689,8 +702,35 @@ class RoundEngine:
         )
         return scale_shard.merge_point_partials(partials, prime)
 
+    def _batch_verified_reveals(
+        self, record: _RoundRecord, revealed_by_slot
+    ) -> bool:
+        """One multi-exp over every dropout reveal's Pedersen check.
+
+        ``True`` means all reveals verified in a single randomized batch
+        and the per-slot sweep may skip its point checks.  ``False``
+        means either the batch was not applicable (too few openings,
+        legacy bare-word reveals, no commitments) or it failed — in both
+        cases :meth:`_verified_repair_mask` runs the per-slot check
+        unchanged, preserving exact blame and abort behavior.
+        """
+        if record.commitments is None:
+            return False
+        openings = [
+            (slot, revealed)
+            for slot, revealed in revealed_by_slot
+            if isinstance(revealed, MaskOpening)
+        ]
+        if len(openings) < 2 or len(openings) != len(revealed_by_slot):
+            return False
+        if batch_verify_openings(record.commitments, openings):
+            group_ops.bump("batch_verifications")
+            return True
+        group_ops.bump("batch_fallbacks")
+        return False
+
     def _verified_repair_mask(
-        self, record: _RoundRecord, slot: int, revealed
+        self, record: _RoundRecord, slot: int, revealed, preverified: bool = False
     ) -> tuple[int, ...]:
         """Check a revealed dropout mask against the round's commitments.
 
@@ -701,9 +741,12 @@ class RoundEngine:
         committed to is blamed and the round aborts — §3 repair never
         silently folds a forged mask into the aggregate.  Legacy
         provisioners reveal a bare word sequence, which is used as-is.
+        ``preverified`` marks reveals already covered by a successful
+        :meth:`_batch_verified_reveals` sweep, whose checks subsume this
+        slot's.
         """
         if isinstance(revealed, MaskOpening):
-            if record.commitments is not None:
+            if record.commitments is not None and not preverified:
                 try:
                     verify_opening(record.commitments, slot, revealed)
                 except MaskVerificationError as exc:
@@ -840,16 +883,34 @@ class RoundEngine:
             # Scale-path rounds verified every accepted signature exactly
             # once already (worker pre-verification or service admission);
             # re-walking them here would serialize what the pool spread out.
-            for contribution in accepted:
-                try:
-                    valid = self.signing_public.is_valid(
-                        contribution.signed_bytes(), contribution.signature
-                    )
-                except Exception:
-                    valid = False
-                if not valid:
-                    problems.append("an aggregated contribution is unsigned")
-                    break
+            # The cohort is first tried as ONE randomized batch (~25x
+            # cheaper than the loop); only a failed or unbatchable cohort
+            # walks per signature, which is also what names the culprit.
+            try:
+                batched = batch_verify_signatures(
+                    self.signing_public,
+                    [
+                        (contribution.signed_bytes(), contribution.signature)
+                        for contribution in accepted
+                    ],
+                )
+            except Exception:
+                batched = None
+            if batched is True:
+                group_ops.bump("batch_verifications")
+            else:
+                if batched is False:
+                    group_ops.bump("batch_fallbacks")
+                for contribution in accepted:
+                    try:
+                        valid = self.signing_public.is_valid(
+                            contribution.signed_bytes(), contribution.signature
+                        )
+                    except Exception:
+                        valid = False
+                    if not valid:
+                        problems.append("an aggregated contribution is unsigned")
+                        break
         codec = self.codec or getattr(self.service, "codec", None)
         if not problems and codec is not None:
             expected = self._recompute_aggregate(record, accepted, repairs, codec)
@@ -1491,6 +1552,9 @@ class RoundEngine:
         faults = 0
         if self.fault_injector is not None:
             faults = len(self.fault_injector.fired) - record.faults0
+        # Process-wide growth while this round was open; with overlapping
+        # rounds the attribution is approximate, the totals exact.
+        pk_delta = group_ops.counters_delta(record.pk_counters0)
         return RoundReport(
             round_id=record.round_id,
             blinded=record.blinded,
@@ -1523,6 +1587,10 @@ class RoundEngine:
             stragglers=record.stragglers,
             partition_trimmed=record.partition_trimmed,
             submissions_reconciled=record.reconciled,
+            batch_verifications=pk_delta["batch_verifications"],
+            batch_fallbacks=pk_delta["batch_fallbacks"],
+            handshakes_resumed=pk_delta["handshakes_resumed"],
+            membership_checks_skipped=pk_delta["membership_checks_skipped"],
         )
 
     def _build_report(

@@ -97,6 +97,18 @@ class RoundReport:
     """Slots the service consumed without the engine witnessing the
     acceptance (a duplicate delivered a submission after its sender gave
     up), adopted at finalize so the slot is not wrongly mask-repaired."""
+    batch_verifications: int = 0
+    """Randomized batch verifications (Schnorr cohorts, Pedersen opening
+    sweeps) that replaced a per-item verify loop during this round."""
+    batch_fallbacks: int = 0
+    """Batch verifications that failed and fell back to the per-item loop
+    to blame the culprit — nonzero only when something was forged."""
+    handshakes_resumed: int = 0
+    """Provisioning legs that resumed a cached DH session instead of
+    running keygen + membership check + shared-secret exponentiation."""
+    membership_checks_skipped: int = 0
+    """Subgroup-membership exponentiations answered from the True-only
+    memo (:mod:`repro.crypto.group_ops`) instead of recomputed."""
     _survivors: tuple[str, ...] = field(default=(), repr=False)
 
     # ---------------------------------------------------------- derived views
@@ -183,6 +195,18 @@ class RoundReport:
             table.add_row("stragglers", self.stragglers)
             table.add_row("partition trimmed", self.partition_trimmed)
             table.add_row("submissions reconciled", self.submissions_reconciled)
+        if (
+            self.batch_verifications
+            or self.batch_fallbacks
+            or self.handshakes_resumed
+            or self.membership_checks_skipped
+        ):
+            table.add_row("batch verifications", self.batch_verifications)
+            table.add_row("batch fallbacks", self.batch_fallbacks)
+            table.add_row("handshakes resumed", self.handshakes_resumed)
+            table.add_row(
+                "membership checks skipped", self.membership_checks_skipped
+            )
         if self.violations:
             table.add_row("protocol violations", len(self.violations))
         if self.quarantined:
@@ -235,6 +259,10 @@ class RoundReport:
             "stragglers": self.stragglers,
             "partition_trimmed": self.partition_trimmed,
             "submissions_reconciled": self.submissions_reconciled,
+            "batch_verifications": self.batch_verifications,
+            "batch_fallbacks": self.batch_fallbacks,
+            "handshakes_resumed": self.handshakes_resumed,
+            "membership_checks_skipped": self.membership_checks_skipped,
         }
 
     def to_dict(self) -> dict[str, Any]:
@@ -289,6 +317,12 @@ class RoundReport:
             stragglers=int(data.get("stragglers", 0)),
             partition_trimmed=int(data.get("partition_trimmed", 0)),
             submissions_reconciled=int(data.get("submissions_reconciled", 0)),
+            batch_verifications=int(data.get("batch_verifications", 0)),
+            batch_fallbacks=int(data.get("batch_fallbacks", 0)),
+            handshakes_resumed=int(data.get("handshakes_resumed", 0)),
+            membership_checks_skipped=int(
+                data.get("membership_checks_skipped", 0)
+            ),
         )
 
 

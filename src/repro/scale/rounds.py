@@ -93,6 +93,11 @@ def parallel_eligible(
         return False
     if type(engine.blinder_provisioner) is not BlinderProvisioner:
         return False
+    if getattr(engine.blinder_provisioner, "session_cache", None) is not None:
+        # Session resumption skips the provisioner's per-delivery DH
+        # keypair draws, so its DRBG stream diverges from what the
+        # worker-task replay models.  Cached provisioners run serial.
+        return False
     for user_id in participants:
         client = engine.clients.get(user_id)
         if client is None or type(client) is not ClientDevice:

@@ -1,0 +1,171 @@
+"""Unit tests for the public-key hot path (:mod:`repro.crypto.group_ops`).
+
+Parity against the frozen naive twins lives in
+``tests/perf/test_pk_parity.py``; this file covers the machinery itself —
+table lifecycle, membership memoization, batch scalars, the DH session
+cache, and the fast-path counters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto import group_ops
+from repro.crypto.dh import OAKLEY_GROUP_1, TEST_GROUP
+from repro.crypto.drbg import HmacDrbg
+
+
+@pytest.fixture(autouse=True)
+def _clean_group_ops_state():
+    """Each test sees fresh tables/memos and leaves none behind."""
+    group_ops.reset_tables()
+    yield
+    group_ops.reset_tables()
+
+
+# -------------------------------------------------------------- fixed base
+
+
+def test_fixed_base_table_matches_pow():
+    group = OAKLEY_GROUP_1
+    h = group.subgroup_generator()
+    table = group_ops.FixedBaseTable(group.prime, h)
+    rng = HmacDrbg(b"table-parity")
+    for exponent in (0, 1, 2, group.subgroup_order - 1):
+        assert table.power(exponent) == pow(h, exponent, group.prime)
+    for _ in range(8):
+        exponent = group.random_exponent(rng)
+        assert table.power(exponent) == pow(h, exponent, group.prime)
+
+
+def test_fixed_base_table_falls_back_outside_coverage():
+    group = OAKLEY_GROUP_1
+    h = group.subgroup_generator()
+    table = group_ops.FixedBaseTable(group.prime, h)
+    oversized = group.prime * group.prime  # more bits than the table covers
+    assert table.power(oversized) == pow(h, oversized, group.prime)
+    assert table.power(-3) == pow(h, -3, group.prime)
+
+
+def test_register_base_skips_small_primes():
+    assert group_ops.register_base(TEST_GROUP.prime, TEST_GROUP.generator) is None
+    # fixed_power stays correct without a table
+    assert group_ops.fixed_power(TEST_GROUP.prime, 3, 5) == pow(
+        3, 5, TEST_GROUP.prime
+    )
+
+
+def test_fixed_power_auto_builds_after_threshold():
+    group = OAKLEY_GROUP_1
+    base = pow(group.subgroup_generator(), 7, group.prime)
+    key = (group.prime, base)
+    for _ in range(group_ops.AUTO_BUILD_THRESHOLD + 1):
+        assert group_ops.fixed_power(group.prime, base, 12345) == pow(
+            base, 12345, group.prime
+        )
+    assert key in group_ops._TABLES
+    # and the table keeps answering correctly
+    assert group_ops.fixed_power(group.prime, base, 54321) == pow(
+        base, 54321, group.prime
+    )
+
+
+# ------------------------------------------------------------- membership
+
+
+def test_membership_memo_only_caches_positives():
+    group = OAKLEY_GROUP_1
+    valid = group.power(group.subgroup_generator(), 12345)
+    assert group.is_valid_element(valid)
+    assert group_ops.is_known_member(group.prime, valid)
+    # warm cache must not leak acceptance to other elements
+    invalid = group.prime - 1
+    assert not group_ops.is_known_member(group.prime, invalid)
+    assert not group.is_valid_element(invalid)
+
+
+def test_invalid_element_rejected_after_warm_cache():
+    """Regression: a warmed membership cache must never admit a non-member."""
+    group = OAKLEY_GROUP_1
+    h = group.subgroup_generator()
+    for exponent in range(2, 10):
+        assert group.is_valid_element(group.power(h, exponent))
+    # a quadratic non-residue (order 2q) and the degenerate elements must
+    # still be rejected
+    non_residue = next(
+        x for x in range(2, 100) if group_ops.jacobi(x, group.prime) == -1
+    )
+    assert not group.is_valid_element(non_residue)
+    assert not group.is_valid_element(0)
+    assert not group.is_valid_element(1)
+    assert not group.is_valid_element(group.prime - 1)
+
+
+def test_jacobi_agrees_with_euler_criterion():
+    prime = TEST_GROUP.prime
+    for value in range(1, 50):
+        euler = pow(value, (prime - 1) // 2, prime)
+        expected = 1 if euler == 1 else -1
+        assert group_ops.jacobi(value, prime) == expected
+    assert group_ops.jacobi(0, prime) == 0
+
+
+# ----------------------------------------------------------- batch scalars
+
+
+def test_batch_scalars_deterministic_and_nonzero():
+    first = group_ops.batch_scalars(b"transcript", 64)
+    second = group_ops.batch_scalars(b"transcript", 64)
+    assert first == second
+    assert all(0 < z < 1 << group_ops.BATCH_SCALAR_BITS for z in first)
+    assert group_ops.batch_scalars(b"other", 64) != first
+
+
+# ------------------------------------------------------------ session cache
+
+
+def test_session_cache_roundtrip_and_counters():
+    cache = group_ops.DHSessionCache(max_entries=4)
+    before = group_ops.counters()
+    assert cache.lookup(b"peer", "ctx") is None
+    cache.store(b"peer", "ctx", 123, b"k" * 32)
+    assert cache.lookup(b"peer", "ctx") == (123, b"k" * 32)
+    assert cache.lookup(b"peer", "other-ctx") is None
+    delta = group_ops.counters_delta(before)
+    assert delta["handshakes_resumed"] == 1
+
+
+def test_session_cache_resume_key_contextual():
+    base = b"b" * 32
+    key1 = group_ops.DHSessionCache.resume_key(base, b"s1", "ctx")
+    assert key1 == group_ops.DHSessionCache.resume_key(base, b"s1", "ctx")
+    assert key1 != group_ops.DHSessionCache.resume_key(base, b"s2", "ctx")
+    assert key1 != group_ops.DHSessionCache.resume_key(base, b"s1", "ctx2")
+    assert key1 != group_ops.DHSessionCache.resume_key(b"c" * 32, b"s1", "ctx")
+
+
+def test_session_cache_eviction_and_clear():
+    cache = group_ops.DHSessionCache(max_entries=2)
+    cache.store(b"a", "ctx", 1, b"ka")
+    cache.store(b"b", "ctx", 2, b"kb")
+    cache.store(b"c", "ctx", 3, b"kc")  # evicts the oldest entry
+    assert cache.lookup(b"a", "ctx") is None
+    assert cache.lookup(b"b", "ctx") is not None
+    cache.evict(b"b", "ctx")
+    assert cache.lookup(b"b", "ctx") is None
+    cache.store(b"d", "ctx", 4, b"kd")
+    cache.clear()
+    assert cache.lookup(b"d", "ctx") is None
+
+
+# ---------------------------------------------------------------- counters
+
+
+def test_counters_delta_is_monotone_snapshot():
+    before = group_ops.counters()
+    group_ops.bump("batch_verifications")
+    group_ops.bump("batch_fallbacks", 2)
+    delta = group_ops.counters_delta(before)
+    assert delta["batch_verifications"] == 1
+    assert delta["batch_fallbacks"] == 2
+    assert delta["handshakes_resumed"] == 0

@@ -49,27 +49,38 @@ def _assert_reports_identical(serial, asynced):
 
 
 def test_async_round_report_is_bit_identical():
+    # The public-key caches (tables, membership memo) are process-wide,
+    # so both runs must start equally cold for their cache-efficacy
+    # telemetry (membership_checks_skipped) to compare bit-exact.
+    from repro.crypto import group_ops
+
     sync_dep, async_dep = _build(), _build()
     users, vectors, features = _round_inputs(sync_dep)
+    group_ops.reset_tables()
     serial = sync_dep.engine.run_round(1, users, vectors, features)
     driver = AsyncRoundEngine(async_dep.engine)
     users2, vectors2, features2 = _round_inputs(async_dep)
+    group_ops.reset_tables()
     asynced = asyncio.run(driver.run_round(1, users2, vectors2, features2))
     assert driver.stages_driven > 0, "the async path must actually suspend"
     _assert_reports_identical(serial, asynced)
 
 
 def test_async_parity_with_dropouts_and_repair():
+    from repro.crypto import group_ops
+
     sync_dep, async_dep = _build(), _build()
     users, vectors, features = _round_inputs(sync_dep)
     dropouts = (users[1],)
     collect_dropouts = (users[3],)
+    group_ops.reset_tables()
     serial = sync_dep.engine.run_round(
         1, users, vectors, features,
         dropouts=dropouts, collect_dropouts=collect_dropouts,
     )
     driver = AsyncRoundEngine(async_dep.engine)
     users2, vectors2, features2 = _round_inputs(async_dep)
+    group_ops.reset_tables()
     asynced = asyncio.run(
         driver.run_round(
             1, users2, vectors2, features2,
