@@ -164,6 +164,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
 
 
+def _cmd_stream_smoke(args: argparse.Namespace) -> int:
+    from repro.perf import stream_smoke
+
+    if args.users < 1 or args.length < 1 or args.subgroup_size < 1:
+        print(
+            "--users, --length, and --subgroup-size must be >= 1",
+            file=sys.stderr,
+        )
+        return 2
+    return stream_smoke.main(
+        args.users,
+        length=args.length,
+        subgroup_size=args.subgroup_size,
+        max_rss_kb=args.max_rss_kb,
+        as_json=args.json,
+    )
+
+
 def _service_for(args: argparse.Namespace):
     """Build (or recover) a GlimmerService over the chosen backend."""
     from repro.service import GlimmerService, build_backend
@@ -441,6 +459,38 @@ def build_parser() -> argparse.ArgumentParser:
         "non-gated 'fleet' snapshot section",
     )
     bench_parser.set_defaults(func=_cmd_bench)
+
+    stream_parser = sub.add_parser(
+        "stream-smoke",
+        help="memory-bounded large-cohort streaming ingest round "
+        "(hierarchical subgroup masks; exits 1 on inexact aggregate or "
+        "blown RSS budget)",
+    )
+    stream_parser.add_argument(
+        "--users", type=int, default=100_000, help="cohort size (default 100000)"
+    )
+    stream_parser.add_argument(
+        "--length",
+        type=int,
+        default=64,
+        help="contribution vector length in ring words (default 64)",
+    )
+    stream_parser.add_argument(
+        "--subgroup-size",
+        type=int,
+        default=256,
+        help="bounded subgroup size g (default 256)",
+    )
+    stream_parser.add_argument(
+        "--max-rss-kb",
+        type=int,
+        default=None,
+        help="fail (exit 1) if process peak RSS exceeds this many KiB",
+    )
+    stream_parser.add_argument(
+        "--json", action="store_true", help="machine-readable report"
+    )
+    stream_parser.set_defaults(func=_cmd_stream_smoke)
 
     serve_parser = sub.add_parser(
         "serve", help="drain queued submissions through concurrent async rounds"

@@ -261,7 +261,7 @@ class BlinderProvisioner(_ProvisionerBase):
         return masks, openings
 
     def open_round(
-        self, round_id: int, num_parties: int, length: int
+        self, round_id: int, num_parties: int, length: int, subgroup_size: int = 0
     ) -> MaskCommitmentSet:
         """Sample the round's masks, commit to them, seal, publish the set.
 
@@ -269,8 +269,23 @@ class BlinderProvisioner(_ProvisionerBase):
         contract: the engine validates it when the round opens, forwards
         per-slot records to clients during provisioning, and checks the
         homomorphic sum-zero property over it at finalize.
+
+        ``subgroup_size > 0`` samples the hierarchical per-subgroup
+        construction instead of the flat family: every subgroup sums to
+        zero, so the published commitments still satisfy the same
+        homomorphic sum-zero audit, while later mask lookups (delivery,
+        §3 dropout repair) re-expand only the O(g) subgroup they touch.
+        Commitments are per slot either way, so everything downstream of
+        this call — sealing, delivery, reveal verification — is
+        construction-agnostic.
         """
-        masks = self._require_blinding().open_round(round_id, num_parties, length)
+        blinding = self._require_blinding()
+        if subgroup_size > 0:
+            masks = blinding.open_round_grouped(
+                round_id, num_parties, length, subgroup_size
+            )
+        else:
+            masks = blinding.open_round(round_id, num_parties, length)
         commitments, openings = commit_masks(
             self.identity.group,
             round_id,

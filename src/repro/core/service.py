@@ -30,6 +30,19 @@ from repro.errors import ConfigurationError, ProtocolError
 from repro.perf import kernels
 
 
+@dataclass(frozen=True)
+class _StreamedAccept:
+    """The nonce-bearing stub a streaming round keeps per acceptance.
+
+    The engine's abort accounting and finalize-time reconciliation only
+    need ``len(state.accepted)`` and each entry's ``nonce``; retaining
+    whole :class:`SignedContribution` objects would defeat the point of
+    releasing payloads at admission.
+    """
+
+    nonce: bytes
+
+
 @dataclass
 class RoundState:
     """Accounting for one aggregation round.
@@ -50,6 +63,51 @@ class RoundState:
 
     def reject(self, reason: str) -> None:
         self.rejected[reason] = self.rejected.get(reason, 0) + 1
+
+
+class StreamingRoundState:
+    """A blinded round that folds submissions instead of retaining them.
+
+    Opened when the round carries a :class:`~repro.scale.subgroup.
+    SubgroupPlan`: each admitted ring payload is folded into its
+    subgroup's running partial (:class:`~repro.scale.streaming.
+    StreamingSubgroupAccumulator`) the moment it passes admission, and
+    the raw vector is released — parent memory is O(n/g · k + nonces),
+    not O(n·k).  The price is auditability of individual rows: the
+    service cannot replay what it no longer holds, so finalize returns
+    an empty ``accepted`` audit trail (the engine's recomputation audit
+    passes through, legacy-style) and quarantine eviction reports
+    failure rather than un-folding — which is why the engine only
+    routes adversary-free rounds here (see :func:`repro.scale.
+    hierarchy.hierarchical_eligible`).
+    """
+
+    blinded = True
+
+    def __init__(
+        self, round_id: int, expected_parties: int, plan, modulus_bits: int
+    ) -> None:
+        from repro.scale.streaming import StreamingSubgroupAccumulator
+
+        self.round_id = round_id
+        self.expected_parties = expected_parties
+        self.plan = plan
+        self.accumulator = StreamingSubgroupAccumulator(plan, modulus_bits)
+        self.seen_nonces: set = set()
+        self.rejected: dict[str, int] = {}
+        self._accepted_nonces: list[bytes] = []
+
+    @property
+    def accepted(self) -> tuple:
+        """Nonce stubs for engine accounting (see :class:`_StreamedAccept`)."""
+        return tuple(_StreamedAccept(n) for n in self._accepted_nonces)
+
+    def reject(self, reason: str) -> None:
+        self.rejected[reason] = self.rejected.get(reason, 0) + 1
+
+    def accept(self, contribution: SignedContribution, slot: int | None) -> None:
+        self._accepted_nonces.append(contribution.nonce)
+        self.accumulator.fold(contribution.ring_payload, slot)
 
 
 @dataclass(frozen=True)
@@ -74,6 +132,12 @@ class RoundResult:
 
 class CloudService:
     """Verifies signed contributions and aggregates per round."""
+
+    #: Endpoints check this *on the class* (never through wrapper
+    #: ``__getattr__`` passthrough) before forwarding the wire message's
+    #: ``slot`` into :meth:`submit` — Byzantine wrappers that shadow
+    #: ``submit`` with the legacy two-argument signature keep working.
+    accepts_submit_slot = True
 
     def __init__(
         self,
@@ -102,12 +166,32 @@ class CloudService:
         return self._codec
 
     def open_round(
-        self, round_id: int, expected_parties: int, blinded: bool = True
+        self,
+        round_id: int,
+        expected_parties: int,
+        blinded: bool = True,
+        subgroup_size: int = 0,
     ) -> None:
+        """Open a round; ``subgroup_size > 0`` selects the streaming path.
+
+        A streaming round plans its subgroups up front (the plan is a
+        pure function of the round id, so blinder and engine compute the
+        identical grouping) and folds each admitted payload immediately
+        instead of retaining it — see :class:`StreamingRoundState` for
+        the trade.  ``subgroup_size == 0`` keeps today's flat round.
+        """
         if round_id in self._rounds:
             raise ProtocolError(f"round {round_id} already open")
         if expected_parties < 1:
             raise ProtocolError("expected_parties must be >= 1")
+        if subgroup_size > 0 and blinded:
+            from repro.scale.subgroup import plan_subgroups
+
+            plan = plan_subgroups(round_id, expected_parties, subgroup_size)
+            self._rounds[round_id] = StreamingRoundState(
+                round_id, expected_parties, plan, self._codec.modulus_bits
+            )
+            return
         self._rounds[round_id] = RoundState(
             round_id=round_id, blinded=blinded, expected_parties=expected_parties
         )
@@ -120,17 +204,28 @@ class CloudService:
 
     # ------------------------------------------------------------ admission
 
-    def submit(self, round_id: int, contribution: SignedContribution) -> bool:
+    def submit(
+        self,
+        round_id: int,
+        contribution: SignedContribution,
+        slot: int | None = None,
+    ) -> bool:
         """Admit one contribution; returns True if accepted.
 
         Rejections are counted by reason in the round state — the paper's
         Input Integrity property shows up as "everything unsigned, forged,
-        replayed, or tampered lands in ``rejected``".
+        replayed, or tampered lands in ``rejected``".  ``slot`` is the
+        sender-claimed mask slot; streaming rounds use it to attribute
+        the fold to a subgroup (the total is exact either way — fold
+        order and attribution never change an associative ring sum).
         """
-        return self._admit(round_id, contribution, check_signature=True)
+        return self._admit(round_id, contribution, check_signature=True, slot=slot)
 
     def submit_verified(
-        self, round_id: int, contribution: SignedContribution
+        self,
+        round_id: int,
+        contribution: SignedContribution,
+        slot: int | None = None,
     ) -> bool:
         """Admit a contribution whose signature the caller already verified.
 
@@ -144,10 +239,16 @@ class CloudService:
         themselves; handing this method an unverified contribution forfeits
         Input Integrity.
         """
-        return self._admit(round_id, contribution, check_signature=False)
+        return self._admit(
+            round_id, contribution, check_signature=False, slot=slot
+        )
 
     def _admit(
-        self, round_id: int, contribution: SignedContribution, check_signature: bool
+        self,
+        round_id: int,
+        contribution: SignedContribution,
+        check_signature: bool,
+        slot: int | None = None,
     ) -> bool:
         state = self.round_state(round_id)
         if not isinstance(contribution, SignedContribution):
@@ -173,6 +274,11 @@ class CloudService:
             state.reject("invalid-signature")
             return False
         state.seen_nonces.add(contribution.nonce)
+        if isinstance(state, StreamingRoundState):
+            # Fold-and-release: the payload enters its subgroup's partial
+            # sum now; no reference to the raw vector survives this call.
+            state.accept(contribution, slot)
+            return True
         state.accepted.append(contribution)
         if state.blinded and contribution.ring_payload is not None:
             state.ring_rows.append(
@@ -188,6 +294,12 @@ class CloudService:
         Returns True if a contribution was actually removed.
         """
         state = self.round_state(round_id)
+        if isinstance(state, StreamingRoundState):
+            # A folded payload cannot be un-summed.  Reporting failure is
+            # the fail-safe contract the engine already honors ("if the
+            # service cannot evict, the accept stands"); rounds that can
+            # need eviction never route to the streaming path.
+            return False
         for index, contribution in enumerate(state.accepted):
             if contribution.nonce == nonce:
                 del state.accepted[index]
@@ -214,6 +326,10 @@ class CloudService:
         state = self.round_state(round_id)
         if not state.blinded:
             raise ProtocolError("round is not blinded; use finalize_plain_round")
+        if isinstance(state, StreamingRoundState):
+            if not state._accepted_nonces:
+                raise ProtocolError("no accepted contributions to aggregate")
+            return self._finalize_streaming(state, dropout_masks)
         if not state.accepted:
             raise ProtocolError("no accepted contributions to aggregate")
         modulus_bits = self._codec.modulus_bits
@@ -221,8 +337,14 @@ class CloudService:
         for row in state.ring_rows:
             if len(row) != length:
                 raise ConfigurationError("vector length mismatch")
-        reducer = self.aggregation_reducer or kernels.ring_sum_rows
-        total = reducer(np.stack(state.ring_rows), modulus_bits)
+        reducer = self.aggregation_reducer
+        if reducer is not None:
+            total = reducer(np.stack(state.ring_rows), modulus_bits)
+        else:
+            # Chunked accumulate: the rows are only ever needed for their
+            # sum, so never stack the full row-major matrix (bit-exact by
+            # associativity; see kernels.ring_accumulate).
+            total = kernels.ring_accumulate(state.ring_rows, modulus_bits)
         if dropout_masks:
             # Commitment-aware blinders reveal MaskOpening objects; the
             # bare mask words are what repairs the ring sum.  Ring addition
@@ -236,7 +358,10 @@ class CloudService:
                         "mask length does not match vector length"
                     )
                 repair_rows.append(kernels.as_ring(list(words), modulus_bits))
-            repair = reducer(np.stack(repair_rows), modulus_bits)
+            if reducer is not None:
+                repair = reducer(np.stack(repair_rows), modulus_bits)
+            else:
+                repair = kernels.ring_accumulate(repair_rows, modulus_bits)
             total = kernels.ring_add(total, repair, modulus_bits)
         decoded = self._codec.decode(total)
         count = len(state.accepted)
@@ -247,6 +372,42 @@ class CloudService:
             num_dropouts_repaired=len(dropout_masks),
             rejected=dict(state.rejected),
             accepted=tuple(state.accepted),
+        )
+
+    def _finalize_streaming(
+        self, state: StreamingRoundState, dropout_masks: Sequence[Sequence[int]]
+    ) -> RoundResult:
+        """Merge the subgroup partials into the round total and decode.
+
+        Repair masks fold like submissions do (ring addition commutes);
+        the merge runs through ``aggregation_reducer`` when the scale
+        layer installed one, so the subgroup leaves feed the same parent
+        tree the flat path's rows would.  ``accepted`` stays empty: the
+        folded rows no longer exist to re-audit, which the engine treats
+        as a legacy pass-through (exactness is proven by the subgroup
+        parity suite instead).
+        """
+        modulus_bits = self._codec.modulus_bits
+        length = state.accumulator.length
+        for mask in dropout_masks:
+            words = getattr(mask, "mask", mask)
+            if length is not None and len(words) != length:
+                raise ConfigurationError(
+                    "mask length does not match vector length"
+                )
+            state.accumulator.fold_repair(
+                list(words), getattr(mask, "slot", None)
+            )
+        total = state.accumulator.total(self.aggregation_reducer)
+        decoded = self._codec.decode(total)
+        count = len(state._accepted_nonces)
+        return RoundResult(
+            round_id=state.round_id,
+            aggregate=decoded / count,
+            num_contributions=count,
+            num_dropouts_repaired=len(dropout_masks),
+            rejected=dict(state.rejected),
+            accepted=(),
         )
 
     def finalize_plain_round(self, round_id: int) -> RoundResult:

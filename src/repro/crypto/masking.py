@@ -81,9 +81,103 @@ class SumZeroMasks:
         return self.masks[party_index]
 
     def verify_sum_zero(self) -> bool:
-        """Sanity invariant used by tests and the blinding service's self-check."""
-        totals = kernels.ring_sum_rows(self.masks, self.modulus_bits)
+        """Sanity invariant used by tests and the blinding service's self-check.
+
+        Chunked accumulation (:func:`repro.perf.kernels.ring_accumulate`)
+        keeps the check's peak memory bounded even for large families —
+        the full row-major matrix is never needed for a sum.
+        """
+        totals = kernels.ring_accumulate(self.masks, self.modulus_bits)
         return not totals.any()
+
+
+class GroupedSumZeroMasks:
+    """Per-subgroup sum-zero mask families, materialized on demand.
+
+    The hierarchical aggregation path samples an *independent* sum-zero
+    family inside each subgroup of a :class:`repro.scale.subgroup.
+    SubgroupPlan`: every subgroup sums to zero, so the cohort sums to
+    zero, and the aggregate is bit-identical to any flat sum-zero
+    construction — the parity gate is the aggregate, not the mask
+    stream.  What changes is the resident state: instead of O(n·k) mask
+    words the service holds one 32-byte seed per subgroup and
+    re-expands a subgroup's :class:`SumZeroMasks` only when a slot in it
+    is provisioned or repaired.  A small LRU keeps the hot subgroup
+    warm, so §3 dropout repair touches O(g) mask words, never O(n).
+    """
+
+    #: Materialized subgroups kept warm per family.
+    CACHE_GROUPS = 4
+
+    def __init__(self, plan, seeds: tuple[bytes, ...], length: int, modulus_bits: int) -> None:
+        if len(seeds) != plan.num_groups:
+            raise ConfigurationError("one seed per subgroup required")
+        self.plan = plan
+        self.seeds = seeds
+        self.length = length
+        self.modulus_bits = modulus_bits
+        self._cache: dict[int, SumZeroMasks] = {}
+
+    @classmethod
+    def sample(
+        cls, plan, length: int, rng: HmacDrbg, modulus_bits: int = 64
+    ) -> "GroupedSumZeroMasks":
+        """Draw one independent seed per subgroup from the round's DRBG."""
+        if length < 1:
+            raise ConfigurationError("mask length must be positive")
+        seeds = tuple(rng.generate(32) for _ in range(plan.num_groups))
+        return cls(plan, seeds, length, modulus_bits)
+
+    @property
+    def num_parties(self) -> int:
+        return self.plan.num_slots
+
+    def group_family(self, group: int) -> SumZeroMasks:
+        """Materialize (or fetch cached) one subgroup's sum-zero family."""
+        family = self._cache.get(group)
+        if family is None:
+            family = SumZeroMasks.sample(
+                len(self.plan.slots_in(group)),
+                self.length,
+                HmacDrbg(self.seeds[group], personalization="subgroup-masks"),
+                modulus_bits=self.modulus_bits,
+            )
+            if len(self._cache) >= self.CACHE_GROUPS:
+                self._cache.pop(next(iter(self._cache)))
+            self._cache[group] = family
+        return family
+
+    def mask_for(self, party_index: int) -> tuple[int, ...]:
+        group = self.plan.group_of(party_index)
+        local = self.plan.local_index(party_index)
+        return self.group_family(group).mask_for(local)
+
+    @property
+    def masks(self) -> tuple[tuple[int, ...], ...]:
+        """All masks in slot order (commitment/sealing path; O(n·k)).
+
+        The engine-scale verifiable-blinding path still commits to every
+        slot's mask, which requires the full family once at round open;
+        the memory-bounded streaming path never calls this.
+        """
+        rows: list[tuple[int, ...] | None] = [None] * self.plan.num_slots
+        for group in range(self.plan.num_groups):
+            family = SumZeroMasks.sample(
+                len(self.plan.slots_in(group)),
+                self.length,
+                HmacDrbg(self.seeds[group], personalization="subgroup-masks"),
+                modulus_bits=self.modulus_bits,
+            )
+            for local, slot in enumerate(self.plan.slots_in(group)):
+                rows[slot] = family.mask_for(local)
+        return tuple(rows)  # type: ignore[arg-type]
+
+    def verify_sum_zero(self) -> bool:
+        """Each subgroup independently sums to zero (hence so does the whole)."""
+        for group in range(self.plan.num_groups):
+            if not self.group_family(group).verify_sum_zero():
+                return False
+        return True
 
 
 def apply_mask(
@@ -144,6 +238,29 @@ class BlindingService:
             raise CryptoError(f"round {round_id} already opened")
         masks = SumZeroMasks.sample(
             num_parties, length, self._rng.fork(f"round-{round_id}"),
+            modulus_bits=self._codec.modulus_bits,
+        )
+        self._round_masks[round_id] = masks
+        return masks
+
+    def open_round_grouped(
+        self, round_id: int, num_parties: int, length: int, subgroup_size: int
+    ) -> GroupedSumZeroMasks:
+        """Open a round with per-subgroup sum-zero families (hierarchical path).
+
+        Mask state is O(subgroups) seeds instead of O(n·k) words; every
+        later ``mask_for``/``mask_for_dropout`` touches one subgroup's
+        O(g·k) family.  The flat :meth:`open_round` DRBG stream is
+        untouched — grouped rounds fork a distinct label, so enabling
+        subgrouping for one round never shifts another round's masks.
+        """
+        if round_id in self._round_masks:
+            raise CryptoError(f"round {round_id} already opened")
+        from repro.scale.subgroup import plan_subgroups
+
+        plan = plan_subgroups(round_id, num_parties, subgroup_size)
+        masks = GroupedSumZeroMasks.sample(
+            plan, length, self._rng.fork(f"round-grouped-{round_id}"),
             modulus_bits=self._codec.modulus_bits,
         )
         self._round_masks[round_id] = masks

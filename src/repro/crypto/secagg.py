@@ -282,10 +282,13 @@ class SecureAggregationServer:
         self._threshold = 0
         self._masked: dict[int, np.ndarray] = {}
         self._length = 0
-        self._reducer = reducer or kernels.ring_sum_rows
-        """``callable(matrix, modulus_bits) -> row`` summing the masked
-        matrix; replaceable with a sharded reducer (any partition-and-merge
-        over ring addition is bit-exact against the flat sum)."""
+        self._reducer = reducer
+        """Optional ``callable(matrix, modulus_bits) -> row`` summing the
+        masked matrix; replaceable with a sharded reducer (any
+        partition-and-merge over ring addition is bit-exact against the
+        flat sum).  ``None`` — the default — folds via the chunked
+        :func:`repro.perf.kernels.ring_accumulate`, which never stacks
+        the full cohort matrix."""
 
     @property
     def codec(self) -> FixedPointCodec:
@@ -348,9 +351,14 @@ class SecureAggregationServer:
             raise ProtocolError("too few survivors to meet the recovery threshold")
         modulus = self._codec.modulus()
         modulus_bits = self._codec.modulus_bits
-        total = self._reducer(
-            np.stack(list(self._masked.values())), modulus_bits
-        )
+        if self._reducer is not None:
+            total = self._reducer(
+                np.stack(list(self._masked.values())), modulus_bits
+            )
+        else:
+            total = kernels.ring_accumulate(
+                self._masked.values(), modulus_bits
+            )
 
         # Remove survivors' self-masks.
         for peer_id in sorted(survivors):

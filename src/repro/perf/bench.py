@@ -189,6 +189,52 @@ def _bench_serialization(length: int, min_time: float) -> tuple[dict, dict]:
     return _timeit(vectorized, min_time), _timeit(legacy, min_time)
 
 
+def _bench_streaming_fold(length: int, min_time: float) -> tuple[dict, dict]:
+    """Fold-on-arrival subgroup ingest + parent merge vs scalar loops."""
+    from repro.scale.streaming import StreamingSubgroupAccumulator
+    from repro.scale.subgroup import plan_subgroups
+
+    rng = HmacDrbg(b"bench-stream-fold")
+    num_slots = _SUM_ROWS * 4
+    plan = plan_subgroups(11, num_slots, 8)
+    rows = [rng.uint64_vector(length) for _ in range(num_slots)]
+    lists = [row.tolist() for row in rows]
+    groups = [plan.group_of(slot) for slot in range(num_slots)]
+
+    def vectorized() -> None:
+        accumulator = StreamingSubgroupAccumulator(plan)
+        for slot, row in enumerate(rows):
+            accumulator.fold(row, slot=slot)
+        accumulator.total()
+
+    def legacy() -> None:
+        reference.streaming_fold_scalar(lists, groups, plan.num_groups)
+
+    return _timeit(vectorized, min_time), _timeit(legacy, min_time)
+
+
+def _bench_subgroup_repair(length: int, min_time: float) -> tuple[dict, dict]:
+    """O(g) dropout repair: re-expand one subgroup's sum-zero family."""
+    from repro.crypto.masking import GroupedSumZeroMasks
+    from repro.scale.subgroup import plan_subgroups
+
+    group_size = 16
+    plan = plan_subgroups(13, 1024, group_size)
+    rng = HmacDrbg(b"bench-subgroup-repair")
+    masks = GroupedSumZeroMasks.sample(plan, length, rng.fork("grouped"))
+
+    def vectorized() -> None:
+        masks._cache.clear()
+        masks.group_family(7)
+
+    def legacy() -> None:
+        reference.sample_sum_zero_legacy(
+            group_size, length, rng.fork("legacy")
+        )
+
+    return _timeit(vectorized, min_time), _timeit(legacy, min_time)
+
+
 _MICRO_BENCHES: dict[str, Callable[[int, float], tuple[dict, dict]]] = {
     "mask_sampling": _bench_mask_sampling,
     "blinded_sum": _bench_blinded_sum,
@@ -197,6 +243,8 @@ _MICRO_BENCHES: dict[str, Callable[[int, float], tuple[dict, dict]]] = {
     "codec_decode": _bench_codec_decode,
     "ring_ingest": _bench_ring_ingest,
     "serialization": _bench_serialization,
+    "streaming_fold": _bench_streaming_fold,
+    "subgroup_repair": _bench_subgroup_repair,
 }
 
 
@@ -294,9 +342,20 @@ _PK_BENCHES: dict[str, Callable[[int, float], tuple[dict, dict]]] = {
 def _peak_rss_kb() -> int | None:
     """This process's lifetime peak RSS in KiB (None where unavailable).
 
-    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalized
-    here so snapshots compare across platforms.
+    Prefers ``VmHWM`` from ``/proc/self/status``: some kernels carry the
+    parent's ``ru_maxrss`` high-water mark across fork+exec, which would
+    make a subprocess-isolated measurement (the ``stream/u*`` bench
+    entries) report the *parent's* peak.  ``VmHWM`` is re-established on
+    exec, so it is the child's own.  Falls back to ``ru_maxrss``
+    (kilobytes on Linux, bytes on macOS — normalized) elsewhere.
     """
+    try:
+        with open("/proc/self/status", encoding="ascii") as status:
+            for line in status:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1])
+    except OSError:  # pragma: no cover - no procfs
+        pass
     try:
         import resource
         import sys
@@ -390,6 +449,75 @@ def _experiment_benches(quick: bool, workers: int = 0) -> dict[str, dict]:
             4096, 1, workers=workers, shards=8
         )
     return benches
+
+
+def _mem_available_kb() -> int | None:
+    """MemAvailable from /proc/meminfo (None off-Linux)."""
+    try:
+        with open("/proc/meminfo") as handle:
+            for line in handle:
+                if line.startswith("MemAvailable:"):
+                    return int(line.split()[1])
+    except (OSError, ValueError, IndexError):
+        return None
+    return None
+
+
+#: u1M streaming entry runs only when this much memory is free: the run
+#: itself needs well under 1 GiB, but a box that close to the edge is
+#: swapping and the wall-clock number would be meaningless.
+_U1M_MEM_FLOOR_KB = 4 * 1024 * 1024
+
+
+def _stream_benches(quick: bool) -> dict[str, dict]:
+    """Large-cohort streaming-ingest entries, one subprocess each.
+
+    ``ru_maxrss`` is a process-lifetime high-water mark, so measuring the
+    streaming path inside the bench process would only report "whatever
+    the earlier benches peaked at".  Each entry instead runs
+    :func:`repro.perf.stream_smoke.run_stream_smoke` in a fresh
+    interpreter and reads back its JSON — the reported ``peak_rss_kb``
+    is the real cost of that ingest, nothing else.  The section is an
+    observable (never regression-gated): the CI ``large-cohort`` job is
+    where the RSS budget is enforced.
+    """
+    import os
+    import subprocess
+    import sys
+
+    import repro
+
+    configs = [(10_000, 32, 128)] if quick else [(100_000, 64, 256)]
+    if not quick:
+        available = _mem_available_kb()
+        if available is not None and available >= _U1M_MEM_FLOOR_KB:
+            configs.append((1_000_000, 16, 256))
+    env = dict(os.environ)
+    src_dir = str(Path(repro.__file__).resolve().parent.parent)
+    env["PYTHONPATH"] = (
+        src_dir + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else src_dir
+    )
+    entries: dict[str, dict] = {}
+    for users, length, group_size in configs:
+        script = (
+            "import json; from repro.perf import stream_smoke; "
+            f"print(json.dumps(stream_smoke.run_stream_smoke({users}, "
+            f"length={length}, subgroup_size={group_size})))"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        key = f"stream/u{users}"
+        if proc.returncode != 0:
+            entries[key] = {"error": proc.stderr.strip()[-500:]}
+            continue
+        entries[key] = json.loads(proc.stdout)
+    return entries
 
 
 def _chaos_bench(quick: bool = False) -> dict:
@@ -514,6 +642,10 @@ def run_benchmarks(
                 "scalar_ops_per_sec": slow["ops_per_sec"],
                 "scalar_wall_ms": slow["wall_ms"],
                 "speedup": speedup,
+                # Lifetime high-water mark when this row finished —
+                # monotonic across the run (snapshot archaeology, not a
+                # per-row footprint) and never regression-gated.
+                "peak_rss_kb": _peak_rss_kb(),
             }
             speedups[key] = speedup
     experiments = _experiment_benches(quick, workers)
@@ -535,6 +667,7 @@ def run_benchmarks(
         "results": results,
         "speedups": speedups,
         "experiments": experiments,
+        "streaming": _stream_benches(quick),
         "peak_rss_kb": _peak_rss_kb(),
     }
     if chaos:
@@ -656,6 +789,26 @@ def render_report(snapshot: dict, comparison: dict | None) -> str:
             lines.append(
                 "  pk fast path: "
                 + ", ".join(f"{k}={v}" for k, v in sorted(pk.items()))
+            )
+    streaming = snapshot.get("streaming")
+    if streaming:
+        lines.append("")
+        for key, entry in sorted(streaming.items()):
+            if "error" in entry:
+                lines.append(f"{key}: FAILED — {entry['error']}")
+                continue
+            rss = entry.get("peak_rss_kb")
+            lines.append(
+                f"{key} (not gated): {entry['num_users']} users x "
+                f"{entry['length']} words in subgroups of "
+                f"{entry['subgroup_size']} — {entry['dropouts']} repaired, "
+                f"bit-exact {entry['exact']}, {entry['wall_s']:.2f}s "
+                f"({entry['users_per_sec']:.0f} users/s)"
+                + (
+                    f", peak RSS {rss / 1024:.0f} MiB (own process)"
+                    if rss is not None
+                    else ""
+                )
             )
     robustness = snapshot.get("robustness")
     if robustness:

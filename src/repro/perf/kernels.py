@@ -123,6 +123,36 @@ def ring_sum_rows(
     return _reduce(matrix.sum(axis=0, dtype=U64), modulus_bits)
 
 
+def ring_accumulate(
+    rows, modulus_bits: int = 64, chunk_rows: int = 1024
+) -> np.ndarray:
+    """Column-wise ring sum of an *iterable* of ring vectors, chunked.
+
+    Bit-identical to :func:`ring_sum_rows` (uint64 addition mod ``2^64``
+    is associative, and ``2^modulus_bits`` divides ``2^64``), but never
+    materializes the full row-major matrix: rows are folded in blocks of
+    ``chunk_rows``, so peak memory is O(chunk_rows · length) regardless
+    of how many rows stream past.  This is the finalize-path sum for the
+    streaming ingest story — a u1M round folds through a ~1k-row window.
+    """
+    if chunk_rows < 1:
+        raise ValueError("chunk_rows must be >= 1")
+    total: np.ndarray | None = None
+    buffer: list = []
+    for row in rows:
+        buffer.append(row)
+        if len(buffer) >= chunk_rows:
+            partial = ring_sum_rows(buffer, modulus_bits)
+            total = partial if total is None else total + partial
+            buffer.clear()
+    if buffer:
+        partial = ring_sum_rows(buffer, modulus_bits)
+        total = partial if total is None else total + partial
+    if total is None:
+        raise ValueError("ring_accumulate needs at least one row")
+    return _reduce(total, modulus_bits)
+
+
 def limb_column_sums(
     rows: np.ndarray | Sequence[Sequence[int]],
     num_limbs: int,

@@ -93,6 +93,29 @@ def sum_vectors_scalar(
     return total
 
 
+def streaming_fold_scalar(
+    rows: Sequence[Sequence[int]],
+    groups: Sequence[int],
+    num_groups: int,
+    modulus_bits: int = 64,
+) -> list[int]:
+    """Scalar twin of the subgroup streaming fold + parent merge.
+
+    Folds each row into its subgroup's per-element partial sum, then
+    merges the partials — the same shape as
+    :class:`repro.scale.streaming.StreamingSubgroupAccumulator` followed
+    by ``total()``, as plain Python loops.
+    """
+    modulus = 1 << modulus_bits
+    length = len(rows[0])
+    partials = [[0] * length for _ in range(num_groups)]
+    for row, group in zip(rows, groups):
+        bucket = partials[group]
+        for i, value in enumerate(row):
+            bucket[i] = (bucket[i] + int(value)) % modulus
+    return sum_vectors_scalar(partials, modulus_bits)
+
+
 def encode_scalar(codec, values: Sequence[float]) -> list[int]:
     """Scalar fixed-point encode: per-value ``round(v * scale) % modulus``."""
     return [codec.encode_value(float(v)) for v in values]

@@ -100,6 +100,17 @@ class ServiceEndpoint:
                 state = None
             if state is not None and state.blinded == request.blinded:
                 return True  # the earlier attempt's open landed; ack again
+        if request.subgroup_size:
+            # Only reached when the engine's hierarchical gate already
+            # established the service is a stock CloudService; legacy and
+            # wrapped services are always opened with the flat signature.
+            self.service.open_round(
+                request.round_id,
+                request.expected_parties,
+                blinded=request.blinded,
+                subgroup_size=request.subgroup_size,
+            )
+            return True
         self.service.open_round(
             request.round_id, request.expected_parties, blinded=request.blinded
         )
@@ -128,7 +139,15 @@ class ServiceEndpoint:
                 nonce,
                 retransmit=message.attempt > 1,
             )
-        accepted = self.service.submit(request.round_id, request.contribution)
+        if getattr(type(self.service), "accepts_submit_slot", False):
+            # Checked on the class so Byzantine wrappers whose __getattr__
+            # forwards attributes (but whose shadowing submit keeps the
+            # legacy two-argument shape) still get the legacy call.
+            accepted = self.service.submit(
+                request.round_id, request.contribution, slot=request.slot
+            )
+        else:
+            accepted = self.service.submit(request.round_id, request.contribution)
         if nonce is not None:
             self._submit_results[nonce] = accepted
         if self.monitor is not None:
@@ -192,9 +211,17 @@ class BlinderEndpoint:
                     except CryptoError:
                         pass
                 return True
-        result = self.provisioner.open_round(
-            request.round_id, request.num_parties, request.vector_length
-        )
+        if request.subgroup_size:
+            result = self.provisioner.open_round(
+                request.round_id,
+                request.num_parties,
+                request.vector_length,
+                subgroup_size=request.subgroup_size,
+            )
+        else:
+            result = self.provisioner.open_round(
+                request.round_id, request.num_parties, request.vector_length
+            )
         # Commitment-aware provisioners publish their MaskCommitmentSet;
         # legacy ones return None and the engine skips verification.
         return result if result is not None else True

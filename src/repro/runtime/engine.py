@@ -126,6 +126,10 @@ class _RoundRecord:
         self.stragglers = 0
         self.partition_trimmed = 0
         self.reconciled = 0
+        self.subgroup_plan = None  # SubgroupPlan on hierarchical rounds
+        self.subgroup_size = 0
+        self.subgroup_repairs = 0  # distinct subgroups touched by §3 repair
+        self.streamed = 0  # submissions folded-and-released at admission
         self.meter_start: dict[str, dict[str, int]] = {}
         self.pk_counters0 = group_ops.counters()
         self.messages0 = network.messages_delivered + network.messages_dropped
@@ -416,13 +420,30 @@ class RoundEngine:
         num_slots: int,
         vector_length: int,
         blinded: bool = True,
+        subgroup_size: int = 0,
     ) -> None:
-        """Open the round at the blinding service and the cloud service."""
+        """Open the round at the blinding service and the cloud service.
+
+        ``subgroup_size > 0`` opens a hierarchical round: the blinder
+        samples per-subgroup sum-zero families and the service streams
+        submissions into per-subgroup accumulators.  The plan is a pure
+        function of the round id, so the engine's copy (kept for repair
+        telemetry) matches both parties' without coordination.
+        """
         if round_id in self._rounds:
             raise ProtocolError(f"round {round_id} is already tracked by the engine")
         record = _RoundRecord(self.network, round_id, num_slots, blinded)
         if self.fault_injector is not None:
             record.faults0 = len(self.fault_injector.fired)
+        if subgroup_size > 0 and blinded:
+            from repro.scale.subgroup import plan_subgroups
+
+            record.subgroup_plan = plan_subgroups(
+                round_id, num_slots, subgroup_size
+            )
+            # Telemetry reports the *effective* group size (the plan
+            # clamps g to the cohort), not the configured knob.
+            record.subgroup_size = record.subgroup_plan.group_size
         self._rounds[round_id] = record
         self._start_phase(record, "open")
         if blinded:
@@ -431,7 +452,9 @@ class RoundEngine:
                 ENGINE,
                 BLINDER,
                 m.KIND_OPEN_BLINDER,
-                m.OpenBlinderRound(round_id, num_slots, vector_length),
+                m.OpenBlinderRound(
+                    round_id, num_slots, vector_length, record.subgroup_size
+                ),
             )
             record.commitments = self._vetted_commitments(
                 record, published, num_slots, vector_length
@@ -441,7 +464,9 @@ class RoundEngine:
             ENGINE,
             SERVICE,
             m.KIND_OPEN_SERVICE,
-            m.OpenServiceRound(round_id, num_slots, blinded),
+            m.OpenServiceRound(
+                round_id, num_slots, blinded, record.subgroup_size
+            ),
         )
 
     def _vetted_commitments(
@@ -665,6 +690,15 @@ class RoundEngine:
                             record, slot, revealed, preverified=batched
                         )
                     )
+                if record.subgroup_plan is not None and revealed_by_slot:
+                    # Hierarchical repair locality: each reveal re-expanded
+                    # only the dropped slot's O(g) subgroup family.
+                    record.subgroup_repairs = len(
+                        {
+                            record.subgroup_plan.group_of(slot)
+                            for slot, _ in revealed_by_slot
+                        }
+                    )
             result = self.call_with_retry(
                 record,
                 ENGINE,
@@ -675,6 +709,14 @@ class RoundEngine:
         except NetworkError as exc:
             raise self._abort(record, f"finalize could not complete: {exc}")
         self._audit_result(record, result, repairs)
+        if record.subgroup_plan is not None:
+            try:
+                streaming_state = self.service.round_state(round_id)
+            except (ProtocolError, AttributeError):
+                streaming_state = None
+            accumulator = getattr(streaming_state, "accumulator", None)
+            if accumulator is not None:
+                record.streamed = accumulator.folded
         self._close_round_clients(record)
         report = self._build_report(record, result, len(repairs))
         self.reports[round_id] = report
@@ -930,14 +972,16 @@ class RoundEngine:
     def _recompute_aggregate(self, record: _RoundRecord, accepted, repairs, codec):
         try:
             if record.blinded:
-                total = kernels.ring_sum_rows(
-                    [c.ring_payload for c in accepted], codec.modulus_bits
+                # Chunked accumulate: the audit only needs the sum, so the
+                # full cohort matrix is never materialized here either.
+                total = kernels.ring_accumulate(
+                    (c.ring_payload for c in accepted), codec.modulus_bits
                 )
                 if repairs:
                     # Repairs commute in the ring, so one summed repair
                     # vector applied once equals applying each in turn.
-                    repair = kernels.ring_sum_rows(
-                        [list(mask) for mask in repairs], codec.modulus_bits
+                    repair = kernels.ring_accumulate(
+                        (list(mask) for mask in repairs), codec.modulus_bits
                     )
                     total = kernels.ring_add(total, repair, codec.modulus_bits)
                 return codec.decode(total) / len(accepted)
@@ -1172,8 +1216,38 @@ class RoundEngine:
                     collect_dropouts=silent_after_provision,
                     recovery_threshold=threshold,
                 )
+        subgroup_size = 0
+        if (
+            self.parallelism is not None
+            and getattr(self.parallelism, "hierarchical", False)
+            and adaptive is None
+            and self.link_conditions is None
+        ):
+            # Hierarchical rounds are the serial path with grouped masks
+            # and a streaming service round — same messages, same slots,
+            # same per-slot repair.  The gate (PR-5 style) routes anything
+            # that could need eviction or per-row audit back to the flat
+            # path unchanged.
+            from repro.scale import hierarchy
+
+            if hierarchy.hierarchical_eligible(
+                self,
+                participants=participants,
+                blind=blind,
+                deadline_ms=deadline_ms,
+                phase_deadlines_ms=phase_deadlines,
+                claims_by_user=claims_by_user,
+                context_fields=context_fields,
+            ):
+                subgroup_size = self.parallelism.subgroup_size
         try:
-            self.open_round(round_id, len(participants), len(features), blinded=blind)
+            self.open_round(
+                round_id,
+                len(participants),
+                len(features),
+                blinded=blind,
+                subgroup_size=subgroup_size,
+            )
         except NetworkError as exc:
             # The round is tracked the moment open_round starts, so a
             # failed open still aborts cleanly with a partial report.
@@ -1591,6 +1665,14 @@ class RoundEngine:
             batch_fallbacks=pk_delta["batch_fallbacks"],
             handshakes_resumed=pk_delta["handshakes_resumed"],
             membership_checks_skipped=pk_delta["membership_checks_skipped"],
+            subgroup_size=record.subgroup_size,
+            subgroups_aggregated=(
+                record.subgroup_plan.num_groups
+                if record.subgroup_plan is not None
+                else 0
+            ),
+            subgroup_dropout_repairs=record.subgroup_repairs,
+            submissions_streamed=record.streamed,
         )
 
     def _build_report(

@@ -43,20 +43,32 @@ KIND_QUERY_SUBMISSION = "contribution/status"
 
 @dataclass(frozen=True)
 class OpenBlinderRound:
-    """Ask the blinding service to sample sum-zero masks for a round."""
+    """Ask the blinding service to sample sum-zero masks for a round.
+
+    ``subgroup_size > 0`` requests the hierarchical construction: an
+    independent sum-zero family per DRBG-keyed subgroup of at most that
+    many slots (the plan is a pure function of the round id, so every
+    party recomputes it).  ``0`` keeps the flat §3 family.
+    """
 
     round_id: int
     num_parties: int
     vector_length: int
+    subgroup_size: int = 0
 
 
 @dataclass(frozen=True)
 class OpenServiceRound:
-    """Ask the cloud service to start accepting contributions."""
+    """Ask the cloud service to start accepting contributions.
+
+    ``subgroup_size > 0`` opens a streaming round: submissions fold into
+    per-subgroup accumulators on arrival and raw vectors are released.
+    """
 
     round_id: int
     expected_parties: int
     blinded: bool = True
+    subgroup_size: int = 0
 
 
 @dataclass(frozen=True)

@@ -109,6 +109,18 @@ class RoundReport:
     membership_checks_skipped: int = 0
     """Subgroup-membership exponentiations answered from the True-only
     memo (:mod:`repro.crypto.group_ops`) instead of recomputed."""
+    subgroup_size: int = 0
+    """Bounded subgroup size ``g`` of a hierarchical round (0 = flat
+    cohort): masks were sampled per DRBG-keyed subgroup and submissions
+    streamed into per-subgroup accumulators."""
+    subgroups_aggregated: int = 0
+    """How many subgroup partial sums fed the parent merge tree."""
+    subgroup_dropout_repairs: int = 0
+    """Distinct subgroups whose mask family was re-expanded for §3
+    dropout repair — the O(g)-not-O(n) repair locality counter."""
+    submissions_streamed: int = 0
+    """Ring payloads folded into a subgroup accumulator and released at
+    admission instead of being retained until finalize."""
     _survivors: tuple[str, ...] = field(default=(), repr=False)
 
     # ---------------------------------------------------------- derived views
@@ -263,6 +275,10 @@ class RoundReport:
             "batch_fallbacks": self.batch_fallbacks,
             "handshakes_resumed": self.handshakes_resumed,
             "membership_checks_skipped": self.membership_checks_skipped,
+            "subgroup_size": self.subgroup_size,
+            "subgroups_aggregated": self.subgroups_aggregated,
+            "subgroup_dropout_repairs": self.subgroup_dropout_repairs,
+            "submissions_streamed": self.submissions_streamed,
         }
 
     def to_dict(self) -> dict[str, Any]:
@@ -323,6 +339,12 @@ class RoundReport:
             membership_checks_skipped=int(
                 data.get("membership_checks_skipped", 0)
             ),
+            subgroup_size=int(data.get("subgroup_size", 0)),
+            subgroups_aggregated=int(data.get("subgroups_aggregated", 0)),
+            subgroup_dropout_repairs=int(
+                data.get("subgroup_dropout_repairs", 0)
+            ),
+            submissions_streamed=int(data.get("submissions_streamed", 0)),
         )
 
 

@@ -145,6 +145,9 @@ def _validate_open_blinder(sender: str, payload: Any) -> None:
     _check_int(
         sender, rid, "vector_length", payload.vector_length, 1, MAX_VECTOR_LENGTH
     )
+    _check_int(
+        sender, rid, "subgroup_size", payload.subgroup_size, 0, MAX_PARTIES
+    )
 
 
 def _validate_open_service(sender: str, payload: Any) -> None:
@@ -156,6 +159,9 @@ def _validate_open_service(sender: str, payload: Any) -> None:
     )
     if not isinstance(payload.blinded, bool):
         raise _fail(sender, rid, "blinded flag must be a bool")
+    _check_int(
+        sender, rid, "subgroup_size", payload.subgroup_size, 0, MAX_PARTIES
+    )
 
 
 def _validate_provision(sender: str, payload: Any) -> None:

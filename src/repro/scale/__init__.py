@@ -19,6 +19,15 @@ pipeline the way a production deployment would (see DESIGN.md §10):
   the serial path, so chaos and Byzantine replays are untouched), RNG
   pre-draws that pin the provisioner's DRBG stream to the serial order,
   and the slot-ordered merge that makes worker scheduling unobservable.
+* :mod:`repro.scale.subgroup` — the DRBG-keyed subgroup planner for
+  hierarchical sum-zero aggregation: a pure function of
+  ``(round_id, num_slots, group_size)``, numpy-backed so a u1M plan is
+  two int64 arrays.
+* :mod:`repro.scale.streaming` — per-subgroup ring accumulators that
+  fold submissions on arrival and release the raw vectors, bounding
+  parent ingest memory at O(n/g · k) (DESIGN.md §16).
+* :mod:`repro.scale.hierarchy` — the eligibility gate routing rounds
+  onto (or away from) the subgroup + streaming path, PR-5 style.
 
 Determinism contract: with the same seed, a parallel round produces the
 same masks, blinded vectors, aggregate, commitment digests, outcomes,
@@ -29,5 +38,13 @@ counters) differs, because worker dispatch replaces simulated wire hops.
 
 from repro.scale.config import ScaleConfig
 from repro.scale.shard import ShardedRingReducer, shard_of, plan_shards
+from repro.scale.subgroup import SubgroupPlan, plan_subgroups
 
-__all__ = ["ScaleConfig", "ShardedRingReducer", "shard_of", "plan_shards"]
+__all__ = [
+    "ScaleConfig",
+    "ShardedRingReducer",
+    "shard_of",
+    "plan_shards",
+    "SubgroupPlan",
+    "plan_subgroups",
+]

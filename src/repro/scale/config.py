@@ -23,11 +23,21 @@ class ScaleConfig:
         How many clients ride in one worker task.  Larger chunks amortize
         pickling (objects shared between clients are serialized once per
         chunk); smaller chunks spread a shard across more workers.
+    subgroup_size:
+        Bounded subgroup size ``g`` for hierarchical sum-zero
+        aggregation.  ``0`` keeps the flat cohort; any value >= 1 makes
+        eligible rounds (see :func:`repro.scale.hierarchy.
+        hierarchical_eligible`) sample per-subgroup mask families and
+        stream submissions into per-subgroup accumulators — bit-exact
+        against the flat path (each subgroup sums to zero, ring
+        addition is associative), with mask state and §3 repair O(g)
+        and parent ingest memory O(n/g · k) instead of O(n·k).
     """
 
     workers: int = 0
     shards: int = 1
     chunk_size: int = 32
+    subgroup_size: int = 0
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -36,7 +46,13 @@ class ScaleConfig:
             raise ConfigurationError("shards must be >= 1")
         if self.chunk_size < 1:
             raise ConfigurationError("chunk_size must be >= 1")
+        if self.subgroup_size < 0:
+            raise ConfigurationError("subgroup_size must be >= 0")
 
     @property
     def enabled(self) -> bool:
         return self.workers > 0
+
+    @property
+    def hierarchical(self) -> bool:
+        return self.subgroup_size > 0

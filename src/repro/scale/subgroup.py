@@ -1,0 +1,114 @@
+"""Deterministic subgroup planning for hierarchical sum-zero aggregation.
+
+A million-client cohort cannot afford the flat §3 mask graph: sampling,
+sealing, and repairing masks all touch O(n) state at once.  The
+hierarchical path partitions the cohort's *slots* into subgroups of
+bounded size ``g`` and samples an independent sum-zero family inside
+each subgroup.  Every subgroup sums to zero, so the whole cohort still
+sums to zero — the aggregate is bit-identical to the flat construction
+for any grouping — while mask materialization and §3 dropout repair
+shrink from O(n) to O(g).
+
+The plan is a pure function of ``(round_id, num_slots, group_size)``:
+slot keys come from one bulk :class:`~repro.crypto.drbg.HmacDrbg`
+expansion seeded by the round id (the same keyed-but-reproducible idea
+as :func:`repro.scale.shard.shard_of`), the slots are permuted by a
+stable argsort of those keys, and the permutation is chunked into
+``ceil(n / g)`` contiguous groups of at most ``g`` slots.  Any party —
+blinder, service, engine, auditor — recomputes the identical plan
+without coordination, and a client's subgroup rotates round to round so
+no subgroup is a stable linkability anchor.
+
+Everything is numpy-backed (one ``int64`` permutation array plus its
+inverse) so a u1M plan costs ~16 MB, not a million Python tuples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crypto.drbg import HmacDrbg
+from repro.errors import ConfigurationError
+
+
+def _slot_keys(round_id: int, num_slots: int) -> np.ndarray:
+    """One uint64 permutation key per slot, reproducible from the round id."""
+    rng = HmacDrbg(
+        b"glimmer-subgroup:" + int(round_id).to_bytes(8, "big", signed=False),
+        personalization="subgroup-plan",
+    )
+    return rng.uint64_vector(num_slots)
+
+
+class SubgroupPlan:
+    """The frozen grouping of one round's slots into bounded subgroups."""
+
+    __slots__ = ("round_id", "num_slots", "group_size", "order", "group_of_slot")
+
+    def __init__(
+        self, round_id: int, num_slots: int, group_size: int, order: np.ndarray
+    ) -> None:
+        self.round_id = round_id
+        self.num_slots = num_slots
+        self.group_size = group_size
+        #: Permutation of ``range(num_slots)``; group ``g`` owns the
+        #: contiguous block ``order[g*group_size : (g+1)*group_size]``.
+        self.order = order
+        inverse = np.empty(num_slots, dtype=np.int64)
+        inverse[order] = np.arange(num_slots, dtype=np.int64)
+        #: ``group_of_slot[slot]`` is the subgroup index owning ``slot``.
+        self.group_of_slot = inverse // group_size
+
+    @property
+    def num_groups(self) -> int:
+        return -(-self.num_slots // self.group_size)
+
+    def group_of(self, slot: int) -> int:
+        if not 0 <= slot < self.num_slots:
+            raise ConfigurationError(
+                f"slot {slot} outside the round's {self.num_slots} slots"
+            )
+        return int(self.group_of_slot[slot])
+
+    def slots_in(self, group: int) -> tuple[int, ...]:
+        """The slot indices of one subgroup, in permutation order."""
+        if not 0 <= group < self.num_groups:
+            raise ConfigurationError(
+                f"subgroup {group} outside the plan's {self.num_groups} groups"
+            )
+        start = group * self.group_size
+        return tuple(
+            int(s) for s in self.order[start : start + self.group_size]
+        )
+
+    def local_index(self, slot: int) -> int:
+        """A slot's position inside its own subgroup's mask family."""
+        group = self.group_of(slot)
+        block = self.order[
+            group * self.group_size : (group + 1) * self.group_size
+        ]
+        return int(np.nonzero(block == slot)[0][0])
+
+    def groups(self) -> tuple[tuple[int, ...], ...]:
+        """Every subgroup's slot tuple (test/inspection helper; O(n))."""
+        return tuple(self.slots_in(g) for g in range(self.num_groups))
+
+
+def plan_subgroups(round_id: int, num_slots: int, group_size: int) -> SubgroupPlan:
+    """Partition a round's slots into DRBG-keyed subgroups of size <= g.
+
+    The permutation is a stable argsort of per-slot uint64 keys (ties —
+    vanishingly rare — break by slot index, keeping the plan fully
+    deterministic), chunked into contiguous blocks.  Every block except
+    possibly the last holds exactly ``group_size`` slots; the last holds
+    the remainder, and a remainder of one is a legal size-1 subgroup
+    whose single mask is the zero vector (a sum-zero family of one).
+    """
+    if num_slots < 1:
+        raise ConfigurationError("num_slots must be >= 1")
+    if group_size < 1:
+        raise ConfigurationError("group_size must be >= 1")
+    group_size = min(group_size, num_slots)
+    keys = _slot_keys(round_id, num_slots)
+    order = np.argsort(keys, kind="stable").astype(np.int64)
+    return SubgroupPlan(round_id, num_slots, group_size, order)

@@ -70,6 +70,17 @@ class SubmissionQueue:
         )
         self._space = f"queue/{tenant}"
         self._meta_space = f"queue-meta/{tenant}"
+        # State index: submission id -> persisted state, plus the inverse
+        # buckets.  Built by ONE storage scan on first use, then kept in
+        # lockstep with storage by a read-back after every put, so hot
+        # paths (submit/take/promote/depth) touch only the buckets they
+        # need — cost bounded by the live population, not the applied
+        # history.  Storage stays the source of truth: the read-back
+        # indexes whatever the backend actually persisted, which keeps
+        # the index exact under torn, lost-after-ack, and corrupting
+        # writes.
+        self._state_by_id: dict[str, str] | None = None
+        self._ids_by_state: dict[str, set[str]] = {}
 
     # ------------------------------------------------------------- internals
 
@@ -112,20 +123,81 @@ class SubmissionQueue:
         return entry
 
     def _store(self, entry: dict) -> None:
-        self._backend.put(self._space, entry["submission_id"], entry)
+        submission_id = entry["submission_id"]
+        try:
+            self._backend.put(self._space, submission_id, entry)
+        finally:
+            # Index what storage actually holds, even when the put tore
+            # (garbage record) or raised: the index may only ever mirror
+            # persisted truth, never the write we *intended*.
+            self._reindex(submission_id)
 
-    def _all(self) -> list[dict]:
-        # Torn writes leave marker records with no state machine fields;
-        # they were never acknowledged, so the queue skips them.
-        return [
-            entry
-            for _, entry in self._backend.items(self._space)
+    def _ensure_index(self) -> None:
+        if self._state_by_id is not None:
+            return
+        state_by_id: dict[str, str] = {}
+        buckets: dict[str, set[str]] = {}
+        for key, entry in self._backend.items(self._space):
+            # Torn writes leave marker records with no state machine
+            # fields; they were never acknowledged, so the queue skips
+            # them.
+            if isinstance(entry, dict) and "state" in entry:
+                state_by_id[key] = entry["state"]
+                buckets.setdefault(entry["state"], set()).add(key)
+        self._state_by_id = state_by_id
+        self._ids_by_state = buckets
+
+    def _reindex(self, submission_id: str) -> None:
+        if self._state_by_id is None:
+            return
+        entry = self._backend.get(self._space, submission_id)
+        state = (
+            entry["state"]
             if isinstance(entry, dict) and "state" in entry
+            else None
+        )
+        old = self._state_by_id.get(submission_id)
+        if old == state:
+            return
+        if old is not None:
+            self._ids_by_state.get(old, set()).discard(submission_id)
+        if state is None:
+            self._state_by_id.pop(submission_id, None)
+        else:
+            self._state_by_id[submission_id] = state
+            self._ids_by_state.setdefault(state, set()).add(submission_id)
+
+    def _ids_in(self, *states: str) -> list[str]:
+        """Ids currently in ``states``, in admission order.
+
+        Ids embed the admission counter, so the (length, lexicographic)
+        sort reproduces the order a full storage scan would yield.
+        """
+        self._ensure_index()
+        ids = [
+            submission_id
+            for state in dict.fromkeys(states)
+            for submission_id in self._ids_by_state.get(state, ())
         ]
+        ids.sort(key=lambda submission_id: (len(submission_id), submission_id))
+        return ids
+
+    def _entries_in(self, *states: str) -> list[dict]:
+        """Persisted entries in ``states``; re-read so storage stays truth."""
+        entries = []
+        for submission_id in self._ids_in(*states):
+            entry = self.entry_or_none(submission_id)
+            if entry is not None and entry["state"] in states:
+                entries.append(entry)
+        return entries
 
     def count(self, *states: str) -> int:
         wanted = states or _LIVE_STATES
-        return sum(1 for entry in self._all() if entry["state"] in wanted)
+        self._ensure_index()
+        return sum(
+            len(self._ids_by_state.get(state, ()))
+            for state in dict.fromkeys(wanted)
+        )
 
     # -------------------------------------------------------------- admission
 
@@ -162,9 +234,7 @@ class SubmissionQueue:
         """Move deferred submissions into pending as capacity frees up."""
         promoted: list[str] = []
         live = self.count(*_LIVE_STATES)
-        for entry in self._all():
-            if entry["state"] != STATE_DEFERRED:
-                continue
+        for entry in self._entries_in(STATE_DEFERRED):
             if live >= self.capacity:
                 break
             entry["state"] = STATE_PENDING
@@ -185,9 +255,7 @@ class SubmissionQueue:
         self.promote_deferred()
         taken: list[dict] = []
         users: set[str] = set()
-        for entry in self._all():
-            if entry["state"] != STATE_PENDING:
-                continue
+        for entry in self._entries_in(STATE_PENDING):
             if entry["user_id"] in users:
                 continue
             taken.append(dict(entry))
@@ -257,29 +325,21 @@ class SubmissionQueue:
 
     def assigned(self) -> list[dict]:
         """Every submission currently assigned to some round."""
-        return [
-            dict(entry)
-            for entry in self._all()
-            if entry["state"] == STATE_ASSIGNED
-        ]
+        return [dict(entry) for entry in self._entries_in(STATE_ASSIGNED)]
 
     def assigned_to(self, round_id: int) -> list[dict]:
         """Submissions assigned to one round (crash-recovery input set)."""
         return [
             dict(entry)
-            for entry in self._all()
-            if entry["state"] == STATE_ASSIGNED
-            and entry.get("round_id") == int(round_id)
+            for entry in self._entries_in(STATE_ASSIGNED)
+            if entry.get("round_id") == int(round_id)
         ]
 
     def requeue_round(self, round_id: int) -> list[str]:
         """Return an aborted round's submissions to pending."""
         requeued: list[str] = []
-        for entry in self._all():
-            if (
-                entry["state"] == STATE_ASSIGNED
-                and entry.get("round_id") == int(round_id)
-            ):
+        for entry in self._entries_in(STATE_ASSIGNED):
+            if entry.get("round_id") == int(round_id):
                 entry["state"] = STATE_PENDING
                 entry["round_id"] = None
                 self._store(entry)
@@ -291,7 +351,9 @@ class SubmissionQueue:
 
     def depth(self) -> dict[str, int]:
         """Queue depth by state (for telemetry and the CLI)."""
-        depths: dict[str, int] = {}
-        for entry in self._all():
-            depths[entry["state"]] = depths.get(entry["state"], 0) + 1
-        return depths
+        self._ensure_index()
+        return {
+            state: len(ids)
+            for state, ids in self._ids_by_state.items()
+            if ids
+        }

@@ -115,3 +115,111 @@ def test_unknown_submission_and_bad_config(backend):
         SubmissionQueue(backend, "t", capacity=0)
     with pytest.raises(ConfigurationError):
         SubmissionQueue(backend, "t", overflow="explode")
+
+
+class _CountingBackend:
+    """Delegating backend that counts storage scans and point reads."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.items_calls = 0
+        self.get_calls = 0
+
+    def reset(self):
+        self.items_calls = 0
+        self.get_calls = 0
+
+    def items(self, space):
+        self.items_calls += 1
+        return self.inner.items(space)
+
+    def get(self, space, key, default=None):
+        self.get_calls += 1
+        return self.inner.get(space, key, default)
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+def _run_snapshot_cycle(history: int) -> tuple[int, int]:
+    """(items calls, get calls) for one hot cycle after ``history`` applies."""
+    from repro.service.storage import MemoryBackend
+
+    counting = _CountingBackend(MemoryBackend())
+    queue = SubmissionQueue(counting, "tenant-a", capacity=4)
+    for i in range(history):
+        sid = queue.submit(f"user-{i}", [0.1])
+        queue.mark_assigned([sid], i)
+        queue.mark_applied([sid])
+    queue.submit("user-live", [0.5])
+    counting.reset()
+    taken = queue.take()
+    assert [entry["user_id"] for entry in taken] == ["user-live"]
+    queue.submit("user-next", [0.5])
+    queue.depth()
+    queue.count()
+    return counting.items_calls, counting.get_calls
+
+
+def test_snapshot_cost_does_not_scale_with_applied_history():
+    # The state index is built by one scan at first use; after that, a
+    # take/submit/depth cycle must not rescan storage, and its point
+    # reads must be bounded by the live population — identical whether
+    # eight or two hundred submissions have already been applied.
+    small_items, small_gets = _run_snapshot_cycle(8)
+    large_items, large_gets = _run_snapshot_cycle(200)
+    assert small_items == 0
+    assert large_items == 0
+    assert large_gets == small_gets
+
+
+def test_index_mirrors_storage_through_write_faults():
+    from repro.errors import StorageFaultError
+    from repro.faults.injector import FaultInjector
+    from repro.faults.plan import (
+        ACTION_LOST_AFTER_ACK,
+        ACTION_TORN_WRITE,
+        SITE_QUEUE_ADMIT,
+        FaultPlan,
+        FaultSpec,
+    )
+    from repro.faults.storage import FaultyStorageBackend
+    from repro.service.storage import MemoryBackend
+
+    inner = MemoryBackend()
+    plan = FaultPlan(
+        specs=(
+            FaultSpec(
+                site=SITE_QUEUE_ADMIT, action=ACTION_TORN_WRITE, at_hit=2
+            ),
+            # The torn spec's firing visit does not advance this spec's
+            # counter, so its second counted visit is the mark_assigned
+            # transition below.
+            FaultSpec(
+                site=SITE_QUEUE_ADMIT, action=ACTION_LOST_AFTER_ACK, at_hit=2
+            ),
+        )
+    )
+    queue = SubmissionQueue(
+        FaultyStorageBackend(inner, FaultInjector(plan)),
+        "tenant-a",
+        capacity=8,
+    )
+    sid = queue.submit("user-0", [0.1])
+    # Torn write: the record is garbage in storage, so the submission
+    # effectively never happened — the index must not remember it.
+    with pytest.raises(StorageFaultError):
+        queue.submit("user-1", [0.2])
+    # Lost after ack: whatever the backend actually kept is the truth the
+    # index must reflect (MemoryBackend hands out live references, so the
+    # in-place transition sticks; a copying backend would stay pending —
+    # either way index and storage must agree).
+    queue.mark_assigned([sid], 5)
+    # The torn submission must not be remembered anywhere.
+    assert [entry["user_id"] for entry in queue.take()] == []
+    # Ground truth: a fresh queue over the same storage rebuilds its view
+    # from a full scan; the incrementally-maintained index must agree.
+    fresh = SubmissionQueue(inner, "tenant-a", capacity=8)
+    assert queue.state_of(sid) == fresh.state_of(sid)
+    assert queue.depth() == fresh.depth()
+    assert queue.count() == fresh.count()

@@ -179,3 +179,48 @@ def test_serve_chaos_seed_self_heals(tmp_path, capsys):
     assert "chaos schedule 'cli-chaos-1'" in out
     # The state the chaos run leaves behind is verifiably intact.
     assert main(["audit-verify", "--state-dir", state]) == 0
+
+
+def test_stream_smoke_command(capsys):
+    assert (
+        main(
+            [
+                "stream-smoke",
+                "--users", "500",
+                "--length", "8",
+                "--subgroup-size", "16",
+                "--max-rss-kb", "4194304",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "bit-exact: True" in out
+    assert "budget" in out
+
+
+def test_stream_smoke_json_and_budget_failure(capsys):
+    import json
+
+    assert (
+        main(
+            [
+                "stream-smoke",
+                "--users", "200",
+                "--length", "4",
+                "--subgroup-size", "8",
+                "--max-rss-kb", "1",
+                "--json",
+            ]
+        )
+        == 1
+    )
+    report = json.loads(capsys.readouterr().out)
+    assert report["exact"] is True
+    assert report["rss_ok"] is False
+    assert report["num_groups"] == 25
+    assert report["folds"] + report["repairs"] == 200
+
+
+def test_stream_smoke_rejects_bad_arguments(capsys):
+    assert main(["stream-smoke", "--users", "0"]) == 2
